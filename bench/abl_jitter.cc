@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: HRTimer jitter characterization (paper section VI).
+ *
+ * The paper bounds K-LEB's usable rate by timer jitter: "even a 1%
+ * jitter could cause the collection mechanism to shift an entire
+ * time step off with only 100 iterations".  This bench measures
+ * the per-expiry lateness distribution, the relative jitter at
+ * several periods, and verifies that deadline-based re-arming
+ * (hrtimer_forward) prevents drift accumulation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernel/system.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+
+using namespace klebsim;
+using namespace klebsim::bench;
+using namespace klebsim::ticks_literals;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    int expiries = args.quick ? 2000 : 20000;
+
+    banner("Ablation: HRTimer jitter vs sampling period");
+
+    Table table({"Period", "Mean lateness (us)", "P99 (us)",
+                 "Relative jitter (%)", "Drift after N (us)"});
+    for (Tick period : {usToTicks(50), usToTicks(100),
+                        usToTicks(500), msToTicks(1),
+                        msToTicks(10)}) {
+        kernel::System sys(hw::MachineConfig::corei7_920(), 31);
+        std::vector<double> lateness_us;
+        std::vector<Tick> fire_times;
+        kernel::HrTimer *timer = sys.kernel().createHrTimer(
+            "jitter-probe", 0,
+            [&] { fire_times.push_back(sys.now()); }, 0, 0);
+        timer->startPeriodic(period);
+        sys.run(period * static_cast<Tick>(expiries) +
+                usToTicks(200));
+        timer->cancel();
+
+        for (std::size_t i = 0; i < fire_times.size(); ++i) {
+            Tick deadline = (i + 1) * period;
+            lateness_us.push_back(
+                ticksToUs(fire_times[i] - deadline));
+        }
+        stats::RunningStats st;
+        for (double v : lateness_us)
+            st.add(v);
+        double p99 = stats::percentile(lateness_us, 99.0);
+        // Drift: the final expiry's offset from its deadline — with
+        // hrtimer_forward this stays bounded by single-shot jitter
+        // instead of accumulating N * mean.
+        double drift = lateness_us.back();
+        table.addRow({csprintf("%8.0f us", ticksToUs(period)),
+                      toFixed(st.mean(), 3), toFixed(p99, 3),
+                      toFixed(st.mean() / ticksToUs(period) * 100.0,
+                              3),
+                      toFixed(drift, 3)});
+    }
+    table.print();
+
+    // Lateness histogram at the paper's 100 us rate.
+    std::printf("\nLateness distribution at 100 us (%d "
+                "expiries):\n",
+                expiries);
+    kernel::System sys(hw::MachineConfig::corei7_920(), 32);
+    stats::Histogram hist(0.0, 8.0, 16);
+    kernel::HrTimer *timer = sys.kernel().createHrTimer(
+        "hist-probe", 0, [] {}, 0, 0);
+    std::vector<double> lateness;
+    int count = 0;
+    kernel::HrTimer *observer = timer; // observe via lastLateness
+    sys.kernel()
+        .createHrTimer("collector", 1,
+                       [&] {
+                           (void)observer;
+                       },
+                       0, 0);
+    timer->startPeriodic(100_us);
+    // Sample lateness by polling after each run segment.
+    for (int i = 0; i < expiries; ++i) {
+        sys.run(sys.now() + 100_us);
+        hist.add(ticksToUs(timer->lastLateness()));
+        ++count;
+    }
+    timer->cancel();
+    std::printf("%s", hist.render(1).c_str());
+    std::printf("\nShape check: sub-period jitter at 100 us, no "
+                "cumulative drift (deadline-gridded re-arm).\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation: perf-style counter multiplexing accuracy (paper
+ * section VI).
+ *
+ * perf works around the 4-programmable-counter limit by rotating
+ * event groups and scaling; the paper argues "this estimation may
+ * not be suitable for measurement systems that require precision".
+ * This bench measures the estimation error on a stationary matmul
+ * and on the phase-structured LINPACK, sweeping the rotation
+ * interval — K-LEB's alternative (one precise group per run) is
+ * the zero-error reference.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernel/system.hh"
+#include "stats/summary.hh"
+#include "tools/multiplex.hh"
+#include "workload/linpack.hh"
+#include "workload/matmul.hh"
+
+using namespace klebsim;
+using namespace klebsim::bench;
+using namespace klebsim::tools;
+
+namespace
+{
+
+std::vector<hw::HwEvent>
+eightEvents()
+{
+    return {hw::HwEvent::branchRetired,
+            hw::HwEvent::branchMispredicted,
+            hw::HwEvent::loadRetired,
+            hw::HwEvent::storeRetired,
+            hw::HwEvent::arithMul,
+            hw::HwEvent::arithDiv,
+            hw::HwEvent::fpOpsRetired,
+            hw::HwEvent::llcMiss};
+}
+
+struct ErrorStats
+{
+    double mean = 0;
+    double worst = 0;
+    std::uint64_t rotations = 0;
+};
+
+template <typename MakeSource>
+ErrorStats
+measure(MakeSource make_source, Tick rotate_interval)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 21);
+    auto wl = make_source(sys);
+    kernel::Process *target =
+        sys.kernel().createWorkload("wl", wl.get(), 0);
+
+    MultiplexedPmuSession::Options opts;
+    opts.events = eightEvents();
+    opts.rotateInterval = rotate_interval;
+    MultiplexedPmuSession mux(sys, target->pid(), opts);
+    mux.arm();
+    sys.kernel().startProcess(target);
+    sys.run();
+    mux.disarm();
+
+    auto est = mux.estimates();
+    const hw::EventVector &truth =
+        target->execContext()->totalEvents();
+    ErrorStats stats;
+    int counted = 0;
+    for (std::size_t i = 0; i < opts.events.size(); ++i) {
+        auto truth_v = static_cast<double>(
+            at(truth, opts.events[i]));
+        if (truth_v < 1000.0)
+            continue; // skip near-zero events
+        double err = stats::pctDiff(est[i], truth_v);
+        stats.mean += err;
+        stats.worst = std::max(stats.worst, err);
+        ++counted;
+    }
+    if (counted)
+        stats.mean /= counted;
+    stats.rotations = mux.rotations();
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    std::uint32_t mm_n = args.quick ? 400 : 800;
+    std::uint32_t lp_n = args.quick ? 400 : 800;
+
+    banner("Ablation: multiplexing estimation error "
+           "(8 events on 4 counters)");
+
+    auto matmul = [mm_n](kernel::System &sys) {
+        return workload::makeMatMulLoop({mm_n}, 0x100000000ULL,
+                                        sys.forkRng(4));
+    };
+    auto linpack = [lp_n](kernel::System &sys) {
+        workload::LinpackParams params;
+        params.n = lp_n;
+        params.trials = 4;
+        return workload::makeLinpack(params, 0x100000000ULL,
+                                     sys.forkRng(4));
+    };
+
+    Table table({"Rotation", "matmul mean err (%)",
+                 "matmul worst (%)", "linpack mean err (%)",
+                 "linpack worst (%)"});
+    for (Tick rotate : {msToTicks(1), msToTicks(4), msToTicks(10),
+                        msToTicks(40)}) {
+        ErrorStats mm = measure(matmul, rotate);
+        ErrorStats lp = measure(linpack, rotate);
+        table.addRow({csprintf("%5.0f ms", ticksToMs(rotate)),
+                      toFixed(mm.mean, 2), toFixed(mm.worst, 2),
+                      toFixed(lp.mean, 2), toFixed(lp.worst, 2)});
+    }
+    table.print();
+    std::printf("\nShape check: error is small on the stationary "
+                "matmul but large on phase-structured LINPACK and "
+                "grows with the rotation interval — the precision "
+                "argument for K-LEB's un-multiplexed counting "
+                "(paper section VI).\n");
+    return 0;
+}

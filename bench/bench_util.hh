@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: command-line options,
+ * paper-style table rendering, and CSV emission.
+ *
+ * Every bench accepts:
+ *   --runs N     repetitions per configuration (default varies)
+ *   --quick      reduced problem sizes / repetitions (CI-friendly)
+ *   --csv        emit machine-readable CSV after the tables
+ */
+
+#ifndef KLEBSIM_BENCH_BENCH_UTIL_HH
+#define KLEBSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/str.hh"
+
+namespace klebsim::bench
+{
+
+/** Parsed common options. */
+struct BenchArgs
+{
+    int runs = 0;      //!< 0 = bench default
+    bool quick = false;
+    bool csv = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--quick")) {
+                args.quick = true;
+            } else if (!std::strcmp(argv[i], "--csv")) {
+                args.csv = true;
+            } else if (!std::strcmp(argv[i], "--runs") &&
+                       i + 1 < argc) {
+                args.runs = std::atoi(argv[++i]);
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--runs N] [--quick] "
+                             "[--csv]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+        return args;
+    }
+
+    int
+    runsOr(int dflt) const
+    {
+        return runs > 0 ? runs : dflt;
+    }
+};
+
+/** Fixed-width text table, printed like the paper's tables. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0;
+                 c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            std::printf("|");
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                std::string cell =
+                    c < row.size() ? row[c] : std::string();
+                std::printf(" %s |",
+                            padRight(cell, widths[c]).c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::printf("|");
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            std::printf("%s|",
+                        std::string(widths[c] + 2, '-').c_str());
+        std::printf("\n");
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+    void
+    printCsv() const
+    {
+        std::printf("%s\n", join(headers_, ",").c_str());
+        for (const auto &row : rows_)
+            std::printf("%s\n", join(row, ",").c_str());
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Banner for a bench section. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace klebsim::bench
+
+#endif // KLEBSIM_BENCH_BENCH_UTIL_HH

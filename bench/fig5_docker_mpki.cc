@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fig. 5 reproduction: LLC misses-per-kilo-instruction of popular
+ * Docker images, measured through K-LEB on the running containers
+ * (paper section IV-B).
+ *
+ * The paper classifies images with MPKI < 10 as computation-
+ * intensive and > 10 as memory-intensive (Muralidhara et al.):
+ * interpreters (ruby/golang/python) land below 1, mysql/traefik/
+ * ghost stay below 10, and the web servers (apache/nginx/tomcat)
+ * land well above 10.  The ordering must also be invariant across
+ * machines (the paper re-ran on an AWS Xeon).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "stats/time_series.hh"
+#include "workload/docker.hh"
+
+using namespace klebsim;
+using namespace klebsim::bench;
+using namespace klebsim::ticks_literals;
+
+namespace
+{
+
+double
+measureImage(const hw::MachineConfig &machine,
+             const workload::DockerImageSpec &spec,
+             std::uint64_t instructions, std::uint64_t seed)
+{
+    kernel::System sys(machine, seed);
+    workload::DockerImageSpec scaled = spec;
+    scaled.instructions = instructions;
+    auto container = workload::launchContainer(
+        sys.kernel(), scaled, 0, 0x200000000ULL,
+        sys.forkRng(seed));
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired, hw::HwEvent::llcMiss,
+                   hw::HwEvent::llcReference};
+    opts.period = 1_ms;
+    opts.controllerCore = 1;
+    kleb::Session session(sys, opts);
+    // Monitor the shim PID; the entrypoint is traced as its child.
+    session.monitor(container->shim, false);
+    sys.run();
+
+    hw::EventVector totals = session.finalTotals();
+    return stats::mpki(
+        static_cast<double>(at(totals, hw::HwEvent::llcMiss)),
+        static_cast<double>(
+            at(totals, hw::HwEvent::instRetired)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    std::uint64_t instructions =
+        args.quick ? 60000000ULL : 400000000ULL;
+
+    banner("Fig. 5: Docker image LLC MPKI via K-LEB "
+           "(containerized, multi-PID traced)");
+
+    Table table({"Image", "MPKI (i7-920)", "MPKI (Xeon 8259CL)",
+                 "Class", "Expected class"});
+
+    std::vector<std::pair<std::string, double>> i7_order;
+    std::vector<std::pair<std::string, double>> xeon_order;
+    bool all_classes_match = true;
+
+    for (const auto &spec : workload::dockerCatalog()) {
+        double mpki_i7 = measureImage(
+            hw::MachineConfig::corei7_920(), spec, instructions, 7);
+        double mpki_xeon = measureImage(
+            hw::MachineConfig::xeon8259cl(), spec, instructions, 7);
+        bool memory_intensive =
+            mpki_i7 > workload::memoryIntensiveMpki;
+        if (memory_intensive != spec.expectMemoryIntensive)
+            all_classes_match = false;
+        i7_order.emplace_back(spec.name, mpki_i7);
+        xeon_order.emplace_back(spec.name, mpki_xeon);
+        table.addRow({spec.name, toFixed(mpki_i7, 2),
+                      toFixed(mpki_xeon, 2),
+                      memory_intensive ? "memory-intensive"
+                                       : "computation-intensive",
+                      spec.expectMemoryIntensive
+                          ? "memory-intensive"
+                          : "computation-intensive"});
+    }
+    table.print();
+
+    // Cross-machine ordering invariance (paper's AWS validation).
+    auto rank = [](std::vector<std::pair<std::string, double>> v) {
+        std::sort(v.begin(), v.end(), [](auto &a, auto &b) {
+            return a.second < b.second;
+        });
+        std::vector<std::string> names;
+        for (auto &p : v)
+            names.push_back(p.first);
+        return names;
+    };
+    bool same_order = rank(i7_order) == rank(xeon_order);
+    std::printf("\nClassification matches the paper: %s\n",
+                all_classes_match ? "yes" : "NO");
+    std::printf("MPKI ordering identical on both machines "
+                "(paper's AWS check): %s\n",
+                same_order ? "yes" : "NO");
+    if (args.csv) {
+        std::printf("\n");
+        table.printCsv();
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrate
+ * itself: how fast the event queue, cache model, PMU, and chunk
+ * engine run on the host.  These bound the wall-clock cost of the
+ * experiment benches (a full Table II sweep executes ~10^8 cache
+ * accesses).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/cpu_core.hh"
+#include "kernel/system.hh"
+#include "sim/event_queue.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+
+namespace
+{
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.scheduleLambda(eq.curTick() + 100,
+                          [&n] { ++n; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    hw::Cache cache("bench", {32 * 1024, 8, 64,
+                              hw::ReplPolicy::lru},
+                    Random(1));
+    cache.access(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000, false));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessStream(benchmark::State &state)
+{
+    hw::Cache cache("bench", {8 * 1024 * 1024, 16, 64,
+                              hw::ReplPolicy::lru},
+                    Random(1));
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_PmuAddEvents(benchmark::State &state)
+{
+    hw::Pmu pmu;
+    pmu.programCounter(0, hw::HwEvent::llcMiss);
+    pmu.programCounter(1, hw::HwEvent::branchRetired);
+    pmu.programFixed(0, true, true);
+    pmu.globalEnableAll();
+    hw::EventVector ev = hw::zeroEvents();
+    at(ev, hw::HwEvent::llcMiss) = 3;
+    at(ev, hw::HwEvent::branchRetired) = 100;
+    at(ev, hw::HwEvent::instRetired) = 1000;
+    for (auto _ : state)
+        pmu.addEvents(ev, hw::PrivLevel::user);
+    benchmark::DoNotOptimize(pmu.counterValue(0));
+}
+BENCHMARK(BM_PmuAddEvents);
+
+void
+BM_ChunkExecution(benchmark::State &state)
+{
+    // End-to-end cost of simulating one 100k-instruction chunk
+    // through scheduler + chunk engine (dominant bench cost).
+    for (auto _ : state) {
+        state.PauseTiming();
+        kernel::System sys;
+        workload::FixedWorkSource src = workload::computeSource(
+            static_cast<std::size_t>(state.range(0)), 100000, 2.0);
+        kernel::Process *p =
+            sys.kernel().createWorkload("w", &src, 0);
+        state.ResumeTiming();
+        sys.kernel().startProcess(p);
+        sys.run();
+        benchmark::DoNotOptimize(p->exitTick());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChunkExecution)->Arg(16)->Arg(256);
+
+void
+BM_RandomStream(benchmark::State &state)
+{
+    Random rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next64());
+}
+BENCHMARK(BM_RandomStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

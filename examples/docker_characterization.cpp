@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Docker workload characterization (paper case study IV-B).
+ *
+ * Launches each catalog image as a real container (containerd-shim
+ * parent + entrypoint child), monitors the *shim* PID with
+ * descendant tracing, and classifies the image by LLC MPKI — then
+ * prints the co-location advice the paper derives from it: pair a
+ * computation-intensive container with a memory-intensive one on
+ * the same core, never two memory-intensive ones.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "stats/time_series.hh"
+#include "workload/docker.hh"
+
+using namespace klebsim;
+using namespace klebsim::ticks_literals;
+
+namespace
+{
+
+struct Result
+{
+    std::string name;
+    double mpki;
+    bool memoryIntensive;
+};
+
+Result
+characterize(const std::string &image)
+{
+    kernel::System sys;
+    workload::DockerImageSpec spec = workload::dockerImage(image);
+    spec.instructions = 120000000; // short characterization burst
+
+    auto container = workload::launchContainer(
+        sys.kernel(), spec, 0, 0x200000000ULL, sys.forkRng(17));
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired, hw::HwEvent::llcMiss};
+    opts.period = 1_ms;
+    opts.controllerCore = 1;
+    kleb::Session session(sys, opts);
+    session.monitor(container->shim, false);
+    sys.run();
+
+    hw::EventVector totals = session.finalTotals();
+    double mpki = stats::mpki(
+        static_cast<double>(at(totals, hw::HwEvent::llcMiss)),
+        static_cast<double>(at(totals, hw::HwEvent::instRetired)));
+    return {image, mpki, mpki > workload::memoryIntensiveMpki};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("characterizing docker images via K-LEB "
+                "(shim-PID monitoring, children traced)...\n\n");
+
+    std::vector<Result> results;
+    for (const auto &spec : workload::dockerCatalog())
+        results.push_back(characterize(spec.name));
+
+    std::printf("%-10s %8s  %s\n", "image", "MPKI", "class");
+    for (const Result &r : results) {
+        std::printf("%-10s %8.2f  %s\n", r.name.c_str(), r.mpki,
+                    r.memoryIntensive ? "memory-intensive"
+                                      : "computation-intensive");
+    }
+
+    // Scheduler advice (Torres et al. / Arteaga et al.): pair
+    // opposite classes per core.
+    std::vector<Result> mem, cpu;
+    for (const Result &r : results)
+        (r.memoryIntensive ? mem : cpu).push_back(r);
+    std::sort(mem.begin(), mem.end(),
+              [](auto &a, auto &b) { return a.mpki > b.mpki; });
+    std::sort(cpu.begin(), cpu.end(),
+              [](auto &a, auto &b) { return a.mpki < b.mpki; });
+
+    std::printf("\nsuggested co-location (compute paired with "
+                "memory-intensive):\n");
+    std::size_t pairs = std::max(mem.size(), cpu.size());
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const char *a = i < mem.size() ? mem[i].name.c_str() : "-";
+        const char *b = i < cpu.size() ? cpu[i].name.c_str() : "-";
+        std::printf("  core %zu: %s + %s\n", i, a, b);
+    }
+    std::printf("\navoid: scheduling two memory-intensive "
+                "containers (e.g. %s + %s) on one core.\n",
+                mem.size() > 0 ? mem[0].name.c_str() : "-",
+                mem.size() > 1 ? mem[1].name.c_str() : "-");
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "csv.hh"
+
+#include "str.hh"
+
+namespace klebsim
+{
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os), rows_(0)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &cols)
+{
+    std::vector<std::string> escaped;
+    escaped.reserve(cols.size());
+    for (const auto &c : cols)
+        escaped.push_back(escape(c));
+    os_ << join(escaped, ",") << '\n';
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    std::vector<std::string> escaped;
+    escaped.reserve(cells.size());
+    for (const auto &c : cells)
+        escaped.push_back(escape(c));
+    os_ << join(escaped, ",") << '\n';
+    ++rows_;
+}
+
+void
+CsvWriter::rowNumeric(const std::string &label,
+                      const std::vector<double> &values, int digits)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(toFixed(v, digits));
+    row(cells);
+}
+
+} // namespace klebsim

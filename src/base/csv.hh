@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV emission for experiment outputs.
+ *
+ * Benches write their tables/series through CsvWriter so results can
+ * be diffed or plotted without re-running the simulation.
+ */
+
+#ifndef KLEBSIM_BASE_CSV_HH
+#define KLEBSIM_BASE_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace klebsim
+{
+
+/**
+ * Streams rows of comma-separated values, quoting cells only when
+ * required (embedded comma, quote, or newline).
+ */
+class CsvWriter
+{
+  public:
+    /** Write to an externally owned stream (not closed on destroy). */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Emit the header row. */
+    void header(const std::vector<std::string> &cols);
+
+    /** Emit one row of preformatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Emit one row of doubles with a fixed number of digits. */
+    void rowNumeric(const std::string &label,
+                    const std::vector<double> &values, int digits = 6);
+
+    /** @return number of data rows written (header excluded). */
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ostream &os_;
+    std::size_t rows_;
+};
+
+} // namespace klebsim
+
+#endif // KLEBSIM_BASE_CSV_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Integer math helpers used by the cache and PMU models.
+ */
+
+#ifndef KLEBSIM_BASE_INTMATH_HH
+#define KLEBSIM_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace klebsim
+{
+
+/** True if @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr int
+floorLog2(std::uint64_t v)
+{
+    int r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr int
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace klebsim
+
+#endif // KLEBSIM_BASE_INTMATH_HH

@@ -1,0 +1,68 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace klebsim
+{
+
+namespace
+{
+
+bool quietFlag = false;
+
+} // anonymous namespace
+
+void
+setLoggingQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+loggingQuiet()
+{
+    return quietFlag;
+}
+
+namespace logging_detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (quietFlag)
+        return;
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (quietFlag)
+        return;
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+
+} // namespace klebsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error and status reporting, modeled after gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts so a debugger or core dump can catch it.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with status 1.
+ * warn() / inform() - status messages, never stop the simulation.
+ */
+
+#ifndef KLEBSIM_BASE_LOGGING_HH
+#define KLEBSIM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace klebsim
+{
+
+namespace logging_detail
+{
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Set to true (e.g. in tests) to silence warn()/inform() output. */
+void setLoggingQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is currently suppressed. */
+bool loggingQuiet();
+
+} // namespace klebsim
+
+/** Abort on a simulator bug. Arguments are streamed into the message. */
+#define panic(...)                                                        \
+    ::klebsim::logging_detail::panicImpl(                                 \
+        __FILE__, __LINE__, ::klebsim::logging_detail::concat(__VA_ARGS__))
+
+/** Exit(1) on a user/configuration error. */
+#define fatal(...)                                                        \
+    ::klebsim::logging_detail::fatalImpl(                                 \
+        __FILE__, __LINE__, ::klebsim::logging_detail::concat(__VA_ARGS__))
+
+/** panic() if the condition holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic("condition '" #cond "' hit: ", __VA_ARGS__);            \
+    } while (0)
+
+/** fatal() if the condition holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define warn(...)                                                         \
+    ::klebsim::logging_detail::warnImpl(                                  \
+        __FILE__, __LINE__, ::klebsim::logging_detail::concat(__VA_ARGS__))
+
+/** Informational message to stdout. */
+#define inform(...)                                                       \
+    ::klebsim::logging_detail::informImpl(                                \
+        ::klebsim::logging_detail::concat(__VA_ARGS__))
+
+#endif // KLEBSIM_BASE_LOGGING_HH

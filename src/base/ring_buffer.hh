@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fixed-capacity single-producer ring buffer.
+ *
+ * Used as the kernel-space sample pool in the K-LEB module (paper
+ * section III): the timer interrupt handler pushes samples and the
+ * controller process drains them.  When full, push() fails and the
+ * caller engages the paper's "safety mechanism" (pause collection
+ * until the consumer frees space).
+ */
+
+#ifndef KLEBSIM_BASE_RING_BUFFER_HH
+#define KLEBSIM_BASE_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace klebsim
+{
+
+/**
+ * Bounded FIFO with drop-on-full semantics.
+ *
+ * @tparam T element type (copyable).
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Construct with a fixed capacity (must be > 0). */
+    explicit RingBuffer(std::size_t capacity)
+        : buf_(capacity), head_(0), tail_(0), size_(0)
+    {
+        panic_if(capacity == 0, "RingBuffer capacity must be > 0");
+    }
+
+    /** @return number of queued elements. */
+    std::size_t size() const { return size_; }
+
+    /** @return maximum number of elements. */
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** @return true if no elements are queued. */
+    bool empty() const { return size_ == 0; }
+
+    /** @return true if at capacity (push would fail). */
+    bool full() const { return size_ == buf_.size(); }
+
+    /** @return remaining free slots. */
+    std::size_t freeSlots() const { return buf_.size() - size_; }
+
+    /**
+     * Append an element.
+     * @return false (element dropped) if the buffer is full.
+     */
+    bool
+    push(const T &value)
+    {
+        if (full())
+            return false;
+        buf_[tail_] = value;
+        tail_ = advance(tail_);
+        ++size_;
+        return true;
+    }
+
+    /**
+     * Remove the oldest element into @p out.
+     * @return false if the buffer was empty.
+     */
+    bool
+    pop(T &out)
+    {
+        if (empty())
+            return false;
+        out = buf_[head_];
+        head_ = advance(head_);
+        --size_;
+        return true;
+    }
+
+    /**
+     * Drain up to @p max elements (all if max == 0) into a vector,
+     * preserving FIFO order.
+     */
+    std::vector<T>
+    drain(std::size_t max = 0)
+    {
+        std::size_t n = size_;
+        if (max != 0 && max < n)
+            n = max;
+        std::vector<T> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(buf_[head_]);
+            head_ = advance(head_);
+        }
+        size_ -= n;
+        return out;
+    }
+
+    /** Discard all queued elements. */
+    void
+    clear()
+    {
+        head_ = tail_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::size_t
+    advance(std::size_t idx) const
+    {
+        ++idx;
+        return idx == buf_.size() ? 0 : idx;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_;
+    std::size_t tail_;
+    std::size_t size_;
+};
+
+} // namespace klebsim
+
+#endif // KLEBSIM_BASE_RING_BUFFER_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string-formatting helpers (printf-style into std::string,
+ * joining, fixed-width numeric rendering for report tables).
+ */
+
+#ifndef KLEBSIM_BASE_STR_HH
+#define KLEBSIM_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace klebsim
+{
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join a list of strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render a double with @p digits decimal places. */
+std::string toFixed(double v, int digits);
+
+/** Left-pad (right-justify) a string to @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad (left-justify) a string to @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Split on a single-character delimiter (no empty-trailing trim). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+} // namespace klebsim
+
+#endif // KLEBSIM_BASE_STR_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental typedefs and constants shared by every subsystem.
+ *
+ * The simulation follows the gem5 convention of a 1 THz global tick
+ * clock: one Tick equals one picosecond of simulated time.  All
+ * durations and timestamps are expressed in Ticks; helpers below
+ * convert between Ticks and human units.
+ */
+
+#ifndef KLEBSIM_BASE_TYPES_HH
+#define KLEBSIM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace klebsim
+{
+
+/** Simulated time, in picoseconds (1 THz tick clock). */
+using Tick = std::uint64_t;
+
+/** Difference between two Ticks (may be transiently negative). */
+using TickDelta = std::int64_t;
+
+/** A physical (simulated) memory address. */
+using Addr = std::uint64_t;
+
+/** Process identifier inside the simulated kernel. */
+using Pid = std::int32_t;
+
+/** CPU core index. */
+using CoreId = std::int32_t;
+
+/** A count of hardware events (counter register contents). */
+using Counter = std::uint64_t;
+
+/** Number of CPU clock cycles (frequency-dependent). */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no process". */
+constexpr Pid invalidPid = -1;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = -1;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @{ Tick conversion constants (1 Tick = 1 ps). */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000 * tickPerPs;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+/** @} */
+
+/** Convert nanoseconds to Ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * tickPerNs);
+}
+
+/** Convert microseconds to Ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * tickPerUs);
+}
+
+/** Convert milliseconds to Ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * tickPerMs);
+}
+
+/** Convert seconds to Ticks. */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * tickPerSec);
+}
+
+/** Convert Ticks to seconds (lossy, for reporting). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / tickPerSec;
+}
+
+/** Convert Ticks to milliseconds (lossy, for reporting). */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / tickPerMs;
+}
+
+/** Convert Ticks to microseconds (lossy, for reporting). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / tickPerUs;
+}
+
+/** User-defined literals for simulated durations, e.g. 100_us. */
+namespace ticks_literals
+{
+
+constexpr Tick operator""_ps(unsigned long long v)
+{ return v * tickPerPs; }
+
+constexpr Tick operator""_ns(unsigned long long v)
+{ return v * tickPerNs; }
+
+constexpr Tick operator""_us(unsigned long long v)
+{ return v * tickPerUs; }
+
+constexpr Tick operator""_ms(unsigned long long v)
+{ return v * tickPerMs; }
+
+constexpr Tick operator""_s(unsigned long long v)
+{ return v * tickPerSec; }
+
+} // namespace ticks_literals
+
+} // namespace klebsim
+
+#endif // KLEBSIM_BASE_TYPES_HH

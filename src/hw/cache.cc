@@ -1,0 +1,193 @@
+#include "cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace klebsim::hw
+{
+
+Cache::Cache(std::string name, const CacheGeometry &geom, Random rng)
+    : name_(std::move(name)), geom_(geom), numSets_(geom.sets()),
+      stampCounter_(0), rng_(rng)
+{
+    fatal_if(geom.lineSize == 0 || !isPowerOf2(geom.lineSize),
+             "cache ", name_, ": line size must be a power of two");
+    fatal_if(geom.ways == 0, "cache ", name_, ": needs >= 1 way");
+    fatal_if(numSets_ == 0 ||
+                 numSets_ * geom.ways * geom.lineSize !=
+                     geom.sizeBytes,
+             "cache ", name_,
+             ": size must be sets * ways * lineSize");
+    lines_.resize(numSets_ * geom.ways);
+    if (geom.policy == ReplPolicy::treePlru) {
+        fatal_if(!isPowerOf2(geom.ways),
+                 "cache ", name_, ": tree-PLRU needs pow2 ways");
+        plru_.assign(numSets_ * geom.ways, 0);
+    }
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    // Modulo indexing supports non-power-of-two set counts (e.g.
+    // Cascade Lake LLC slices).
+    return (addr / geom_.lineSize) % numSets_;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / geom_.lineSize) / numSets_;
+}
+
+void
+Cache::touch(std::uint64_t set, std::uint32_t way)
+{
+    Line &line = lines_[set * geom_.ways + way];
+    line.lruStamp = ++stampCounter_;
+
+    if (geom_.policy == ReplPolicy::treePlru) {
+        // Walk the tree from root to the touched way, pointing each
+        // node away from it.
+        std::uint8_t *bits = &plru_[set * geom_.ways];
+        std::uint32_t node = 1;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = geom_.ways;
+        while (hi - lo > 1) {
+            std::uint32_t mid = (lo + hi) / 2;
+            if (way < mid) {
+                bits[node] = 1; // next victim search goes right
+                hi = mid;
+                node = 2 * node;
+            } else {
+                bits[node] = 0; // next victim search goes left
+                lo = mid;
+                node = 2 * node + 1;
+            }
+        }
+    }
+}
+
+std::uint32_t
+Cache::victimWay(std::uint64_t set)
+{
+    Line *set_lines = &lines_[set * geom_.ways];
+
+    // Invalid line first, regardless of policy.
+    for (std::uint32_t w = 0; w < geom_.ways; ++w)
+        if (!set_lines[w].valid)
+            return w;
+
+    switch (geom_.policy) {
+      case ReplPolicy::random:
+        return rng_.below(geom_.ways);
+      case ReplPolicy::treePlru: {
+        std::uint8_t *bits = &plru_[set * geom_.ways];
+        std::uint32_t node = 1;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = geom_.ways;
+        while (hi - lo > 1) {
+            std::uint32_t mid = (lo + hi) / 2;
+            if (bits[node]) {
+                lo = mid;
+                node = 2 * node + 1;
+            } else {
+                hi = mid;
+                node = 2 * node;
+            }
+        }
+        return lo;
+      }
+      case ReplPolicy::lru:
+      default: {
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = ~std::uint64_t(0);
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            if (set_lines[w].lruStamp < oldest) {
+                oldest = set_lines[w].lruStamp;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+    }
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    (void)write; // no dirty-state modeling; writes allocate like reads
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *set_lines = &lines_[set * geom_.ways];
+
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (set_lines[w].valid && set_lines[w].tag == tag) {
+            ++stats_.hits;
+            touch(set, w);
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    std::uint32_t way = victimWay(set);
+    if (set_lines[way].valid)
+        ++stats_.evictions;
+    set_lines[way].valid = true;
+    set_lines[way].tag = tag;
+    touch(set, way);
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *set_lines = &lines_[set * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w)
+        if (set_lines[w].valid && set_lines[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::flushLine(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *set_lines = &lines_[set * geom_.ways];
+    ++stats_.flushes;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (set_lines[w].valid && set_lines[w].tag == tag) {
+            set_lines[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flushAll()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    stats_ = CacheStats{};
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+} // namespace klebsim::hw

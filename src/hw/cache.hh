@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement policy.
+ *
+ * This is a functional tag-array model: it tracks which lines are
+ * resident and reports hit/miss per access.  The Meltdown case study
+ * depends on its exact semantics (CLFLUSH invalidation + reload
+ * timing), so every line-granular operation is modeled explicitly.
+ */
+
+#ifndef KLEBSIM_HW_CACHE_HH
+#define KLEBSIM_HW_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace klebsim::hw
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    lru,
+    random,
+    treePlru,
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t ways = 1;
+    std::uint32_t lineSize = 64;
+    ReplPolicy policy = ReplPolicy::lru;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(ways) *
+                            lineSize);
+    }
+};
+
+/** Cumulative access statistics for one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t flushes = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t a = accesses();
+        return a ? static_cast<double>(misses) /
+                       static_cast<double>(a)
+                 : 0.0;
+    }
+};
+
+/**
+ * One level of cache.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name for diagnostics ("L1D", "LLC", ...)
+     * @param geom geometry; size must be divisible by ways*lineSize
+     * @param rng source for the random replacement policy
+     */
+    Cache(std::string name, const CacheGeometry &geom, Random rng);
+
+    const std::string &name() const { return name_; }
+    const CacheGeometry &geometry() const { return geom_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Look up @p addr; on miss, allocate the line (evicting if the
+     * set is full).
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool write);
+
+    /** Residency probe without side effects (no fill, no LRU touch). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Invalidate the line containing @p addr (CLFLUSH semantics).
+     * @return true if the line was resident.
+     */
+    bool flushLine(Addr addr);
+
+    /** Invalidate everything (WBINVD semantics). */
+    void flushAll();
+
+    /** Reset statistics only; contents are untouched. */
+    void resetStats();
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t residentLines() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0; //!< larger = more recent
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    /** Way to evict in @p set (policy-dependent). */
+    std::uint32_t victimWay(std::uint64_t set);
+
+    /** Update recency metadata on a hit/fill. */
+    void touch(std::uint64_t set, std::uint32_t way);
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;       //!< numSets_ * ways
+    std::vector<std::uint8_t> plru_; //!< tree bits per set
+    std::uint64_t stampCounter_;
+    Random rng_;
+    CacheStats stats_;
+};
+
+} // namespace klebsim::hw
+
+#endif // KLEBSIM_HW_CACHE_HH

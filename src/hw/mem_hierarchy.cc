@@ -1,0 +1,129 @@
+#include "mem_hierarchy.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::hw
+{
+
+MemHierarchy::MemHierarchy(const MachineConfig &cfg, Cache *shared_llc,
+                           Random rng)
+    : cfg_(cfg), l1_("L1D", cfg.l1d, rng.fork(0x11)),
+      l2_("L2", cfg.l2, rng.fork(0x22)), llc_(shared_llc)
+{
+    panic_if(llc_ == nullptr, "MemHierarchy needs a shared LLC");
+}
+
+AccessOutcome
+MemHierarchy::access(Addr addr, bool write)
+{
+    AccessOutcome out;
+    const MemLatency &lat = cfg_.latency;
+
+    if (l1_.access(addr, write)) {
+        out.level = MemLevel::l1;
+        out.cycles = lat.l1;
+        return out;
+    }
+    out.l1Miss = true;
+
+    if (l2_.access(addr, write)) {
+        out.level = MemLevel::l2;
+        out.cycles = lat.l2;
+        return out;
+    }
+    out.l2Miss = true;
+    out.llcRef = true;
+
+    if (llc_->access(addr, write)) {
+        out.level = MemLevel::llc;
+        out.cycles = lat.llc;
+        return out;
+    }
+    out.llcMiss = true;
+    out.level = MemLevel::dram;
+    out.cycles = lat.dram;
+    return out;
+}
+
+AccessOutcome
+MemHierarchy::accessNonTemporal(Addr addr, bool write)
+{
+    AccessOutcome out;
+    const MemLatency &lat = cfg_.latency;
+
+    if (l1_.access(addr, write)) {
+        out.level = MemLevel::l1;
+        out.cycles = lat.l1;
+        return out;
+    }
+    out.l1Miss = true;
+
+    // Probe deeper levels for latency without allocating there.
+    if (l2_.contains(addr)) {
+        out.level = MemLevel::l2;
+        out.cycles = lat.l2;
+        return out;
+    }
+    out.l2Miss = true;
+    out.llcRef = true;
+    if (llc_->contains(addr)) {
+        out.level = MemLevel::llc;
+        out.cycles = lat.llc;
+        return out;
+    }
+    out.llcMiss = true;
+    out.level = MemLevel::dram;
+    out.cycles = lat.dram;
+    return out;
+}
+
+AccessOutcome
+MemHierarchy::clflush(Addr addr)
+{
+    AccessOutcome out;
+    out.cycles = cfg_.latency.clflush;
+    out.level = MemLevel::dram;
+    if (l1_.flushLine(addr))
+        out.level = MemLevel::l1;
+    if (l2_.flushLine(addr) && out.level == MemLevel::dram)
+        out.level = MemLevel::l2;
+    if (llc_->flushLine(addr) && out.level == MemLevel::dram)
+        out.level = MemLevel::llc;
+    return out;
+}
+
+MemLevel
+MemHierarchy::probe(Addr addr) const
+{
+    if (l1_.contains(addr))
+        return MemLevel::l1;
+    if (l2_.contains(addr))
+        return MemLevel::l2;
+    if (llc_->contains(addr))
+        return MemLevel::llc;
+    return MemLevel::dram;
+}
+
+EventVector
+MemHierarchy::outcomeEvents(const AccessOutcome &out, bool write)
+{
+    EventVector ev = zeroEvents();
+    at(ev, HwEvent::l1dReference) = 1;
+    if (write)
+        at(ev, HwEvent::storeRetired) = 1;
+    else
+        at(ev, HwEvent::loadRetired) = 1;
+    if (out.l1Miss)
+        at(ev, HwEvent::l1dMiss) = 1;
+    if (out.l1Miss)
+        at(ev, HwEvent::l2Reference) = 1;
+    if (out.l2Miss)
+        at(ev, HwEvent::l2Miss) = 1;
+    if (out.llcRef)
+        at(ev, HwEvent::llcReference) = 1;
+    if (out.llcMiss)
+        at(ev, HwEvent::llcMiss) = 1;
+    return ev;
+}
+
+} // namespace klebsim::hw

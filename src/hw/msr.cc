@@ -1,0 +1,43 @@
+#include "msr.hh"
+
+#include <vector>
+
+namespace klebsim::hw
+{
+
+void
+MsrFile::attach(MsrDevice *dev)
+{
+    devices_.push_back(dev);
+}
+
+MsrDevice *
+MsrFile::route(std::uint32_t addr) const
+{
+    // Later attachments shadow earlier ones.
+    for (auto it = devices_.rbegin(); it != devices_.rend(); ++it)
+        if ((*it)->decodesMsr(addr))
+            return *it;
+    return nullptr;
+}
+
+std::uint64_t
+MsrFile::read(std::uint32_t addr)
+{
+    if (MsrDevice *dev = route(addr))
+        return dev->readMsr(addr);
+    auto it = backing_.find(addr);
+    return it == backing_.end() ? 0 : it->second;
+}
+
+void
+MsrFile::write(std::uint32_t addr, std::uint64_t value)
+{
+    if (MsrDevice *dev = route(addr)) {
+        dev->writeMsr(addr, value);
+        return;
+    }
+    backing_[addr] = value;
+}
+
+} // namespace klebsim::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Model-specific register (MSR) addresses and a per-core MSR file.
+ *
+ * Kernel-side code (the K-LEB module, the perf subsystem, LiMiT's
+ * kernel patch) programs the PMU by writing these registers, exactly
+ * as the real drivers issue WRMSR/RDMSR.
+ */
+
+#ifndef KLEBSIM_HW_MSR_HH
+#define KLEBSIM_HW_MSR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace klebsim::hw
+{
+
+/** Architectural MSR addresses used by the performance counters. */
+namespace msr
+{
+
+constexpr std::uint32_t ia32Tsc = 0x10;
+constexpr std::uint32_t ia32Pmc0 = 0xc1;        //!< ..0xc4 for PMC0-3
+constexpr std::uint32_t ia32Perfevtsel0 = 0x186; //!< ..0x189
+constexpr std::uint32_t ia32FixedCtr0 = 0x309;   //!< ..0x30b
+constexpr std::uint32_t ia32FixedCtrCtrl = 0x38d;
+constexpr std::uint32_t ia32PerfGlobalStatus = 0x38e;
+constexpr std::uint32_t ia32PerfGlobalCtrl = 0x38f;
+constexpr std::uint32_t ia32PerfGlobalOvfCtrl = 0x390;
+
+} // namespace msr
+
+/**
+ * Interface for devices that back a range of MSR addresses.
+ */
+class MsrDevice
+{
+  public:
+    virtual ~MsrDevice() = default;
+
+    /** @return true if this device decodes @p addr. */
+    virtual bool decodesMsr(std::uint32_t addr) const = 0;
+
+    /** RDMSR. */
+    virtual std::uint64_t readMsr(std::uint32_t addr) = 0;
+
+    /** WRMSR. */
+    virtual void writeMsr(std::uint32_t addr, std::uint64_t value) = 0;
+};
+
+/**
+ * Per-core MSR routing: devices claim addresses; unclaimed addresses
+ * fall back to plain storage (reads of never-written MSRs yield 0).
+ */
+class MsrFile
+{
+  public:
+    /** Register a device; later registrations win on overlap. */
+    void attach(MsrDevice *dev);
+
+    /** RDMSR through the routed device or backing store. */
+    std::uint64_t read(std::uint32_t addr);
+
+    /** WRMSR through the routed device or backing store. */
+    void write(std::uint32_t addr, std::uint64_t value);
+
+  private:
+    MsrDevice *route(std::uint32_t addr) const;
+
+    std::vector<MsrDevice *> devices_;
+    std::map<std::uint32_t, std::uint64_t> backing_;
+};
+
+} // namespace klebsim::hw
+
+#endif // KLEBSIM_HW_MSR_HH

@@ -1,0 +1,90 @@
+#include "perf_event.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::hw
+{
+
+namespace
+{
+
+/**
+ * Event-select codes loosely follow the Intel SDM for Nehalem
+ * (e.g. LLC ref/miss are the architectural 0x2E/0x4F,0x41 pair).
+ * They only need to be unique here; tools program counters through
+ * these selectors exactly as they would on hardware.
+ */
+constexpr std::array<EventInfo, numHwEvents> catalog = {{
+    {HwEvent::instRetired, "INST_RETIRED", 0xc0, 0x00, false, true},
+    {HwEvent::coreCycles, "CPU_CLK_UNHALTED_CORE", 0x3c, 0x00, false,
+     false},
+    {HwEvent::refCycles, "CPU_CLK_UNHALTED_REF", 0x3c, 0x01, false,
+     false},
+    {HwEvent::branchRetired, "BR_INST_RETIRED", 0xc4, 0x00, false,
+     true},
+    {HwEvent::branchMispredicted, "BR_MISP_RETIRED", 0xc5, 0x00,
+     false, false},
+    {HwEvent::loadRetired, "MEM_INST_RETIRED_LOADS", 0x0b, 0x01,
+     false, true},
+    {HwEvent::storeRetired, "MEM_INST_RETIRED_STORES", 0x0b, 0x02,
+     false, true},
+    {HwEvent::arithMul, "ARITH_MUL", 0x14, 0x02, false, true},
+    {HwEvent::arithDiv, "ARITH_DIV", 0x14, 0x01, false, true},
+    {HwEvent::fpOpsRetired, "FP_COMP_OPS_EXE", 0x10, 0x01, false,
+     true},
+    {HwEvent::l1dReference, "L1D_ALL_REF", 0x43, 0x01, false, false},
+    {HwEvent::l1dMiss, "L1D_REPL", 0x51, 0x01, false, false},
+    {HwEvent::l2Reference, "L2_RQSTS_REFERENCES", 0x24, 0xff, false,
+     false},
+    {HwEvent::l2Miss, "L2_RQSTS_MISS", 0x24, 0xaa, false, false},
+    {HwEvent::llcReference, "LLC_REFERENCE", 0x2e, 0x4f, false,
+     false},
+    {HwEvent::llcMiss, "LLC_MISSES", 0x2e, 0x41, false, false},
+    {HwEvent::hwInterrupts, "HW_INTERRUPTS_RECEIVED", 0x1d, 0x01,
+     false, false},
+    {HwEvent::ctxSwitches, "CONTEXT_SWITCHES", 0x1e, 0x01, false,
+     false},
+}};
+
+} // anonymous namespace
+
+void
+accumulate(EventVector &a, const EventVector &b)
+{
+    for (std::size_t i = 0; i < numHwEvents; ++i)
+        a[i] += b[i];
+}
+
+const EventInfo &
+eventInfo(HwEvent e)
+{
+    auto idx = static_cast<std::size_t>(e);
+    panic_if(idx >= numHwEvents, "bad HwEvent index ", idx);
+    return catalog[idx];
+}
+
+const char *
+eventName(HwEvent e)
+{
+    return eventInfo(e).name;
+}
+
+std::optional<HwEvent>
+eventByName(const std::string &name)
+{
+    for (const auto &info : catalog)
+        if (name == info.name)
+            return info.event;
+    return std::nullopt;
+}
+
+std::optional<HwEvent>
+eventBySelector(std::uint8_t code, std::uint8_t umask)
+{
+    for (const auto &info : catalog)
+        if (info.code == code && info.umask == umask)
+            return info.event;
+    return std::nullopt;
+}
+
+} // namespace klebsim::hw

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Hardware performance-event catalog.
+ *
+ * Models the Nehalem-style event space the paper uses: three fixed
+ * events (instructions retired, unhalted core cycles, unhalted
+ * reference cycles) and a set of programmable architectural and
+ * microarchitectural events selected by (event code, umask) pairs,
+ * as on real Intel PMUs.
+ */
+
+#ifndef KLEBSIM_HW_PERF_EVENT_HH
+#define KLEBSIM_HW_PERF_EVENT_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace klebsim::hw
+{
+
+/** Privilege level of executing code, for counter USR/OS filters. */
+enum class PrivLevel
+{
+    user,
+    kernel,
+};
+
+/**
+ * Every hardware event the simulated PMU can observe.  The first
+ * three are the fixed-counter events.
+ */
+enum class HwEvent : std::uint8_t
+{
+    instRetired = 0,     //!< fixed ctr 0
+    coreCycles,          //!< fixed ctr 1 (unhalted core clock)
+    refCycles,           //!< fixed ctr 2 (unhalted reference clock)
+
+    branchRetired,
+    branchMispredicted,
+    loadRetired,
+    storeRetired,
+    arithMul,
+    arithDiv,
+    fpOpsRetired,
+    l1dReference,
+    l1dMiss,
+    l2Reference,
+    l2Miss,
+    llcReference,
+    llcMiss,
+    hwInterrupts,
+    ctxSwitches,
+
+    numEvents,
+};
+
+/** Number of catalogued events. */
+constexpr std::size_t numHwEvents =
+    static_cast<std::size_t>(HwEvent::numEvents);
+
+/** Dense per-event counts, used to move deltas between layers. */
+using EventVector = std::array<std::uint64_t, numHwEvents>;
+
+/** Zero-initialized EventVector. */
+inline EventVector
+zeroEvents()
+{
+    return EventVector{};
+}
+
+/** Element access by HwEvent. */
+inline std::uint64_t &
+at(EventVector &v, HwEvent e)
+{
+    return v[static_cast<std::size_t>(e)];
+}
+
+inline std::uint64_t
+at(const EventVector &v, HwEvent e)
+{
+    return v[static_cast<std::size_t>(e)];
+}
+
+/** Add @p b into @p a element-wise. */
+void accumulate(EventVector &a, const EventVector &b);
+
+/** Static description of one catalogued event. */
+struct EventInfo
+{
+    HwEvent event;
+    const char *name;        //!< e.g. "LLC_MISSES"
+    std::uint8_t code;       //!< PERFEVTSEL event-select byte
+    std::uint8_t umask;      //!< PERFEVTSEL unit-mask byte
+    bool fixedOnly;          //!< only countable on a fixed counter
+    bool architectural;      //!< deterministic across runs/machines
+};
+
+/** Catalog entry for @p e. */
+const EventInfo &eventInfo(HwEvent e);
+
+/** Event name ("LLC_MISSES" style). */
+const char *eventName(HwEvent e);
+
+/** Reverse lookup by name; nullopt if unknown. */
+std::optional<HwEvent> eventByName(const std::string &name);
+
+/**
+ * Reverse lookup by (code, umask) programmed into a PERFEVTSEL
+ * register; nullopt if no catalogued event matches.
+ */
+std::optional<HwEvent> eventBySelector(std::uint8_t code,
+                                       std::uint8_t umask);
+
+} // namespace klebsim::hw
+
+#endif // KLEBSIM_HW_PERF_EVENT_HH

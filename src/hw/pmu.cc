@@ -1,0 +1,305 @@
+#include "pmu.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::hw
+{
+
+namespace
+{
+
+/** PERFEVTSEL bit positions (Intel SDM). */
+constexpr int selUsrBit = 16;
+constexpr int selOsBit = 17;
+constexpr int selIntBit = 20;
+constexpr int selEnBit = 22;
+
+constexpr std::uint64_t bit(int b) { return std::uint64_t(1) << b; }
+
+} // anonymous namespace
+
+Pmu::Pmu()
+    : fixed_{}, fixedCtrl_(0), globalCtrl_(0), globalStatus_(0)
+{
+}
+
+bool
+Pmu::decodesMsr(std::uint32_t addr) const
+{
+    if (addr >= msr::ia32Pmc0 && addr < msr::ia32Pmc0 + numProgrammable)
+        return true;
+    if (addr >= msr::ia32Perfevtsel0 &&
+        addr < msr::ia32Perfevtsel0 + numProgrammable)
+        return true;
+    if (addr >= msr::ia32FixedCtr0 &&
+        addr < msr::ia32FixedCtr0 + numFixed)
+        return true;
+    return addr == msr::ia32FixedCtrCtrl ||
+           addr == msr::ia32PerfGlobalStatus ||
+           addr == msr::ia32PerfGlobalCtrl ||
+           addr == msr::ia32PerfGlobalOvfCtrl;
+}
+
+std::uint64_t
+Pmu::readMsr(std::uint32_t addr)
+{
+    if (addr >= msr::ia32Pmc0 &&
+        addr < msr::ia32Pmc0 + numProgrammable)
+        return prog_[addr - msr::ia32Pmc0].value;
+    if (addr >= msr::ia32Perfevtsel0 &&
+        addr < msr::ia32Perfevtsel0 + numProgrammable)
+        return prog_[addr - msr::ia32Perfevtsel0].evtsel;
+    if (addr >= msr::ia32FixedCtr0 &&
+        addr < msr::ia32FixedCtr0 + numFixed)
+        return fixed_[addr - msr::ia32FixedCtr0];
+    switch (addr) {
+      case msr::ia32FixedCtrCtrl:
+        return fixedCtrl_;
+      case msr::ia32PerfGlobalStatus:
+        return globalStatus_;
+      case msr::ia32PerfGlobalCtrl:
+        return globalCtrl_;
+      case msr::ia32PerfGlobalOvfCtrl:
+        return 0;
+      default:
+        panic("PMU readMsr of undecoded address ", addr);
+    }
+}
+
+void
+Pmu::writeMsr(std::uint32_t addr, std::uint64_t value)
+{
+    if (addr >= msr::ia32Pmc0 &&
+        addr < msr::ia32Pmc0 + numProgrammable) {
+        prog_[addr - msr::ia32Pmc0].value = value & counterMask;
+        return;
+    }
+    if (addr >= msr::ia32Perfevtsel0 &&
+        addr < msr::ia32Perfevtsel0 + numProgrammable) {
+        int idx = static_cast<int>(addr - msr::ia32Perfevtsel0);
+        prog_[idx].evtsel = value;
+        decodeSelector(idx);
+        return;
+    }
+    if (addr >= msr::ia32FixedCtr0 &&
+        addr < msr::ia32FixedCtr0 + numFixed) {
+        fixed_[addr - msr::ia32FixedCtr0] = value & counterMask;
+        return;
+    }
+    switch (addr) {
+      case msr::ia32FixedCtrCtrl:
+        fixedCtrl_ = value;
+        return;
+      case msr::ia32PerfGlobalCtrl:
+        globalCtrl_ = value;
+        return;
+      case msr::ia32PerfGlobalOvfCtrl:
+        // Writing 1-bits clears the corresponding status bits.
+        globalStatus_ &= ~value;
+        return;
+      case msr::ia32PerfGlobalStatus:
+        warn("write to read-only IA32_PERF_GLOBAL_STATUS ignored");
+        return;
+      default:
+        panic("PMU writeMsr of undecoded address ", addr);
+    }
+}
+
+void
+Pmu::decodeSelector(int idx)
+{
+    auto code = static_cast<std::uint8_t>(prog_[idx].evtsel & 0xff);
+    auto umask =
+        static_cast<std::uint8_t>((prog_[idx].evtsel >> 8) & 0xff);
+    prog_[idx].event = eventBySelector(code, umask);
+    if (!prog_[idx].event && (prog_[idx].evtsel & bit(selEnBit)))
+        warn("PERFEVTSEL", idx, " programmed with unknown selector");
+}
+
+std::uint64_t
+Pmu::rdpmc(std::uint32_t index) const
+{
+    if (index & rdpmcFixedFlag) {
+        std::uint32_t fi = index & ~rdpmcFixedFlag;
+        fatal_if(fi >= numFixed, "rdpmc: bad fixed counter index");
+        return fixed_[fi];
+    }
+    fatal_if(index >= numProgrammable,
+             "rdpmc: bad programmable counter index");
+    return prog_[index].value;
+}
+
+void
+Pmu::setOverflowCallback(OverflowCallback cb)
+{
+    overflow_ = std::move(cb);
+}
+
+bool
+Pmu::counterActive(int idx) const
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    return (globalCtrl_ & bit(idx)) &&
+           (prog_[idx].evtsel & bit(selEnBit)) &&
+           prog_[idx].event.has_value();
+}
+
+bool
+Pmu::fixedActive(int idx) const
+{
+    panic_if(idx < 0 || idx >= numFixed, "bad fixed counter index");
+    std::uint64_t en = (fixedCtrl_ >> (4 * idx)) & 0x3;
+    return (globalCtrl_ & bit(32 + idx)) && en != 0;
+}
+
+void
+Pmu::advance(std::uint64_t &value, std::uint64_t n, int overflow_idx,
+             bool pmi)
+{
+    std::uint64_t before = value;
+    value = (value + n) & counterMask;
+    bool wrapped = (before + n) > counterMask;
+    if (wrapped) {
+        globalStatus_ |= overflow_idx < numProgrammable
+                             ? bit(overflow_idx)
+                             : bit(32 + (overflow_idx -
+                                         numProgrammable));
+        if (pmi && overflow_)
+            overflow_(overflow_idx);
+    }
+}
+
+void
+Pmu::addEvents(const EventVector &deltas, PrivLevel priv)
+{
+    bool user = priv == PrivLevel::user;
+
+    // Programmable counters.
+    for (int i = 0; i < numProgrammable; ++i) {
+        auto &pc = prog_[i];
+        if (!counterActive(i))
+            continue;
+        bool usr_ok = pc.evtsel & bit(selUsrBit);
+        bool os_ok = pc.evtsel & bit(selOsBit);
+        if ((user && !usr_ok) || (!user && !os_ok))
+            continue;
+        std::uint64_t n = at(deltas, *pc.event);
+        if (n == 0)
+            continue;
+        advance(pc.value, n, i, pc.evtsel & bit(selIntBit));
+    }
+
+    // Fixed counters: 0 = inst retired, 1 = core cycles, 2 = ref
+    // cycles.
+    static constexpr HwEvent fixed_events[numFixed] = {
+        HwEvent::instRetired, HwEvent::coreCycles, HwEvent::refCycles};
+    for (int i = 0; i < numFixed; ++i) {
+        if (!fixedActive(i))
+            continue;
+        std::uint64_t en = (fixedCtrl_ >> (4 * i)) & 0x3;
+        bool os_ok = en & 0x1;
+        bool usr_ok = en & 0x2;
+        if ((user && !usr_ok) || (!user && !os_ok))
+            continue;
+        std::uint64_t n = at(deltas, fixed_events[i]);
+        if (n == 0)
+            continue;
+        bool pmi = (fixedCtrl_ >> (4 * i + 3)) & 0x1;
+        advance(fixed_[i], n, numProgrammable + i, pmi);
+    }
+}
+
+void
+Pmu::programCounter(int idx, HwEvent ev, bool usr, bool os, bool pmi)
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    const EventInfo &info = eventInfo(ev);
+    std::uint64_t sel = info.code |
+                        (std::uint64_t(info.umask) << 8) |
+                        bit(selEnBit);
+    if (usr)
+        sel |= bit(selUsrBit);
+    if (os)
+        sel |= bit(selOsBit);
+    if (pmi)
+        sel |= bit(selIntBit);
+    writeMsr(msr::ia32Perfevtsel0 + idx, sel);
+    writeMsr(msr::ia32Pmc0 + idx, 0);
+}
+
+void
+Pmu::clearCounter(int idx)
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    writeMsr(msr::ia32Perfevtsel0 + idx, 0);
+    writeMsr(msr::ia32Pmc0 + idx, 0);
+}
+
+void
+Pmu::programFixed(int idx, bool usr, bool os, bool pmi)
+{
+    panic_if(idx < 0 || idx >= numFixed, "bad fixed counter index");
+    std::uint64_t field = 0;
+    if (os)
+        field |= 0x1;
+    if (usr)
+        field |= 0x2;
+    if (pmi)
+        field |= 0x8;
+    fixedCtrl_ &= ~(std::uint64_t(0xf) << (4 * idx));
+    fixedCtrl_ |= field << (4 * idx);
+    fixed_[idx] = 0;
+}
+
+void
+Pmu::setGlobalCtrl(std::uint64_t mask)
+{
+    globalCtrl_ = mask;
+}
+
+void
+Pmu::globalEnableAll()
+{
+    std::uint64_t mask = 0;
+    for (int i = 0; i < numProgrammable; ++i)
+        mask |= bit(i);
+    for (int i = 0; i < numFixed; ++i)
+        mask |= bit(32 + i);
+    globalCtrl_ = mask;
+}
+
+void
+Pmu::globalDisable()
+{
+    globalCtrl_ = 0;
+}
+
+std::uint64_t
+Pmu::counterValue(int idx) const
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    return prog_[idx].value;
+}
+
+std::uint64_t
+Pmu::fixedValue(int idx) const
+{
+    panic_if(idx < 0 || idx >= numFixed, "bad fixed counter index");
+    return fixed_[idx];
+}
+
+void
+Pmu::setCounterValue(int idx, std::uint64_t value)
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    prog_[idx].value = value & counterMask;
+}
+
+std::optional<HwEvent>
+Pmu::counterEvent(int idx) const
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    return prog_[idx].event;
+}
+
+} // namespace klebsim::hw

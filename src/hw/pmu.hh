@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Per-core performance monitoring unit.
+ *
+ * Nehalem-style layout, matching the paper's section II: three fixed
+ * counters (instructions retired, unhalted core cycles, unhalted
+ * reference cycles) plus four fully programmable counters selected
+ * via IA32_PERFEVTSEL event/umask pairs, with USR/OS privilege
+ * filters, a global enable register, 48-bit width, and overflow
+ * notification for interrupt-based sampling.
+ *
+ * Software (the K-LEB module, the perf subsystem model, LiMiT's
+ * patch) programs the PMU through the MsrDevice interface; the CPU
+ * core feeds it event deltas as execution is attributed.
+ */
+
+#ifndef KLEBSIM_HW_PMU_HH
+#define KLEBSIM_HW_PMU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "msr.hh"
+#include "perf_event.hh"
+
+namespace klebsim::hw
+{
+
+/**
+ * The PMU of one core.
+ */
+class Pmu : public MsrDevice
+{
+  public:
+    static constexpr int numProgrammable = 4;
+    static constexpr int numFixed = 3;
+    static constexpr int counterBits = 48;
+    static constexpr std::uint64_t counterMask =
+        (std::uint64_t(1) << counterBits) - 1;
+
+    /** rdpmc index bit selecting the fixed-counter bank. */
+    static constexpr std::uint32_t rdpmcFixedFlag = 0x40000000;
+
+    /**
+     * Callback invoked when an enabled counter wraps (sampling PMI).
+     * Argument is the counter index: 0..3 programmable, 4..6 fixed.
+     */
+    using OverflowCallback = std::function<void(int counter)>;
+
+    Pmu();
+
+    /** @{ MsrDevice interface. */
+    bool decodesMsr(std::uint32_t addr) const override;
+    std::uint64_t readMsr(std::uint32_t addr) override;
+    void writeMsr(std::uint32_t addr, std::uint64_t value) override;
+    /** @} */
+
+    /**
+     * RDPMC as seen from user space (LiMiT's fast path).  @p index
+     * is 0..3 for programmable counters, or rdpmcFixedFlag | i for
+     * fixed counter i.
+     */
+    std::uint64_t rdpmc(std::uint32_t index) const;
+
+    /** Install the overflow (PMI) callback. */
+    void setOverflowCallback(OverflowCallback cb);
+
+    /**
+     * Feed an attribution of executed work into the counters.  Each
+     * enabled counter whose event appears in @p deltas and whose
+     * privilege filter matches @p priv advances.
+     */
+    void addEvents(const EventVector &deltas, PrivLevel priv);
+
+    /** @{ Programming convenience used by driver models. */
+
+    /**
+     * Program programmable counter @p idx to count @p ev.
+     * @param usr count user-mode occurrences
+     * @param os count kernel-mode occurrences
+     * @param pmi raise the overflow callback on wrap
+     */
+    void programCounter(int idx, HwEvent ev, bool usr = true,
+                        bool os = false, bool pmi = false);
+
+    /** Disable programmable counter @p idx and clear its count. */
+    void clearCounter(int idx);
+
+    /** Set fixed counter @p idx enable bits (0 disables). */
+    void programFixed(int idx, bool usr, bool os, bool pmi = false);
+
+    /** Write the global-enable register (bit i = PMCi, 32+i = FIXEDi). */
+    void setGlobalCtrl(std::uint64_t mask);
+
+    /** Enable everything currently programmed. */
+    void globalEnableAll();
+
+    /** Freeze all counters (global ctrl = 0). */
+    void globalDisable();
+
+    /** @} */
+
+    /** @{ State inspection. */
+
+    /** Raw value of programmable counter @p idx. */
+    std::uint64_t counterValue(int idx) const;
+
+    /** Raw value of fixed counter @p idx. */
+    std::uint64_t fixedValue(int idx) const;
+
+    /** Set a programmable counter (e.g. to -period for sampling). */
+    void setCounterValue(int idx, std::uint64_t value);
+
+    /** Event currently selected on programmable counter @p idx. */
+    std::optional<HwEvent> counterEvent(int idx) const;
+
+    /** True if programmable counter @p idx is enabled and counting. */
+    bool counterActive(int idx) const;
+
+    /** True if fixed counter @p idx is enabled and counting. */
+    bool fixedActive(int idx) const;
+
+    /** @} */
+
+  private:
+    struct ProgCounter
+    {
+        std::uint64_t evtsel = 0;  //!< raw PERFEVTSEL image
+        std::uint64_t value = 0;   //!< 48-bit count
+        std::optional<HwEvent> event;
+    };
+
+    /** Decode the PERFEVTSEL image into the cached event. */
+    void decodeSelector(int idx);
+
+    /** Advance one counter by @p n and fire overflow on wrap. */
+    void advance(std::uint64_t &value, std::uint64_t n,
+                 int overflow_idx, bool pmi);
+
+    std::array<ProgCounter, numProgrammable> prog_;
+    std::array<std::uint64_t, numFixed> fixed_;
+    std::uint64_t fixedCtrl_;
+    std::uint64_t globalCtrl_;
+    std::uint64_t globalStatus_;
+    OverflowCallback overflow_;
+};
+
+} // namespace klebsim::hw
+
+#endif // KLEBSIM_HW_PMU_HH

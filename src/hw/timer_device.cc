@@ -1,0 +1,61 @@
+#include "timer_device.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace klebsim::hw
+{
+
+TimerDevice::TimerDevice(std::string name, sim::EventQueue &eq,
+                         Random rng, TimerJitterModel jitter)
+    : name_(std::move(name)), eq_(eq), rng_(rng), jitter_(jitter),
+      event_(nullptr), lastLateness_(0)
+{
+}
+
+TimerDevice::~TimerDevice()
+{
+    cancel();
+}
+
+Tick
+TimerDevice::drawLateness()
+{
+    if (jitter_.sigma == 0 && jitter_.spikeProbability <= 0.0)
+        return 0;
+    double late = std::fabs(
+        rng_.gaussian(0.0, static_cast<double>(jitter_.sigma)));
+    if (rng_.chance(jitter_.spikeProbability))
+        late += static_cast<double>(jitter_.spikeLateness);
+    auto ticks = static_cast<Tick>(late);
+    if (ticks > jitter_.maxLateness)
+        ticks = jitter_.maxLateness;
+    return ticks;
+}
+
+void
+TimerDevice::arm(Tick delay, Callback cb)
+{
+    panic_if(armed(), "timer '", name_, "' armed twice");
+    lastLateness_ = drawLateness();
+    Tick when = eq_.curTick() + delay + lastLateness_;
+    event_ = eq_.scheduleLambda(
+        when,
+        [this, cb = std::move(cb)]() {
+            event_ = nullptr;
+            cb();
+        },
+        sim::Event::timerPriority, name_ + "-expiry");
+}
+
+void
+TimerDevice::cancel()
+{
+    if (!event_)
+        return;
+    eq_.cancelLambda(event_);
+    event_ = nullptr;
+}
+
+} // namespace klebsim::hw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * One-shot hardware timer (LAPIC-timer-like) with a jitter model.
+ *
+ * The kernel's HRTimer subsystem arms this device; expiry invokes a
+ * callback at interrupt priority.  Real high-resolution timers miss
+ * their deadline by a platform-dependent error (clock granularity,
+ * interrupt coalescing); the paper's section VI discusses how this
+ * jitter bounds K-LEB's usable sampling rate, so the device models
+ * it explicitly: expiry = requested + |N(0, sigma)| + rare spikes.
+ * The error is non-negative — hardware never fires early.
+ */
+
+#ifndef KLEBSIM_HW_TIMER_DEVICE_HH
+#define KLEBSIM_HW_TIMER_DEVICE_HH
+
+#include <functional>
+#include <string>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace klebsim::hw
+{
+
+/** Jitter parameters for a timer device. */
+struct TimerJitterModel
+{
+    /** Standard deviation of the per-expiry lateness. */
+    Tick sigma = usToTicks(1.5);
+
+    /** Hard cap on lateness. */
+    Tick maxLateness = usToTicks(25);
+
+    /** Probability of a coalescing spike per expiry. */
+    double spikeProbability = 0.002;
+
+    /** Lateness added by a spike. */
+    Tick spikeLateness = usToTicks(15);
+
+    /** Disable all jitter (ideal timer, for unit tests). */
+    static TimerJitterModel
+    ideal()
+    {
+        return {0, 0, 0.0, 0};
+    }
+};
+
+/**
+ * A one-shot timer; re-arm from the expiry callback for periodic
+ * behaviour (that is exactly what the kernel HRTimer layer does).
+ */
+class TimerDevice
+{
+  public:
+    using Callback = std::function<void()>;
+
+    TimerDevice(std::string name, sim::EventQueue &eq, Random rng,
+                TimerJitterModel jitter = {});
+
+    ~TimerDevice();
+
+    TimerDevice(const TimerDevice &) = delete;
+    TimerDevice &operator=(const TimerDevice &) = delete;
+
+    /**
+     * Arm for expiry @p delay from now; @p cb runs at timer
+     * priority.  Re-arming while armed is a programming error.
+     */
+    void arm(Tick delay, Callback cb);
+
+    /** Disarm without firing. No-op when idle. */
+    void cancel();
+
+    bool armed() const { return event_ != nullptr; }
+
+    /** Lateness applied to the most recent expiry. */
+    Tick lastLateness() const { return lastLateness_; }
+
+    const TimerJitterModel &jitterModel() const { return jitter_; }
+    void setJitterModel(const TimerJitterModel &m) { jitter_ = m; }
+
+  private:
+    Tick drawLateness();
+
+    std::string name_;
+    sim::EventQueue &eq_;
+    Random rng_;
+    TimerJitterModel jitter_;
+    sim::Event *event_;
+    Tick lastLateness_;
+};
+
+} // namespace klebsim::hw
+
+#endif // KLEBSIM_HW_TIMER_DEVICE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit costs of kernel operations.
+ *
+ * Every mechanism that differentiates the monitoring tools (syscall
+ * round trips, context switches, interrupt handling, kprobe hooks)
+ * is priced here, in one place.  Values are calibrated once against
+ * the paper's Table II and then held fixed for every experiment;
+ * see DESIGN.md section 5.
+ */
+
+#ifndef KLEBSIM_KERNEL_COST_MODEL_HH
+#define KLEBSIM_KERNEL_COST_MODEL_HH
+
+#include <algorithm>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace klebsim::kernel
+{
+
+/** Tunable kernel timing parameters. */
+struct CostModel
+{
+    /** Syscall entry + exit + trivial body. */
+    Tick syscall = usToTicks(1.4);
+
+    /** Full context switch (save/restore, runqueue, TLB effects). */
+    Tick contextSwitch = usToTicks(2.1);
+
+    /** Interrupt entry + EOI + exit, excluding the handler body. */
+    Tick interruptEntry = usToTicks(0.6);
+
+    /** Cost added to a context switch per attached kprobe. */
+    Tick kprobe = nsToTicks(300);
+
+    /** Round-robin scheduler timeslice. */
+    Tick timeslice = msToTicks(4);
+
+    /** Woken processes preempt a running workload process. */
+    bool wakeupPreempts = true;
+
+    /**
+     * Relative sigma applied to every drawn cost, modeling
+     * microarchitectural run-to-run variation.
+     */
+    double costSigma = 0.08;
+
+    /**
+     * Relative sigma of a per-boot systemic factor applied to all
+     * kernel/tool costs of one run (frequency scaling, cache/TLB
+     * state, interrupt load).  Makes a tool's run-to-run execution
+     * time spread proportional to its total interference — the
+     * effect behind Fig. 8's box widths.
+     */
+    double runSigma = 0.04;
+
+    /**
+     * Draw an actual cost around @p base.  Clamped to [0.25, 3] x
+     * base so a tail draw can never go negative or absurd.
+     */
+    Tick
+    draw(Random &rng, Tick base) const
+    {
+        if (base == 0)
+            return 0;
+        if (costSigma <= 0.0)
+            return base;
+        double factor = 1.0 + rng.gaussian(0.0, costSigma);
+        factor = std::clamp(factor, 0.25, 3.0);
+        return static_cast<Tick>(static_cast<double>(base) * factor);
+    }
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_COST_MODEL_HH

@@ -1,0 +1,751 @@
+#include "kernel.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace klebsim::kernel
+{
+
+namespace
+{
+
+/** Cache footprint of the scheduler's own switch path. */
+constexpr std::uint64_t switchFootprint = 4096;
+
+/** Cache footprint of a generic syscall body. */
+constexpr std::uint64_t syscallFootprint = 2048;
+
+} // anonymous namespace
+
+Kernel::Kernel(sim::EventQueue &eq, std::vector<hw::CpuCore *> cores,
+               CostModel costs, Random rng)
+    : eq_(eq), cores_(std::move(cores)), costs_(costs), rng_(rng)
+{
+    fatal_if(cores_.empty(), "kernel needs at least one core");
+    coreState_.resize(cores_.size());
+    // One systemic cost factor per boot (see CostModel::runSigma).
+    if (costs_.runSigma > 0.0) {
+        double f = 1.0 + rng_.gaussian(0.0, costs_.runSigma);
+        runFactor_ = std::clamp(f, 0.7, 1.3);
+    }
+}
+
+Kernel::~Kernel() = default;
+
+hw::CpuCore &
+Kernel::core(CoreId id)
+{
+    panic_if(id < 0 || static_cast<std::size_t>(id) >= cores_.size(),
+             "bad core id ", id);
+    return *cores_[id];
+}
+
+hw::CpuCore &
+Kernel::coreOf(const Process &proc)
+{
+    return core(proc.affinity());
+}
+
+Process *
+Kernel::running(CoreId core_id)
+{
+    panic_if(core_id < 0 ||
+                 static_cast<std::size_t>(core_id) >=
+                     coreState_.size(),
+             "bad core id ", core_id);
+    return coreState_[core_id].current;
+}
+
+Process *
+Kernel::allocProcess(const std::string &name, CoreId affinity,
+                     Pid ppid)
+{
+    fatal_if(affinity < 0 ||
+                 static_cast<std::size_t>(affinity) >= cores_.size(),
+             "process '", name, "': bad affinity core ", affinity);
+    Pid pid = nextPid_++;
+    auto proc = std::make_unique<Process>(pid, ppid, name, affinity);
+    Process *raw = proc.get();
+    processes_.push_back(std::move(proc));
+    pidMap_[pid] = raw;
+    if (Process *parent = findProcess(ppid))
+        parent->children_.push_back(pid);
+    return raw;
+}
+
+Process *
+Kernel::createWorkload(const std::string &name,
+                       hw::WorkSource *source, CoreId affinity,
+                       Pid ppid)
+{
+    Process *proc = allocProcess(name, affinity, ppid);
+    proc->ctx_ = std::make_unique<hw::ExecContext>(source);
+    return proc;
+}
+
+Process *
+Kernel::createService(const std::string &name,
+                      ServiceBehavior *behavior, CoreId affinity,
+                      Pid ppid)
+{
+    panic_if(behavior == nullptr, "service '", name,
+             "' needs a behavior");
+    Process *proc = allocProcess(name, affinity, ppid);
+    proc->behavior_ = behavior;
+    return proc;
+}
+
+Process *
+Kernel::findProcess(Pid pid)
+{
+    auto it = pidMap_.find(pid);
+    return it == pidMap_.end() ? nullptr : it->second;
+}
+
+bool
+Kernel::isDescendantOf(Pid pid, Pid ancestor)
+{
+    while (pid > 0) {
+        if (pid == ancestor)
+            return true;
+        Process *proc = findProcess(pid);
+        if (!proc)
+            return false;
+        pid = proc->ppid();
+    }
+    return false;
+}
+
+void
+Kernel::onExit(Pid pid, std::function<void()> fn)
+{
+    Process *proc = findProcess(pid);
+    if (proc && proc->state() == ProcState::zombie) {
+        fn();
+        return;
+    }
+    exitWaiters_.emplace(pid, std::move(fn));
+}
+
+void
+Kernel::enqueue(Process *proc, bool front)
+{
+    auto &rq = coreState_[proc->affinity()].runQueue;
+    if (front)
+        rq.push_front(proc);
+    else
+        rq.push_back(proc);
+}
+
+void
+Kernel::startProcess(Process *proc)
+{
+    panic_if(proc->state() != ProcState::created,
+             "startProcess on ", procStateName(proc->state()),
+             " process '", proc->name(), "'");
+    proc->state_ = ProcState::ready;
+    proc->startTick_ = now();
+    enqueue(proc, false);
+    if (coreState_[proc->affinity()].current == nullptr)
+        dispatch(proc->affinity());
+}
+
+void
+Kernel::cancelEnd(CoreId core_id)
+{
+    CoreState &cs = coreState_[core_id];
+    if (cs.endEvent) {
+        eq_.cancelLambda(cs.endEvent);
+        cs.endEvent = nullptr;
+    }
+    cs.endKind = CoreState::EndKind::none;
+}
+
+void
+Kernel::performSwitch(CoreId core_id, Process *prev, Process *next)
+{
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    for (auto &[id, hook] : switchHooks_)
+        hook(prev, next, core_id);
+    if (prev == nullptr && next == nullptr)
+        return;
+    ++ctxSwitches_;
+    c.countEvent(hw::HwEvent::ctxSwitches, 1, hw::PrivLevel::kernel);
+    Tick cost = costs_.contextSwitch +
+                costs_.kprobe * static_cast<Tick>(
+                                    switchHooks_.size());
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(cost);
+    spec.priv = hw::PrivLevel::kernel;
+    spec.footprintBytes = switchFootprint;
+    c.charge(spec);
+}
+
+void
+Kernel::runOn(CoreId core_id, Process *next)
+{
+    CoreState &cs = coreState_[core_id];
+    panic_if(cs.current != nullptr, "runOn with busy core ", core_id);
+    hw::CpuCore &c = core(core_id);
+
+    next->state_ = ProcState::running;
+    cs.current = next;
+
+    if (next->isWorkload()) {
+        c.attachContext(next->execContext());
+        hw::PrepareResult res = c.prepare(costs_.timeslice);
+        cs.endKind = CoreState::EndKind::slice;
+        cs.endTick = c.attributedUpTo() + res.available;
+        cs.completesAtEnd = res.completes;
+        cs.endEvent = eq_.scheduleLambda(
+            cs.endTick, [this, core_id] { onSliceEnd(core_id); },
+            sim::Event::schedulerPriority, "slice-end");
+        return;
+    }
+
+    if (!next->behaviorStarted_) {
+        next->behaviorStarted_ = true;
+        next->behavior()->onStart(*this, *next);
+    }
+    runNextOp(next);
+}
+
+void
+Kernel::dispatch(CoreId core_id)
+{
+    CoreState &cs = coreState_[core_id];
+    if (cs.current != nullptr || cs.runQueue.empty())
+        return;
+    Process *next = cs.runQueue.front();
+    cs.runQueue.pop_front();
+    performSwitch(core_id, nullptr, next);
+    runOn(core_id, next);
+}
+
+void
+Kernel::suspendCurrent(CoreId core_id, ProcState new_state)
+{
+    CoreState &cs = coreState_[core_id];
+    Process *proc = cs.current;
+    panic_if(proc == nullptr, "suspend on idle core ", core_id);
+    cancelEnd(core_id);
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    if (proc->isWorkload())
+        c.detachContext();
+    proc->state_ = new_state;
+    cs.current = nullptr;
+}
+
+void
+Kernel::onSliceEnd(CoreId core_id)
+{
+    CoreState &cs = coreState_[core_id];
+    cs.endEvent = nullptr;
+    cs.endKind = CoreState::EndKind::none;
+    Process *proc = cs.current;
+    panic_if(proc == nullptr || !proc->isWorkload(),
+             "slice end without a running workload");
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+
+    if (cs.completesAtEnd && proc->execContext()->exhausted()) {
+        processExit(proc);
+        return;
+    }
+
+    if (cs.runQueue.empty()) {
+        // Sole runnable process: extend in place, no switch cost.
+        hw::PrepareResult res = c.prepare(costs_.timeslice);
+        if (res.available == 0) {
+            processExit(proc);
+            return;
+        }
+        cs.endKind = CoreState::EndKind::slice;
+        cs.endTick = c.attributedUpTo() + res.available;
+        cs.completesAtEnd = res.completes;
+        cs.endEvent = eq_.scheduleLambda(
+            cs.endTick, [this, core_id] { onSliceEnd(core_id); },
+            sim::Event::schedulerPriority, "slice-end");
+        return;
+    }
+
+    Process *next = cs.runQueue.front();
+    cs.runQueue.pop_front();
+    c.detachContext();
+    proc->state_ = ProcState::ready;
+    cs.current = nullptr;
+    enqueue(proc, false);
+    performSwitch(core_id, proc, next);
+    runOn(core_id, next);
+}
+
+void
+Kernel::scheduleServiceContinuation(Process *proc)
+{
+    CoreId core_id = proc->affinity();
+    CoreState &cs = coreState_[core_id];
+    cs.endKind = CoreState::EndKind::serviceOp;
+    cs.endTick = core(core_id).attributedUpTo();
+    cs.endEvent = eq_.scheduleLambda(
+        cs.endTick,
+        [this, proc, core_id] {
+            CoreState &s = coreState_[core_id];
+            s.endEvent = nullptr;
+            s.endKind = CoreState::EndKind::none;
+            runNextOp(proc);
+        },
+        sim::Event::schedulerPriority, "service-op-done");
+}
+
+void
+Kernel::runNextOp(Process *proc)
+{
+    CoreId core_id = proc->affinity();
+    CoreState &cs = coreState_[core_id];
+    panic_if(cs.current != proc, "runNextOp for non-current process");
+    hw::CpuCore &c = core(core_id);
+
+    ServiceOp op = proc->behavior()->nextOp(*this, *proc);
+    switch (op.type) {
+      case ServiceOp::Type::compute: {
+        hw::ChargeSpec spec;
+        spec.duration = drawCost(op.duration);
+        spec.priv = hw::PrivLevel::user;
+        spec.footprintBytes = op.footprintBytes;
+        spec.footprintBase = op.footprintBase;
+        c.charge(spec);
+        scheduleServiceContinuation(proc);
+        return;
+      }
+      case ServiceOp::Type::syscall: {
+        hw::ChargeSpec spec;
+        spec.duration =
+            drawCost(costs_.syscall + op.duration);
+        spec.priv = hw::PrivLevel::kernel;
+        spec.footprintBytes =
+            std::max<std::uint64_t>(op.footprintBytes,
+                                    syscallFootprint);
+        c.charge(spec);
+        if (op.fn)
+            op.fn(*this, *proc);
+        scheduleServiceContinuation(proc);
+        return;
+      }
+      case ServiceOp::Type::sleep: {
+        suspendCurrent(core_id, ProcState::sleeping);
+        proc->pendingEvent_ = eq_.scheduleLambda(
+            now() + op.duration,
+            [this, proc] {
+                proc->pendingEvent_ = nullptr;
+                wake(proc);
+            },
+            sim::Event::defaultPriority, "sleep-wake");
+        dispatch(core_id);
+        return;
+      }
+      case ServiceOp::Type::block: {
+        panic_if(op.channel == nullptr, "block op without channel");
+        suspendCurrent(core_id, ProcState::blocked);
+        proc->blockedOn_ = op.channel;
+        op.channel->waiters.push_back(proc);
+        dispatch(core_id);
+        return;
+      }
+      case ServiceOp::Type::exit:
+        processExit(proc);
+        return;
+    }
+}
+
+void
+Kernel::processExit(Process *proc)
+{
+    CoreId core_id = proc->affinity();
+    CoreState &cs = coreState_[core_id];
+    panic_if(cs.current != proc,
+             "processExit for non-running process '", proc->name(),
+             "'");
+    cancelEnd(core_id);
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    if (proc->isWorkload())
+        c.detachContext();
+    proc->state_ = ProcState::zombie;
+    proc->exitTick_ = now();
+    cs.current = nullptr;
+
+    for (auto &[id, hook] : exitHooks_)
+        hook(*proc);
+
+    // The scheduler switches away from the dead task; the switch
+    // tracepoint fires with prev = the dead process.
+    Process *next = nullptr;
+    if (!cs.runQueue.empty()) {
+        next = cs.runQueue.front();
+        cs.runQueue.pop_front();
+    }
+    performSwitch(core_id, proc, next);
+
+    auto range = exitWaiters_.equal_range(proc->pid());
+    std::vector<std::function<void()>> fns;
+    for (auto it = range.first; it != range.second; ++it)
+        fns.push_back(std::move(it->second));
+    exitWaiters_.erase(range.first, range.second);
+    for (auto &fn : fns)
+        fn();
+
+    if (next != nullptr)
+        runOn(core_id, next);
+    else
+        dispatch(core_id); // a waiter may have readied something
+}
+
+void
+Kernel::kill(Process *proc)
+{
+    switch (proc->state()) {
+      case ProcState::zombie:
+        return;
+      case ProcState::running:
+        processExit(proc);
+        return;
+      case ProcState::ready: {
+        auto &rq = coreState_[proc->affinity()].runQueue;
+        rq.erase(std::remove(rq.begin(), rq.end(), proc), rq.end());
+        break;
+      }
+      case ProcState::sleeping:
+        if (proc->pendingEvent_) {
+            eq_.cancelLambda(proc->pendingEvent_);
+            proc->pendingEvent_ = nullptr;
+        }
+        break;
+      case ProcState::blocked: {
+        auto &ws = proc->blockedOn_->waiters;
+        ws.erase(std::remove(ws.begin(), ws.end(), proc), ws.end());
+        proc->blockedOn_ = nullptr;
+        break;
+      }
+      case ProcState::created:
+        break;
+    }
+    proc->state_ = ProcState::zombie;
+    proc->exitTick_ = now();
+    for (auto &[id, hook] : exitHooks_)
+        hook(*proc);
+    auto range = exitWaiters_.equal_range(proc->pid());
+    std::vector<std::function<void()>> fns;
+    for (auto it = range.first; it != range.second; ++it)
+        fns.push_back(std::move(it->second));
+    exitWaiters_.erase(range.first, range.second);
+    for (auto &fn : fns)
+        fn();
+}
+
+void
+Kernel::wake(Process *proc)
+{
+    if (proc->state() != ProcState::sleeping &&
+        proc->state() != ProcState::blocked)
+        return;
+    // Early wake from a timed sleep: cancel the pending alarm so it
+    // cannot fire into a later sleep cycle.
+    if (proc->state() == ProcState::sleeping && proc->pendingEvent_) {
+        eq_.cancelLambda(proc->pendingEvent_);
+        proc->pendingEvent_ = nullptr;
+    }
+    proc->state_ = ProcState::ready;
+    proc->blockedOn_ = nullptr;
+
+    CoreId core_id = proc->affinity();
+    CoreState &cs = coreState_[core_id];
+
+    bool preempt = costs_.wakeupPreempts && cs.current != nullptr &&
+                   cs.current->isWorkload() &&
+                   cs.endKind == CoreState::EndKind::slice;
+    enqueue(proc, preempt);
+    if (preempt)
+        cs.needResched = true;
+    scheduleResched(core_id);
+}
+
+void
+Kernel::scheduleResched(CoreId core_id)
+{
+    CoreState &cs = coreState_[core_id];
+    if (cs.reschedPending)
+        return;
+    cs.reschedPending = true;
+    eq_.scheduleLambda(
+        now(),
+        [this, core_id] {
+            coreState_[core_id].reschedPending = false;
+            doResched(core_id);
+        },
+        sim::Event::schedulerPriority + 1, "resched");
+}
+
+void
+Kernel::doResched(CoreId core_id)
+{
+    CoreState &cs = coreState_[core_id];
+    if (cs.current == nullptr) {
+        dispatch(core_id);
+        return;
+    }
+    if (!cs.needResched)
+        return;
+    cs.needResched = false;
+    if (!cs.current->isWorkload() ||
+        cs.endKind != CoreState::EndKind::slice ||
+        cs.runQueue.empty())
+        return;
+
+    Process *prev = cs.current;
+    Process *next = cs.runQueue.front();
+    cs.runQueue.pop_front();
+    cancelEnd(core_id);
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    c.detachContext();
+    prev->state_ = ProcState::ready;
+    cs.current = nullptr;
+    enqueue(prev, true); // resumes right after the waker sleeps
+    performSwitch(core_id, prev, next);
+    runOn(core_id, next);
+}
+
+void
+Kernel::wakeAll(WaitChannel &channel)
+{
+    std::vector<Process *> waiters;
+    waiters.swap(channel.waiters);
+    for (Process *proc : waiters)
+        wake(proc);
+}
+
+int
+Kernel::registerSwitchHook(SwitchHook hook)
+{
+    int id = nextHookId_++;
+    switchHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterSwitchHook(int id)
+{
+    switchHooks_.erase(id);
+}
+
+int
+Kernel::registerExitHook(ExitHook hook)
+{
+    int id = nextHookId_++;
+    exitHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterExitHook(int id)
+{
+    exitHooks_.erase(id);
+}
+
+void
+Kernel::loadModule(std::unique_ptr<KernelModule> module,
+                   const std::string &dev_path)
+{
+    fatal_if(modules_.count(dev_path),
+             "device path already bound: " + dev_path);
+    KernelModule *raw = module.get();
+    modules_[dev_path] = std::move(module);
+    raw->init(*this);
+}
+
+void
+Kernel::unloadModule(const std::string &dev_path)
+{
+    auto it = modules_.find(dev_path);
+    fatal_if(it == modules_.end(),
+             "no module at device path: " + dev_path);
+    it->second->exitModule(*this);
+    modules_.erase(it);
+}
+
+KernelModule *
+Kernel::moduleAt(const std::string &dev_path)
+{
+    auto it = modules_.find(dev_path);
+    return it == modules_.end() ? nullptr : it->second.get();
+}
+
+long
+Kernel::ioctl(Process &caller, const std::string &dev_path,
+              std::uint32_t cmd, void *arg)
+{
+    KernelModule *module = moduleAt(dev_path);
+    if (!module)
+        return -1;
+    hw::CpuCore &c = coreOf(caller);
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(costs_.syscall);
+    spec.priv = hw::PrivLevel::kernel;
+    spec.footprintBytes = syscallFootprint;
+    c.charge(spec);
+    return module->ioctl(*this, caller, cmd, arg);
+}
+
+long
+Kernel::readDev(Process &caller, const std::string &dev_path,
+                void *buf, std::size_t len)
+{
+    KernelModule *module = moduleAt(dev_path);
+    if (!module)
+        return -1;
+    hw::CpuCore &c = coreOf(caller);
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(costs_.syscall);
+    spec.priv = hw::PrivLevel::kernel;
+    spec.footprintBytes = syscallFootprint;
+    c.charge(spec);
+    return module->read(*this, caller, buf, len);
+}
+
+void
+Kernel::chargeKernelWork(CoreId core_id, Tick cost,
+                         std::uint64_t footprint)
+{
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(cost);
+    spec.priv = hw::PrivLevel::kernel;
+    spec.footprintBytes = footprint;
+    core(core_id).charge(spec);
+}
+
+void
+Kernel::extendPendingEnd(CoreId core_id, Tick delta)
+{
+    if (delta == 0)
+        return;
+    CoreState &cs = coreState_[core_id];
+    if (cs.endEvent == nullptr)
+        return;
+    cs.endTick += delta;
+    eq_.reschedule(cs.endEvent, cs.endTick);
+}
+
+void
+Kernel::runInInterrupt(CoreId core_id, Tick cost,
+                       std::uint64_t footprint,
+                       const std::function<void()> &body)
+{
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    Tick before = c.attributedUpTo();
+    c.countEvent(hw::HwEvent::hwInterrupts, 1,
+                 hw::PrivLevel::kernel);
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(costs_.interruptEntry + cost);
+    spec.priv = hw::PrivLevel::kernel;
+    spec.footprintBytes = footprint;
+    c.charge(spec);
+    if (body)
+        body();
+    Tick delta = c.attributedUpTo() - before;
+    extendPendingEnd(core_id, delta);
+}
+
+HrTimer *
+Kernel::createHrTimer(const std::string &name, CoreId core_id,
+                      std::function<void()> handler,
+                      Tick handler_cost,
+                      std::uint64_t handler_footprint)
+{
+    auto timer = std::make_unique<HrTimer>(
+        name, *this, core_id, std::move(handler), handler_cost,
+        handler_footprint);
+    HrTimer *raw = timer.get();
+    timers_.push_back(std::move(timer));
+    return raw;
+}
+
+HrTimer::HrTimer(std::string name, Kernel &kernel, CoreId core,
+                 std::function<void()> handler, Tick handler_cost,
+                 std::uint64_t handler_footprint)
+    : name_(std::move(name)), kernel_(kernel), core_(core),
+      handler_(std::move(handler)), handlerCost_(handler_cost),
+      handlerFootprint_(handler_footprint),
+      device_(name_ + "-dev", kernel.eq(),
+              kernel.rng().fork(0x7133 + core))
+{
+}
+
+void
+HrTimer::armNext()
+{
+    Tick now = kernel_.now();
+    Tick delay = nextDeadline_ > now ? nextDeadline_ - now : 1;
+    device_.arm(delay, [this] { expire(); });
+}
+
+void
+HrTimer::startPeriodic(Tick period)
+{
+    fatal_if(period == 0, "hrtimer '", name_, "': zero period");
+    cancel();
+    periodic_ = true;
+    period_ = period;
+    expiries_ = 0;
+    nextDeadline_ = kernel_.now() + period;
+    armNext();
+}
+
+void
+HrTimer::startOneShot(Tick delay)
+{
+    cancel();
+    periodic_ = false;
+    period_ = 0;
+    expiries_ = 0;
+    nextDeadline_ = kernel_.now() + delay;
+    armNext();
+}
+
+void
+HrTimer::resume()
+{
+    fatal_if(!periodic_ || period_ == 0,
+             "hrtimer '", name_, "': resume without a period");
+    if (device_.armed())
+        return;
+    Tick now = kernel_.now();
+    while (nextDeadline_ <= now)
+        nextDeadline_ += period_;
+    armNext();
+}
+
+void
+HrTimer::cancel()
+{
+    device_.cancel();
+}
+
+void
+HrTimer::expire()
+{
+    ++expiries_;
+    if (periodic_) {
+        // hrtimer_forward: the next deadline advances from the
+        // previous deadline, not from now, so jitter never drifts.
+        nextDeadline_ += period_;
+        armNext();
+    }
+    kernel_.runInInterrupt(core_, handlerCost_, handlerFootprint_,
+                           handler_);
+}
+
+} // namespace klebsim::kernel

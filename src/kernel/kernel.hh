@@ -1,0 +1,372 @@
+/**
+ * @file
+ * The simulated operating system kernel.
+ *
+ * Provides exactly the facilities the paper's tooling landscape
+ * needs: a process model with PID trees, a round-robin scheduler
+ * with context-switch tracepoints (the kprobe attachment point
+ * K-LEB uses for process isolation), a syscall layer with explicit
+ * costs, high-resolution timers, and a loadable-module framework
+ * with character-device ioctl/read plumbing.
+ */
+
+#ifndef KLEBSIM_KERNEL_KERNEL_HH
+#define KLEBSIM_KERNEL_KERNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "cost_model.hh"
+#include "hw/cpu_core.hh"
+#include "hw/timer_device.hh"
+#include "module.hh"
+#include "process.hh"
+#include "service.hh"
+#include "sim/event_queue.hh"
+
+namespace klebsim::kernel
+{
+
+class HrTimer;
+class Kernel;
+
+/**
+ * Context-switch tracepoint signature.  Either process may be null
+ * (switch from/to idle).  Fired after the outgoing process's
+ * execution has been attributed and before the incoming process
+ * starts running — i.e. at the exact point a kprobe on the
+ * scheduler's switch handler observes.
+ */
+using SwitchHook =
+    std::function<void(Process *prev, Process *next, CoreId core)>;
+
+/** Process lifecycle tracepoints. */
+using ExitHook = std::function<void(Process &proc)>;
+using ForkHook = std::function<void(Process &parent, Process &child)>;
+
+/**
+ * The kernel.
+ */
+class Kernel
+{
+  public:
+    /**
+     * @param eq the machine's event queue
+     * @param cores all cores (owned by the System)
+     * @param costs unit-cost model
+     * @param rng forked stream for cost draws
+     */
+    Kernel(sim::EventQueue &eq,
+           std::vector<hw::CpuCore *> cores, CostModel costs,
+           Random rng);
+
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** @{ Process management. */
+
+    /**
+     * Create a workload process around @p source.  The process is
+     * in `created` state until startProcess().
+     */
+    Process *createWorkload(const std::string &name,
+                            hw::WorkSource *source,
+                            CoreId affinity = 0, Pid ppid = 1);
+
+    /** Create a scripted service process. */
+    Process *createService(const std::string &name,
+                           ServiceBehavior *behavior,
+                           CoreId affinity = 0, Pid ppid = 1);
+
+    /** Make a created process runnable (and dispatch if possible). */
+    void startProcess(Process *proc);
+
+    /** Forcibly terminate a process in any non-zombie state. */
+    void kill(Process *proc);
+
+    /** Look up a live-or-zombie process by PID (null if unknown). */
+    Process *findProcess(Pid pid);
+
+    /** True if @p pid is @p ancestor or one of its descendants. */
+    bool isDescendantOf(Pid pid, Pid ancestor);
+
+    /** All processes ever created (stable order). */
+    const std::vector<std::unique_ptr<Process>> &processes() const
+    { return processes_; }
+
+    /**
+     * Register a callback fired when @p pid exits (or immediately
+     * if it is already a zombie).
+     */
+    void onExit(Pid pid, std::function<void()> fn);
+
+    /** @} */
+
+    /** @{ Tracepoints (kprobe attachment points). */
+
+    int registerSwitchHook(SwitchHook hook);
+    void unregisterSwitchHook(int id);
+
+    int registerExitHook(ExitHook hook);
+    void unregisterExitHook(int id);
+
+    /** @} */
+
+    /** @{ Modules and character devices. */
+
+    /** Load @p module and bind it to @p dev_path ("/dev/kleb"). */
+    void loadModule(std::unique_ptr<KernelModule> module,
+                    const std::string &dev_path);
+
+    /** Unload the module at @p dev_path. */
+    void unloadModule(const std::string &dev_path);
+
+    /** Module bound at @p dev_path (null if none). */
+    KernelModule *moduleAt(const std::string &dev_path);
+
+    /**
+     * ioctl(2) from @p caller on @p dev_path.  Charges the syscall
+     * cost to the caller's core, then runs the module handler.
+     */
+    long ioctl(Process &caller, const std::string &dev_path,
+               std::uint32_t cmd, void *arg);
+
+    /** read(2) from @p caller on @p dev_path. */
+    long readDev(Process &caller, const std::string &dev_path,
+                 void *buf, std::size_t len);
+
+    /** @} */
+
+    /** @{ Timers and interrupts. */
+
+    /**
+     * Create a high-resolution timer whose handler runs in
+     * interrupt context on core @p core.
+     *
+     * @param handler_cost CPU time the handler body consumes
+     * @param handler_footprint bytes of cache footprint it touches
+     */
+    HrTimer *createHrTimer(const std::string &name, CoreId core,
+                           std::function<void()> handler,
+                           Tick handler_cost,
+                           std::uint64_t handler_footprint);
+
+    /**
+     * Run @p body in interrupt context on @p core now: sync the
+     * core, charge interrupt entry plus @p cost, run the body, and
+     * push any pending scheduling deadline by the total time taken.
+     */
+    void runInInterrupt(CoreId core, Tick cost,
+                        std::uint64_t footprint,
+                        const std::function<void()> &body);
+
+    /** @} */
+
+    /** @{ Waiting and waking. */
+
+    /** Wake a sleeping/blocked process. No-op otherwise. */
+    void wake(Process *proc);
+
+    /** Wake every process parked on @p channel. */
+    void wakeAll(WaitChannel &channel);
+
+    /** @} */
+
+    /** @{ Introspection and helpers. */
+
+    Tick now() const { return eq_.curTick(); }
+    sim::EventQueue &eq() { return eq_; }
+    CostModel &costs() { return costs_; }
+    Random &rng() { return rng_; }
+
+    /** This boot's systemic cost multiplier (CostModel::runSigma). */
+    double runFactor() const { return runFactor_; }
+
+    /** Draw an actual cost for @p base under this boot's factor. */
+    Tick
+    drawCost(Tick base)
+    {
+        return static_cast<Tick>(
+            static_cast<double>(costs_.draw(rng_, base)) *
+            runFactor_);
+    }
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    hw::CpuCore &core(CoreId id);
+    hw::CpuCore &coreOf(const Process &proc);
+
+    /** Process currently on @p core (null when idle). */
+    Process *running(CoreId core);
+
+    /** Number of context switches performed so far. */
+    std::uint64_t contextSwitches() const { return ctxSwitches_; }
+
+    /**
+     * Charge additional kernel work to a core from inside a module
+     * handler or interrupt body.
+     */
+    void chargeKernelWork(CoreId core, Tick cost,
+                          std::uint64_t footprint = 0);
+
+    /** @} */
+
+  private:
+    /** Per-core scheduling state. */
+    struct CoreState
+    {
+        Process *current = nullptr;
+        std::deque<Process *> runQueue;
+
+        enum class EndKind
+        {
+            none,
+            slice,     //!< workload timeslice / completion
+            serviceOp, //!< service op continuation
+        };
+        EndKind endKind = EndKind::none;
+        sim::Event *endEvent = nullptr;
+        Tick endTick = 0;
+        bool completesAtEnd = false;
+
+        /** A woken process wants to preempt the current workload. */
+        bool needResched = false;
+
+        /** A deferred reschedule event is already queued. */
+        bool reschedPending = false;
+    };
+
+    Process *allocProcess(const std::string &name, CoreId affinity,
+                          Pid ppid);
+
+    /** Fire switch tracepoints and charge the switch cost. */
+    void performSwitch(CoreId core, Process *prev, Process *next);
+
+    /** Put @p next on @p core and start it running. */
+    void runOn(CoreId core, Process *next);
+
+    /** Start the core on the next runnable process, if any. */
+    void dispatch(CoreId core);
+
+    /**
+     * Take the current process off @p core (attribution synced),
+     * leaving the core ownerless.  Does not fire tracepoints.
+     */
+    void suspendCurrent(CoreId core, ProcState new_state);
+
+    void cancelEnd(CoreId core);
+    void onSliceEnd(CoreId core);
+
+    /**
+     * Queue a zero-delay reschedule of @p core.  Wakeups never
+     * switch synchronously — they may arrive from interrupt
+     * handlers or tracepoint hooks in the middle of a scheduling
+     * operation — so the actual dispatch/preemption happens from a
+     * fresh event, exactly like need_resched on interrupt return.
+     */
+    void scheduleResched(CoreId core);
+    void doResched(CoreId core);
+    void scheduleServiceContinuation(Process *proc);
+    void runNextOp(Process *proc);
+    void processExit(Process *proc);
+    void enqueue(Process *proc, bool front);
+
+    /** Extend a pending end deadline after interrupt-time charges. */
+    void extendPendingEnd(CoreId core, Tick delta);
+
+    sim::EventQueue &eq_;
+    std::vector<hw::CpuCore *> cores_;
+    CostModel costs_;
+    Random rng_;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::map<Pid, Process *> pidMap_;
+    Pid nextPid_ = 2; // pid 1 is the implicit init
+
+    std::vector<CoreState> coreState_;
+    std::uint64_t ctxSwitches_ = 0;
+    double runFactor_ = 1.0;
+
+    std::map<int, SwitchHook> switchHooks_;
+    std::map<int, ExitHook> exitHooks_;
+    int nextHookId_ = 1;
+
+    std::map<std::string, std::unique_ptr<KernelModule>> modules_;
+    std::vector<std::unique_ptr<HrTimer>> timers_;
+
+    std::multimap<Pid, std::function<void()>> exitWaiters_;
+};
+
+/**
+ * Kernel high-resolution timer.  Deadline-based re-arming: periodic
+ * timers advance their deadline by exactly one period per expiry
+ * (hrtimer_forward semantics), so jitter does not accumulate into
+ * drift; each individual expiry is still late by the hardware
+ * timer's jitter draw.
+ */
+class HrTimer
+{
+  public:
+    HrTimer(std::string name, Kernel &kernel, CoreId core,
+            std::function<void()> handler, Tick handler_cost,
+            std::uint64_t handler_footprint);
+
+    /** Fire every @p period from now (first expiry at now+period). */
+    void startPeriodic(Tick period);
+
+    /** Fire once after @p delay. */
+    void startOneShot(Tick delay);
+
+    /**
+     * Re-arm a cancelled periodic timer onto its original deadline
+     * grid (hrtimer_forward semantics): the next expiry is the
+     * first grid point after now.  Gating a timer on context
+     * switches with cancel()/resume() keeps the sampling grid
+     * stable instead of re-phasing it at every switch-in.
+     */
+    void resume();
+
+    /** Stop without firing. */
+    void cancel();
+
+    bool active() const { return device_.armed(); }
+    Tick period() const { return period_; }
+
+    /** Lateness of the most recent expiry (jitter observation). */
+    Tick lastLateness() const { return device_.lastLateness(); }
+
+    /** Expiries delivered since the last start. */
+    std::uint64_t expiries() const { return expiries_; }
+
+    /** Replace the jitter model (tests use the ideal model). */
+    void setJitterModel(const hw::TimerJitterModel &m)
+    { device_.setJitterModel(m); }
+
+  private:
+    void armNext();
+    void expire();
+
+    std::string name_;
+    Kernel &kernel_;
+    CoreId core_;
+    std::function<void()> handler_;
+    Tick handlerCost_;
+    std::uint64_t handlerFootprint_;
+    hw::TimerDevice device_;
+    bool periodic_ = false;
+    Tick period_ = 0;
+    Tick nextDeadline_ = 0;
+    std::uint64_t expiries_ = 0;
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_KERNEL_HH

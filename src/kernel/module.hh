@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Loadable kernel-module framework.
+ *
+ * K-LEB's defining property (paper section III) is that it is a
+ * kernel *module*: it installs onto a running kernel, registers a
+ * character device, and talks to user space through ioctl/read.
+ * This header is the simulated equivalent of that module API.
+ */
+
+#ifndef KLEBSIM_KERNEL_MODULE_HH
+#define KLEBSIM_KERNEL_MODULE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace klebsim::kernel
+{
+
+class Kernel;
+class Process;
+
+/**
+ * Base class for loadable modules.  init()/exitModule() mirror
+ * module_init/module_exit; the ioctl/read/open/release handlers are
+ * the module's file_operations on its character device.
+ */
+class KernelModule
+{
+  public:
+    virtual ~KernelModule() = default;
+
+    /** Module name (as in lsmod). */
+    virtual std::string name() const = 0;
+
+    /** module_init: called at load time. */
+    virtual void init(Kernel &kernel) { (void)kernel; }
+
+    /** module_exit: called at unload time. */
+    virtual void exitModule(Kernel &kernel) { (void)kernel; }
+
+    /**
+     * Handle an ioctl from @p caller.  The kernel has already
+     * charged the syscall entry cost; implementations charge any
+     * additional work they perform.
+     * @return >= 0 on success, negative errno-style code otherwise.
+     */
+    virtual long
+    ioctl(Kernel &kernel, Process &caller, std::uint32_t cmd,
+          void *arg)
+    {
+        (void)kernel;
+        (void)caller;
+        (void)cmd;
+        (void)arg;
+        return -1;
+    }
+
+    /**
+     * Handle a read() on the device.
+     * @return bytes "copied to user", or negative on error.
+     */
+    virtual long
+    read(Kernel &kernel, Process &caller, void *buf,
+         std::size_t len)
+    {
+        (void)kernel;
+        (void)caller;
+        (void)buf;
+        (void)len;
+        return -1;
+    }
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_MODULE_HH

@@ -1,0 +1,32 @@
+#include "process.hh"
+
+namespace klebsim::kernel
+{
+
+const char *
+procStateName(ProcState s)
+{
+    switch (s) {
+      case ProcState::created:
+        return "created";
+      case ProcState::ready:
+        return "ready";
+      case ProcState::running:
+        return "running";
+      case ProcState::sleeping:
+        return "sleeping";
+      case ProcState::blocked:
+        return "blocked";
+      case ProcState::zombie:
+        return "zombie";
+    }
+    return "?";
+}
+
+Process::Process(Pid pid, Pid ppid, std::string name, CoreId affinity)
+    : pid_(pid), ppid_(ppid), name_(std::move(name)),
+      affinity_(affinity)
+{
+}
+
+} // namespace klebsim::kernel

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The simulated kernel's process model.
+ *
+ * K-LEB traces the monitored application through PIDs, parent PIDs,
+ * names and states (paper section III), so processes here carry all
+ * of that.  A process is either a workload process (driven by a
+ * WorkSource through the CPU's chunk engine) or a service process
+ * (driven by a scripted ServiceBehavior).
+ */
+
+#ifndef KLEBSIM_KERNEL_PROCESS_HH
+#define KLEBSIM_KERNEL_PROCESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/exec_context.hh"
+#include "service.hh"
+
+namespace klebsim::sim
+{
+class Event;
+}
+
+namespace klebsim::kernel
+{
+
+/** Scheduler-visible process states. */
+enum class ProcState
+{
+    created,  //!< exists, not yet started
+    ready,    //!< on a run queue
+    running,  //!< current on some core
+    sleeping, //!< timed sleep
+    blocked,  //!< parked on a wait channel
+    zombie,   //!< exited
+};
+
+/** Human-readable state name. */
+const char *procStateName(ProcState s);
+
+/**
+ * One process.  Created and owned by the Kernel.
+ */
+class Process
+{
+  public:
+    Process(Pid pid, Pid ppid, std::string name, CoreId affinity);
+
+    Pid pid() const { return pid_; }
+    Pid ppid() const { return ppid_; }
+    const std::string &name() const { return name_; }
+    ProcState state() const { return state_; }
+    CoreId affinity() const { return affinity_; }
+
+    /** True for WorkSource-driven processes. */
+    bool isWorkload() const { return ctx_ != nullptr; }
+
+    /** Execution context (null for service processes). */
+    hw::ExecContext *execContext() { return ctx_.get(); }
+    const hw::ExecContext *execContext() const { return ctx_.get(); }
+
+    /** Scripted behaviour (null for workload processes). */
+    ServiceBehavior *behavior() { return behavior_; }
+
+    /** Tick the process was started at. */
+    Tick startTick() const { return startTick_; }
+
+    /** Tick the process exited at (valid once zombie). */
+    Tick exitTick() const { return exitTick_; }
+
+    /** Wall-clock lifetime (valid once zombie). */
+    Tick
+    lifetime() const
+    {
+        return exitTick_ - startTick_;
+    }
+
+    /** Child PIDs, in creation order. */
+    const std::vector<Pid> &children() const { return children_; }
+
+  private:
+    friend class Kernel;
+
+    Pid pid_;
+    Pid ppid_;
+    std::string name_;
+    CoreId affinity_;
+    ProcState state_ = ProcState::created;
+
+    std::unique_ptr<hw::ExecContext> ctx_;
+    ServiceBehavior *behavior_ = nullptr;
+    bool behaviorStarted_ = false;
+
+    Tick startTick_ = 0;
+    Tick exitTick_ = 0;
+
+    /** Pending sleep/continuation event (queue-owned lambda). */
+    sim::Event *pendingEvent_ = nullptr;
+
+    /** Channel this process is parked on (blocked state only). */
+    WaitChannel *blockedOn_ = nullptr;
+
+    std::vector<Pid> children_;
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_PROCESS_HH

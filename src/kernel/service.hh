@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scripted behaviour for "service" processes: user-space programs
+ * whose actions we model as a sequence of operations rather than as
+ * a WorkSource instruction stream.  The K-LEB controller, the perf
+ * user-space half, and the PAPI-instrumented program wrappers are
+ * all ServiceBehaviors.
+ */
+
+#ifndef KLEBSIM_KERNEL_SERVICE_HH
+#define KLEBSIM_KERNEL_SERVICE_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace klebsim::kernel
+{
+
+class Kernel;
+class Process;
+
+/** Processes parked waiting for a condition. */
+struct WaitChannel
+{
+    std::vector<Process *> waiters;
+};
+
+/**
+ * One scripted operation.  Behaviours yield these one at a time from
+ * nextOp(); the kernel executes them, charging the owning core.
+ */
+struct ServiceOp
+{
+    enum class Type
+    {
+        compute, //!< user-mode CPU work for `duration`
+        syscall, //!< kernel entry: default cost + `duration` body + fn
+        sleep,   //!< block for `duration`
+        block,   //!< park on `channel` until woken
+        exit,    //!< terminate the process
+    };
+
+    Type type = Type::exit;
+
+    /** compute: CPU time; syscall: extra body cost; sleep: delay. */
+    Tick duration = 0;
+
+    /** Bytes of cache-footprint the op touches (compute/syscall). */
+    std::uint64_t footprintBytes = 0;
+
+    /** Base address of the footprint (0 = kernel scratch). */
+    Addr footprintBase = 0;
+
+    /** Kernel-side body invoked inside a syscall op. */
+    std::function<void(Kernel &, Process &)> fn;
+
+    /** Channel to park on for block ops. */
+    WaitChannel *channel = nullptr;
+
+    /** @{ Constructors for each op flavour. */
+    static ServiceOp
+    makeCompute(Tick duration, std::uint64_t footprint = 0,
+                Addr base = 0)
+    {
+        ServiceOp op;
+        op.type = Type::compute;
+        op.duration = duration;
+        op.footprintBytes = footprint;
+        op.footprintBase = base;
+        return op;
+    }
+
+    static ServiceOp
+    makeSyscall(std::function<void(Kernel &, Process &)> fn = {},
+                Tick extra = 0, std::uint64_t footprint = 0)
+    {
+        ServiceOp op;
+        op.type = Type::syscall;
+        op.duration = extra;
+        op.footprintBytes = footprint;
+        op.fn = std::move(fn);
+        return op;
+    }
+
+    static ServiceOp
+    makeSleep(Tick duration)
+    {
+        ServiceOp op;
+        op.type = Type::sleep;
+        op.duration = duration;
+        return op;
+    }
+
+    static ServiceOp
+    makeBlock(WaitChannel *channel)
+    {
+        ServiceOp op;
+        op.type = Type::block;
+        op.channel = channel;
+        return op;
+    }
+
+    static ServiceOp
+    makeExit()
+    {
+        return ServiceOp{};
+    }
+    /** @} */
+};
+
+/**
+ * A service process's program: the kernel pulls ops one at a time
+ * whenever the process is runnable.
+ */
+class ServiceBehavior
+{
+  public:
+    virtual ~ServiceBehavior() = default;
+
+    /** Called once when the process first runs. */
+    virtual void onStart(Kernel &kernel, Process &self)
+    {
+        (void)kernel;
+        (void)self;
+    }
+
+    /** Produce the next operation to execute. */
+    virtual ServiceOp nextOp(Kernel &kernel, Process &self) = 0;
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_SERVICE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The simulated machine: event queue + cores + shared LLC + kernel,
+ * wired together.  This is the top-level object experiments build.
+ */
+
+#ifndef KLEBSIM_KERNEL_SYSTEM_HH
+#define KLEBSIM_KERNEL_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "hw/cache.hh"
+#include "hw/cpu_core.hh"
+#include "hw/machine_config.hh"
+#include "kernel.hh"
+#include "sim/event_queue.hh"
+
+namespace klebsim::kernel
+{
+
+/**
+ * One complete machine instance.
+ */
+class System
+{
+  public:
+    /**
+     * @param cfg machine geometry (defaults to the paper's i7-920)
+     * @param seed master seed; every stochastic stream forks from it
+     * @param costs kernel unit costs
+     */
+    explicit System(
+        hw::MachineConfig cfg = hw::MachineConfig::corei7_920(),
+        std::uint64_t seed = 1, CostModel costs = CostModel{});
+
+    sim::EventQueue &eq() { return eq_; }
+    Kernel &kernel() { return *kernel_; }
+    hw::CpuCore &core(CoreId id);
+    hw::Cache &llc() { return llc_; }
+    const hw::MachineConfig &config() const { return cfg_; }
+    Tick now() const { return eq_.curTick(); }
+
+    /** Fork an independent random stream (workload seeding). */
+    Random forkRng(std::uint64_t salt) { return rng_.fork(salt); }
+
+    /**
+     * Run the simulation until the event queue drains or @p limit
+     * is reached.
+     * @return the tick the run stopped at.
+     */
+    Tick run(Tick limit = maxTick);
+
+  private:
+    hw::MachineConfig cfg_;
+    sim::EventQueue eq_;
+    Random rng_;
+    hw::Cache llc_;
+    std::vector<std::unique_ptr<hw::CpuCore>> cores_;
+    std::unique_ptr<Kernel> kernel_;
+};
+
+} // namespace klebsim::kernel
+
+#endif // KLEBSIM_KERNEL_SYSTEM_HH

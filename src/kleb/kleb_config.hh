@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration passed from the controller process to the K-LEB
+ * kernel module through the KLEB_IOC_CONFIG ioctl (paper Fig. 2,
+ * step 1): target PID, hardware events, timer period, and buffer
+ * sizing.
+ */
+
+#ifndef KLEBSIM_KLEB_KLEB_CONFIG_HH
+#define KLEBSIM_KLEB_KLEB_CONFIG_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/perf_event.hh"
+#include "sample.hh"
+
+namespace klebsim::kleb
+{
+
+/** ioctl command numbers on /dev/kleb. */
+namespace ioc
+{
+
+constexpr std::uint32_t config = 0x4b01; //!< arg: KLebConfig*
+constexpr std::uint32_t start = 0x4b02;
+constexpr std::uint32_t stop = 0x4b03;
+constexpr std::uint32_t status = 0x4b04; //!< arg: KLebStatus*
+
+} // namespace ioc
+
+/** Module configuration. */
+struct KLebConfig
+{
+    /** Process to monitor (kprobe-based isolation). */
+    Pid targetPid = invalidPid;
+
+    /**
+     * Events to record per sample, in sample-column order.  Fixed
+     * events (instRetired / coreCycles / refCycles) map onto fixed
+     * counters; at most 4 others fit the programmable counters.
+     */
+    std::vector<hw::HwEvent> events;
+
+    /** HRTimer period (the paper recommends >= 100 us). */
+    Tick timerPeriod = usToTicks(100);
+
+    /** Kernel ring-buffer capacity, in samples. */
+    std::size_t bufferCapacity = 16384;
+
+    /** Also monitor the target's descendants (PID tracing). */
+    bool traceChildren = true;
+
+    /** Count kernel-mode occurrences too (OS filter bit). */
+    bool countKernel = false;
+};
+
+/** Snapshot returned by the status ioctl. */
+struct KLebStatus
+{
+    bool monitoring = false;    //!< between START and STOP/exit
+    bool targetAlive = false;
+    bool paused = false;        //!< safety mechanism engaged
+    std::size_t pendingSamples = 0;
+    std::uint64_t samplesRecorded = 0;
+    std::uint64_t samplesDropped = 0;
+    std::uint64_t pauseEpisodes = 0;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_KLEB_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "kleb_controller.hh"
+
+#include "base/logging.hh"
+#include "kernel/kernel.hh"
+
+namespace klebsim::kleb
+{
+
+ControllerBehavior::ControllerBehavior(
+    KLebModule *module, std::string dev_path, KLebConfig cfg,
+    std::function<void()> on_started)
+    : ControllerBehavior(module, std::move(dev_path),
+                         std::move(cfg), std::move(on_started),
+                         Tuning{})
+{
+}
+
+ControllerBehavior::ControllerBehavior(
+    KLebModule *module, std::string dev_path, KLebConfig cfg,
+    std::function<void()> on_started, Tuning tuning)
+    : module_(module), devPath_(std::move(dev_path)),
+      cfg_(std::move(cfg)), onStarted_(std::move(on_started)),
+      tuning_(tuning)
+{
+    panic_if(module_ == nullptr, "controller without module");
+}
+
+kernel::ServiceOp
+ControllerBehavior::nextOp(kernel::Kernel &kernel,
+                           kernel::Process &self)
+{
+    (void)kernel;
+    (void)self;
+    using Op = kernel::ServiceOp;
+
+    switch (state_) {
+      case State::setup:
+        state_ = State::configure;
+        return Op::makeCompute(tuning_.setupCost, 64 * 1024);
+
+      case State::configure:
+        state_ = State::start;
+        return Op::makeSyscall(
+            [this](kernel::Kernel &k, kernel::Process &me) {
+                long rc = module_->ioctl(k, me, ioc::config, &cfg_);
+                fatal_if(rc != 0, "K-LEB CONFIG ioctl failed: ", rc);
+            });
+
+      case State::start:
+        state_ = State::sleep;
+        return Op::makeSyscall(
+            [this](kernel::Kernel &k, kernel::Process &me) {
+                long rc =
+                    module_->ioctl(k, me, ioc::start, nullptr);
+                fatal_if(rc != 0, "K-LEB START ioctl failed: ", rc);
+                module_->setWakeTarget(&me);
+                if (onStarted_)
+                    onStarted_();
+            });
+
+      case State::sleep:
+        state_ = State::drain;
+        return Op::makeSleep(tuning_.drainInterval);
+
+      case State::drain:
+        state_ = State::logWrite;
+        return Op::makeSyscall(
+            [this](kernel::Kernel &k, kernel::Process &me) {
+                DrainRequest req;
+                req.out = &log_;
+                req.max = tuning_.batchMax;
+                std::size_t before = log_.size();
+                long rc = module_->read(k, me, &req, sizeof(req));
+                fatal_if(rc < 0, "K-LEB read failed: ", rc);
+                lastDrained_ = log_.size() - before;
+                moduleFinished_ = req.finished;
+                ++drains_;
+            });
+
+      case State::logWrite:
+        if (lastDrained_ == 0 && moduleFinished_) {
+            state_ = State::finalStatus;
+            return Op::makeSyscall(
+                [this](kernel::Kernel &k, kernel::Process &me) {
+                    KLebStatus st;
+                    long rc = module_->ioctl(k, me, ioc::status,
+                                             &st);
+                    fatal_if(rc != 0, "K-LEB STATUS failed: ", rc);
+                });
+        }
+        state_ = State::sleep;
+        if (lastDrained_ == 0)
+            return Op::makeCompute(usToTicks(2), 4096);
+        return Op::makeCompute(
+            tuning_.logBase +
+                tuning_.logPerSample *
+                    static_cast<Tick>(lastDrained_),
+            tuning_.logFootprint);
+
+      case State::finalStatus:
+        state_ = State::done;
+        finished_ = true;
+        return Op::makeExit();
+
+      case State::done:
+        break;
+    }
+    panic("controller behavior ran past exit");
+}
+
+} // namespace klebsim::kleb

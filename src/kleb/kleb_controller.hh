@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The K-LEB user-space controller process (paper Fig. 1).
+ *
+ * Responsibilities: configure the module through ioctl, issue the
+ * start command, then periodically wake up, drain the kernel sample
+ * buffer with read() syscalls, and log the samples (the paper keeps
+ * file I/O in user space because kernel code should not write
+ * files).  The module wakes it early when the buffer-full safety
+ * mechanism engages and when monitoring finishes.
+ */
+
+#ifndef KLEBSIM_KLEB_KLEB_CONTROLLER_HH
+#define KLEBSIM_KLEB_KLEB_CONTROLLER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "kernel/service.hh"
+#include "kleb_config.hh"
+#include "kleb_module.hh"
+
+namespace klebsim::kleb
+{
+
+/**
+ * Scripted behaviour of the controller process.
+ */
+class ControllerBehavior : public kernel::ServiceBehavior
+{
+  public:
+    /** Calibrated costs of the controller's user-space work. */
+    struct Tuning
+    {
+        /** Interval between drain wake-ups. */
+        Tick drainInterval = msToTicks(10);
+
+        /** Arg parsing / device open before CONFIG. */
+        Tick setupCost = usToTicks(420);
+
+        /** Fixed log-write cost per drain (fopen/fflush/VFS). */
+        Tick logBase = usToTicks(57);
+
+        /** Marginal formatting cost per sample logged. */
+        Tick logPerSample = usToTicks(1.5);
+
+        /** Controller working-set footprint. */
+        std::uint64_t logFootprint = 8 * 1024;
+
+        /** Max samples pulled per read(). */
+        std::size_t batchMax = 8192;
+    };
+
+    /**
+     * @param module the loaded K-LEB module
+     * @param dev_path the module's device path
+     * @param cfg configuration to send
+     * @param on_started called right after the START ioctl succeeds
+     *        (the harness uses it to launch the monitored process)
+     */
+    ControllerBehavior(KLebModule *module, std::string dev_path,
+                       KLebConfig cfg,
+                       std::function<void()> on_started);
+    ControllerBehavior(KLebModule *module, std::string dev_path,
+                       KLebConfig cfg,
+                       std::function<void()> on_started,
+                       Tuning tuning);
+
+    kernel::ServiceOp nextOp(kernel::Kernel &kernel,
+                             kernel::Process &self) override;
+
+    /** Samples logged so far (the "log file" contents). */
+    const std::vector<Sample> &log() const { return log_; }
+
+    /** True once the controller has exited its main loop. */
+    bool finished() const { return finished_; }
+
+    /** Number of drain cycles performed. */
+    std::uint64_t drains() const { return drains_; }
+
+  private:
+    enum class State
+    {
+        setup,
+        configure,
+        start,
+        sleep,
+        drain,
+        logWrite,
+        finalStatus,
+        done,
+    };
+
+    KLebModule *module_;
+    std::string devPath_;
+    KLebConfig cfg_;
+    std::function<void()> onStarted_;
+    Tuning tuning_;
+
+    State state_ = State::setup;
+    std::vector<Sample> log_;
+    std::size_t lastDrained_ = 0;
+    bool moduleFinished_ = false;
+    bool finished_ = false;
+    std::uint64_t drains_ = 0;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_KLEB_CONTROLLER_HH

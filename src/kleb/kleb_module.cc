@@ -1,0 +1,330 @@
+#include "kleb_module.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "hw/pmu.hh"
+
+namespace klebsim::kleb
+{
+
+KLebModule::KLebModule() : tuning_()
+{
+}
+
+KLebModule::KLebModule(Tuning tuning) : tuning_(tuning)
+{
+}
+
+KLebModule::~KLebModule() = default;
+
+void
+KLebModule::init(kernel::Kernel &kernel)
+{
+    kernel_ = &kernel;
+    switchHookId_ = kernel.registerSwitchHook(
+        [this](kernel::Process *prev, kernel::Process *next,
+               CoreId core) { onSwitch(prev, next, core); });
+    exitHookId_ = kernel.registerExitHook(
+        [this](kernel::Process &proc) { onProcessExit(proc); });
+}
+
+void
+KLebModule::exitModule(kernel::Kernel &kernel)
+{
+    if (monitoring_)
+        stopMonitoring(SampleCause::final);
+    if (timer_)
+        timer_->cancel();
+    kernel.unregisterSwitchHook(switchHookId_);
+    kernel.unregisterExitHook(exitHookId_);
+}
+
+bool
+KLebModule::isMonitored(const kernel::Process *proc)
+{
+    if (proc == nullptr || cfg_.targetPid == invalidPid)
+        return false;
+    if (proc->pid() == cfg_.targetPid)
+        return true;
+    return cfg_.traceChildren &&
+           kernel_->isDescendantOf(proc->pid(), cfg_.targetPid);
+}
+
+void
+KLebModule::programPmu()
+{
+    hw::Pmu &pmu = kernel_->core(targetCore_).pmu();
+    counterMap_.clear();
+
+    int next_pmc = 0;
+    for (hw::HwEvent ev : cfg_.events) {
+        CounterRef ref;
+        if (ev == hw::HwEvent::instRetired) {
+            ref.fixed = true;
+            ref.idx = 0;
+        } else if (ev == hw::HwEvent::coreCycles) {
+            ref.fixed = true;
+            ref.idx = 1;
+        } else if (ev == hw::HwEvent::refCycles) {
+            ref.fixed = true;
+            ref.idx = 2;
+        } else {
+            fatal_if(next_pmc >= hw::Pmu::numProgrammable,
+                     "k_leb: more than ",
+                     hw::Pmu::numProgrammable,
+                     " programmable events requested");
+            ref.fixed = false;
+            ref.idx = next_pmc;
+            pmu.programCounter(next_pmc, ev, true,
+                               cfg_.countKernel);
+            ++next_pmc;
+        }
+        counterMap_.push_back(ref);
+    }
+    for (int i = next_pmc; i < hw::Pmu::numProgrammable; ++i)
+        pmu.clearCounter(i);
+    for (int i = 0; i < hw::Pmu::numFixed; ++i)
+        pmu.programFixed(i, true, cfg_.countKernel);
+    pmu.globalDisable();
+}
+
+long
+KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
+                  std::uint32_t cmd, void *arg)
+{
+    switch (cmd) {
+      case ioc::config: {
+        if (monitoring_)
+            return -16; // EBUSY
+        auto *cfg = static_cast<KLebConfig *>(arg);
+        if (cfg == nullptr || cfg->events.empty() ||
+            cfg->events.size() > maxSampleEvents ||
+            cfg->timerPeriod == 0 || cfg->bufferCapacity == 0)
+            return -22; // EINVAL
+        kernel.chargeKernelWork(caller.affinity(),
+                                tuning_.configCost, 8192);
+        cfg_ = *cfg;
+        buf_ = std::make_unique<RingBuffer<Sample>>(
+            cfg_.bufferCapacity);
+        configured_ = true;
+        return 0;
+      }
+      case ioc::start: {
+        if (!configured_ || monitoring_)
+            return -22;
+        kernel::Process *target =
+            kernel.findProcess(cfg_.targetPid);
+        targetCore_ = target ? target->affinity() : caller.affinity();
+        programPmu();
+        monitoring_ = true;
+        paused_ = false;
+        counting_ = false;
+        timerStarted_ = false;
+        targetAlive_ = true;
+        samplesRecorded_ = 0;
+        samplesDropped_ = 0;
+        pauseEpisodes_ = 0;
+        timer_ = kernel.createHrTimer(
+            "kleb-hrtimer", targetCore_, [this] { onTimer(); },
+            tuning_.handlerCost, tuning_.handlerFootprint);
+        // Starting on a process that is already gone finalizes
+        // immediately: there is nothing to trace.
+        if (target == nullptr ||
+            target->state() == kernel::ProcState::zombie) {
+            targetAlive_ = false;
+            stopMonitoring(SampleCause::final);
+            return 0;
+        }
+        // If the target is already on-core, begin immediately
+        // (settling lazy attribution so pre-START execution never
+        // reaches the counters).
+        kernel::Process *running = kernel.running(targetCore_);
+        if (running && isMonitored(running)) {
+            kernel.core(targetCore_).syncTo(kernel.now());
+            counting_ = true;
+            kernel.core(targetCore_).pmu().globalEnableAll();
+            startOrResumeTimer();
+        }
+        return 0;
+      }
+      case ioc::stop: {
+        if (!monitoring_)
+            return -22;
+        stopMonitoring(SampleCause::final);
+        return 0;
+      }
+      case ioc::status: {
+        auto *st = static_cast<KLebStatus *>(arg);
+        if (st == nullptr)
+            return -22;
+        *st = status();
+        return 0;
+      }
+      default:
+        return -25; // ENOTTY
+    }
+}
+
+long
+KLebModule::read(kernel::Kernel &kernel, kernel::Process &caller,
+                 void *buf, std::size_t len)
+{
+    (void)len;
+    auto *req = static_cast<DrainRequest *>(buf);
+    if (req == nullptr || req->out == nullptr)
+        return -22;
+    if (!buf_) {
+        req->finished = !monitoring_;
+        return 0;
+    }
+
+    std::vector<Sample> drained = buf_->drain(req->max);
+    if (!drained.empty()) {
+        kernel.chargeKernelWork(
+            caller.affinity(),
+            tuning_.readPerSample *
+                static_cast<Tick>(drained.size()),
+            drained.size() * sizeof(Sample));
+    }
+    for (const Sample &s : drained)
+        req->out->push_back(s);
+
+    // Safety mechanism, resume half: once the controller has freed
+    // enough space, collection continues automatically.
+    if (paused_ &&
+        buf_->size() <= buf_->capacity() / tuning_.resumeDivisor) {
+        paused_ = false;
+        if (monitoring_ && counting_)
+            startOrResumeTimer();
+    }
+
+    req->finished = !monitoring_ && buf_->empty();
+    return static_cast<long>(drained.size());
+}
+
+void
+KLebModule::recordSample(SampleCause cause)
+{
+    hw::Pmu &pmu = kernel_->core(targetCore_).pmu();
+    Sample s;
+    s.timestamp = kernel_->now();
+    s.cause = cause;
+    s.numEvents = static_cast<std::uint8_t>(counterMap_.size());
+    for (std::size_t i = 0; i < counterMap_.size(); ++i) {
+        const CounterRef &ref = counterMap_[i];
+        s.counts[i] = ref.fixed ? pmu.fixedValue(ref.idx)
+                                : pmu.counterValue(ref.idx);
+    }
+
+    if (!buf_->push(s)) {
+        ++samplesDropped_;
+        return;
+    }
+    ++samplesRecorded_;
+
+    if (buf_->full() && cause != SampleCause::final) {
+        paused_ = true;
+        ++pauseEpisodes_;
+        timer_->cancel();
+        wakeController();
+    }
+}
+
+void
+KLebModule::startOrResumeTimer()
+{
+    // Keep one stable sampling grid for the whole session: the
+    // first start anchors it; later switch-ins re-join it
+    // (hrtimer_forward), so a co-scheduled controller can never
+    // starve the timer by perpetually re-phasing it.
+    if (timerStarted_) {
+        timer_->resume();
+    } else {
+        timer_->startPeriodic(cfg_.timerPeriod);
+        timerStarted_ = true;
+    }
+}
+
+void
+KLebModule::onTimer()
+{
+    if (!monitoring_ || paused_ || !counting_)
+        return;
+    recordSample(SampleCause::timer);
+}
+
+void
+KLebModule::onSwitch(kernel::Process *prev, kernel::Process *next,
+                     CoreId core)
+{
+    if (!monitoring_ || core != targetCore_)
+        return;
+    bool prev_mon = isMonitored(prev);
+    bool next_mon = isMonitored(next);
+    if (prev_mon == next_mon)
+        return;
+
+    hw::Pmu &pmu = kernel_->core(targetCore_).pmu();
+    if (prev_mon) {
+        // Target scheduled out: freeze counters and stop the timer
+        // so other processes never leak into the measurements.
+        pmu.globalDisable();
+        counting_ = false;
+        if (timer_->active())
+            timer_->cancel();
+    } else {
+        pmu.globalEnableAll();
+        counting_ = true;
+        if (!paused_)
+            startOrResumeTimer();
+    }
+}
+
+void
+KLebModule::onProcessExit(kernel::Process &proc)
+{
+    if (!monitoring_)
+        return;
+    if (proc.pid() == cfg_.targetPid) {
+        targetAlive_ = false;
+        stopMonitoring(SampleCause::final);
+    }
+}
+
+void
+KLebModule::stopMonitoring(SampleCause cause)
+{
+    if (!monitoring_)
+        return;
+    recordSample(cause);
+    monitoring_ = false;
+    counting_ = false;
+    kernel_->core(targetCore_).pmu().globalDisable();
+    if (timer_)
+        timer_->cancel();
+    wakeController();
+}
+
+void
+KLebModule::wakeController()
+{
+    if (wakeTarget_)
+        kernel_->wake(wakeTarget_);
+}
+
+KLebStatus
+KLebModule::status() const
+{
+    KLebStatus st;
+    st.monitoring = monitoring_;
+    st.targetAlive = targetAlive_;
+    st.paused = paused_;
+    st.pendingSamples = buf_ ? buf_->size() : 0;
+    st.samplesRecorded = samplesRecorded_;
+    st.samplesDropped = samplesDropped_;
+    st.pauseEpisodes = pauseEpisodes_;
+    return st;
+}
+
+} // namespace klebsim::kleb

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The K-LEB kernel module (the paper's core contribution).
+ *
+ * Responsibilities, mirroring paper section III / Fig. 2:
+ *  (1) ioctl CONFIG/START receives the target PID, event list and
+ *      timer period from the controller and programs the PMU;
+ *  (2) a kprobe on the scheduler's context-switch tracepoint
+ *      isolates the target: counters run (and the HRTimer ticks)
+ *      only while the target or one of its descendants is on-core;
+ *  (3) the HRTimer interrupt handler snapshots the counters into a
+ *      ring buffer in kernel memory;
+ *  (4) the safety mechanism pauses collection when the buffer
+ *      fills, resuming automatically once the controller drains it;
+ *  (5) on STOP or target exit, a final exact snapshot is recorded
+ *      and the remaining samples are handed to user space.
+ */
+
+#ifndef KLEBSIM_KLEB_KLEB_MODULE_HH
+#define KLEBSIM_KLEB_KLEB_MODULE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "base/ring_buffer.hh"
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+#include "kleb_config.hh"
+#include "sample.hh"
+
+namespace klebsim::kleb
+{
+
+/**
+ * Request structure for read() on /dev/kleb: the controller passes
+ * a destination vector; the module fills it and reports whether
+ * monitoring has finished.
+ */
+struct DrainRequest
+{
+    std::vector<Sample> *out = nullptr;
+    std::size_t max = 0;    //!< 0 = drain everything
+    bool finished = false;  //!< set by the module
+};
+
+/**
+ * The module.
+ */
+class KLebModule : public kernel::KernelModule
+{
+  public:
+    /** Calibrated micro-costs of the module's own code paths. */
+    struct Tuning
+    {
+        /** HRTimer handler body (counter reads + buffer store). */
+        Tick handlerCost = nsToTicks(900);
+
+        /** Handler cache footprint. */
+        std::uint64_t handlerFootprint = 512;
+
+        /** Kernel-side cost per sample copied to user space. */
+        Tick readPerSample = nsToTicks(60);
+
+        /** CONFIG ioctl parse/allocate cost. */
+        Tick configCost = usToTicks(120);
+
+        /** Resume threshold: continue once fill <= capacity/N. */
+        std::size_t resumeDivisor = 2;
+    };
+
+    KLebModule();
+    explicit KLebModule(Tuning tuning);
+    ~KLebModule() override;
+
+    /** @{ KernelModule interface. */
+    std::string name() const override { return "k_leb"; }
+    void init(kernel::Kernel &kernel) override;
+    void exitModule(kernel::Kernel &kernel) override;
+    long ioctl(kernel::Kernel &kernel, kernel::Process &caller,
+               std::uint32_t cmd, void *arg) override;
+    long read(kernel::Kernel &kernel, kernel::Process &caller,
+              void *buf, std::size_t len) override;
+    /** @} */
+
+    /** Process the module should wake on pause/finish. */
+    void setWakeTarget(kernel::Process *proc) { wakeTarget_ = proc; }
+
+    /** Live status (same data as the STATUS ioctl). */
+    KLebStatus status() const;
+
+    /** The module's HRTimer (null before START); test access. */
+    kernel::HrTimer *timer() { return timer_; }
+
+    const KLebConfig &config() const { return cfg_; }
+
+    /** True while the target (tree) is on-core and counting. */
+    bool counting() const { return counting_; }
+
+  private:
+    bool isMonitored(const kernel::Process *proc);
+    void onSwitch(kernel::Process *prev, kernel::Process *next,
+                  CoreId core);
+    void onProcessExit(kernel::Process &proc);
+    void onTimer();
+    void startOrResumeTimer();
+    void recordSample(SampleCause cause);
+    void programPmu();
+    void stopMonitoring(SampleCause cause);
+    void wakeController();
+
+    Tuning tuning_;
+    kernel::Kernel *kernel_ = nullptr;
+    KLebConfig cfg_;
+
+    /** (isFixed, counterIdx) per configured event. */
+    struct CounterRef
+    {
+        bool fixed = false;
+        int idx = 0;
+    };
+    std::vector<CounterRef> counterMap_;
+
+    std::unique_ptr<RingBuffer<Sample>> buf_;
+    kernel::HrTimer *timer_ = nullptr;
+    bool timerStarted_ = false;
+    kernel::Process *wakeTarget_ = nullptr;
+
+    int switchHookId_ = -1;
+    int exitHookId_ = -1;
+
+    bool configured_ = false;
+    bool monitoring_ = false;
+    bool counting_ = false;
+    bool paused_ = false;
+    bool targetAlive_ = false;
+    CoreId targetCore_ = invalidCore;
+
+    std::uint64_t samplesRecorded_ = 0;
+    std::uint64_t samplesDropped_ = 0;
+    std::uint64_t pauseEpisodes_ = 0;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_KLEB_MODULE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The K-LEB sample record: one timestamped snapshot of every
+ * configured counter, as stored in the module's kernel ring buffer
+ * and drained to user space by the controller.
+ */
+
+#ifndef KLEBSIM_KLEB_SAMPLE_HH
+#define KLEBSIM_KLEB_SAMPLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace klebsim::kleb
+{
+
+/** Maximum counters per sample: 4 programmable + 3 fixed. */
+constexpr std::size_t maxSampleEvents = 7;
+
+/** Why a sample was recorded. */
+enum class SampleCause : std::uint8_t
+{
+    timer,      //!< periodic HRTimer expiry
+    switchOut,  //!< monitored process scheduled out
+    final,      //!< monitoring stop / process exit
+};
+
+/**
+ * One counter snapshot.  Values are cumulative counter readings;
+ * per-interval deltas are computed in user space.
+ */
+struct Sample
+{
+    Tick timestamp = 0;
+    SampleCause cause = SampleCause::timer;
+    std::uint8_t numEvents = 0;
+    std::array<std::uint64_t, maxSampleEvents> counts{};
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_SAMPLE_HH

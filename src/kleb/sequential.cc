@@ -1,0 +1,54 @@
+#include "sequential.hh"
+
+#include "base/logging.hh"
+#include "kernel/system.hh"
+
+namespace klebsim::kleb
+{
+
+SequentialProfiler::Result
+SequentialProfiler::profile(
+    const std::function<std::unique_ptr<hw::WorkSource>(
+        Addr, Random)> &factory,
+    const Options &options)
+{
+    fatal_if(options.eventSets.empty(),
+             "sequential profiling needs at least one event set");
+    constexpr Addr base = 0x100000000ULL;
+
+    Result result;
+    for (const auto &events : options.eventSets) {
+        kernel::System sys(options.machine, options.seed,
+                           options.costs);
+        // Identical seeding per run: deterministic replay is what
+        // makes sequential profiling exact.
+        Random wl_rng = sys.forkRng(0x5e9 + options.seed);
+        std::unique_ptr<hw::WorkSource> workload =
+            factory(base, wl_rng);
+        kernel::Process *target = sys.kernel().createWorkload(
+            "target", workload.get(), options.core);
+
+        Session::Options sopts;
+        sopts.events = events;
+        sopts.period = options.period;
+        Session session(sys, sopts);
+        session.monitor(target);
+        sys.run();
+
+        fatal_if(target->state() != kernel::ProcState::zombie,
+                 "sequential profiling run did not finish");
+
+        hw::EventVector totals = session.finalTotals();
+        RunInfo info;
+        info.events = events;
+        info.lifetime = target->lifetime();
+        info.samples = session.samples().size();
+        result.runs.push_back(info);
+        result.totalTime += sys.now();
+        for (hw::HwEvent ev : events)
+            result.totals[ev] = at(totals, ev);
+    }
+    return result;
+}
+
+} // namespace klebsim::kleb

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sequential-run profiling (paper section VI).
+ *
+ * When more events are wanted than the PMU has counters, the
+ * offline alternative to multiplexing is sequential runs: "one run
+ * measures events A, B, C and D while the next measures events W,
+ * X, Y and Z".  SequentialProfiler runs the same workload once per
+ * event set under K-LEB and merges the totals.  On a deterministic
+ * program (same seed) the merge is exact — the contrast with
+ * multiplexing's estimation error is measured in
+ * bench/abl_multiplexing and tests/kleb/test_sequential.cc.  The
+ * paper notes this "proves difficult when trying to perform online
+ * or runtime analysis": each extra event set costs a full re-run.
+ */
+
+#ifndef KLEBSIM_KLEB_SEQUENTIAL_HH
+#define KLEBSIM_KLEB_SEQUENTIAL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/exec_types.hh"
+#include "hw/machine_config.hh"
+#include "kernel/cost_model.hh"
+#include "session.hh"
+
+namespace klebsim::kleb
+{
+
+/**
+ * Multi-run profiler merging per-set K-LEB totals.
+ */
+class SequentialProfiler
+{
+  public:
+    struct Options
+    {
+        /** Event sets, one monitored run per entry. */
+        std::vector<std::vector<hw::HwEvent>> eventSets;
+
+        Tick period = usToTicks(100);
+        std::uint64_t seed = 1;
+        hw::MachineConfig machine =
+            hw::MachineConfig::corei7_920();
+        kernel::CostModel costs{};
+        CoreId core = 0;
+    };
+
+    /** Per-run bookkeeping. */
+    struct RunInfo
+    {
+        std::vector<hw::HwEvent> events;
+        Tick lifetime = 0;
+        std::size_t samples = 0;
+    };
+
+    struct Result
+    {
+        /** Merged totals across all sets (exact per set). */
+        std::map<hw::HwEvent, std::uint64_t> totals;
+
+        std::vector<RunInfo> runs;
+
+        /** Total profiling wall time (the cost of this approach). */
+        Tick totalTime = 0;
+
+        std::uint64_t
+        total(hw::HwEvent ev) const
+        {
+            auto it = totals.find(ev);
+            return it == totals.end() ? 0 : it->second;
+        }
+    };
+
+    /**
+     * Run @p factory's workload once per event set and merge.
+     * The factory is invoked with the same base address and an
+     * identically seeded Random each run, so the program replays
+     * bit-for-bit and per-set totals compose exactly.
+     */
+    static Result
+    profile(const std::function<std::unique_ptr<hw::WorkSource>(
+                Addr, Random)> &factory,
+            const Options &options);
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_SEQUENTIAL_HH

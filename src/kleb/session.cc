@@ -1,0 +1,131 @@
+#include "session.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace klebsim::kleb
+{
+
+namespace
+{
+
+int sessionCounter = 0;
+
+} // anonymous namespace
+
+Session::Session(kernel::System &sys, Options options)
+    : sys_(sys), options_(std::move(options))
+{
+    devPath_ = csprintf("/dev/kleb%d", sessionCounter++);
+    auto module = std::make_unique<KLebModule>(
+        options_.moduleTuning);
+    module_ = module.get();
+    sys_.kernel().loadModule(std::move(module), devPath_);
+}
+
+Session::~Session() = default;
+
+void
+Session::monitor(kernel::Process *target, bool start_target)
+{
+    panic_if(target == nullptr, "Session::monitor(null)");
+    panic_if(controller_ != nullptr, "session already monitoring");
+    target_ = target;
+
+    KLebConfig cfg;
+    cfg.targetPid = target->pid();
+    cfg.events = options_.events;
+    cfg.timerPeriod = options_.period;
+    cfg.bufferCapacity = options_.bufferCapacity;
+    cfg.traceChildren = options_.traceChildren;
+    cfg.countKernel = options_.countKernel;
+
+    auto on_started = [this, target, start_target] {
+        if (options_.idealTimer && module_->timer()) {
+            module_->timer()->setJitterModel(
+                hw::TimerJitterModel::ideal());
+        }
+        if (start_target)
+            sys_.kernel().startProcess(target);
+    };
+
+    // The ideal-timer override must also apply to a timer created
+    // after START; install via the behavior's start hook above and
+    // again below in case of re-arm.
+    behavior_ = std::make_unique<ControllerBehavior>(
+        module_, devPath_, cfg, on_started,
+        options_.controllerTuning);
+
+    CoreId core = options_.controllerCore != invalidCore
+                      ? options_.controllerCore
+                      : target->affinity();
+    controller_ = sys_.kernel().createService(
+        "kleb-controller", behavior_.get(), core);
+    sys_.kernel().startProcess(controller_);
+}
+
+bool
+Session::finished() const
+{
+    return behavior_ && behavior_->finished();
+}
+
+const std::vector<Sample> &
+Session::samples() const
+{
+    static const std::vector<Sample> empty;
+    return behavior_ ? behavior_->log() : empty;
+}
+
+stats::TimeSeries
+Session::series() const
+{
+    std::vector<std::string> names;
+    for (hw::HwEvent ev : options_.events)
+        names.emplace_back(hw::eventName(ev));
+    stats::TimeSeries ts(names);
+    for (const Sample &s : samples()) {
+        std::vector<double> row;
+        row.reserve(names.size());
+        for (std::size_t i = 0; i < names.size(); ++i)
+            row.push_back(static_cast<double>(s.counts[i]));
+        ts.append(s.timestamp, row);
+    }
+    return ts;
+}
+
+stats::TimeSeries
+Session::deltaSeries() const
+{
+    stats::TimeSeries cumulative = series();
+    std::vector<std::string> names = cumulative.channelNames();
+    stats::TimeSeries deltas(names);
+
+    std::vector<std::vector<double>> cols;
+    cols.reserve(names.size());
+    for (std::size_t c = 0; c < names.size(); ++c)
+        cols.push_back(cumulative.channelDeltas(c));
+    for (std::size_t r = 0; r < cumulative.size(); ++r) {
+        std::vector<double> row;
+        row.reserve(names.size());
+        for (std::size_t c = 0; c < names.size(); ++c)
+            row.push_back(cols[c][r]);
+        deltas.append(cumulative.timeAt(r), row);
+    }
+    return deltas;
+}
+
+hw::EventVector
+Session::finalTotals() const
+{
+    hw::EventVector totals = hw::zeroEvents();
+    const auto &log = samples();
+    if (log.empty())
+        return totals;
+    const Sample &last = log.back();
+    for (std::size_t i = 0; i < options_.events.size(); ++i)
+        at(totals, options_.events[i]) = last.counts[i];
+    return totals;
+}
+
+} // namespace klebsim::kleb

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The K-LEB public API: one object that loads the module, spawns
+ * the controller process, arms monitoring on a target process, and
+ * hands results back as time series.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   kernel::System sys;
+ *   auto workload = workload::makeMatMulLoop({500}, 0x10000000, rng);
+ *   auto *proc = sys.kernel().createWorkload("mm", workload.get());
+ *   kleb::Session session(sys, options);
+ *   session.monitor(proc);     // starts proc under monitoring
+ *   sys.run();
+ *   auto series = session.deltaSeries();
+ */
+
+#ifndef KLEBSIM_KLEB_SESSION_HH
+#define KLEBSIM_KLEB_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/system.hh"
+#include "kleb_config.hh"
+#include "kleb_controller.hh"
+#include "kleb_module.hh"
+#include "stats/time_series.hh"
+
+namespace klebsim::kleb
+{
+
+/**
+ * One monitoring session.
+ */
+class Session
+{
+  public:
+    struct Options
+    {
+        /** Events recorded per sample (<= 3 fixed + 4 programmable). */
+        std::vector<hw::HwEvent> events = {
+            hw::HwEvent::instRetired, hw::HwEvent::llcReference,
+            hw::HwEvent::llcMiss, hw::HwEvent::branchRetired};
+
+        /** Sampling period (paper recommends >= 100 us). */
+        Tick period = usToTicks(100);
+
+        std::size_t bufferCapacity = 16384;
+        bool traceChildren = true;
+        bool countKernel = false;
+
+        /** Controller core (-1 = same core as the target). */
+        CoreId controllerCore = invalidCore;
+
+        KLebModule::Tuning moduleTuning{};
+        ControllerBehavior::Tuning controllerTuning{};
+
+        /** Disable timer jitter (unit tests). */
+        bool idealTimer = false;
+    };
+
+    Session(kernel::System &sys, Options options);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Arm monitoring on @p target (which must be in `created`
+     * state when @p start_target is true).  Loads the module,
+     * starts the controller; once the controller's START ioctl
+     * lands, @p target is started so that its very first
+     * instruction is monitored.
+     */
+    void monitor(kernel::Process *target, bool start_target = true);
+
+    /** True once the controller has drained everything and exited. */
+    bool finished() const;
+
+    /** All samples the controller logged. */
+    const std::vector<Sample> &samples() const;
+
+    /** Cumulative counter time series (one channel per event). */
+    stats::TimeSeries series() const;
+
+    /** Per-interval delta series. */
+    stats::TimeSeries deltaSeries() const;
+
+    /**
+     * Final (exact) counter totals as an EventVector; taken from
+     * the module's end-of-monitoring snapshot.
+     */
+    hw::EventVector finalTotals() const;
+
+    /** Module status snapshot. */
+    KLebStatus status() const { return module_->status(); }
+
+    KLebModule *module() { return module_; }
+    kernel::Process *controllerProcess() { return controller_; }
+    kernel::Process *target() { return target_; }
+
+  private:
+    kernel::System &sys_;
+    Options options_;
+    std::string devPath_;
+    KLebModule *module_ = nullptr;
+    std::unique_ptr<ControllerBehavior> behavior_;
+    kernel::Process *controller_ = nullptr;
+    kernel::Process *target_ = nullptr;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_SESSION_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Clock-domain arithmetic: converting between CPU cycles and global
+ * Ticks for a given core frequency.
+ */
+
+#ifndef KLEBSIM_SIM_CLOCK_DOMAIN_HH
+#define KLEBSIM_SIM_CLOCK_DOMAIN_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace klebsim::sim
+{
+
+/**
+ * A fixed-frequency clock domain.  The i7-920 model runs at
+ * 2.67 GHz; the reference (TSC) clock is a separate domain.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct from a frequency in Hz. */
+    explicit ClockDomain(double freq_hz)
+        : freqHz_(freq_hz),
+          period_(static_cast<Tick>(
+              static_cast<double>(tickPerSec) / freq_hz + 0.5))
+    {
+        fatal_if(freq_hz <= 0.0, "clock frequency must be positive");
+        fatal_if(period_ == 0, "clock frequency above tick rate");
+    }
+
+    double freqHz() const { return freqHz_; }
+
+    /** Clock period in Ticks (rounded to nearest). */
+    Tick period() const { return period_; }
+
+    /** Convert a cycle count into a tick duration. */
+    Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return static_cast<Tick>(c) * period_;
+    }
+
+    /** Convert a tick duration into whole elapsed cycles (floor). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return static_cast<Cycles>(t / period_);
+    }
+
+    /** Cycles needed to cover @p t ticks (ceiling). */
+    Cycles
+    ticksToCyclesCeil(Tick t) const
+    {
+        return static_cast<Cycles>((t + period_ - 1) / period_);
+    }
+
+  private:
+    double freqHz_;
+    Tick period_;
+};
+
+} // namespace klebsim::sim
+
+#endif // KLEBSIM_SIM_CLOCK_DOMAIN_HH

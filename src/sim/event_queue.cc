@@ -1,0 +1,151 @@
+#include "event_queue.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::sim
+{
+
+Event::Event(int priority) : priority_(priority)
+{
+}
+
+Event::~Event()
+{
+    panic_if(scheduled(),
+             "event '", name(), "' destroyed while scheduled");
+}
+
+EventFunctionWrapper::EventFunctionWrapper(std::function<void()> fn,
+                                           std::string name,
+                                           int priority)
+    : Event(priority), fn_(std::move(fn)), name_(std::move(name))
+{
+}
+
+void
+EventFunctionWrapper::process()
+{
+    fn_();
+}
+
+EventQueue::EventQueue() : curTick_(0), nextSeq_(0), processed_(0)
+{
+}
+
+EventQueue::~EventQueue()
+{
+    // Drop any still-scheduled events so their destructors don't
+    // panic; delete the ones we own.
+    for (Event *ev : events_) {
+        ev->queue_ = nullptr;
+        if (ev->autoDelete())
+            delete ev;
+    }
+    events_.clear();
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    panic_if(ev == nullptr, "schedule of null event");
+    panic_if(ev->scheduled(),
+             "event '", ev->name(), "' already scheduled");
+    panic_if(when < curTick_, "event '", ev->name(),
+             "' scheduled in the past (", when, " < ", curTick_, ")");
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->queue_ = this;
+    events_.insert(ev);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    panic_if(ev == nullptr, "deschedule of null event");
+    panic_if(ev->queue_ != this,
+             "event '", ev->name(), "' not scheduled on this queue");
+    auto erased = events_.erase(ev);
+    panic_if(erased != 1, "scheduled event missing from queue set");
+    ev->queue_ = nullptr;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Event *
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           int priority, std::string name)
+{
+    auto *ev = new EventFunctionWrapper(std::move(fn),
+                                        std::move(name), priority);
+    ev->setAutoDelete(true);
+    schedule(ev, when);
+    return ev;
+}
+
+void
+EventQueue::cancelLambda(Event *ev)
+{
+    panic_if(!ev->autoDelete(),
+             "cancelLambda on a caller-owned event");
+    deschedule(ev);
+    delete ev;
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (events_.empty())
+        return maxTick;
+    return (*events_.begin())->when_;
+}
+
+void
+EventQueue::dispatch(Event *ev)
+{
+    events_.erase(events_.begin());
+    ev->queue_ = nullptr;
+    curTick_ = ev->when_;
+    ++processed_;
+    ev->process();
+    if (ev->autoDelete() && !ev->scheduled())
+        delete ev;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    dispatch(*events_.begin());
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && (*events_.begin())->when_ <= limit) {
+        dispatch(*events_.begin());
+        ++n;
+    }
+    if (curTick_ < limit)
+        curTick_ = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (runOne())
+        ++n;
+    return n;
+}
+
+} // namespace klebsim::sim

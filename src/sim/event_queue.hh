@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Deterministic discrete-event queue — the heartbeat of the
+ * simulated machine.
+ *
+ * Modeled on gem5's EventQueue: events are scheduled at absolute
+ * Ticks; same-tick events are ordered by priority, then by schedule
+ * order (FIFO), so simulation runs are fully deterministic.
+ */
+
+#ifndef KLEBSIM_SIM_EVENT_QUEUE_HH
+#define KLEBSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "base/types.hh"
+
+namespace klebsim::sim
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events.  Derive and implement
+ * process(); or use EventFunctionWrapper for lambda-backed events.
+ *
+ * An Event object may be scheduled on at most one queue at a time.
+ * The queue never takes ownership except via scheduleLambda().
+ */
+class Event
+{
+  public:
+    /**
+     * Same-tick ordering classes (lower value runs first).  The
+     * default leaves headroom both ways for device-specific needs.
+     */
+    enum Priority : int
+    {
+        timerPriority = -20,     //!< hardware timer expiry
+        interruptPriority = -10, //!< interrupt delivery
+        defaultPriority = 0,
+        schedulerPriority = 10,  //!< OS scheduler decisions
+        statsPriority = 20,      //!< bookkeeping after state settles
+    };
+
+    explicit Event(int priority = defaultPriority);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called when the event's scheduled tick is reached. */
+    virtual void process() = 0;
+
+    /** Descriptive name for debugging. */
+    virtual std::string name() const { return "event"; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return queue_ != nullptr; }
+
+    /** Tick the event will fire at (valid only while scheduled). */
+    Tick when() const { return when_; }
+
+    int priority() const { return priority_; }
+
+    /**
+     * If true, the queue deletes the event after process() returns
+     * (used by scheduleLambda's heap-allocated wrappers).
+     */
+    bool autoDelete() const { return autoDelete_; }
+
+  protected:
+    void setAutoDelete(bool v) { autoDelete_ = v; }
+
+  private:
+    friend class EventQueue;
+
+    int priority_;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    EventQueue *queue_ = nullptr;
+    bool autoDelete_ = false;
+};
+
+/** Event that invokes a stored callable. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> fn,
+                         std::string name = "lambda-event",
+                         int priority = defaultPriority);
+
+    void process() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/**
+ * The global-ordering event queue.  Single-threaded by design; the
+ * simulated machine owns exactly one.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove @p ev from the queue; it must be scheduled here. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and re-schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * One-shot convenience: heap-allocate a wrapper around @p fn,
+     * schedule it, and let the queue delete it after it fires.
+     * @return the wrapper (so callers may deschedule early; doing so
+     *         transfers deletion responsibility back to the queue via
+     *         cancelLambda()).
+     */
+    Event *scheduleLambda(Tick when, std::function<void()> fn,
+                          int priority = Event::defaultPriority,
+                          std::string name = "lambda-event");
+
+    /** Deschedule and delete a wrapper from scheduleLambda(). */
+    void cancelLambda(Event *ev);
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Tick of the next pending event (maxTick if none). */
+    Tick nextTick() const;
+
+    /** Process exactly one event. @return false if queue was empty. */
+    bool runOne();
+
+    /**
+     * Run events until simulated time would exceed @p limit.  Events
+     * scheduled exactly at @p limit are processed.
+     * @return number of events processed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until the queue is empty. @return events processed. */
+    std::uint64_t runAll();
+
+    /** Total number of events ever processed. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when_ != b->when_)
+                return a->when_ < b->when_;
+            if (a->priority_ != b->priority_)
+                return a->priority_ < b->priority_;
+            return a->seq_ < b->seq_;
+        }
+    };
+
+    void dispatch(Event *ev);
+
+    std::set<Event *, Compare> events_;
+    Tick curTick_;
+    std::uint64_t nextSeq_;
+    std::uint64_t processed_;
+};
+
+} // namespace klebsim::sim
+
+#endif // KLEBSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,83 @@
+#include "histogram.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace klebsim::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0), underflow_(0), overflow_(0), total_(0)
+{
+    panic_if(bins == 0, "histogram needs at least one bin");
+    panic_if(hi <= lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) // guard FP edge at hi_
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+std::size_t
+Histogram::count(std::size_t idx) const
+{
+    panic_if(idx >= counts_.size(), "bin out of range");
+    return counts_[idx];
+}
+
+double
+Histogram::binLo(std::size_t idx) const
+{
+    panic_if(idx >= counts_.size(), "bin out of range");
+    return lo_ + width_ * static_cast<double>(idx);
+}
+
+double
+Histogram::binHi(std::size_t idx) const
+{
+    return binLo(idx) + width_;
+}
+
+double
+Histogram::fraction(std::size_t idx) const
+{
+    std::size_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0)
+        return 0.0;
+    return static_cast<double>(count(idx)) /
+           static_cast<double>(in_range);
+}
+
+std::string
+Histogram::render(int label_digits) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        out += csprintf("%*.*f..%*.*f: %zu\n", 10, label_digits,
+                        binLo(i), 10, label_digits, binHi(i),
+                        counts_[i]);
+    }
+    if (underflow_)
+        out += csprintf("underflow: %zu\n", underflow_);
+    if (overflow_)
+        out += csprintf("overflow: %zu\n", overflow_);
+    return out;
+}
+
+} // namespace klebsim::stats

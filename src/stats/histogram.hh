@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-bin histogram, used by the jitter ablation bench to
+ * characterize HRTimer period error distributions.
+ */
+
+#ifndef KLEBSIM_STATS_HISTOGRAM_HH
+#define KLEBSIM_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace klebsim::stats
+{
+
+/**
+ * Equal-width histogram over [lo, hi) with underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+
+    /** Count in bin @p idx. */
+    std::size_t count(std::size_t idx) const;
+
+    /** Lower edge of bin @p idx. */
+    double binLo(std::size_t idx) const;
+
+    /** Upper edge of bin @p idx. */
+    double binHi(std::size_t idx) const;
+
+    /** Fraction of in-range samples in bin @p idx. */
+    double fraction(std::size_t idx) const;
+
+    /** Render as "lo..hi: count" lines for reports. */
+    std::string render(int label_digits = 3) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_;
+    std::size_t overflow_;
+    std::size_t total_;
+};
+
+} // namespace klebsim::stats
+
+#endif // KLEBSIM_STATS_HISTOGRAM_HH

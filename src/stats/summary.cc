@@ -1,0 +1,142 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace klebsim::stats
+{
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::reset()
+{
+    n_ = 0;
+    mean_ = 0;
+    m2_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    sum_ = 0;
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    double delta = other.mean_ - mean_;
+    std::size_t total = n_ + other.n_;
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+    n_ = total;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+percentile(std::vector<double> samples, double pct)
+{
+    panic_if(samples.empty(), "percentile of empty sample set");
+    panic_if(pct < 0.0 || pct > 100.0, "percentile out of range: ", pct);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    double rank = pct / 100.0 * static_cast<double>(samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+FiveNumber
+fiveNumber(std::vector<double> samples)
+{
+    panic_if(samples.empty(), "fiveNumber of empty sample set");
+    std::sort(samples.begin(), samples.end());
+    FiveNumber f;
+    f.count = samples.size();
+    f.min = samples.front();
+    f.max = samples.back();
+    double sum = 0;
+    for (double v : samples)
+        sum += v;
+    f.mean = sum / static_cast<double>(samples.size());
+
+    auto interp = [&](double pct) {
+        double rank =
+            pct / 100.0 * static_cast<double>(samples.size() - 1);
+        std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+        std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+        double frac = rank - static_cast<double>(lo);
+        return samples[lo] + frac * (samples[hi] - samples[lo]);
+    };
+    f.q1 = interp(25.0);
+    f.median = interp(50.0);
+    f.q3 = interp(75.0);
+    return f;
+}
+
+double
+pctDiff(double a, double b)
+{
+    panic_if(b == 0.0, "pctDiff with zero reference");
+    return std::fabs(a - b) / std::fabs(b) * 100.0;
+}
+
+} // namespace klebsim::stats

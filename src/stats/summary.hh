@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scalar sample summaries: running moments and five-number
+ * (box-and-whisker) statistics, used by the overhead benches
+ * (Tables II/III, Fig. 8).
+ */
+
+#ifndef KLEBSIM_STATS_SUMMARY_HH
+#define KLEBSIM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace klebsim::stats
+{
+
+/**
+ * Streaming mean/variance/min/max using Welford's algorithm.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Drop all samples. */
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 if fewer than 2 points. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Five-number summary of a sample vector (for box plots): min, first
+ * quartile, median, third quartile, max, plus mean and IQR helpers.
+ * Quartiles use linear interpolation between closest ranks (the
+ * "R-7" rule used by numpy's default percentile).
+ */
+struct FiveNumber
+{
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    double mean = 0;
+    std::size_t count = 0;
+
+    /** Interquartile range. */
+    double iqr() const { return q3 - q1; }
+
+    /** Whisker span (max - min). */
+    double range() const { return max - min; }
+};
+
+/** Compute the five-number summary; input need not be sorted. */
+FiveNumber fiveNumber(std::vector<double> samples);
+
+/** Percentile in [0, 100] with linear interpolation (R-7). */
+double percentile(std::vector<double> samples, double pct);
+
+/** Relative difference |a - b| / b, in percent. b must be nonzero. */
+double pctDiff(double a, double b);
+
+} // namespace klebsim::stats
+
+#endif // KLEBSIM_STATS_SUMMARY_HH

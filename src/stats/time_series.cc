@@ -1,0 +1,149 @@
+#include "time_series.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace klebsim::stats
+{
+
+TimeSeries::TimeSeries(std::vector<std::string> channels)
+    : names_(std::move(channels))
+{
+    panic_if(names_.empty(), "TimeSeries needs at least one channel");
+}
+
+void
+TimeSeries::append(Tick when, const std::vector<double> &values)
+{
+    panic_if(values.size() != names_.size(),
+             "sample arity ", values.size(), " != channels ",
+             names_.size());
+    panic_if(!times_.empty() && when < times_.back(),
+             "TimeSeries timestamps must be monotonic");
+    times_.push_back(when);
+    values_.insert(values_.end(), values.begin(), values.end());
+}
+
+std::size_t
+TimeSeries::channelIndex(const std::string &name) const
+{
+    auto it = std::find(names_.begin(), names_.end(), name);
+    fatal_if(it == names_.end(), "no such channel: " + name);
+    return static_cast<std::size_t>(it - names_.begin());
+}
+
+Tick
+TimeSeries::timeAt(std::size_t row) const
+{
+    panic_if(row >= times_.size(), "row out of range");
+    return times_[row];
+}
+
+double
+TimeSeries::valueAt(std::size_t row, std::size_t channel) const
+{
+    panic_if(row >= times_.size(), "row out of range");
+    panic_if(channel >= names_.size(), "channel out of range");
+    return values_[row * names_.size() + channel];
+}
+
+std::vector<double>
+TimeSeries::channel(std::size_t idx) const
+{
+    panic_if(idx >= names_.size(), "channel out of range");
+    std::vector<double> out;
+    out.reserve(times_.size());
+    for (std::size_t r = 0; r < times_.size(); ++r)
+        out.push_back(values_[r * names_.size() + idx]);
+    return out;
+}
+
+std::vector<double>
+TimeSeries::channel(const std::string &name) const
+{
+    return channel(channelIndex(name));
+}
+
+double
+TimeSeries::channelSum(std::size_t idx) const
+{
+    double sum = 0;
+    for (double v : channel(idx))
+        sum += v;
+    return sum;
+}
+
+double
+TimeSeries::channelMean(std::size_t idx) const
+{
+    if (times_.empty())
+        return 0.0;
+    return channelSum(idx) / static_cast<double>(times_.size());
+}
+
+std::vector<double>
+TimeSeries::channelDeltas(std::size_t idx) const
+{
+    std::vector<double> vals = channel(idx);
+    std::vector<double> out;
+    out.reserve(vals.size());
+    double prev = 0;
+    for (double v : vals) {
+        out.push_back(v - prev);
+        prev = v;
+    }
+    return out;
+}
+
+std::vector<double>
+TimeSeries::ratio(std::size_t num, std::size_t den, double scale,
+                  double min_den) const
+{
+    std::vector<double> n = channel(num);
+    std::vector<double> d = channel(den);
+    std::vector<double> out;
+    out.reserve(n.size());
+    for (std::size_t i = 0; i < n.size(); ++i)
+        out.push_back(n[i] / std::max(d[i], min_den) * scale);
+    return out;
+}
+
+Tick
+TimeSeries::startTime() const
+{
+    fatal_if(times_.empty(), "startTime of empty series");
+    return times_.front();
+}
+
+Tick
+TimeSeries::endTime() const
+{
+    fatal_if(times_.empty(), "endTime of empty series");
+    return times_.back();
+}
+
+Tick
+TimeSeries::span() const
+{
+    return endTime() - startTime();
+}
+
+double
+TimeSeries::meanInterval() const
+{
+    if (times_.size() < 2)
+        return 0.0;
+    return static_cast<double>(times_.back() - times_.front()) /
+           static_cast<double>(times_.size() - 1);
+}
+
+double
+mpki(double misses, double instructions)
+{
+    if (instructions <= 0.0)
+        return 0.0;
+    return misses / (instructions / 1000.0);
+}
+
+} // namespace klebsim::stats

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Timestamped multi-channel sample series.
+ *
+ * K-LEB's output is a time series of counter snapshots (one channel
+ * per hardware event).  TimeSeries stores those snapshots, provides
+ * per-channel reduction (sum, mean, max), per-interval deltas, simple
+ * resampling onto a fixed grid, and derived-metric computation such
+ * as MPKI = LLC_misses / (instructions / 1000).
+ */
+
+#ifndef KLEBSIM_STATS_TIME_SERIES_HH
+#define KLEBSIM_STATS_TIME_SERIES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace klebsim::stats
+{
+
+/**
+ * A series of samples, each a timestamp plus one value per channel.
+ * All rows have the same channel arity.
+ */
+class TimeSeries
+{
+  public:
+    /** Create with named channels (the arity of every sample). */
+    explicit TimeSeries(std::vector<std::string> channels);
+
+    /** Append a sample; values.size() must equal channels(). */
+    void append(Tick when, const std::vector<double> &values);
+
+    std::size_t channels() const { return names_.size(); }
+    std::size_t size() const { return times_.size(); }
+    bool empty() const { return times_.empty(); }
+
+    const std::vector<std::string> &channelNames() const
+    { return names_; }
+
+    /** Index of a channel by name; fatal() if absent. */
+    std::size_t channelIndex(const std::string &name) const;
+
+    Tick timeAt(std::size_t row) const;
+    double valueAt(std::size_t row, std::size_t channel) const;
+
+    /** All values of one channel in time order. */
+    std::vector<double> channel(std::size_t idx) const;
+    std::vector<double> channel(const std::string &name) const;
+
+    /** Sum of one channel across all samples. */
+    double channelSum(std::size_t idx) const;
+
+    /** Mean of one channel across all samples. */
+    double channelMean(std::size_t idx) const;
+
+    /**
+     * Per-row deltas of a cumulative channel (first row is the raw
+     * value).  Converts running-counter snapshots into per-interval
+     * event counts.
+     */
+    std::vector<double> channelDeltas(std::size_t idx) const;
+
+    /**
+     * Element-wise derived metric over two channels:
+     * num[i] / max(den[i], minDen) * scale.  Used for e.g. MPKI with
+     * scale = 1000.
+     */
+    std::vector<double> ratio(std::size_t num, std::size_t den,
+                              double scale = 1.0,
+                              double min_den = 1.0) const;
+
+    /** First and last timestamps (fatal on empty series). */
+    Tick startTime() const;
+    Tick endTime() const;
+
+    /** Duration covered (endTime - startTime). */
+    Tick span() const;
+
+    /**
+     * Average spacing between consecutive samples, in Ticks
+     * (0 when fewer than two samples).
+     */
+    double meanInterval() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Tick> times_;
+    std::vector<double> values_; // row-major, size() * channels()
+};
+
+/** MPKI from total misses and total instructions. */
+double mpki(double misses, double instructions);
+
+} // namespace klebsim::stats
+
+#endif // KLEBSIM_STATS_TIME_SERIES_HH

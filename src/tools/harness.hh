@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The tool-comparison harness: runs one workload under one
+ * monitoring tool (or none) on a fresh simulated machine and
+ * reports lifetime, sample counts, and counter totals in a uniform
+ * shape.  Every overhead table and accuracy figure bench is built
+ * on repeated runOnce() calls.
+ */
+
+#ifndef KLEBSIM_TOOLS_HARNESS_HH
+#define KLEBSIM_TOOLS_HARNESS_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "hw/exec_types.hh"
+#include "hw/machine_config.hh"
+#include "kernel/cost_model.hh"
+#include "kleb/kleb_config.hh"
+#include "stats/time_series.hh"
+
+namespace klebsim::tools
+{
+
+/** Which monitoring tool a run uses. */
+enum class ToolKind
+{
+    none,
+    kleb,
+    perfStat,
+    perfRecord,
+    papi,
+    limit,
+};
+
+/** Display name ("K-LEB", "perf stat", ...). */
+const char *toolName(ToolKind kind);
+
+/** All tools, in the paper's table order. */
+const std::vector<ToolKind> &allTools();
+
+/** Configuration of one run. */
+struct RunConfig
+{
+    ToolKind tool = ToolKind::none;
+
+    /**
+     * Factory for the workload under test; invoked with the data
+     * region base address and the run's random stream.  The
+     * returned object must stay alive for the run (the harness
+     * keeps it).
+     */
+    std::function<std::unique_ptr<hw::WorkSource>(Addr, Random)>
+        workloadFactory;
+
+    /** Events every tool records. */
+    std::vector<hw::HwEvent> events = {
+        hw::HwEvent::instRetired, hw::HwEvent::loadRetired,
+        hw::HwEvent::storeRetired, hw::HwEvent::branchRetired};
+
+    /** Timer period for the timer-based tools. */
+    Tick period = msToTicks(10);
+
+    /** Read-point spacing for the instrumented tools
+     *  (instructions); 0 derives it so point count matches the
+     *  timer-based sample count for `expectedLifetime`. */
+    std::uint64_t instrumentEveryInstr = 0;
+
+    /** Rough expected workload duration (for auto spacing). */
+    Tick expectedLifetime = secToTicks(2.0);
+
+    /** Rough expected instruction count (for auto spacing). */
+    std::uint64_t expectedInstructions = 8000000000ULL;
+
+    std::uint64_t seed = 1;
+    hw::MachineConfig machine = hw::MachineConfig::corei7_920();
+    kernel::CostModel costs{};
+    CoreId core = 0;
+
+    /** LiMiT kernel patch present on this machine? */
+    bool limitPatchAvailable = true;
+
+    /** Count kernel-mode events too. */
+    bool countKernel = false;
+
+    /** Use the ideal (jitter-free) timer; unit tests only. */
+    bool idealTimer = false;
+
+    /** Hard cap on simulated time (safety against hangs). */
+    Tick simLimit = secToTicks(120.0);
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    ToolKind tool = ToolKind::none;
+    bool supported = true;     //!< false: tool can't run (LiMiT/MKL)
+
+    Tick lifetime = 0;         //!< tool launch -> workload exit
+    double seconds = 0.0;
+
+    /** Tool-reported totals for RunConfig::events (empty: none). */
+    std::vector<std::uint64_t> totals;
+
+    /** Ground-truth user+kernel totals from the exec context. */
+    hw::EventVector trueTotals{};
+
+    /** FLOPs the workload completed (GFLOPS reporting). */
+    double flops = 0.0;
+
+    std::size_t samples = 0;   //!< samples / read points recorded
+
+    /** Sample series for tools that produce one. */
+    std::optional<stats::TimeSeries> series;
+
+    /** K-LEB module status (tool == kleb only). */
+    kleb::KLebStatus klebStatus{};
+
+    /** Context switches the kernel performed during the run. */
+    std::uint64_t contextSwitches = 0;
+};
+
+/** Execute one run. */
+RunResult runOnce(const RunConfig &cfg);
+
+/**
+ * Run @p runs repetitions (seeds seed+0 .. seed+runs-1) and return
+ * the per-run lifetimes in seconds.
+ */
+std::vector<double> runMany(RunConfig cfg, int runs);
+
+/**
+ * Mean overhead of @p tool versus baseline runs, in percent:
+ * (mean(tool) - mean(none)) / mean(none) * 100.
+ */
+double overheadPct(const std::vector<double> &tool_secs,
+                   const std::vector<double> &baseline_secs);
+
+} // namespace klebsim::tools
+
+#endif // KLEBSIM_TOOLS_HARNESS_HH

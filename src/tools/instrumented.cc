@@ -1,0 +1,157 @@
+#include "instrumented.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::tools
+{
+
+InstrumentedSource::InstrumentedSource(hw::WorkSource *inner,
+                                       Options options)
+    : inner_(inner), options_(options)
+{
+    panic_if(inner_ == nullptr, "instrumenting a null source");
+    fatal_if(options_.readEveryInstr == 0,
+             "readEveryInstr must be > 0");
+}
+
+hw::WorkChunk
+InstrumentedSource::instrumentationChunk(Cycles cycles) const
+{
+    hw::WorkChunk chunk;
+    // Roughly 2 instructions per cycle of tool code; the counts are
+    // at kernel privilege so user-mode measurements ignore them.
+    chunk.instructions = cycles * 2;
+    chunk.branches = chunk.instructions / 8;
+    chunk.mispredictRate = 0.0;
+    chunk.priv = hw::PrivLevel::kernel;
+    chunk.fixedCycles = cycles;
+    return chunk;
+}
+
+bool
+InstrumentedSource::done() const
+{
+    return inner_->done() && finiEmitted_ && !pointPending_;
+}
+
+hw::WorkChunk
+InstrumentedSource::nextChunk(hw::MemHierarchy &mem)
+{
+    if (!initEmitted_) {
+        initEmitted_ = true;
+        if (options_.initCycles > 0)
+            return instrumentationChunk(options_.initCycles);
+    }
+    if (pointPending_) {
+        pointPending_ = false;
+        ++points_;
+        return instrumentationChunk(options_.pointCycles);
+    }
+    if (!inner_->done()) {
+        hw::WorkChunk chunk = inner_->nextChunk(mem);
+        sinceLastPoint_ += chunk.instructions;
+        if (sinceLastPoint_ >= options_.readEveryInstr &&
+            options_.pointCycles > 0) {
+            sinceLastPoint_ = 0;
+            pointPending_ = true;
+        }
+        return chunk;
+    }
+    panic_if(finiEmitted_, "instrumented source ran past end");
+    finiEmitted_ = true;
+    return instrumentationChunk(
+        options_.finiCycles > 0 ? options_.finiCycles : 1);
+}
+
+void
+InstrumentedSource::reset()
+{
+    inner_->reset();
+    initEmitted_ = false;
+    finiEmitted_ = false;
+    sinceLastPoint_ = 0;
+    pointPending_ = false;
+    points_ = 0;
+}
+
+InstrumentedToolSession::Options
+InstrumentedToolSession::papi(std::uint64_t read_every_instr)
+{
+    Options opt;
+    opt.toolName = "papi";
+    opt.readEveryInstr = read_every_instr;
+    // PAPI-C: one read(2) per event fd plus the component layer's
+    // bookkeeping; calibrated against Table II.
+    opt.pointCost = usToTicks(565);
+    // PAPI_library_init + component discovery dominates short runs
+    // (Table III's 21.4 %).
+    opt.initCost = msToTicks(17.2);
+    opt.finiCost = usToTicks(300);
+    return opt;
+}
+
+InstrumentedToolSession::Options
+InstrumentedToolSession::limit(std::uint64_t read_every_instr,
+                               bool patch_available)
+{
+    Options opt;
+    opt.toolName = "limit";
+    opt.readEveryInstr = read_every_instr;
+    // LiMiT reads counters with rdpmc straight from user space (no
+    // syscall), but its instrumentation regions still maintain
+    // per-thread stats buffers; calibrated against Table II.
+    opt.pointCost = usToTicks(400);
+    opt.initCost = msToTicks(0.8);
+    opt.finiCost = usToTicks(120);
+    opt.supported = patch_available;
+    return opt;
+}
+
+InstrumentedToolSession::InstrumentedToolSession(
+    kernel::System &sys, Options options)
+    : sys_(sys), options_(std::move(options))
+{
+}
+
+hw::WorkSource *
+InstrumentedToolSession::wrap(hw::WorkSource *inner)
+{
+    fatal_if(!options_.supported,
+             options_.toolName +
+                 ": kernel support unavailable (needs patch)");
+    panic_if(wrapper_ != nullptr, "wrap() called twice");
+
+    const auto &clock = sys_.core(0).clock();
+    InstrumentedSource::Options w;
+    w.readEveryInstr = options_.readEveryInstr;
+    w.pointCycles = clock.ticksToCyclesCeil(options_.pointCost);
+    w.initCycles = clock.ticksToCyclesCeil(options_.initCost);
+    w.finiCycles = clock.ticksToCyclesCeil(options_.finiCost);
+    wrapper_ = std::make_unique<InstrumentedSource>(inner, w);
+    return wrapper_.get();
+}
+
+void
+InstrumentedToolSession::profile(kernel::Process *target,
+                                 bool start_target)
+{
+    fatal_if(!options_.supported,
+             options_.toolName + ": unsupported kernel");
+    pmu_ = std::make_unique<TaskPmuSession>(
+        sys_.kernel(), target->pid(), options_.events,
+        options_.countKernel);
+    pmu_->arm();
+    sys_.kernel().onExit(target->pid(), [this] {
+        totals_ = pmu_->readAll();
+    });
+    if (start_target)
+        sys_.kernel().startProcess(target);
+}
+
+std::uint64_t
+InstrumentedToolSession::readPoints() const
+{
+    return wrapper_ ? wrapper_->readPoints() : 0;
+}
+
+} // namespace klebsim::tools

@@ -1,0 +1,227 @@
+#include "multiplex.hh"
+
+#include "base/logging.hh"
+#include "hw/pmu.hh"
+
+namespace klebsim::tools
+{
+
+namespace
+{
+
+/** Events that live on fixed counters never need multiplexing. */
+bool
+isFixedEvent(hw::HwEvent ev)
+{
+    return ev == hw::HwEvent::instRetired ||
+           ev == hw::HwEvent::coreCycles ||
+           ev == hw::HwEvent::refCycles;
+}
+
+} // anonymous namespace
+
+MultiplexedPmuSession::MultiplexedPmuSession(kernel::System &sys,
+                                             Pid target,
+                                             Options options)
+    : sys_(sys), target_(target), options_(std::move(options))
+{
+    fatal_if(options_.events.empty(),
+             "multiplexing with no events");
+    fatal_if(options_.rotateInterval == 0,
+             "multiplexing needs a rotation interval");
+
+    raw_.assign(options_.events.size(), 0);
+    enabled_.assign(options_.events.size(), 0);
+
+    // Greedy grouping: fixed-counter events ride along with every
+    // group (they are always on); programmable events fill groups
+    // of up to numProgrammable.
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < options_.events.size(); ++i) {
+        if (isFixedEvent(options_.events[i]))
+            continue;
+        current.push_back(i);
+        if (current.size() == hw::Pmu::numProgrammable) {
+            groups_.push_back(current);
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        groups_.push_back(current);
+    if (groups_.empty())
+        groups_.push_back({}); // fixed-only configuration
+}
+
+MultiplexedPmuSession::~MultiplexedPmuSession()
+{
+    if (armed_)
+        disarm();
+}
+
+bool
+MultiplexedPmuSession::isMonitored(
+    const kernel::Process *proc) const
+{
+    if (proc == nullptr)
+        return false;
+    if (proc->pid() == target_)
+        return true;
+    return const_cast<kernel::System &>(sys_)
+        .kernel()
+        .isDescendantOf(proc->pid(), target_);
+}
+
+void
+MultiplexedPmuSession::programGroup(std::size_t idx)
+{
+    hw::Pmu &pmu = sys_.kernel().core(core_).pmu();
+    activeGroup_ = idx;
+    const auto &group = groups_[idx];
+    for (std::size_t c = 0; c < hw::Pmu::numProgrammable; ++c) {
+        if (c < group.size()) {
+            pmu.programCounter(static_cast<int>(c),
+                               options_.events[group[c]], true,
+                               options_.countKernel);
+        } else {
+            pmu.clearCounter(static_cast<int>(c));
+        }
+    }
+    for (int f = 0; f < hw::Pmu::numFixed; ++f)
+        pmu.programFixed(f, true, options_.countKernel);
+}
+
+void
+MultiplexedPmuSession::harvestGroup()
+{
+    hw::Pmu &pmu = sys_.kernel().core(core_).pmu();
+    const auto &group = groups_[activeGroup_];
+    for (std::size_t c = 0; c < group.size(); ++c)
+        raw_[group[c]] +=
+            pmu.counterValue(static_cast<int>(c));
+
+    // Fixed events accumulate continuously.
+    for (std::size_t i = 0; i < options_.events.size(); ++i) {
+        hw::HwEvent ev = options_.events[i];
+        if (ev == hw::HwEvent::instRetired)
+            raw_[i] += pmu.fixedValue(0);
+        else if (ev == hw::HwEvent::coreCycles)
+            raw_[i] += pmu.fixedValue(1);
+        else if (ev == hw::HwEvent::refCycles)
+            raw_[i] += pmu.fixedValue(2);
+    }
+}
+
+void
+MultiplexedPmuSession::beginWindow()
+{
+    windowStart_ = sys_.now();
+    sys_.kernel().core(core_).syncTo(sys_.now());
+    programGroup(activeGroup_);
+    sys_.kernel().core(core_).pmu().globalEnableAll();
+    counting_ = true;
+}
+
+void
+MultiplexedPmuSession::endWindow()
+{
+    if (!counting_)
+        return;
+    sys_.kernel().core(core_).syncTo(sys_.now());
+    sys_.kernel().core(core_).pmu().globalDisable();
+    harvestGroup();
+    Tick window = sys_.now() - windowStart_;
+    monitoredTime_ += window;
+    for (std::size_t idx : groups_[activeGroup_])
+        enabled_[idx] += window;
+    for (std::size_t i = 0; i < options_.events.size(); ++i)
+        if (isFixedEvent(options_.events[i]))
+            enabled_[i] += window;
+    counting_ = false;
+}
+
+void
+MultiplexedPmuSession::arm()
+{
+    panic_if(armed_, "MultiplexedPmuSession::arm twice");
+    kernel::Process *target =
+        sys_.kernel().findProcess(target_);
+    core_ = target ? target->affinity() : 0;
+
+    hookId_ = sys_.kernel().registerSwitchHook(
+        [this](kernel::Process *prev, kernel::Process *next,
+               CoreId core) { onSwitch(prev, next, core); });
+    timer_ = sys_.kernel().createHrTimer(
+        "pmu-multiplex", core_, [this] { onRotate(); },
+        options_.rotateCost, 512);
+    armed_ = true;
+
+    kernel::Process *running = sys_.kernel().running(core_);
+    if (running && isMonitored(running)) {
+        beginWindow();
+        timer_->startPeriodic(options_.rotateInterval);
+        timerStarted_ = true;
+    }
+}
+
+void
+MultiplexedPmuSession::disarm()
+{
+    if (!armed_)
+        return;
+    endWindow();
+    timer_->cancel();
+    sys_.kernel().unregisterSwitchHook(hookId_);
+    armed_ = false;
+}
+
+void
+MultiplexedPmuSession::onSwitch(kernel::Process *prev,
+                                kernel::Process *next,
+                                CoreId core)
+{
+    if (core != core_)
+        return;
+    bool prev_mon = isMonitored(prev);
+    bool next_mon = isMonitored(next);
+    if (prev_mon == next_mon)
+        return;
+    if (prev_mon) {
+        endWindow();
+        timer_->cancel();
+    } else {
+        beginWindow();
+        if (timerStarted_) {
+            timer_->resume();
+        } else {
+            timer_->startPeriodic(options_.rotateInterval);
+            timerStarted_ = true;
+        }
+    }
+}
+
+void
+MultiplexedPmuSession::onRotate()
+{
+    if (!counting_)
+        return;
+    endWindow();
+    activeGroup_ = (activeGroup_ + 1) % groups_.size();
+    ++rotations_;
+    beginWindow();
+}
+
+std::vector<double>
+MultiplexedPmuSession::estimates() const
+{
+    std::vector<double> out(options_.events.size(), 0.0);
+    for (std::size_t i = 0; i < options_.events.size(); ++i) {
+        if (enabled_[i] == 0)
+            continue;
+        out[i] = static_cast<double>(raw_[i]) *
+                 static_cast<double>(monitoredTime_) /
+                 static_cast<double>(enabled_[i]);
+    }
+    return out;
+}
+
+} // namespace klebsim::tools

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Counter multiplexing (paper section VI).
+ *
+ * Real PMUs expose only a few programmable counters (four on
+ * Nehalem).  perf counts more events than that by *time
+ * multiplexing*: it rotates event groups onto the counters on a
+ * fixed interval and scales each group's observed count by
+ *
+ *     estimate = observed * t_monitored / t_group_enabled .
+ *
+ * The estimate is only unbiased if the event's rate is stationary —
+ * bursty, phase-structured programs (LINPACK!) violate that, which
+ * is exactly the paper's argument that "this estimation may not be
+ * suitable for measurement systems that require precision".
+ * MultiplexedPmuSession implements the mechanism so the error can
+ * be measured (see bench/abl_multiplexing).
+ */
+
+#ifndef KLEBSIM_TOOLS_MULTIPLEX_HH
+#define KLEBSIM_TOOLS_MULTIPLEX_HH
+
+#include <vector>
+
+#include "kernel/system.hh"
+#include "task_pmu.hh"
+
+namespace klebsim::tools
+{
+
+/**
+ * A per-task counting session over more programmable events than
+ * the PMU has programmable counters.
+ */
+class MultiplexedPmuSession
+{
+  public:
+    struct Options
+    {
+        /** Events to estimate (any number; groups of <= 4). */
+        std::vector<hw::HwEvent> events;
+
+        /** Group rotation interval (perf rotates on kernel ticks). */
+        Tick rotateInterval = msToTicks(4);
+
+        /** Kernel cost of one rotation (reprogram + bookkeeping). */
+        Tick rotateCost = usToTicks(2);
+
+        bool countKernel = false;
+    };
+
+    MultiplexedPmuSession(kernel::System &sys, Pid target,
+                          Options options);
+    ~MultiplexedPmuSession();
+
+    MultiplexedPmuSession(const MultiplexedPmuSession &) = delete;
+    MultiplexedPmuSession &
+    operator=(const MultiplexedPmuSession &) = delete;
+
+    /** Begin counting/rotating (target gating via switch hook). */
+    void arm();
+
+    /** Stop and fold in the final partial window. */
+    void disarm();
+
+    /** Number of event groups the events were split into. */
+    std::size_t groups() const { return groups_.size(); }
+
+    /** Rotations performed so far. */
+    std::uint64_t rotations() const { return rotations_; }
+
+    /** Raw counted value per event (while its group was live). */
+    const std::vector<std::uint64_t> &rawCounts() const
+    { return raw_; }
+
+    /** Time each event's group was live while the target ran. */
+    const std::vector<Tick> &enabledTime() const
+    { return enabled_; }
+
+    /** Total on-core time of the target while armed. */
+    Tick monitoredTime() const { return monitoredTime_; }
+
+    /**
+     * Scaled estimates, in event order: raw * monitored/enabled
+     * (0 when a group never ran).
+     */
+    std::vector<double> estimates() const;
+
+  private:
+    bool isMonitored(const kernel::Process *proc) const;
+    void onSwitch(kernel::Process *prev, kernel::Process *next,
+                  CoreId core);
+    void onRotate();
+    void programGroup(std::size_t idx);
+    void harvestGroup();
+    void beginWindow();
+    void endWindow();
+
+    kernel::System &sys_;
+    Pid target_;
+    Options options_;
+
+    /** Event indices (into options_.events) per group. */
+    std::vector<std::vector<std::size_t>> groups_;
+
+    std::vector<std::uint64_t> raw_;
+    std::vector<Tick> enabled_;
+    Tick monitoredTime_ = 0;
+
+    CoreId core_ = invalidCore;
+    int hookId_ = -1;
+    kernel::HrTimer *timer_ = nullptr;
+    bool timerStarted_ = false;
+    bool armed_ = false;
+    bool counting_ = false;
+    std::size_t activeGroup_ = 0;
+    Tick windowStart_ = 0;
+    std::uint64_t rotations_ = 0;
+};
+
+} // namespace klebsim::tools
+
+#endif // KLEBSIM_TOOLS_MULTIPLEX_HH

@@ -1,0 +1,403 @@
+#include "perf.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::tools
+{
+
+stats::TimeSeries
+perfSeries(const std::vector<PerfSample> &samples,
+           const std::vector<hw::HwEvent> &events)
+{
+    std::vector<std::string> names;
+    for (hw::HwEvent ev : events)
+        names.emplace_back(hw::eventName(ev));
+    stats::TimeSeries ts(names);
+    for (const PerfSample &s : samples) {
+        std::vector<double> row;
+        row.reserve(s.counts.size());
+        for (std::uint64_t v : s.counts)
+            row.push_back(static_cast<double>(v));
+        ts.append(s.timestamp, row);
+    }
+    return ts;
+}
+
+/*
+ * perf stat
+ */
+
+class PerfStatSession::Behavior : public kernel::ServiceBehavior
+{
+  public:
+    Behavior(PerfStatSession &session, kernel::Process *target,
+             bool start_target)
+        : session_(session), target_(target),
+          startTarget_(start_target)
+    {
+    }
+
+    kernel::ServiceOp
+    nextOp(kernel::Kernel &kernel, kernel::Process &self) override
+    {
+        (void)self;
+        using Op = kernel::ServiceOp;
+        const Options &opt = session_.options_;
+
+        switch (state_) {
+          case State::setup:
+            state_ = State::open;
+            return Op::makeCompute(opt.setupCost, 256 * 1024);
+
+          case State::open:
+            state_ = State::loop;
+            return Op::makeSyscall(
+                [this](kernel::Kernel &k, kernel::Process &) {
+                    session_.pmu_->arm();
+                    if (startTarget_)
+                        k.startProcess(target_);
+                },
+                opt.perEventOpenCost *
+                    static_cast<Tick>(opt.events.size()),
+                16 * 1024);
+
+          case State::loop:
+            state_ = State::read;
+            return Op::makeSleep(opt.interval);
+
+          case State::read:
+            state_ = State::process;
+            return Op::makeSyscall(
+                [this](kernel::Kernel &k, kernel::Process &) {
+                    PerfSample s;
+                    s.timestamp = k.now();
+                    s.counts = session_.pmu_->readAll();
+                    samples_.push_back(std::move(s));
+                },
+                opt.perEventReadCost *
+                    static_cast<Tick>(opt.events.size()),
+                8 * 1024);
+
+          case State::process:
+            if (target_->state() == kernel::ProcState::zombie) {
+                state_ = State::finalize;
+            } else {
+                state_ = State::loop;
+            }
+            return Op::makeCompute(opt.intervalProcessCost,
+                                   opt.intervalFootprint);
+
+          case State::finalize:
+            state_ = State::done;
+            finished_ = true;
+            // Final exact read: the counters froze at target exit;
+            // record their values now (timestamps must stay
+            // monotonic past the last interval read).
+            {
+                PerfSample s;
+                s.timestamp = kernel.now();
+                s.counts = session_.pmu_->readAll();
+                samples_.push_back(std::move(s));
+            }
+            return Op::makeCompute(opt.finalReportCost, 64 * 1024);
+
+          case State::done:
+            return Op::makeExit();
+        }
+        panic("perf stat behavior: bad state");
+    }
+
+    std::vector<PerfSample> samples_;
+    bool finished_ = false;
+
+  private:
+    enum class State
+    {
+        setup,
+        open,
+        loop,
+        read,
+        process,
+        finalize,
+        done,
+    };
+
+    PerfStatSession &session_;
+    kernel::Process *target_;
+    bool startTarget_;
+    State state_ = State::setup;
+};
+
+PerfStatSession::PerfStatSession(kernel::System &sys,
+                                 Options options)
+    : sys_(sys), options_(std::move(options))
+{
+    if (options_.interval < minInterval) {
+        warn("perf stat: interval below the 10 ms user-space timer "
+             "floor; clamping");
+        options_.interval = minInterval;
+    }
+}
+
+PerfStatSession::~PerfStatSession() = default;
+
+void
+PerfStatSession::profile(kernel::Process *target, bool start_target)
+{
+    panic_if(behavior_ != nullptr, "perf stat: profile() twice");
+    pmu_ = std::make_unique<TaskPmuSession>(
+        sys_.kernel(), target->pid(), options_.events,
+        options_.countKernel);
+    behavior_ =
+        std::make_unique<Behavior>(*this, target, start_target);
+    CoreId core = options_.core != invalidCore ? options_.core
+                                               : target->affinity();
+    perfProc_ = sys_.kernel().createService("perf-stat",
+                                            behavior_.get(), core);
+    sys_.kernel().startProcess(perfProc_);
+}
+
+bool
+PerfStatSession::finished() const
+{
+    return behavior_ && behavior_->finished_;
+}
+
+const std::vector<PerfSample> &
+PerfStatSession::samples() const
+{
+    static const std::vector<PerfSample> empty;
+    return behavior_ ? behavior_->samples_ : empty;
+}
+
+std::vector<std::uint64_t>
+PerfStatSession::totals() const
+{
+    if (!behavior_ || behavior_->samples_.empty())
+        return {};
+    return behavior_->samples_.back().counts;
+}
+
+stats::TimeSeries
+PerfStatSession::series() const
+{
+    return perfSeries(samples(), options_.events);
+}
+
+/*
+ * perf record
+ */
+
+class PerfRecordSession::Behavior : public kernel::ServiceBehavior
+{
+  public:
+    Behavior(PerfRecordSession &session, kernel::Process *target,
+             bool start_target)
+        : session_(session), target_(target),
+          startTarget_(start_target)
+    {
+    }
+
+    kernel::ServiceOp
+    nextOp(kernel::Kernel &kernel, kernel::Process &self) override
+    {
+        (void)kernel;
+        (void)self;
+        using Op = kernel::ServiceOp;
+        const Options &opt = session_.options_;
+
+        switch (state_) {
+          case State::setup:
+            state_ = State::open;
+            return Op::makeCompute(opt.setupCost, 64 * 1024);
+
+          case State::open:
+            state_ = State::loop;
+            return Op::makeSyscall(
+                [this](kernel::Kernel &k, kernel::Process &) {
+                    session_.armKernelSide();
+                    if (startTarget_)
+                        k.startProcess(target_);
+                },
+                usToTicks(30), 16 * 1024);
+
+          case State::loop:
+            state_ = State::drain;
+            return Op::makeSleep(opt.drainInterval);
+
+          case State::drain: {
+            bool target_dead =
+                target_->state() == kernel::ProcState::zombie;
+            state_ = target_dead ? State::finalize : State::loop;
+            return Op::makeSyscall(
+                [this](kernel::Kernel &, kernel::Process &) {
+                    session_.drainRing();
+                },
+                opt.drainCost, opt.drainFootprint);
+          }
+
+          case State::finalize:
+            state_ = State::done;
+            finished_ = true;
+            return Op::makeCompute(opt.finalizeCost, 128 * 1024);
+
+          case State::done:
+            return Op::makeExit();
+        }
+        panic("perf record behavior: bad state");
+    }
+
+    bool finished_ = false;
+
+  private:
+    enum class State
+    {
+        setup,
+        open,
+        loop,
+        drain,
+        finalize,
+        done,
+    };
+
+    PerfRecordSession &session_;
+    kernel::Process *target_;
+    bool startTarget_;
+    State state_ = State::setup;
+};
+
+PerfRecordSession::PerfRecordSession(kernel::System &sys,
+                                     Options options)
+    : sys_(sys), options_(std::move(options))
+{
+    fatal_if(options_.freqHz <= 0, "perf record: bad frequency");
+}
+
+PerfRecordSession::~PerfRecordSession()
+{
+    if (hookId_ >= 0)
+        sys_.kernel().unregisterSwitchHook(hookId_);
+    if (timer_)
+        timer_->cancel();
+}
+
+bool
+PerfRecordSession::isMonitored(const kernel::Process *proc) const
+{
+    if (proc == nullptr || target_ == nullptr)
+        return false;
+    if (proc->pid() == target_->pid())
+        return true;
+    return const_cast<kernel::System &>(sys_)
+        .kernel()
+        .isDescendantOf(proc->pid(), target_->pid());
+}
+
+void
+PerfRecordSession::onSampleTimer()
+{
+    // Sample only while the target is on-core (per-task PMI).
+    if (!pmu_ || !pmu_->counting())
+        return;
+    PerfSample s;
+    s.timestamp = sys_.now();
+    s.counts = pmu_->readAll();
+    ring_.push_back(std::move(s));
+    sys_.kernel().chargeKernelWork(core_,
+                                   options_.perSampleCost,
+                                   options_.sampleFootprint);
+}
+
+void
+PerfRecordSession::onSwitch(kernel::Process *prev,
+                            kernel::Process *next, CoreId core)
+{
+    if (core != core_ || timer_ == nullptr)
+        return;
+    bool prev_mon = isMonitored(prev);
+    bool next_mon = isMonitored(next);
+    if (prev_mon == next_mon)
+        return;
+    if (next_mon) {
+        if (timerStarted_) {
+            timer_->resume();
+        } else {
+            timer_->startPeriodic(static_cast<Tick>(
+                static_cast<double>(tickPerSec) /
+                options_.freqHz));
+            timerStarted_ = true;
+        }
+    } else {
+        timer_->cancel();
+    }
+}
+
+void
+PerfRecordSession::armKernelSide()
+{
+    pmu_->arm();
+    timer_ = sys_.kernel().createHrTimer(
+        "perf-record-pmi", core_, [this] { onSampleTimer(); },
+        0 /* body cost charged per recorded sample */, 512);
+    hookId_ = sys_.kernel().registerSwitchHook(
+        [this](kernel::Process *prev, kernel::Process *next,
+               CoreId core) { onSwitch(prev, next, core); });
+    if (pmu_->counting()) {
+        timer_->startPeriodic(static_cast<Tick>(
+            static_cast<double>(tickPerSec) / options_.freqHz));
+        timerStarted_ = true;
+    }
+}
+
+void
+PerfRecordSession::drainRing()
+{
+    for (PerfSample &s : ring_)
+        drained_.push_back(std::move(s));
+    ring_.clear();
+}
+
+void
+PerfRecordSession::profile(kernel::Process *target,
+                           bool start_target)
+{
+    panic_if(behavior_ != nullptr, "perf record: profile() twice");
+    target_ = target;
+    core_ = target->affinity();
+    pmu_ = std::make_unique<TaskPmuSession>(
+        sys_.kernel(), target->pid(), options_.events,
+        options_.countKernel);
+    behavior_ =
+        std::make_unique<Behavior>(*this, target, start_target);
+    perfProc_ = sys_.kernel().createService(
+        "perf-record", behavior_.get(), core_);
+    sys_.kernel().startProcess(perfProc_);
+}
+
+bool
+PerfRecordSession::finished() const
+{
+    return behavior_ && behavior_->finished_;
+}
+
+const std::vector<PerfSample> &
+PerfRecordSession::samples() const
+{
+    return drained_;
+}
+
+std::vector<std::uint64_t>
+PerfRecordSession::totals() const
+{
+    if (drained_.empty())
+        return {};
+    return drained_.back().counts;
+}
+
+stats::TimeSeries
+PerfRecordSession::series() const
+{
+    return perfSeries(drained_, options_.events);
+}
+
+} // namespace klebsim::tools

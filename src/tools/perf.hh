@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Models of the Linux perf tool's two collection modes (paper
+ * section II-B):
+ *
+ *  - perf stat interval mode: per-task counting in the kernel, with
+ *    the perf user process waking on a (>=10 ms) user-space timer
+ *    each interval to read every event fd via syscalls and format
+ *    the output — the per-interval user-space work is what makes
+ *    perf stat the costly timer-based baseline;
+ *
+ *  - perf record sampling mode: kernel-side sample interrupts at a
+ *    sampling frequency write records into the mmap ring; the perf
+ *    process drains the ring occasionally.  Totals are estimated
+ *    from the last sample (hence the small count error in Fig. 9).
+ */
+
+#ifndef KLEBSIM_TOOLS_PERF_HH
+#define KLEBSIM_TOOLS_PERF_HH
+
+#include <memory>
+#include <vector>
+
+#include "kernel/system.hh"
+#include "stats/time_series.hh"
+#include "task_pmu.hh"
+
+namespace klebsim::tools
+{
+
+/** A timestamped counter snapshot (shared by both perf modes). */
+struct PerfSample
+{
+    Tick timestamp = 0;
+    std::vector<std::uint64_t> counts;
+};
+
+/**
+ * perf stat -I <interval> -e <events> -p <pid>.
+ */
+class PerfStatSession
+{
+  public:
+    struct Options
+    {
+        std::vector<hw::HwEvent> events = {
+            hw::HwEvent::instRetired, hw::HwEvent::llcReference,
+            hw::HwEvent::llcMiss, hw::HwEvent::branchRetired};
+
+        /** Requested interval; clamped up to the 10 ms floor. */
+        Tick interval = msToTicks(10);
+
+        bool countKernel = false;
+        CoreId core = invalidCore; //!< default: target's core
+
+        /** @{ Calibrated costs (DESIGN.md section 5). */
+        Tick setupCost = msToTicks(2.7);
+        Tick perEventOpenCost = usToTicks(18);
+        Tick perEventReadCost = usToTicks(1.3);
+        Tick intervalProcessCost = usToTicks(590);
+        std::uint64_t intervalFootprint = 16 * 1024;
+        Tick finalReportCost = usToTicks(300);
+        /** @} */
+    };
+
+    /** The user-space timer cannot beat this (paper section II-C). */
+    static constexpr Tick minInterval = msToTicks(10);
+
+    PerfStatSession(kernel::System &sys, Options options);
+    ~PerfStatSession();
+
+    /** Launch perf; it starts @p target once counters are armed. */
+    void profile(kernel::Process *target, bool start_target = true);
+
+    bool finished() const;
+
+    /** Interval snapshots (cumulative counts). */
+    const std::vector<PerfSample> &samples() const;
+
+    /** Final exact totals, in event order. */
+    std::vector<std::uint64_t> totals() const;
+
+    /** Snapshot series with one channel per event. */
+    stats::TimeSeries series() const;
+
+    /** Effective interval after the 10 ms floor. */
+    Tick effectiveInterval() const { return options_.interval; }
+
+  private:
+    class Behavior;
+
+    kernel::System &sys_;
+    Options options_;
+    std::unique_ptr<Behavior> behavior_;
+    std::unique_ptr<TaskPmuSession> pmu_;
+    kernel::Process *perfProc_ = nullptr;
+};
+
+/**
+ * perf record -F <freq> -e <events> -p <pid>.
+ */
+class PerfRecordSession
+{
+  public:
+    struct Options
+    {
+        std::vector<hw::HwEvent> events = {
+            hw::HwEvent::instRetired, hw::HwEvent::llcReference,
+            hw::HwEvent::llcMiss, hw::HwEvent::branchRetired};
+
+        /** Sampling frequency (perf's default ballpark). */
+        double freqHz = 4000.0;
+
+        bool countKernel = false;
+
+        /** @{ Calibrated costs. */
+        Tick setupCost = usToTicks(250);
+        Tick perSampleCost = usToTicks(3.15);
+        std::uint64_t sampleFootprint = 256;
+        Tick drainInterval = msToTicks(50);
+        Tick drainCost = usToTicks(180);
+        std::uint64_t drainFootprint = 16 * 1024;
+        Tick finalizeCost = usToTicks(600);
+        /** @} */
+    };
+
+    PerfRecordSession(kernel::System &sys, Options options);
+    ~PerfRecordSession();
+
+    void profile(kernel::Process *target, bool start_target = true);
+
+    bool finished() const;
+
+    /** All recorded samples. */
+    const std::vector<PerfSample> &samples() const;
+
+    /**
+     * Estimated totals: the last sample's counter snapshot (the
+     * sampling method never sees the final stretch of execution).
+     */
+    std::vector<std::uint64_t> totals() const;
+
+    stats::TimeSeries series() const;
+
+  private:
+    class Behavior;
+
+    void onSwitch(kernel::Process *prev, kernel::Process *next,
+                  CoreId core);
+    void onSampleTimer();
+    bool isMonitored(const kernel::Process *proc) const;
+
+    /** Arm counters, sampling timer and switch gating (from the
+     *  perf process's open syscall). */
+    void armKernelSide();
+
+    /** Move kernel-ring samples into perf.data. */
+    void drainRing();
+
+    kernel::System &sys_;
+    Options options_;
+    std::unique_ptr<Behavior> behavior_;
+    std::unique_ptr<TaskPmuSession> pmu_;
+    kernel::Process *perfProc_ = nullptr;
+    kernel::Process *target_ = nullptr;
+
+    kernel::HrTimer *timer_ = nullptr;
+    bool timerStarted_ = false;
+    int hookId_ = -1;
+    CoreId core_ = invalidCore;
+    std::vector<PerfSample> ring_;   //!< kernel-side mmap ring
+    std::vector<PerfSample> drained_; //!< perf.data contents
+};
+
+/** Build a TimeSeries from PerfSample snapshots. */
+stats::TimeSeries perfSeries(const std::vector<PerfSample> &samples,
+                             const std::vector<hw::HwEvent> &events);
+
+} // namespace klebsim::tools
+
+#endif // KLEBSIM_TOOLS_PERF_HH

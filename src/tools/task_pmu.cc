@@ -1,0 +1,140 @@
+#include "task_pmu.hh"
+
+#include "base/logging.hh"
+#include "hw/pmu.hh"
+
+namespace klebsim::tools
+{
+
+TaskPmuSession::TaskPmuSession(kernel::Kernel &kernel, Pid target,
+                               std::vector<hw::HwEvent> events,
+                               bool count_kernel,
+                               bool trace_children)
+    : kernel_(kernel), target_(target), events_(std::move(events)),
+      countKernel_(count_kernel), traceChildren_(trace_children)
+{
+    fatal_if(events_.empty(), "TaskPmuSession with no events");
+}
+
+TaskPmuSession::~TaskPmuSession()
+{
+    if (armed_)
+        disarm();
+}
+
+bool
+TaskPmuSession::isMonitored(const kernel::Process *proc) const
+{
+    if (proc == nullptr)
+        return false;
+    if (proc->pid() == target_)
+        return true;
+    return traceChildren_ &&
+           kernel_.isDescendantOf(proc->pid(), target_);
+}
+
+void
+TaskPmuSession::arm()
+{
+    panic_if(armed_, "TaskPmuSession::arm twice");
+    kernel::Process *target = kernel_.findProcess(target_);
+    core_ = target ? target->affinity() : 0;
+
+    hw::Pmu &pmu = kernel_.core(core_).pmu();
+    counterMap_.clear();
+    int next_pmc = 0;
+    for (hw::HwEvent ev : events_) {
+        CounterRef ref;
+        if (ev == hw::HwEvent::instRetired) {
+            ref.fixed = true;
+            ref.idx = 0;
+        } else if (ev == hw::HwEvent::coreCycles) {
+            ref.fixed = true;
+            ref.idx = 1;
+        } else if (ev == hw::HwEvent::refCycles) {
+            ref.fixed = true;
+            ref.idx = 2;
+        } else {
+            fatal_if(next_pmc >= hw::Pmu::numProgrammable,
+                     "TaskPmuSession: too many programmable events");
+            ref.fixed = false;
+            ref.idx = next_pmc;
+            pmu.programCounter(next_pmc, ev, true, countKernel_);
+            ++next_pmc;
+        }
+        counterMap_.push_back(ref);
+    }
+    for (int i = next_pmc; i < hw::Pmu::numProgrammable; ++i)
+        pmu.clearCounter(i);
+    for (int i = 0; i < hw::Pmu::numFixed; ++i)
+        pmu.programFixed(i, true, countKernel_);
+    pmu.globalDisable();
+
+    hookId_ = kernel_.registerSwitchHook(
+        [this](kernel::Process *prev, kernel::Process *next,
+               CoreId core) { onSwitch(prev, next, core); });
+    armed_ = true;
+
+    kernel::Process *running = kernel_.running(core_);
+    if (running && isMonitored(running)) {
+        // Settle lazily-attributed execution first so instructions
+        // retired before arming never land in the counters.
+        kernel_.core(core_).syncTo(kernel_.now());
+        counting_ = true;
+        pmu.globalEnableAll();
+    }
+}
+
+void
+TaskPmuSession::disarm()
+{
+    if (!armed_)
+        return;
+    kernel_.unregisterSwitchHook(hookId_);
+    kernel_.core(core_).pmu().globalDisable();
+    armed_ = false;
+    counting_ = false;
+}
+
+void
+TaskPmuSession::onSwitch(kernel::Process *prev,
+                         kernel::Process *next, CoreId core)
+{
+    if (core != core_)
+        return;
+    bool prev_mon = isMonitored(prev);
+    bool next_mon = isMonitored(next);
+    if (prev_mon == next_mon)
+        return;
+    hw::Pmu &pmu = kernel_.core(core_).pmu();
+    if (prev_mon) {
+        pmu.globalDisable();
+        counting_ = false;
+    } else {
+        pmu.globalEnableAll();
+        counting_ = true;
+    }
+}
+
+std::uint64_t
+TaskPmuSession::read(std::size_t idx) const
+{
+    panic_if(idx >= counterMap_.size(), "counter index out of range");
+    const hw::Pmu &pmu =
+        const_cast<kernel::Kernel &>(kernel_).core(core_).pmu();
+    const CounterRef &ref = counterMap_[idx];
+    return ref.fixed ? pmu.fixedValue(ref.idx)
+                     : pmu.counterValue(ref.idx);
+}
+
+std::vector<std::uint64_t>
+TaskPmuSession::readAll() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(counterMap_.size());
+    for (std::size_t i = 0; i < counterMap_.size(); ++i)
+        out.push_back(read(i));
+    return out;
+}
+
+} // namespace klebsim::tools

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-task PMU counting session — the kernel-side facility the
+ * perf_events-style tools build on: counters are enabled only while
+ * the target task (or its descendants) is on-core, via the
+ * scheduler's context-switch tracepoint.
+ */
+
+#ifndef KLEBSIM_TOOLS_TASK_PMU_HH
+#define KLEBSIM_TOOLS_TASK_PMU_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/perf_event.hh"
+#include "kernel/kernel.hh"
+
+namespace klebsim::tools
+{
+
+/**
+ * One per-task counting session.
+ */
+class TaskPmuSession
+{
+  public:
+    /**
+     * @param kernel the kernel to hook
+     * @param target PID whose execution is counted
+     * @param events counted events (fixed events map to fixed
+     *        counters; at most 4 programmable)
+     * @param count_kernel include kernel-mode occurrences
+     * @param trace_children include descendants of the target
+     */
+    TaskPmuSession(kernel::Kernel &kernel, Pid target,
+                   std::vector<hw::HwEvent> events,
+                   bool count_kernel = false,
+                   bool trace_children = true);
+
+    ~TaskPmuSession();
+
+    TaskPmuSession(const TaskPmuSession &) = delete;
+    TaskPmuSession &operator=(const TaskPmuSession &) = delete;
+
+    /** Program the counters and begin gating on context switches. */
+    void arm();
+
+    /** Stop counting and release the hook. */
+    void disarm();
+
+    /** Cumulative value of the @p idx-th configured event. */
+    std::uint64_t read(std::size_t idx) const;
+
+    /** All configured counters, in configuration order. */
+    std::vector<std::uint64_t> readAll() const;
+
+    const std::vector<hw::HwEvent> &events() const
+    { return events_; }
+
+    /** True while the target is on-core with counters running. */
+    bool counting() const { return counting_; }
+
+    bool armed() const { return armed_; }
+
+  private:
+    bool isMonitored(const kernel::Process *proc) const;
+    void onSwitch(kernel::Process *prev, kernel::Process *next,
+                  CoreId core);
+
+    kernel::Kernel &kernel_;
+    Pid target_;
+    std::vector<hw::HwEvent> events_;
+    bool countKernel_;
+    bool traceChildren_;
+
+    struct CounterRef
+    {
+        bool fixed = false;
+        int idx = 0;
+    };
+    std::vector<CounterRef> counterMap_;
+
+    CoreId core_ = invalidCore;
+    int hookId_ = -1;
+    bool armed_ = false;
+    bool counting_ = false;
+};
+
+} // namespace klebsim::tools
+
+#endif // KLEBSIM_TOOLS_TASK_PMU_HH

@@ -1,0 +1,184 @@
+#include "docker.hh"
+
+#include "base/logging.hh"
+
+namespace klebsim::workload
+{
+
+namespace
+{
+
+std::vector<DockerImageSpec>
+buildCatalog()
+{
+    using u64 = std::uint64_t;
+    constexpr u64 kb = 1024;
+    constexpr u64 mb = 1024 * 1024;
+
+    std::vector<DockerImageSpec> v;
+
+    // Hot-probability values are derived from the paper's Fig. 5
+    // MPKI levels: MPKI ~= memFraction * (1 - hotProb) * P(cold
+    // misses LLC) * 1000.
+
+    // Interpreters: tight bytecode dispatch loops over small heaps
+    // (MPKI well below 1).
+    v.push_back({"ruby", 800000000, 64 * mb, 64 * kb, 0.99800,
+                 0.30, 2.1, false});
+    v.push_back({"golang", 800000000, 64 * mb, 96 * kb, 0.99880,
+                 0.28, 2.4, false});
+    v.push_back({"python", 800000000, 64 * mb, 48 * kb, 0.99720,
+                 0.32, 1.9, false});
+
+    // Services: larger working sets, still computation-intensive
+    // (MPKI between 1 and 10).
+    v.push_back({"mysql", 800000000, 96 * mb, 1024 * kb, 0.98500,
+                 0.38, 1.8, false});
+    v.push_back({"traefik", 800000000, 64 * mb, 512 * kb, 0.99000,
+                 0.33, 2.2, false});
+    v.push_back({"ghost", 800000000, 80 * mb, 768 * kb, 0.98000,
+                 0.36, 1.9, false});
+
+    // Web servers: request/response buffers stream through the
+    // cache with little reuse (MPKI above 10).
+    v.push_back({"apache", 800000000, 128 * mb, 256 * kb, 0.94700,
+                 0.42, 1.6, true});
+    v.push_back({"nginx", 800000000, 112 * mb, 192 * kb, 0.95600,
+                 0.40, 1.8, true});
+    v.push_back({"tomcat", 800000000, 160 * mb, 384 * kb, 0.93500,
+                 0.45, 1.5, true});
+
+    return v;
+}
+
+} // anonymous namespace
+
+const std::vector<DockerImageSpec> &
+dockerCatalog()
+{
+    static const std::vector<DockerImageSpec> catalog =
+        buildCatalog();
+    return catalog;
+}
+
+const DockerImageSpec &
+dockerImage(const std::string &name)
+{
+    for (const auto &spec : dockerCatalog())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown docker image: " + name);
+}
+
+std::unique_ptr<PhaseWorkload>
+makeDockerWorkload(const DockerImageSpec &spec, Addr base,
+                   Random rng)
+{
+    double mem_frac = spec.memFraction;
+
+    // Entrypoint startup: interpreter/library load over a small,
+    // quickly-warmed working set.  Kept cache-cheap so it does not
+    // distort the image's steady-state MPKI signature.
+    Phase entry;
+    entry.name = spec.name + "-entry";
+    entry.instructions = spec.instructions / 100;
+    entry.loadFrac = 0.30;
+    entry.storeFrac = 0.25;
+    entry.branchFrac = 0.12;
+    entry.baseIpc = 1.8;
+    entry.mem = MemPatternSpec::randomUniform(64 * 1024, 0.6);
+
+    Phase steady;
+    steady.name = spec.name + "-steady";
+    steady.instructions = spec.instructions;
+    steady.loadFrac = mem_frac * 0.72;
+    steady.storeFrac = mem_frac * 0.28;
+    steady.branchFrac = 0.16;
+    steady.mulFrac = 0.03;
+    steady.baseIpc = spec.baseIpc;
+    steady.mem = MemPatternSpec::hotCold(spec.hotBytes,
+                                         spec.footprintBytes,
+                                         spec.hotProbability, 0.3);
+
+    return std::make_unique<PhaseWorkload>(
+        spec.name, std::vector<Phase>{entry, steady}, base, rng);
+}
+
+namespace
+{
+
+/**
+ * containerd-shim: set up the container, fork the entrypoint,
+ * wait for it, tear down.
+ */
+class ShimBehavior : public kernel::ServiceBehavior
+{
+  public:
+    ShimBehavior(Container *container, const DockerImageSpec &spec,
+                 CoreId core)
+        : container_(container), spec_(spec), core_(core)
+    {
+    }
+
+    kernel::ServiceOp
+    nextOp(kernel::Kernel &kernel, kernel::Process &self) override
+    {
+        using Op = kernel::ServiceOp;
+        switch (step_++) {
+          case 0:
+            // Image unpack / namespace setup.
+            return Op::makeCompute(msToTicks(1.5), 512 * 1024);
+          case 1:
+            // fork+exec of the entrypoint.
+            return Op::makeSyscall(
+                [this](kernel::Kernel &k, kernel::Process &shim) {
+                    kernel::Process *child = k.createWorkload(
+                        spec_.name, container_->workload.get(),
+                        core_, shim.pid());
+                    container_->entry = child;
+                    k.startProcess(child);
+                    k.onExit(child->pid(), [this, &k] {
+                        k.wakeAll(done_);
+                    });
+                },
+                usToTicks(180), 64 * 1024);
+          case 2:
+            if (container_->entry &&
+                container_->entry->state() !=
+                    kernel::ProcState::zombie) {
+                --step_; // re-block if woken spuriously
+                return Op::makeBlock(&done_);
+            }
+            return Op::makeSyscall({}, usToTicks(60)); // reap child
+          default:
+            (void)self;
+            return Op::makeExit();
+        }
+    }
+
+  private:
+    Container *container_;
+    DockerImageSpec spec_;
+    CoreId core_;
+    kernel::WaitChannel done_;
+    int step_ = 0;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Container>
+launchContainer(kernel::Kernel &kernel, const DockerImageSpec &spec,
+                CoreId core, Addr base, Random rng)
+{
+    auto container = std::make_unique<Container>();
+    container->workload = makeDockerWorkload(spec, base, rng);
+    auto behavior = std::make_unique<ShimBehavior>(container.get(),
+                                                   spec, core);
+    container->shim = kernel.createService(
+        spec.name + "-shim", behavior.get(), core);
+    container->shimBehavior = std::move(behavior);
+    kernel.startProcess(container->shim);
+    return container;
+}
+
+} // namespace klebsim::workload

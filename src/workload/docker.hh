@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Docker container models (paper case study IV-B).
+ *
+ * Each popular Docker Hub image is modeled as a workload with a
+ * characteristic instruction mix, memory footprint, and locality —
+ * the knobs that determine its LLC misses-per-kilo-instruction
+ * (MPKI), which the paper uses to classify images as
+ * computation-intensive (MPKI < 10) or memory-intensive
+ * (MPKI > 10) following Muralidhara et al.
+ *
+ * A container launches as the real engine does: a containerd-shim
+ * service process forks the image's entrypoint as a child, so the
+ * monitored "program" spans multiple PIDs — exactly the situation
+ * K-LEB's descendant tracing handles.
+ */
+
+#ifndef KLEBSIM_WORKLOAD_DOCKER_HH
+#define KLEBSIM_WORKLOAD_DOCKER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "kernel/kernel.hh"
+#include "phase_workload.hh"
+
+namespace klebsim::workload
+{
+
+/** Workload classification thresholds (Muralidhara et al.). */
+constexpr double memoryIntensiveMpki = 10.0;
+
+/** Static description of one Docker image's behaviour. */
+struct DockerImageSpec
+{
+    std::string name;
+
+    /** Instructions the containerized program retires. */
+    std::uint64_t instructions = 800000000;
+
+    /** Total data footprint. */
+    std::uint64_t footprintBytes = 0;
+
+    /** Hot working-set size. */
+    std::uint64_t hotBytes = 0;
+
+    /** Probability an access hits the hot set. */
+    double hotProbability = 0.9;
+
+    /** Fraction of instructions that access memory. */
+    double memFraction = 0.35;
+
+    double baseIpc = 2.0;
+
+    /** Expected classification (for tests/reports). */
+    bool expectMemoryIntensive = false;
+};
+
+/**
+ * The nine Docker Hub images the paper profiles, ordered as in
+ * Fig. 5: interpreters (ruby, golang, python), services (mysql,
+ * traefik, ghost), web servers (apache, nginx, tomcat).
+ */
+const std::vector<DockerImageSpec> &dockerCatalog();
+
+/** Look up a catalog image by name; fatal() if unknown. */
+const DockerImageSpec &dockerImage(const std::string &name);
+
+/** Build the image's workload. */
+std::unique_ptr<PhaseWorkload>
+makeDockerWorkload(const DockerImageSpec &spec, Addr base,
+                   Random rng);
+
+/**
+ * A launched container: the shim process tree.
+ */
+struct Container
+{
+    kernel::Process *shim = nullptr;  //!< containerd-shim parent
+    kernel::Process *entry = nullptr; //!< image entrypoint child
+
+    /** Workload backing the entrypoint (owned). */
+    std::unique_ptr<PhaseWorkload> workload;
+
+    /** Shim script (owned). */
+    std::unique_ptr<kernel::ServiceBehavior> shimBehavior;
+};
+
+/**
+ * Launch @p spec as a container on @p core: creates the shim
+ * service, which after a startup delay forks and starts the
+ * entrypoint workload, then waits for it and exits.
+ *
+ * @return the container handle; monitor container.shim->pid() with
+ *         descendant tracing to cover the whole tree.
+ */
+std::unique_ptr<Container>
+launchContainer(kernel::Kernel &kernel, const DockerImageSpec &spec,
+                CoreId core, Addr base, Random rng);
+
+} // namespace klebsim::workload
+
+#endif // KLEBSIM_WORKLOAD_DOCKER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LINPACK benchmark model (paper case study IV-A).
+ *
+ * The Intel MKL LINPACK binary solves a dense linear system: after
+ * a kernel-heavy initialization and a load/store-heavy matrix
+ * setup, each trial alternates load -> multiply-accumulate ->
+ * store phases (the pattern K-LEB's Fig. 4 time series makes
+ * visible), and reports performance in GFLOPS.
+ *
+ * The paper ran N=5000 with 10 trials (~22 s at 37 GFLOPS); the
+ * default here is a smaller N so whole tool-comparison sweeps stay
+ * tractable — the phase structure and the FLOPS-vs-overhead
+ * sensitivity are unchanged (DESIGN.md section 7).
+ */
+
+#ifndef KLEBSIM_WORKLOAD_LINPACK_HH
+#define KLEBSIM_WORKLOAD_LINPACK_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "phase_workload.hh"
+
+namespace klebsim::workload
+{
+
+/** LINPACK problem parameters. */
+struct LinpackParams
+{
+    /** Problem size (matrix dimension). */
+    std::uint32_t n = 1200;
+
+    /** Number of solve trials in one run. */
+    std::uint32_t trials = 10;
+
+    /** Visible load/compute/store repetitions per trial. */
+    std::uint32_t blocksPerTrial = 8;
+};
+
+/** Total FLOPs of a run: trials * (2/3 n^3 + 2 n^2). */
+double linpackFlops(const LinpackParams &params);
+
+/** GFLOPS given a measured wall-clock lifetime. */
+double linpackGflops(const LinpackParams &params, Tick lifetime);
+
+/**
+ * Build the LINPACK workload.
+ *
+ * @param base data-region base address
+ * @param rng per-run stochastic stream
+ */
+std::unique_ptr<PhaseWorkload>
+makeLinpack(const LinpackParams &params, Addr base, Random rng);
+
+} // namespace klebsim::workload
+
+#endif // KLEBSIM_WORKLOAD_LINPACK_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Matrix-multiplication programs used in the paper's overhead study
+ * (section V): the Intel-sample triple-nested loop (~2 s) and the
+ * Intel MKL dgemm routine (<100 ms), which together expose how
+ * per-sample costs and fixed setup costs trade off across tools
+ * (Tables II and III).
+ */
+
+#ifndef KLEBSIM_WORKLOAD_MATMUL_HH
+#define KLEBSIM_WORKLOAD_MATMUL_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "phase_workload.hh"
+
+namespace klebsim::workload
+{
+
+/** Matmul problem parameters. */
+struct MatMulParams
+{
+    /** Matrix dimension (A, B, C are n x n doubles). */
+    std::uint32_t n = 1000;
+};
+
+/** FLOPs of one multiply: 2 n^3. */
+double matmulFlops(const MatMulParams &params);
+
+/**
+ * Naive triple-nested-loop multiply: low IPC, column-strided B
+ * accesses with poor locality, ~2 s at n=1000 on the i7-920 model.
+ */
+std::unique_ptr<PhaseWorkload>
+makeMatMulLoop(const MatMulParams &params, Addr base, Random rng);
+
+/**
+ * MKL-style blocked dgemm: packed arithmetic, cache-blocked
+ * accesses, <100 ms at n=1000.
+ */
+std::unique_ptr<PhaseWorkload>
+makeMatMulMkl(const MatMulParams &params, Addr base, Random rng);
+
+} // namespace klebsim::workload
+
+#endif // KLEBSIM_WORKLOAD_MATMUL_HH

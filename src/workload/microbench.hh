@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tiny deterministic work sources for unit tests: fixed chunk lists
+ * with exactly known event counts and durations.
+ */
+
+#ifndef KLEBSIM_WORKLOAD_MICROBENCH_HH
+#define KLEBSIM_WORKLOAD_MICROBENCH_HH
+
+#include <vector>
+
+#include "hw/exec_types.hh"
+
+namespace klebsim::workload
+{
+
+/**
+ * Emits a caller-supplied list of chunks, once.
+ */
+class FixedWorkSource : public hw::WorkSource
+{
+  public:
+    explicit FixedWorkSource(std::vector<hw::WorkChunk> chunks)
+        : chunks_(std::move(chunks))
+    {
+    }
+
+    bool done() const override { return idx_ >= chunks_.size(); }
+
+    hw::WorkChunk
+    nextChunk(hw::MemHierarchy &mem) override
+    {
+        (void)mem;
+        return chunks_[idx_++];
+    }
+
+    void reset() override { idx_ = 0; }
+
+    /** Chunks handed out so far. */
+    std::size_t emitted() const { return idx_; }
+
+  private:
+    std::vector<hw::WorkChunk> chunks_;
+    std::size_t idx_ = 0;
+};
+
+/**
+ * A pure-compute chunk with a simple mix; handy test fixture.
+ *
+ * @param instructions chunk size
+ * @param ipc base IPC (no memory accesses, so also effective IPC)
+ */
+inline hw::WorkChunk
+computeChunk(std::uint64_t instructions, double ipc = 2.0)
+{
+    hw::WorkChunk c;
+    c.instructions = instructions;
+    c.branches = instructions / 8;
+    c.mispredictRate = 0.0;
+    c.baseIpc = ipc;
+    return c;
+}
+
+/**
+ * A FixedWorkSource of @p n identical compute chunks.
+ */
+inline FixedWorkSource
+computeSource(std::size_t n, std::uint64_t instructions,
+              double ipc = 2.0)
+{
+    std::vector<hw::WorkChunk> chunks(n,
+                                      computeChunk(instructions,
+                                                   ipc));
+    return FixedWorkSource(std::move(chunks));
+}
+
+} // namespace klebsim::workload
+
+#endif // KLEBSIM_WORKLOAD_MICROBENCH_HH

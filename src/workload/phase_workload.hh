@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Phase-structured synthetic workloads.
+ *
+ * Programs are described as an ordered list of phases, each with an
+ * instruction budget, an instruction-class mix, an IPC, a memory
+ * pattern, and FLOP accounting.  The workload emits fixed-size
+ * WorkChunks from the current phase until its budget is spent, then
+ * moves on.  LINPACK, the matmul programs, and the Docker images
+ * are all instances of this IR.
+ */
+
+#ifndef KLEBSIM_WORKLOAD_PHASE_WORKLOAD_HH
+#define KLEBSIM_WORKLOAD_PHASE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "address_streams.hh"
+#include "base/random.hh"
+#include "base/types.hh"
+#include "hw/exec_types.hh"
+
+namespace klebsim::workload
+{
+
+/** One phase of a program. */
+struct Phase
+{
+    std::string name;
+
+    /** Instructions retired by the phase. */
+    std::uint64_t instructions = 0;
+
+    /** @{ Instruction-class fractions (of `instructions`). */
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double mulFrac = 0.0;
+    double divFrac = 0.0;
+    double fpFrac = 0.0;
+    /** @} */
+
+    double mispredictRate = 0.02;
+    double baseIpc = 2.0;
+
+    /** See WorkChunk::stallExposureScale (prefetch friendliness). */
+    double stallExposureScale = 1.0;
+
+    /** Total floating-point operations performed by the phase. */
+    double flops = 0.0;
+
+    MemPatternSpec mem;
+    hw::PrivLevel priv = hw::PrivLevel::user;
+};
+
+/**
+ * A WorkSource assembled from phases.
+ */
+class PhaseWorkload : public hw::WorkSource
+{
+  public:
+    /**
+     * @param name program name (for process naming / reports)
+     * @param phases executed in order
+     * @param base base address of the program's data region
+     * @param rng stochastic stream (address patterns)
+     * @param chunk_instructions chunking granularity
+     */
+    PhaseWorkload(std::string name, std::vector<Phase> phases,
+                  Addr base, Random rng,
+                  std::uint64_t chunk_instructions = 100000);
+
+    const std::string &name() const { return name_; }
+
+    /** @{ WorkSource interface. */
+    bool done() const override;
+    hw::WorkChunk nextChunk(hw::MemHierarchy &mem) override;
+    void reset() override;
+    /** @} */
+
+    /** Sum of all phase instruction budgets. */
+    std::uint64_t totalInstructions() const;
+
+    /** Sum of all phase FLOP budgets. */
+    double totalFlops() const;
+
+    /** Index of the phase the next chunk comes from. */
+    std::size_t currentPhase() const { return phaseIdx_; }
+
+  private:
+    void enterPhase(std::size_t idx);
+
+    std::string name_;
+    std::vector<Phase> phases_;
+    Addr base_;
+    Random masterRng_;
+    Random rng_;
+    std::uint64_t chunkInstr_;
+
+    std::size_t phaseIdx_;
+    std::uint64_t phaseRemaining_;
+
+    /** Warm the new phase's hot set on its first chunk. */
+    bool warmPending_ = false;
+    std::unique_ptr<hw::AddressStream> stream_;
+
+    /**
+     * Streams of completed phases, kept alive because the caller
+     * may still be executing the final chunk of a phase when
+     * enterPhase() builds the next stream (and zero-length phases
+     * can retire several in one call).  Streams are tiny; the list
+     * is bounded by the phase count and cleared on reset().
+     */
+    std::vector<std::unique_ptr<hw::AddressStream>> retired_;
+};
+
+/**
+ * Repeat a phase list @p times (helper for iterative programs).
+ */
+std::vector<Phase> repeatPhases(const std::vector<Phase> &body,
+                                std::size_t times);
+
+/** Concatenate phase lists. */
+std::vector<Phase> concatPhases(std::vector<Phase> a,
+                                const std::vector<Phase> &b);
+
+} // namespace klebsim::workload
+
+#endif // KLEBSIM_WORKLOAD_PHASE_WORKLOAD_HH

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/csv.hh"
+
+using klebsim::CsvWriter;
+
+TEST(Csv, HeaderAndRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.header({"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"3", "4"});
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(Csv, QuotesWhenNeeded)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+    EXPECT_EQ(os.str(),
+              "plain,\"has,comma\",\"has\"\"quote\",\"has\n"
+              "newline\"\n");
+}
+
+TEST(Csv, NumericRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.rowNumeric("metric", {1.5, 2.25}, 2);
+    EXPECT_EQ(os.str(), "metric,1.50,2.25\n");
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "base/ring_buffer.hh"
+
+using klebsim::RingBuffer;
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb(4);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_FALSE(rb.full());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 4u);
+    EXPECT_EQ(rb.freeSlots(), 4u);
+}
+
+TEST(RingBuffer, PushPopFifo)
+{
+    RingBuffer<int> rb(4);
+    EXPECT_TRUE(rb.push(1));
+    EXPECT_TRUE(rb.push(2));
+    EXPECT_TRUE(rb.push(3));
+    int v = 0;
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 3);
+    EXPECT_FALSE(rb.pop(v));
+}
+
+TEST(RingBuffer, RejectsWhenFull)
+{
+    RingBuffer<int> rb(2);
+    EXPECT_TRUE(rb.push(1));
+    EXPECT_TRUE(rb.push(2));
+    EXPECT_TRUE(rb.full());
+    EXPECT_FALSE(rb.push(3));
+    EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, WrapAround)
+{
+    RingBuffer<int> rb(3);
+    int v = 0;
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(rb.push(round * 2));
+        EXPECT_TRUE(rb.push(round * 2 + 1));
+        EXPECT_TRUE(rb.pop(v));
+        EXPECT_EQ(v, round * 2);
+        EXPECT_TRUE(rb.pop(v));
+        EXPECT_EQ(v, round * 2 + 1);
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, DrainAll)
+{
+    RingBuffer<int> rb(8);
+    for (int i = 0; i < 5; ++i)
+        rb.push(i);
+    auto out = rb.drain();
+    ASSERT_EQ(out.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, DrainBounded)
+{
+    RingBuffer<int> rb(8);
+    for (int i = 0; i < 6; ++i)
+        rb.push(i);
+    auto out = rb.drain(4);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[3], 3);
+    EXPECT_EQ(rb.size(), 2u);
+    int v;
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 4);
+}
+
+TEST(RingBuffer, DrainAcrossWrap)
+{
+    RingBuffer<int> rb(4);
+    rb.push(0);
+    rb.push(1);
+    int v;
+    rb.pop(v);
+    rb.pop(v);
+    // head is now at index 2; push 4 elements to wrap.
+    for (int i = 10; i < 14; ++i)
+        EXPECT_TRUE(rb.push(i));
+    auto out = rb.drain();
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out.front(), 10);
+    EXPECT_EQ(out.back(), 13);
+}
+
+TEST(RingBuffer, Clear)
+{
+    RingBuffer<int> rb(4);
+    rb.push(1);
+    rb.push(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_TRUE(rb.push(9));
+    int v;
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 9);
+}
+
+TEST(RingBuffer, CapacityOne)
+{
+    RingBuffer<int> rb(1);
+    EXPECT_TRUE(rb.push(7));
+    EXPECT_TRUE(rb.full());
+    EXPECT_FALSE(rb.push(8));
+    int v;
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(rb.push(8));
+}

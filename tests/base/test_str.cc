@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "base/str.hh"
+
+using namespace klebsim;
+
+TEST(Str, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 5, "ab"), "x=5 y=ab");
+    EXPECT_EQ(csprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(Str, CsprintfLongOutput)
+{
+    std::string big(500, 'a');
+    EXPECT_EQ(csprintf("%s!", big.c_str()), big + "!");
+}
+
+TEST(Str, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+    EXPECT_EQ(join({"x"}, ","), "x");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, ToFixed)
+{
+    EXPECT_EQ(toFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(toFixed(2.0, 0), "2");
+    EXPECT_EQ(toFixed(-0.5, 1), "-0.5");
+}
+
+TEST(Str, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+    EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("hello", "hello!"));
+    EXPECT_FALSE(startsWith("hello", "x"));
+}
+
+TEST(Str, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hw/cache.hh"
+
+using namespace klebsim;
+using namespace klebsim::hw;
+
+namespace
+{
+
+/** (size, ways, policy) sweep. */
+using CacheParam = std::tuple<std::uint64_t, std::uint32_t,
+                              ReplPolicy>;
+
+class CacheProperty
+    : public ::testing::TestWithParam<CacheParam>
+{
+  protected:
+    CacheGeometry
+    geom() const
+    {
+        auto [size, ways, policy] = GetParam();
+        return {size, ways, 64, policy};
+    }
+};
+
+} // namespace
+
+/** Property: an access to a just-accessed line always hits. */
+TEST_P(CacheProperty, ImmediateReuseAlwaysHits)
+{
+    Cache c("p", geom(), Random(1));
+    Random rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = rng.next64() % (1 << 26);
+        c.access(a, rng.chance(0.3));
+        EXPECT_TRUE(c.access(a, false)) << "addr " << a;
+    }
+}
+
+/** Property: hits + misses == accesses, always. */
+TEST_P(CacheProperty, StatsBalance)
+{
+    Cache c("p", geom(), Random(2));
+    Random rng(78);
+    for (int i = 0; i < 5000; ++i)
+        c.access(rng.next64() % (1 << 24), rng.chance(0.5));
+    EXPECT_EQ(c.stats().hits + c.stats().misses, 5000u);
+    EXPECT_EQ(c.stats().accesses(), 5000u);
+}
+
+/** Property: resident lines never exceed the capacity in lines. */
+TEST_P(CacheProperty, ResidencyBounded)
+{
+    Cache c("p", geom(), Random(3));
+    Random rng(79);
+    std::uint64_t capacity_lines = geom().sizeBytes / 64;
+    for (int i = 0; i < 5000; ++i) {
+        c.access(rng.next64() % (1 << 28), false);
+        ASSERT_LE(c.residentLines(), capacity_lines);
+    }
+    // A long stream fills the cache completely.
+    for (Addr a = 0; a < geom().sizeBytes * 4; a += 64)
+        c.access(a, false);
+    EXPECT_EQ(c.residentLines(), capacity_lines);
+}
+
+/** Property: evictions == misses - lines resident at the end. */
+TEST_P(CacheProperty, EvictionAccounting)
+{
+    Cache c("p", geom(), Random(4));
+    Random rng(80);
+    for (int i = 0; i < 4000; ++i)
+        c.access(rng.next64() % (1 << 26), false);
+    EXPECT_EQ(c.stats().evictions,
+              c.stats().misses - c.residentLines());
+}
+
+/** Property: a working set within one way-worth per set is stable. */
+TEST_P(CacheProperty, SmallWorkingSetStable)
+{
+    Cache c("p", geom(), Random(5));
+    // One line per set: footprint = sets * lineSize.
+    std::uint64_t footprint = geom().sets() * 64;
+    for (int round = 0; round < 4; ++round)
+        for (Addr a = 0; a < footprint; a += 64)
+            c.access(a, false);
+    // After the cold round, everything hits.
+    EXPECT_EQ(c.stats().misses, footprint / 64);
+}
+
+/** Property: flushAll leaves an empty cache that re-misses. */
+TEST_P(CacheProperty, FlushAllResets)
+{
+    Cache c("p", geom(), Random(6));
+    for (Addr a = 0; a < 4096; a += 64)
+        c.access(a, false);
+    c.flushAll();
+    EXPECT_EQ(c.residentLines(), 0u);
+    c.resetStats();
+    for (Addr a = 0; a < 4096; a += 64)
+        EXPECT_FALSE(c.access(a, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(
+        CacheParam{4096, 1, ReplPolicy::lru},       // direct-mapped
+        CacheParam{32768, 8, ReplPolicy::lru},      // L1-like
+        CacheParam{262144, 8, ReplPolicy::lru},     // L2-like
+        CacheParam{32768, 8, ReplPolicy::treePlru},
+        CacheParam{32768, 8, ReplPolicy::random},
+        CacheParam{49152, 12, ReplPolicy::lru},     // non-pow2 ways
+        CacheParam{196608, 3, ReplPolicy::random}), // non-pow2 sets
+    [](const ::testing::TestParamInfo<CacheParam> &info) {
+        // Note: no structured bindings here — the unparenthesized
+        // commas would split the INSTANTIATE macro's arguments.
+        std::uint64_t size = std::get<0>(info.param);
+        std::uint32_t ways = std::get<1>(info.param);
+        ReplPolicy policy = std::get<2>(info.param);
+        const char *pol =
+            policy == ReplPolicy::lru
+                ? "lru"
+                : policy == ReplPolicy::random ? "rand" : "plru";
+        return std::to_string(size / 1024) + "k_w" +
+               std::to_string(ways) + "_" + pol;
+    });

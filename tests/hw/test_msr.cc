@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "hw/msr.hh"
+
+using namespace klebsim::hw;
+
+namespace
+{
+
+class FakeDevice : public MsrDevice
+{
+  public:
+    bool
+    decodesMsr(std::uint32_t addr) const override
+    {
+        return addr >= 0x100 && addr < 0x110;
+    }
+
+    std::uint64_t
+    readMsr(std::uint32_t addr) override
+    {
+        reads.push_back(addr);
+        return 0xdead0000 + addr;
+    }
+
+    void
+    writeMsr(std::uint32_t addr, std::uint64_t value) override
+    {
+        writes.emplace_back(addr, value);
+    }
+
+    std::vector<std::uint32_t> reads;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> writes;
+};
+
+} // namespace
+
+TEST(MsrFile, BackingStoreDefaultsToZero)
+{
+    MsrFile file;
+    EXPECT_EQ(file.read(0x10), 0u);
+}
+
+TEST(MsrFile, BackingStoreRoundTrip)
+{
+    MsrFile file;
+    file.write(0x10, 0x1234);
+    EXPECT_EQ(file.read(0x10), 0x1234u);
+}
+
+TEST(MsrFile, DeviceRouting)
+{
+    MsrFile file;
+    FakeDevice dev;
+    file.attach(&dev);
+    EXPECT_EQ(file.read(0x105), 0xdead0105u);
+    file.write(0x106, 42);
+    ASSERT_EQ(dev.writes.size(), 1u);
+    EXPECT_EQ(dev.writes[0].first, 0x106u);
+    // Outside the device range falls back to backing store.
+    file.write(0x50, 9);
+    EXPECT_EQ(file.read(0x50), 9u);
+    EXPECT_EQ(dev.reads.size(), 1u);
+}
+
+TEST(MsrFile, LaterDeviceShadows)
+{
+    MsrFile file;
+    FakeDevice a, b;
+    file.attach(&a);
+    file.attach(&b);
+    file.read(0x100);
+    EXPECT_TRUE(a.reads.empty());
+    EXPECT_EQ(b.reads.size(), 1u);
+}

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "hw/perf_event.hh"
+
+using namespace klebsim::hw;
+
+TEST(PerfEvent, CatalogComplete)
+{
+    for (std::size_t i = 0; i < numHwEvents; ++i) {
+        auto ev = static_cast<HwEvent>(i);
+        const EventInfo &info = eventInfo(ev);
+        EXPECT_EQ(info.event, ev);
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_GT(std::string(info.name).size(), 0u);
+    }
+}
+
+TEST(PerfEvent, NamesUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < numHwEvents; ++i)
+        names.insert(eventName(static_cast<HwEvent>(i)));
+    EXPECT_EQ(names.size(), numHwEvents);
+}
+
+TEST(PerfEvent, SelectorsUnique)
+{
+    std::set<std::pair<int, int>> sels;
+    for (std::size_t i = 0; i < numHwEvents; ++i) {
+        const EventInfo &info = eventInfo(static_cast<HwEvent>(i));
+        sels.insert({info.code, info.umask});
+    }
+    EXPECT_EQ(sels.size(), numHwEvents);
+}
+
+TEST(PerfEvent, LookupByName)
+{
+    auto ev = eventByName("LLC_MISSES");
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, HwEvent::llcMiss);
+    EXPECT_FALSE(eventByName("NOT_AN_EVENT").has_value());
+}
+
+TEST(PerfEvent, LookupBySelector)
+{
+    const EventInfo &info = eventInfo(HwEvent::llcReference);
+    auto ev = eventBySelector(info.code, info.umask);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, HwEvent::llcReference);
+    EXPECT_FALSE(eventBySelector(0xff, 0xff).has_value());
+}
+
+TEST(PerfEvent, ArchitecturalFlags)
+{
+    EXPECT_TRUE(eventInfo(HwEvent::instRetired).architectural);
+    EXPECT_TRUE(eventInfo(HwEvent::loadRetired).architectural);
+    EXPECT_FALSE(eventInfo(HwEvent::llcMiss).architectural);
+    EXPECT_FALSE(
+        eventInfo(HwEvent::branchMispredicted).architectural);
+}
+
+TEST(PerfEvent, EventVectorHelpers)
+{
+    EventVector a = zeroEvents();
+    EXPECT_EQ(at(a, HwEvent::llcMiss), 0u);
+    at(a, HwEvent::llcMiss) = 5;
+    EventVector b = zeroEvents();
+    at(b, HwEvent::llcMiss) = 7;
+    at(b, HwEvent::instRetired) = 100;
+    accumulate(a, b);
+    EXPECT_EQ(at(a, HwEvent::llcMiss), 12u);
+    EXPECT_EQ(at(a, HwEvent::instRetired), 100u);
+}

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "hw/pmu.hh"
+
+using namespace klebsim::hw;
+namespace msrns = klebsim::hw::msr;
+
+namespace
+{
+
+EventVector
+deltas(std::initializer_list<std::pair<HwEvent, std::uint64_t>> xs)
+{
+    EventVector v = zeroEvents();
+    for (auto [ev, n] : xs)
+        at(v, ev) = n;
+    return v;
+}
+
+} // namespace
+
+TEST(Pmu, ProgrammableCounterCounts)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 7}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 7u);
+}
+
+TEST(Pmu, DisabledCounterDoesNotCount)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    // Global enable never set.
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 7}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 0u);
+}
+
+TEST(Pmu, GlobalDisableFreezes)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 3}}), PrivLevel::user);
+    pmu.globalDisable();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 5}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 3u);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 5}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 8u);
+}
+
+TEST(Pmu, PrivilegeFilters)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss, true, false);  // usr
+    pmu.programCounter(1, HwEvent::llcMiss, false, true);  // os
+    pmu.programCounter(2, HwEvent::llcMiss, true, true);   // both
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 2}}), PrivLevel::user);
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 5}}),
+                  PrivLevel::kernel);
+    EXPECT_EQ(pmu.counterValue(0), 2u);
+    EXPECT_EQ(pmu.counterValue(1), 5u);
+    EXPECT_EQ(pmu.counterValue(2), 7u);
+}
+
+TEST(Pmu, FixedCounters)
+{
+    Pmu pmu;
+    pmu.programFixed(0, true, false);
+    pmu.programFixed(1, true, true);
+    pmu.programFixed(2, false, true);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::instRetired, 100},
+                          {HwEvent::coreCycles, 50},
+                          {HwEvent::refCycles, 49}}),
+                  PrivLevel::user);
+    pmu.addEvents(deltas({{HwEvent::instRetired, 10},
+                          {HwEvent::coreCycles, 5},
+                          {HwEvent::refCycles, 4}}),
+                  PrivLevel::kernel);
+    EXPECT_EQ(pmu.fixedValue(0), 100u);
+    EXPECT_EQ(pmu.fixedValue(1), 55u);
+    EXPECT_EQ(pmu.fixedValue(2), 4u);
+}
+
+TEST(Pmu, CounterIndependence)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    pmu.programCounter(1, HwEvent::branchRetired);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 2},
+                          {HwEvent::branchRetired, 9}}),
+                  PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 2u);
+    EXPECT_EQ(pmu.counterValue(1), 9u);
+}
+
+TEST(Pmu, MsrInterfaceRoundTrip)
+{
+    Pmu pmu;
+    EXPECT_TRUE(pmu.decodesMsr(msrns::ia32Pmc0));
+    EXPECT_TRUE(pmu.decodesMsr(msrns::ia32Perfevtsel0 + 3));
+    EXPECT_TRUE(pmu.decodesMsr(msrns::ia32FixedCtrCtrl));
+    EXPECT_FALSE(pmu.decodesMsr(msrns::ia32Tsc));
+
+    // Program PMC1 to LLC_MISSES via raw MSR writes, as the real
+    // K-LEB module would with wrmsr.
+    const EventInfo &info = eventInfo(HwEvent::llcMiss);
+    std::uint64_t sel = info.code |
+                        (std::uint64_t(info.umask) << 8) |
+                        (1ULL << 16) | (1ULL << 22);
+    pmu.writeMsr(msrns::ia32Perfevtsel0 + 1, sel);
+    pmu.writeMsr(msrns::ia32PerfGlobalCtrl, 0x2);
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 4}}), PrivLevel::user);
+    EXPECT_EQ(pmu.readMsr(msrns::ia32Pmc0 + 1), 4u);
+    EXPECT_EQ(pmu.readMsr(msrns::ia32Perfevtsel0 + 1), sel);
+}
+
+TEST(Pmu, Rdpmc)
+{
+    Pmu pmu;
+    pmu.programCounter(2, HwEvent::storeRetired);
+    pmu.programFixed(0, true, true);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::storeRetired, 11},
+                          {HwEvent::instRetired, 99}}),
+                  PrivLevel::user);
+    EXPECT_EQ(pmu.rdpmc(2), 11u);
+    EXPECT_EQ(pmu.rdpmc(Pmu::rdpmcFixedFlag | 0), 99u);
+}
+
+TEST(Pmu, CounterWidth48Bits)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    pmu.globalEnableAll();
+    pmu.setCounterValue(0, Pmu::counterMask - 1);
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 3}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 1u); // wrapped
+}
+
+TEST(Pmu, OverflowCallback)
+{
+    Pmu pmu;
+    std::vector<int> overflows;
+    pmu.setOverflowCallback([&](int idx) {
+        overflows.push_back(idx);
+    });
+    pmu.programCounter(0, HwEvent::llcMiss, true, false, true);
+    pmu.globalEnableAll();
+    pmu.setCounterValue(0, Pmu::counterMask - 9);
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 10}}),
+                  PrivLevel::user);
+    ASSERT_EQ(overflows.size(), 1u);
+    EXPECT_EQ(overflows[0], 0);
+    // Overflow status bit visible and clearable via OVF_CTRL.
+    EXPECT_EQ(pmu.readMsr(msrns::ia32PerfGlobalStatus) & 1, 1u);
+    pmu.writeMsr(msrns::ia32PerfGlobalOvfCtrl, 1);
+    EXPECT_EQ(pmu.readMsr(msrns::ia32PerfGlobalStatus) & 1, 0u);
+}
+
+TEST(Pmu, NoPmiNoCallback)
+{
+    Pmu pmu;
+    int called = 0;
+    pmu.setOverflowCallback([&](int) { ++called; });
+    pmu.programCounter(0, HwEvent::llcMiss, true, false, false);
+    pmu.globalEnableAll();
+    pmu.setCounterValue(0, Pmu::counterMask);
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 1}}), PrivLevel::user);
+    EXPECT_EQ(called, 0);
+    EXPECT_EQ(pmu.counterValue(0), 0u);
+}
+
+TEST(Pmu, ClearCounter)
+{
+    Pmu pmu;
+    pmu.programCounter(0, HwEvent::llcMiss);
+    pmu.globalEnableAll();
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 5}}), PrivLevel::user);
+    pmu.clearCounter(0);
+    EXPECT_EQ(pmu.counterValue(0), 0u);
+    EXPECT_FALSE(pmu.counterActive(0));
+    pmu.addEvents(deltas({{HwEvent::llcMiss, 5}}), PrivLevel::user);
+    EXPECT_EQ(pmu.counterValue(0), 0u);
+}
+
+TEST(Pmu, CounterEventDecoding)
+{
+    Pmu pmu;
+    pmu.programCounter(3, HwEvent::arithMul);
+    ASSERT_TRUE(pmu.counterEvent(3).has_value());
+    EXPECT_EQ(*pmu.counterEvent(3), HwEvent::arithMul);
+    EXPECT_FALSE(pmu.counterEvent(0).has_value());
+}

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hw/timer_device.hh"
+
+using namespace klebsim;
+using namespace klebsim::ticks_literals;
+using hw::TimerDevice;
+using hw::TimerJitterModel;
+
+TEST(TimerDevice, IdealTimerFiresExactly)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1), TimerJitterModel::ideal());
+    Tick fired_at = 0;
+    dev.arm(100_us, [&] { fired_at = eq.curTick(); });
+    EXPECT_TRUE(dev.armed());
+    eq.runAll();
+    EXPECT_EQ(fired_at, 100_us);
+    EXPECT_FALSE(dev.armed());
+    EXPECT_EQ(dev.lastLateness(), 0u);
+}
+
+TEST(TimerDevice, CancelPreventsFiring)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1), TimerJitterModel::ideal());
+    int fired = 0;
+    dev.arm(100_us, [&] { ++fired; });
+    dev.cancel();
+    EXPECT_FALSE(dev.armed());
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerDevice, CancelIdleIsNoop)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1));
+    dev.cancel();
+    EXPECT_FALSE(dev.armed());
+}
+
+TEST(TimerDevice, JitterIsNonNegativeAndBounded)
+{
+    sim::EventQueue eq;
+    TimerJitterModel jm;
+    jm.sigma = usToTicks(2);
+    jm.maxLateness = usToTicks(10);
+    jm.spikeProbability = 0.1;
+    jm.spikeLateness = usToTicks(8);
+    TimerDevice dev("t", eq, Random(42), jm);
+
+    for (int i = 0; i < 200; ++i) {
+        Tick expect = eq.curTick() + 100_us;
+        Tick fired_at = 0;
+        dev.arm(100_us, [&] { fired_at = eq.curTick(); });
+        eq.runAll();
+        ASSERT_GE(fired_at, expect);
+        ASSERT_LE(fired_at - expect, jm.maxLateness);
+    }
+}
+
+TEST(TimerDevice, JitterHasSpread)
+{
+    sim::EventQueue eq;
+    TimerJitterModel jm;
+    jm.sigma = usToTicks(2);
+    jm.maxLateness = usToTicks(25);
+    TimerDevice dev("t", eq, Random(42), jm);
+
+    std::set<Tick> latenesses;
+    for (int i = 0; i < 50; ++i) {
+        dev.arm(100_us, [] {});
+        eq.runAll();
+        latenesses.insert(dev.lastLateness());
+    }
+    EXPECT_GT(latenesses.size(), 10u);
+}
+
+TEST(TimerDevice, RearmFromCallback)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1), TimerJitterModel::ideal());
+    int fired = 0;
+    std::function<void()> cb = [&] {
+        if (++fired < 3)
+            dev.arm(10_us, cb);
+    };
+    dev.arm(10_us, cb);
+    eq.runAll();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 30_us);
+}
+
+TEST(TimerDeviceDeath, DoubleArm)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1));
+    dev.arm(10_us, [] {});
+    EXPECT_DEATH(dev.arm(10_us, [] {}), "armed twice");
+    dev.cancel();
+}

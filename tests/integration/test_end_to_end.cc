@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "tools/perf.hh"
+#include "workload/linpack.hh"
+#include "workload/matmul.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+/**
+ * The quickstart flow: monitor a real (scaled) workload with the
+ * public API and sanity-check everything that comes out.
+ */
+TEST(EndToEnd, MonitorLinpack)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    workload::LinpackParams params;
+    params.n = 400;
+    params.trials = 2;
+    params.blocksPerTrial = 4;
+    auto linpack = workload::makeLinpack(params, 0x100000000ULL,
+                                         sys.forkRng(1));
+    Process *target =
+        sys.kernel().createWorkload("linpack", linpack.get(), 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired, hw::HwEvent::arithMul,
+                   hw::HwEvent::loadRetired,
+                   hw::HwEvent::storeRetired};
+    opts.period = 200_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    ASSERT_EQ(target->state(), ProcState::zombie);
+    ASSERT_TRUE(session.finished());
+    stats::TimeSeries deltas = session.deltaSeries();
+    ASSERT_GT(deltas.size(), 10u);
+
+    // Fig. 4's signature: a store-heavy setup phase before the
+    // mul-heavy compute phases.  Verify MUL activity is
+    // concentrated later than the early samples.
+    auto muls = deltas.channel("ARITH_MUL");
+    double early = 0, late = 0;
+    for (std::size_t i = 0; i < muls.size() / 4; ++i)
+        early += muls[i];
+    for (std::size_t i = muls.size() / 4; i < muls.size(); ++i)
+        late += muls[i];
+    EXPECT_GT(late, early);
+
+    // Totals match ground truth exactly.
+    const hw::EventVector &truth =
+        target->execContext()->totalEvents();
+    hw::EventVector reported = session.finalTotals();
+    // Linpack's init phase runs at kernel priv; user-mode counters
+    // see everything else.
+    EXPECT_LE(at(reported, hw::HwEvent::instRetired),
+              at(truth, hw::HwEvent::instRetired));
+    EXPECT_GT(at(reported, hw::HwEvent::instRetired),
+              at(truth, hw::HwEvent::instRetired) * 9 / 10);
+}
+
+TEST(EndToEnd, HundredMicrosecondSampling)
+{
+    System sys(hw::MachineConfig::corei7_920(), 2, quietCosts());
+    workload::MatMulParams params{260}; // ~40 ms of work
+    auto mm = workload::makeMatMulLoop(params, 0x100000000ULL,
+                                       sys.forkRng(2));
+    Process *target =
+        sys.kernel().createWorkload("matmul", mm.get(), 0);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us; // the paper's headline rate
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    ASSERT_TRUE(session.finished());
+    stats::TimeSeries series = session.series();
+    ASSERT_GT(series.size(), 100u);
+    // Mean sampling interval within 15% of 100 us despite jitter
+    // and scheduling.
+    EXPECT_NEAR(series.meanInterval(),
+                static_cast<double>(100_us),
+                static_cast<double>(15_us));
+}
+
+TEST(EndToEnd, SamplingRate100xFasterThanPerfFloor)
+{
+    // The paper's headline: 100 us K-LEB vs 10 ms perf floor.
+    EXPECT_EQ(klebsim::tools::PerfStatSession::minInterval,
+              10_ms);
+    EXPECT_EQ(10_ms / 100_us, 100u);
+}

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "hw/timer_device.hh"
+#include "kernel/system.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+TEST(HrTimer, PeriodicFiresAtRate)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    std::vector<Tick> fired;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { fired.push_back(sys.now()); }, usToTicks(1),
+        0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(100_us);
+    sys.run(1050_us);
+    timer->cancel();
+    ASSERT_EQ(fired.size(), 10u);
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], (i + 1) * 100_us);
+    EXPECT_EQ(timer->expiries(), 10u);
+}
+
+TEST(HrTimer, JitterDoesNotDrift)
+{
+    System sys(hw::MachineConfig::corei7_920(), 7, quietCosts());
+    std::vector<Tick> fired;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { fired.push_back(sys.now()); }, usToTicks(1),
+        0);
+    // Default jitter model active; deadline-based re-arm keeps the
+    // long-run rate exact (hrtimer_forward semantics).
+    timer->startPeriodic(100_us);
+    sys.run(100 * 100_us + 50_us);
+    timer->cancel();
+    ASSERT_GE(fired.size(), 99u);
+    // The i-th expiry stays within max jitter of its deadline: no
+    // accumulation.
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+        Tick deadline = (i + 1) * 100_us;
+        ASSERT_GE(fired[i], deadline);
+        ASSERT_LE(fired[i] - deadline, usToTicks(25));
+    }
+}
+
+TEST(HrTimer, OneShot)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    std::vector<Tick> fired;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { fired.push_back(sys.now()); }, 0, 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startOneShot(3_ms);
+    sys.run(10_ms);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 3_ms);
+    EXPECT_FALSE(timer->active());
+}
+
+TEST(HrTimer, CancelStopsFiring)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    int fired = 0;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { ++fired; }, 0, 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(1_ms);
+    sys.run(2500_us);
+    EXPECT_EQ(fired, 2);
+    timer->cancel();
+    sys.run(10_ms);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(HrTimer, InterruptStealsTimeFromWorkload)
+{
+    CostModel costs = quietCosts();
+    System sys(hw::MachineConfig::corei7_920(), 1, costs);
+
+    // Baseline: no timer.
+    FixedWorkSource src_base = computeSource(20, 1000000, 2.0);
+    Process *base =
+        sys.kernel().createWorkload("base", &src_base, 1);
+    sys.kernel().startProcess(base);
+
+    // Same work on core 0 with a 100 us timer whose handler costs
+    // 5 us: ~5% slowdown expected.
+    FixedWorkSource src_t = computeSource(20, 1000000, 2.0);
+    Process *timed = sys.kernel().createWorkload("timed", &src_t, 0);
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [] {}, usToTicks(5), 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(100_us);
+    sys.kernel().startProcess(timed);
+
+    sys.run(50_ms);
+    timer->cancel();
+    sys.run();
+
+    ASSERT_EQ(base->state(), ProcState::zombie);
+    ASSERT_EQ(timed->state(), ProcState::zombie);
+    double slowdown =
+        static_cast<double>(timed->lifetime()) /
+        static_cast<double>(base->lifetime());
+    // interruptEntry (0.6us) + handler (5us) every 100us ~= 5.6%.
+    EXPECT_GT(slowdown, 1.04);
+    EXPECT_LT(slowdown, 1.08);
+}
+
+TEST(HrTimer, HwInterruptsCounted)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    hw::Pmu &pmu = sys.core(0).pmu();
+    pmu.programCounter(0, hw::HwEvent::hwInterrupts, true, true);
+    pmu.globalEnableAll();
+    HrTimer *timer =
+        sys.kernel().createHrTimer("t", 0, [] {}, 0, 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(1_ms);
+    sys.run(5500_us);
+    timer->cancel();
+    EXPECT_EQ(pmu.counterValue(0), 5u);
+}
+
+TEST(HrTimer, OverrunStillFires)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    int fired = 0;
+    // Handler takes longer than the period: the timer must keep
+    // going (late) rather than wedging.
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { ++fired; }, usToTicks(150), 0);
+    timer->startPeriodic(100_us);
+    sys.run(2_ms);
+    timer->cancel();
+    EXPECT_GE(fired, 10);
+}

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kernel/module.hh"
+#include "kernel/system.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::computeSource;
+using klebsim::workload::FixedWorkSource;
+
+namespace
+{
+
+class EchoModule : public KernelModule
+{
+  public:
+    std::string name() const override { return "echo"; }
+
+    void init(Kernel &) override { ++inits; }
+    void exitModule(Kernel &) override { ++exits; }
+
+    long
+    ioctl(Kernel &, Process &, std::uint32_t cmd,
+          void *arg) override
+    {
+        lastCmd = cmd;
+        if (arg)
+            *static_cast<int *>(arg) += 1;
+        return 42;
+    }
+
+    long
+    read(Kernel &, Process &, void *buf, std::size_t len) override
+    {
+        if (buf && len >= 5)
+            std::memcpy(buf, "data", 5);
+        return 4;
+    }
+
+    int inits = 0;
+    int exits = 0;
+    std::uint32_t lastCmd = 0;
+};
+
+/** Service that performs one ioctl and one read. */
+class CallerBehavior : public ServiceBehavior
+{
+  public:
+    ServiceOp
+    nextOp(Kernel &, Process &) override
+    {
+        switch (step_++) {
+          case 0:
+            return ServiceOp::makeSyscall(
+                [this](Kernel &k, Process &me) {
+                    ioctlRc = k.ioctl(me, "/dev/echo", 0x77, &arg);
+                });
+          case 1:
+            return ServiceOp::makeSyscall(
+                [this](Kernel &k, Process &me) {
+                    readRc = k.readDev(me, "/dev/echo", buf,
+                                       sizeof(buf));
+                });
+          default:
+            return ServiceOp::makeExit();
+        }
+    }
+
+    long ioctlRc = -99;
+    long readRc = -99;
+    int arg = 0;
+    char buf[8] = {};
+
+  private:
+    int step_ = 0;
+};
+
+} // namespace
+
+TEST(Modules, LoadInitUnloadExit)
+{
+    System sys;
+    auto module = std::make_unique<EchoModule>();
+    EchoModule *raw = module.get();
+    sys.kernel().loadModule(std::move(module), "/dev/echo");
+    EXPECT_EQ(raw->inits, 1);
+    EXPECT_EQ(sys.kernel().moduleAt("/dev/echo"), raw);
+    EXPECT_EQ(sys.kernel().moduleAt("/dev/nope"), nullptr);
+    sys.kernel().unloadModule("/dev/echo");
+    EXPECT_EQ(sys.kernel().moduleAt("/dev/echo"), nullptr);
+}
+
+TEST(Modules, IoctlAndReadThroughSyscalls)
+{
+    System sys;
+    auto module = std::make_unique<EchoModule>();
+    EchoModule *raw = module.get();
+    sys.kernel().loadModule(std::move(module), "/dev/echo");
+
+    CallerBehavior behavior;
+    Process *proc =
+        sys.kernel().createService("caller", &behavior, 0);
+    sys.kernel().startProcess(proc);
+    sys.run();
+
+    EXPECT_EQ(behavior.ioctlRc, 42);
+    EXPECT_EQ(behavior.arg, 1);
+    EXPECT_EQ(raw->lastCmd, 0x77u);
+    EXPECT_EQ(behavior.readRc, 4);
+    EXPECT_STREQ(behavior.buf, "data");
+}
+
+TEST(Modules, IoctlOnMissingDeviceFails)
+{
+    System sys;
+    CallerBehavior behavior;
+    Process *proc =
+        sys.kernel().createService("caller", &behavior, 0);
+    sys.kernel().startProcess(proc);
+    sys.run();
+    EXPECT_EQ(behavior.ioctlRc, -1);
+    EXPECT_EQ(behavior.readRc, -1);
+}
+
+TEST(Modules, SyscallsConsumeTime)
+{
+    CostModel costs;
+    costs.costSigma = 0.0;
+    costs.runSigma = 0.0;
+    System sys(hw::MachineConfig::corei7_920(), 1, costs);
+    auto module = std::make_unique<EchoModule>();
+    sys.kernel().loadModule(std::move(module), "/dev/echo");
+
+    CallerBehavior behavior;
+    Process *proc =
+        sys.kernel().createService("caller", &behavior, 0);
+    sys.kernel().startProcess(proc);
+    sys.run();
+    // Two syscall ops (each the base syscall cost) plus two nested
+    // kernel.ioctl/readDev charges: >= 4 syscall costs of lifetime.
+    EXPECT_GE(proc->lifetime(), 4 * costs.syscall);
+}
+
+TEST(Modules, ChargeKernelWorkAdvancesCursor)
+{
+    CostModel costs;
+    costs.costSigma = 0.0;
+    costs.runSigma = 0.0;
+    System sys(hw::MachineConfig::corei7_920(), 1, costs);
+    sys.core(0).syncTo(sys.now());
+    Tick before = sys.core(0).attributedUpTo();
+    sys.kernel().chargeKernelWork(0, 10_us, 4096);
+    EXPECT_EQ(sys.core(0).attributedUpTo(), before + 10_us);
+}

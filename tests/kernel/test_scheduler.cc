@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0; // deterministic costs for exact assertions
+    return c;
+}
+
+/** Behavior that runs a fixed list of ops, then exits. */
+class ScriptedBehavior : public ServiceBehavior
+{
+  public:
+    explicit ScriptedBehavior(std::vector<ServiceOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    ServiceOp
+    nextOp(Kernel &, Process &) override
+    {
+        if (idx_ >= ops_.size())
+            return ServiceOp::makeExit();
+        return ops_[idx_++];
+    }
+
+  private:
+    std::vector<ServiceOp> ops_;
+    std::size_t idx_ = 0;
+};
+
+} // namespace
+
+TEST(Scheduler, WorkloadRunsToCompletion)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(10, 1000000, 2.0);
+    Process *proc =
+        sys.kernel().createWorkload("w", &src, 0);
+    EXPECT_EQ(proc->state(), ProcState::created);
+    sys.kernel().startProcess(proc);
+    sys.run();
+    EXPECT_EQ(proc->state(), ProcState::zombie);
+    EXPECT_EQ(proc->execContext()->instructionsRetired(), 10000000u);
+    // ~10 * 187 us of work plus one initial dispatch.
+    EXPECT_NEAR(ticksToMs(proc->lifetime()), 1.873, 0.05);
+}
+
+TEST(Scheduler, PidsAndProcessTree)
+{
+    System sys;
+    FixedWorkSource src = computeSource(1, 1000, 2.0);
+    Process *a = sys.kernel().createWorkload("a", &src, 0);
+    Process *b = sys.kernel().createWorkload("b", &src, 0, a->pid());
+    Process *c = sys.kernel().createWorkload("c", &src, 0, b->pid());
+    EXPECT_EQ(a->pid() + 1, b->pid());
+    EXPECT_EQ(b->ppid(), a->pid());
+    EXPECT_TRUE(sys.kernel().isDescendantOf(c->pid(), a->pid()));
+    EXPECT_TRUE(sys.kernel().isDescendantOf(b->pid(), a->pid()));
+    EXPECT_TRUE(sys.kernel().isDescendantOf(a->pid(), a->pid()));
+    EXPECT_FALSE(sys.kernel().isDescendantOf(a->pid(), b->pid()));
+    ASSERT_EQ(a->children().size(), 1u);
+    EXPECT_EQ(a->children()[0], b->pid());
+    EXPECT_EQ(sys.kernel().findProcess(c->pid()), c);
+    EXPECT_EQ(sys.kernel().findProcess(9999), nullptr);
+}
+
+TEST(Scheduler, RoundRobinSharesCore)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src_a = computeSource(40, 1000000, 2.0);
+    FixedWorkSource src_b = computeSource(40, 1000000, 2.0);
+    Process *a = sys.kernel().createWorkload("a", &src_a, 0);
+    Process *b = sys.kernel().createWorkload("b", &src_b, 0);
+    sys.kernel().startProcess(a);
+    sys.kernel().startProcess(b);
+    sys.run();
+    EXPECT_EQ(a->state(), ProcState::zombie);
+    EXPECT_EQ(b->state(), ProcState::zombie);
+    // Interleaved on one core: both finish in roughly 2x the solo
+    // time, and they context-switched every timeslice.
+    EXPECT_GT(sys.kernel().contextSwitches(), 2u);
+    // Each got ~7.5 ms of CPU; they end within one timeslice.
+    Tick diff = a->exitTick() > b->exitTick()
+                    ? a->exitTick() - b->exitTick()
+                    : b->exitTick() - a->exitTick();
+    EXPECT_LE(diff, 2 * quietCosts().timeslice);
+}
+
+TEST(Scheduler, SeparateCoresRunInParallel)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src_a = computeSource(20, 1000000, 2.0);
+    FixedWorkSource src_b = computeSource(20, 1000000, 2.0);
+    Process *a = sys.kernel().createWorkload("a", &src_a, 0);
+    Process *b = sys.kernel().createWorkload("b", &src_b, 1);
+    sys.kernel().startProcess(a);
+    sys.kernel().startProcess(b);
+    sys.run();
+    // No interference: both complete in solo time.
+    EXPECT_NEAR(ticksToMs(a->lifetime()), 3.75, 0.1);
+    EXPECT_NEAR(ticksToMs(b->lifetime()), 3.75, 0.1);
+}
+
+TEST(Scheduler, ContextSwitchesCostTime)
+{
+    CostModel costs = quietCosts();
+    System solo(hw::MachineConfig::corei7_920(), 1, costs);
+    FixedWorkSource src = computeSource(40, 1000000, 2.0);
+    Process *p = solo.kernel().createWorkload("solo", &src, 0);
+    solo.kernel().startProcess(p);
+    solo.run();
+    Tick solo_time = p->lifetime();
+
+    System shared(hw::MachineConfig::corei7_920(), 1, costs);
+    FixedWorkSource src_a = computeSource(40, 1000000, 2.0);
+    FixedWorkSource src_b = computeSource(40, 1000000, 2.0);
+    Process *a = shared.kernel().createWorkload("a", &src_a, 0);
+    Process *b = shared.kernel().createWorkload("b", &src_b, 0);
+    shared.kernel().startProcess(a);
+    shared.kernel().startProcess(b);
+    shared.run();
+
+    Tick last = std::max(a->exitTick(), b->exitTick());
+    // Two interleaved workloads take at least 2x solo plus switch
+    // costs.
+    EXPECT_GT(last, 2 * solo_time);
+}
+
+TEST(Scheduler, SwitchHooksFire)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(3, 1000000, 2.0);
+    Process *p = sys.kernel().createWorkload("w", &src, 0);
+
+    std::vector<std::pair<Pid, Pid>> switches;
+    sys.kernel().registerSwitchHook(
+        [&](Process *prev, Process *next, CoreId) {
+            switches.emplace_back(prev ? prev->pid() : -1,
+                                  next ? next->pid() : -1);
+        });
+    sys.kernel().startProcess(p);
+    sys.run();
+    // First: idle -> p; last: p -> idle (exit).
+    ASSERT_GE(switches.size(), 2u);
+    EXPECT_EQ(switches.front().first, -1);
+    EXPECT_EQ(switches.front().second, p->pid());
+    EXPECT_EQ(switches.back().first, p->pid());
+    EXPECT_EQ(switches.back().second, -1);
+}
+
+TEST(Scheduler, ExitHooksFire)
+{
+    System sys;
+    FixedWorkSource src = computeSource(1, 1000, 2.0);
+    Process *p = sys.kernel().createWorkload("w", &src, 0);
+    Pid exited = invalidPid;
+    sys.kernel().registerExitHook(
+        [&](Process &proc) { exited = proc.pid(); });
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(exited, p->pid());
+}
+
+TEST(Scheduler, OnExitWaiters)
+{
+    System sys;
+    FixedWorkSource src = computeSource(1, 1000, 2.0);
+    Process *p = sys.kernel().createWorkload("w", &src, 0);
+    int called = 0;
+    sys.kernel().onExit(p->pid(), [&] { ++called; });
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(called, 1);
+    // Registration after exit fires immediately.
+    sys.kernel().onExit(p->pid(), [&] { ++called; });
+    EXPECT_EQ(called, 2);
+}
+
+TEST(Scheduler, ServiceOpsExecuteInOrder)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    std::vector<Tick> syscall_at;
+    ScriptedBehavior behavior({
+        ServiceOp::makeCompute(100_us),
+        ServiceOp::makeSleep(1_ms),
+        ServiceOp::makeSyscall(
+            [&](Kernel &k, Process &) {
+                syscall_at.push_back(k.now());
+            }),
+    });
+    Process *s = sys.kernel().createService("svc", &behavior, 0);
+    sys.kernel().startProcess(s);
+    sys.run();
+    EXPECT_EQ(s->state(), ProcState::zombie);
+    ASSERT_EQ(syscall_at.size(), 1u);
+    // compute(100us) + sleep(1ms) puts the syscall past 1.1 ms.
+    EXPECT_GE(syscall_at[0], 1100_us);
+    EXPECT_LE(syscall_at[0], 1250_us);
+}
+
+TEST(Scheduler, WakeupPreemptsWorkload)
+{
+    CostModel costs = quietCosts();
+    costs.wakeupPreempts = true;
+    System sys(hw::MachineConfig::corei7_920(), 1, costs);
+
+    FixedWorkSource src = computeSource(40, 1000000, 2.0);
+    Process *w = sys.kernel().createWorkload("w", &src, 0);
+
+    std::vector<Tick> service_ran_at;
+    ScriptedBehavior behavior({
+        ServiceOp::makeSleep(1_ms),
+        ServiceOp::makeCompute(10_us),
+        ServiceOp::makeSyscall([&](Kernel &k, Process &) {
+            service_ran_at.push_back(k.now());
+        }),
+    });
+    Process *s = sys.kernel().createService("svc", &behavior, 0);
+    sys.kernel().startProcess(s);
+    sys.kernel().startProcess(w);
+    sys.run();
+
+    ASSERT_EQ(service_ran_at.size(), 1u);
+    // The service woke at 1 ms, long before the workload's ~7.5 ms
+    // of work was done, and ran immediately (preemption) rather
+    // than waiting for the workload to finish.
+    EXPECT_LT(service_ran_at[0], 2_ms);
+    EXPECT_EQ(w->state(), ProcState::zombie);
+}
+
+TEST(Scheduler, NoPreemptionWhenDisabled)
+{
+    CostModel costs = quietCosts();
+    costs.wakeupPreempts = false;
+    System sys(hw::MachineConfig::corei7_920(), 1, costs);
+
+    // One long chunk (not divisible): the workload holds the core
+    // until its slice ends.
+    FixedWorkSource src = computeSource(1, 40000000, 2.0); // ~7.5ms
+    Process *w = sys.kernel().createWorkload("w", &src, 0);
+
+    std::vector<Tick> service_ran_at;
+    ScriptedBehavior behavior({
+        ServiceOp::makeSleep(1_ms),
+        ServiceOp::makeSyscall([&](Kernel &k, Process &) {
+            service_ran_at.push_back(k.now());
+        }),
+    });
+    Process *s = sys.kernel().createService("svc", &behavior, 0);
+    sys.kernel().startProcess(s);
+    sys.kernel().startProcess(w);
+    sys.run();
+
+    ASSERT_EQ(service_ran_at.size(), 1u);
+    // Without preemption the service waits for the slice boundary
+    // (4 ms timeslice).
+    EXPECT_GE(service_ran_at[0], 4_ms);
+}
+
+TEST(Scheduler, KillReadyProcess)
+{
+    System sys;
+    FixedWorkSource src_a = computeSource(4, 10000000, 2.0);
+    FixedWorkSource src_b = computeSource(4, 10000000, 2.0);
+    Process *a = sys.kernel().createWorkload("a", &src_a, 0);
+    Process *b = sys.kernel().createWorkload("b", &src_b, 0);
+    sys.kernel().startProcess(a);
+    sys.kernel().startProcess(b); // b sits in the run queue
+    sys.kernel().kill(b);
+    EXPECT_EQ(b->state(), ProcState::zombie);
+    sys.run();
+    EXPECT_EQ(a->state(), ProcState::zombie);
+    EXPECT_EQ(b->execContext()->instructionsRetired(), 0u);
+}
+
+TEST(Scheduler, KillSleepingService)
+{
+    System sys;
+    ScriptedBehavior behavior({ServiceOp::makeSleep(100_ms)});
+    Process *s = sys.kernel().createService("svc", &behavior, 0);
+    sys.kernel().startProcess(s);
+    sys.run(1_ms);
+    EXPECT_EQ(s->state(), ProcState::sleeping);
+    sys.kernel().kill(s);
+    EXPECT_EQ(s->state(), ProcState::zombie);
+    sys.run(); // the cancelled alarm must not fire
+    EXPECT_EQ(s->state(), ProcState::zombie);
+}
+
+TEST(Scheduler, BlockAndWakeChannel)
+{
+    System sys;
+    WaitChannel channel;
+    std::vector<Tick> resumed_at;
+    ScriptedBehavior blocker({
+        ServiceOp::makeBlock(&channel),
+        ServiceOp::makeSyscall([&](Kernel &k, Process &) {
+            resumed_at.push_back(k.now());
+        }),
+    });
+    Process *s = sys.kernel().createService("blocker", &blocker, 0);
+    sys.kernel().startProcess(s);
+    sys.run(1_ms);
+    EXPECT_EQ(s->state(), ProcState::blocked);
+
+    ScriptedBehavior waker({
+        ServiceOp::makeSleep(5_ms),
+        ServiceOp::makeSyscall([&](Kernel &k, Process &) {
+            k.wakeAll(channel);
+        }),
+    });
+    Process *w = sys.kernel().createService("waker", &waker, 1);
+    sys.kernel().startProcess(w);
+    sys.run();
+    ASSERT_EQ(resumed_at.size(), 1u);
+    EXPECT_GE(resumed_at[0], 6_ms);
+    EXPECT_EQ(s->state(), ProcState::zombie);
+}
+
+TEST(Scheduler, CtxSwitchEventCounted)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    hw::Pmu &pmu = sys.core(0).pmu();
+    pmu.programCounter(0, hw::HwEvent::ctxSwitches, true, true);
+    pmu.globalEnableAll();
+    FixedWorkSource src = computeSource(2, 1000000, 2.0);
+    Process *p = sys.kernel().createWorkload("w", &src, 0);
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(pmu.counterValue(0), sys.kernel().contextSwitches());
+    EXPECT_GE(pmu.counterValue(0), 2u);
+}

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+/**
+ * Failure injection around the monitoring stack: killed targets,
+ * killed controllers, mid-run module unloads, and dead-on-arrival
+ * targets must all degrade gracefully (no crashes, no sample
+ * corruption, consistent status).
+ */
+TEST(FailureInjection, TargetKilledMidMonitoring)
+{
+    System sys(hw::MachineConfig::corei7_920(), 41, quietCosts());
+    FixedWorkSource src = computeSource(200, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired};
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+
+    sys.run(5_ms);
+    ASSERT_NE(target->state(), ProcState::zombie);
+    sys.kernel().kill(target);
+    sys.run();
+
+    // The module saw the exit, finalized, and the controller
+    // exited after draining everything.
+    EXPECT_TRUE(session.finished());
+    kleb::KLebStatus st = session.status();
+    EXPECT_FALSE(st.monitoring);
+    EXPECT_FALSE(st.targetAlive);
+    EXPECT_EQ(st.pendingSamples, 0u);
+    ASSERT_FALSE(session.samples().empty());
+    EXPECT_EQ(session.samples().back().cause,
+              kleb::SampleCause::final);
+    // The final count reflects the truncated run, not the full one.
+    EXPECT_LT(at(session.finalTotals(), hw::HwEvent::instRetired),
+              200000000u);
+    EXPECT_GT(at(session.finalTotals(), hw::HwEvent::instRetired),
+              0u);
+}
+
+TEST(FailureInjection, ControllerKilledTargetUnharmed)
+{
+    System sys(hw::MachineConfig::corei7_920(), 42, quietCosts());
+    FixedWorkSource src = computeSource(60, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired};
+    opts.period = 100_us;
+    opts.bufferCapacity = 64;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+
+    sys.run(3_ms);
+    // Murder the controller mid-run.
+    sys.kernel().kill(session.controllerProcess());
+    sys.run();
+
+    // The workload still completes with exact work; the module's
+    // safety mechanism pauses when the (undrained) buffer fills
+    // rather than dropping or crashing.
+    EXPECT_EQ(target->state(), ProcState::zombie);
+    EXPECT_EQ(target->execContext()->instructionsRetired(),
+              60000000u);
+    kleb::KLebStatus st = session.status();
+    // With nobody draining, the only possible loss is the final
+    // snapshot finding the buffer full; periodic samples pause
+    // instead of dropping.
+    EXPECT_LE(st.samplesDropped, 1u);
+    EXPECT_GT(st.pauseEpisodes, 0u);
+    EXPECT_FALSE(session.finished());
+}
+
+TEST(FailureInjection, ModuleUnloadedMidMonitoring)
+{
+    System sys(hw::MachineConfig::corei7_920(), 43, quietCosts());
+    FixedWorkSource src = computeSource(60, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    auto module = std::make_unique<kleb::KLebModule>();
+    kleb::KLebModule *mod = module.get();
+    sys.kernel().loadModule(std::move(module), "/dev/kleb-fi");
+
+    // Drive the module directly (configure + start + launch).
+    kleb::KLebConfig cfg;
+    cfg.targetPid = target->pid();
+    cfg.events = {hw::HwEvent::instRetired};
+    cfg.timerPeriod = 100_us;
+
+    class Driver : public ServiceBehavior
+    {
+      public:
+        Driver(kleb::KLebModule *m, kleb::KLebConfig *c,
+               Process *t)
+            : m_(m), c_(c), t_(t)
+        {
+        }
+        ServiceOp
+        nextOp(Kernel &, Process &) override
+        {
+            switch (step_++) {
+              case 0:
+                return ServiceOp::makeSyscall(
+                    [this](Kernel &k, Process &me) {
+                        ASSERT_EQ(
+                            m_->ioctl(k, me, kleb::ioc::config,
+                                      c_),
+                            0);
+                        ASSERT_EQ(m_->ioctl(k, me,
+                                            kleb::ioc::start,
+                                            nullptr),
+                                  0);
+                        k.startProcess(t_);
+                    });
+              default:
+                return ServiceOp::makeExit();
+            }
+        }
+        kleb::KLebModule *m_;
+        kleb::KLebConfig *c_;
+        Process *t_;
+        int step_ = 0;
+    } driver(mod, &cfg, target);
+
+    Process *svc = sys.kernel().createService("drv", &driver, 1);
+    sys.kernel().startProcess(svc);
+    sys.run(4_ms);
+    ASSERT_TRUE(mod->status().monitoring);
+
+    // rmmod while the target is still running: hooks must detach
+    // and the timer must stop; the workload is unaffected.
+    sys.kernel().unloadModule("/dev/kleb-fi");
+    sys.run();
+    EXPECT_EQ(target->state(), ProcState::zombie);
+    EXPECT_EQ(target->execContext()->instructionsRetired(),
+              60000000u);
+}
+
+TEST(FailureInjection, MonitorAlreadyDeadTarget)
+{
+    System sys(hw::MachineConfig::corei7_920(), 44, quietCosts());
+    FixedWorkSource src = computeSource(2, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    sys.kernel().startProcess(target);
+    sys.run();
+    ASSERT_EQ(target->state(), ProcState::zombie);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target, /*start_target=*/false);
+    sys.run();
+
+    // Nothing to record: the controller notices the dead target
+    // (the module finalizes immediately) and exits cleanly.
+    EXPECT_TRUE(session.finished());
+}
+
+TEST(FailureInjection, ZeroLengthWorkload)
+{
+    System sys(hw::MachineConfig::corei7_920(), 45, quietCosts());
+    FixedWorkSource src{std::vector<hw::WorkChunk>{}};
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    EXPECT_EQ(target->state(), ProcState::zombie);
+    EXPECT_TRUE(session.finished());
+    EXPECT_EQ(at(session.finalTotals(), hw::HwEvent::instRetired),
+              0u);
+}

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+/**
+ * Invariants of a whole monitoring session, swept across sampling
+ * periods (50 us ... 10 ms).
+ */
+class SessionProperty : public ::testing::TestWithParam<Tick>
+{
+};
+
+} // namespace
+
+TEST_P(SessionProperty, CountConservationAndMonotonicity)
+{
+    Tick period = GetParam();
+    System sys(hw::MachineConfig::corei7_920(), 17, quietCosts());
+    FixedWorkSource src = computeSource(60, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired,
+                   hw::HwEvent::coreCycles};
+    opts.period = period;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    ASSERT_TRUE(session.finished());
+    const auto &samples = session.samples();
+    ASSERT_FALSE(samples.empty());
+
+    // 1. Timestamps strictly increase; counts never decrease.
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        ASSERT_GT(samples[i].timestamp, samples[i - 1].timestamp);
+        for (int e = 0; e < samples[i].numEvents; ++e)
+            ASSERT_GE(samples[i].counts[e],
+                      samples[i - 1].counts[e]);
+    }
+
+    // 2. The final snapshot is the exact user-mode total: count
+    //    conservation regardless of sampling rate.
+    EXPECT_EQ(samples.back().counts[0], 60000000u);
+    EXPECT_EQ(samples.back().counts[1], 60u * 125000u);
+    EXPECT_EQ(samples.back().cause, kleb::SampleCause::final);
+
+    // 3. Nothing dropped, everything drained.
+    kleb::KLebStatus st = session.status();
+    EXPECT_EQ(st.samplesDropped, 0u);
+    EXPECT_EQ(st.pendingSamples, 0u);
+    EXPECT_EQ(samples.size(), st.samplesRecorded);
+
+    // 4. Sample count is consistent with period and CPU time used
+    //    by the target (within 3x slack for drains/preemptions).
+    Tick cpu = target->execContext()->cpuTime();
+    auto expected =
+        static_cast<double>(cpu) / static_cast<double>(period);
+    EXPECT_GT(static_cast<double>(samples.size()),
+              expected * 0.4);
+    EXPECT_LT(static_cast<double>(samples.size()),
+              expected * 3.0 + 4.0);
+}
+
+TEST_P(SessionProperty, IsolationHoldsUnderCoRunners)
+{
+    Tick period = GetParam();
+    System sys(hw::MachineConfig::corei7_920(), 18, quietCosts());
+    FixedWorkSource src_t = computeSource(25, 1000000, 2.0);
+    FixedWorkSource src_a = computeSource(25, 1000000, 2.0);
+    FixedWorkSource src_b = computeSource(25, 1000000, 1.0);
+    Process *target = sys.kernel().createWorkload("t", &src_t, 0);
+    Process *noise_a =
+        sys.kernel().createWorkload("a", &src_a, 0);
+    Process *noise_b =
+        sys.kernel().createWorkload("b", &src_b, 0);
+    sys.kernel().startProcess(noise_a);
+    sys.kernel().startProcess(noise_b);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired};
+    opts.period = period;
+    opts.controllerCore = 1;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    // Exactly the target's instructions, no matter how the three
+    // processes interleaved.
+    EXPECT_EQ(at(session.finalTotals(), hw::HwEvent::instRetired),
+              25000000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Periods, SessionProperty,
+    ::testing::Values(usToTicks(50), usToTicks(100),
+                      usToTicks(500), msToTicks(1), msToTicks(10)),
+    [](const ::testing::TestParamInfo<Tick> &info) {
+        return "period_" +
+               std::to_string(info.param / tickPerUs) + "us";
+    });

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+TEST(Session, EndToEndMonitoring)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(40, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired};
+    opts.period = 100_us;
+    opts.idealTimer = true;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    EXPECT_EQ(target->state(), ProcState::zombie);
+    EXPECT_TRUE(session.finished());
+    EXPECT_GT(session.samples().size(), 50u);
+
+    // The controller drained everything the module recorded.
+    kleb::KLebStatus st = session.status();
+    EXPECT_EQ(st.pendingSamples, 0u);
+    EXPECT_EQ(st.samplesDropped, 0u);
+    EXPECT_EQ(session.samples().size(), st.samplesRecorded);
+
+    // Final totals are the exact user-mode instruction count.
+    hw::EventVector totals = session.finalTotals();
+    EXPECT_EQ(at(totals, hw::HwEvent::instRetired), 40000000u);
+}
+
+TEST(Session, SeriesShapes)
+{
+    System sys(hw::MachineConfig::corei7_920(), 2, quietCosts());
+    FixedWorkSource src = computeSource(20, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::coreCycles};
+    opts.period = 200_us;
+    opts.idealTimer = true;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    stats::TimeSeries cumulative = session.series();
+    ASSERT_GT(cumulative.size(), 5u);
+    EXPECT_EQ(cumulative.channels(), 2u);
+    EXPECT_EQ(cumulative.channelNames()[0], "INST_RETIRED");
+
+    // Cumulative is monotonic; deltas sum back to the total.
+    auto inst = cumulative.channel(0);
+    for (std::size_t i = 1; i < inst.size(); ++i)
+        EXPECT_GE(inst[i], inst[i - 1]);
+
+    stats::TimeSeries deltas = session.deltaSeries();
+    EXPECT_EQ(deltas.size(), cumulative.size());
+    double sum = deltas.channelSum(0);
+    EXPECT_DOUBLE_EQ(sum, inst.back());
+}
+
+TEST(Session, MonitoringFromFirstInstruction)
+{
+    System sys(hw::MachineConfig::corei7_920(), 3, quietCosts());
+    FixedWorkSource src = computeSource(5, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session session(sys, kleb::Session::Options{});
+    session.monitor(target);
+    EXPECT_EQ(target->state(), ProcState::created); // not yet
+    sys.run();
+    // Every instruction was captured: nothing ran before START.
+    hw::EventVector totals = session.finalTotals();
+    EXPECT_EQ(at(totals, hw::HwEvent::instRetired), 5000000u);
+}
+
+TEST(Session, ControllerOnSameCoreInterferes)
+{
+    // Baseline on core 1 (no monitoring).
+    System sys(hw::MachineConfig::corei7_920(), 4, quietCosts());
+    FixedWorkSource src_base = computeSource(40, 1000000, 2.0);
+    Process *base =
+        sys.kernel().createWorkload("base", &src_base, 1);
+    sys.kernel().startProcess(base);
+
+    FixedWorkSource src_mon = computeSource(40, 1000000, 2.0);
+    Process *mon = sys.kernel().createWorkload("mon", &src_mon, 0);
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(mon);
+    sys.run();
+
+    // Monitoring costs something but not much.
+    EXPECT_GT(mon->lifetime(), base->lifetime());
+    double overhead =
+        (static_cast<double>(mon->lifetime()) -
+         static_cast<double>(base->lifetime())) /
+        static_cast<double>(base->lifetime());
+    EXPECT_LT(overhead, 0.40);
+}
+
+TEST(Session, TraceChildrenOff)
+{
+    System sys(hw::MachineConfig::corei7_920(), 5, quietCosts());
+    FixedWorkSource parent_src = computeSource(10, 1000000, 2.0);
+    Process *parent =
+        sys.kernel().createWorkload("p", &parent_src, 0);
+    FixedWorkSource child_src = computeSource(10, 1000000, 2.0);
+    Process *child = sys.kernel().createWorkload("c", &child_src,
+                                                 0, parent->pid());
+
+    kleb::Session::Options opts;
+    opts.traceChildren = false;
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(parent);
+    sys.kernel().startProcess(child);
+    sys.run();
+
+    hw::EventVector totals = session.finalTotals();
+    // Only the parent's instructions: children excluded.
+    EXPECT_EQ(at(totals, hw::HwEvent::instRetired), 10000000u);
+}
+
+TEST(Session, MultipleSessionsDistinctDevices)
+{
+    System sys(hw::MachineConfig::corei7_920(), 6, quietCosts());
+    kleb::Session a(sys, kleb::Session::Options{});
+    kleb::Session b(sys, kleb::Session::Options{});
+    EXPECT_NE(a.module(), b.module());
+}

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock_domain.hh"
+
+using namespace klebsim;
+using sim::ClockDomain;
+
+TEST(ClockDomain, PeriodFromFrequency)
+{
+    ClockDomain ghz(1e9);
+    EXPECT_EQ(ghz.period(), 1000u); // 1 ns in ps
+
+    ClockDomain i7(2.67e9);
+    EXPECT_EQ(i7.period(), 375u); // 374.5 ps rounds to 375
+}
+
+TEST(ClockDomain, CyclesToTicksRoundTrip)
+{
+    ClockDomain clk(2e9); // 500 ps period
+    EXPECT_EQ(clk.cyclesToTicks(4), 2000u);
+    EXPECT_EQ(clk.ticksToCycles(2000), 4u);
+    EXPECT_EQ(clk.ticksToCycles(1999), 3u);
+    EXPECT_EQ(clk.ticksToCyclesCeil(1999), 4u);
+    EXPECT_EQ(clk.ticksToCyclesCeil(2000), 4u);
+    EXPECT_EQ(clk.ticksToCyclesCeil(2001), 5u);
+}
+
+TEST(ClockDomain, TickLiterals)
+{
+    using namespace ticks_literals;
+    EXPECT_EQ(1_us, 1000000u);
+    EXPECT_EQ(1_ms, 1000000000u);
+    EXPECT_EQ(2_s, 2000000000000u);
+    EXPECT_EQ(usToTicks(1.5), 1500000u);
+    EXPECT_NEAR(ticksToSec(secToTicks(0.25)), 0.25, 1e-12);
+    EXPECT_NEAR(ticksToUs(usToTicks(123.0)), 123.0, 1e-9);
+}

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace klebsim;
+using sim::Event;
+using sim::EventFunctionWrapper;
+using sim::EventQueue;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleLambda(30, [&] { order.push_back(3); });
+    eq.scheduleLambda(10, [&] { order.push_back(1); });
+    eq.scheduleLambda(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleLambda(10, [&] { order.push_back(2); },
+                      Event::defaultPriority);
+    eq.scheduleLambda(10, [&] { order.push_back(1); },
+                      Event::timerPriority);
+    eq.scheduleLambda(10, [&] { order.push_back(3); },
+                      Event::statsPriority);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleLambda(10, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda(10, [&] { ++fired; });
+    eq.scheduleLambda(20, [&] { ++fired; });
+    eq.scheduleLambda(30, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 20u);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.curTick(), 500u);
+}
+
+TEST(EventQueue, RunOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda(5, [&] { ++fired; });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessing)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    eq.scheduleLambda(10, [&] {
+        ticks.push_back(eq.curTick());
+        eq.scheduleLambda(25, [&] { ticks.push_back(eq.curTick()); });
+    });
+    eq.runAll();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 25}));
+}
+
+TEST(EventQueue, CallerOwnedEventReschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventFunctionWrapper ev([&] { ++fired; }, "test-ev");
+    eq.schedule(&ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 10u);
+    eq.reschedule(&ev, 50);
+    EXPECT_EQ(ev.when(), 50u);
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventFunctionWrapper ev([&] { ++fired; }, "test-ev");
+    eq.schedule(&ev, 10);
+    eq.deschedule(&ev);
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelLambda)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *ev = eq.scheduleLambda(10, [&] { ++fired; });
+    eq.cancelLambda(ev);
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, PeriodicSelfRescheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleLambda(eq.curTick() + 100, tick);
+    };
+    eq.scheduleLambda(100, tick);
+    eq.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 500u);
+    EXPECT_EQ(eq.eventsProcessed(), 5u);
+}
+
+TEST(EventQueueDeath, PastScheduling)
+{
+    EventQueue eq;
+    eq.scheduleLambda(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.scheduleLambda(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, DoubleSchedule)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "ev");
+    eq.schedule(&ev, 10);
+    EXPECT_DEATH(eq.schedule(&ev, 20), "already scheduled");
+    eq.deschedule(&ev);
+}

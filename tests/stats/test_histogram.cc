@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+using klebsim::stats::Histogram;
+
+TEST(Histogram, BinningBasics)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(3.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0); // hi edge counts as overflow
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 17.5);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 20.0);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(99.0); // overflow, excluded from fractions
+    EXPECT_DOUBLE_EQ(h.fraction(0), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 1.0, 1);
+    h.add(0.5);
+    std::string text = h.render();
+    EXPECT_NE(text.find(": 1"), std::string::npos);
+}

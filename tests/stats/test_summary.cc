@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hh"
+
+using namespace klebsim::stats;
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesBulk)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double v = std::sin(i) * 10;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(FiveNumber, SortedQuartiles)
+{
+    FiveNumber f = fiveNumber({1, 2, 3, 4, 5});
+    EXPECT_EQ(f.min, 1.0);
+    EXPECT_EQ(f.q1, 2.0);
+    EXPECT_EQ(f.median, 3.0);
+    EXPECT_EQ(f.q3, 4.0);
+    EXPECT_EQ(f.max, 5.0);
+    EXPECT_EQ(f.mean, 3.0);
+    EXPECT_EQ(f.count, 5u);
+    EXPECT_EQ(f.iqr(), 2.0);
+    EXPECT_EQ(f.range(), 4.0);
+}
+
+TEST(FiveNumber, UnsortedInput)
+{
+    FiveNumber f = fiveNumber({5, 1, 4, 2, 3});
+    EXPECT_EQ(f.median, 3.0);
+}
+
+TEST(FiveNumber, InterpolatedQuartiles)
+{
+    // R-7 on {1,2,3,4}: q1 = 1.75, median = 2.5, q3 = 3.25.
+    FiveNumber f = fiveNumber({1, 2, 3, 4});
+    EXPECT_NEAR(f.q1, 1.75, 1e-12);
+    EXPECT_NEAR(f.median, 2.5, 1e-12);
+    EXPECT_NEAR(f.q3, 3.25, 1e-12);
+}
+
+TEST(FiveNumber, SingleElement)
+{
+    FiveNumber f = fiveNumber({7});
+    EXPECT_EQ(f.min, 7.0);
+    EXPECT_EQ(f.median, 7.0);
+    EXPECT_EQ(f.max, 7.0);
+}
+
+TEST(Percentile, Basics)
+{
+    std::vector<double> v{10, 20, 30, 40, 50};
+    EXPECT_EQ(percentile(v, 0), 10.0);
+    EXPECT_EQ(percentile(v, 100), 50.0);
+    EXPECT_EQ(percentile(v, 50), 30.0);
+    EXPECT_NEAR(percentile(v, 10), 14.0, 1e-12);
+}
+
+TEST(PctDiff, Basics)
+{
+    EXPECT_NEAR(pctDiff(101.0, 100.0), 1.0, 1e-12);
+    EXPECT_NEAR(pctDiff(99.0, 100.0), 1.0, 1e-12);
+    EXPECT_EQ(pctDiff(100.0, 100.0), 0.0);
+}

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "stats/time_series.hh"
+
+using namespace klebsim;
+using stats::TimeSeries;
+
+namespace
+{
+
+TimeSeries
+makeSeries()
+{
+    TimeSeries ts({"inst", "miss"});
+    ts.append(100, {10.0, 1.0});
+    ts.append(200, {30.0, 4.0});
+    ts.append(300, {60.0, 9.0});
+    return ts;
+}
+
+} // namespace
+
+TEST(TimeSeries, BasicShape)
+{
+    TimeSeries ts = makeSeries();
+    EXPECT_EQ(ts.channels(), 2u);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_FALSE(ts.empty());
+    EXPECT_EQ(ts.channelIndex("miss"), 1u);
+    EXPECT_EQ(ts.timeAt(1), 200u);
+    EXPECT_EQ(ts.valueAt(2, 0), 60.0);
+}
+
+TEST(TimeSeries, ChannelExtraction)
+{
+    TimeSeries ts = makeSeries();
+    auto inst = ts.channel("inst");
+    ASSERT_EQ(inst.size(), 3u);
+    EXPECT_EQ(inst[0], 10.0);
+    EXPECT_EQ(inst[2], 60.0);
+    EXPECT_EQ(ts.channelSum(0), 100.0);
+    EXPECT_NEAR(ts.channelMean(1), 14.0 / 3.0, 1e-12);
+}
+
+TEST(TimeSeries, Deltas)
+{
+    TimeSeries ts = makeSeries();
+    auto d = ts.channelDeltas(0);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_EQ(d[0], 10.0);
+    EXPECT_EQ(d[1], 20.0);
+    EXPECT_EQ(d[2], 30.0);
+}
+
+TEST(TimeSeries, Ratio)
+{
+    TimeSeries ts = makeSeries();
+    auto r = ts.ratio(1, 0, 1000.0);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_NEAR(r[0], 100.0, 1e-9);  // 1/10*1000
+    EXPECT_NEAR(r[2], 150.0, 1e-9);  // 9/60*1000
+}
+
+TEST(TimeSeries, SpanAndInterval)
+{
+    TimeSeries ts = makeSeries();
+    EXPECT_EQ(ts.startTime(), 100u);
+    EXPECT_EQ(ts.endTime(), 300u);
+    EXPECT_EQ(ts.span(), 200u);
+    EXPECT_NEAR(ts.meanInterval(), 100.0, 1e-12);
+}
+
+TEST(TimeSeries, EmptyMeanInterval)
+{
+    TimeSeries ts({"x"});
+    EXPECT_EQ(ts.meanInterval(), 0.0);
+    ts.append(5, {1.0});
+    EXPECT_EQ(ts.meanInterval(), 0.0);
+}
+
+TEST(TimeSeries, Mpki)
+{
+    EXPECT_NEAR(stats::mpki(500.0, 100000.0), 5.0, 1e-12);
+    EXPECT_EQ(stats::mpki(500.0, 0.0), 0.0);
+}
+
+TEST(TimeSeriesDeath, ArityMismatch)
+{
+    TimeSeries ts({"a", "b"});
+    EXPECT_DEATH(ts.append(1, {1.0}), "arity");
+}
+
+TEST(TimeSeriesDeath, NonMonotonicTime)
+{
+    TimeSeries ts({"a"});
+    ts.append(10, {1.0});
+    EXPECT_DEATH(ts.append(5, {1.0}), "monotonic");
+}

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "tools/task_pmu.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using klebsim::tools::TaskPmuSession;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+TEST(TaskPmu, CountsOnlyTargetUserInstructions)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src_t = computeSource(10, 1000000, 2.0);
+    FixedWorkSource src_o = computeSource(10, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src_t, 0);
+    Process *other = sys.kernel().createWorkload("o", &src_o, 0);
+
+    TaskPmuSession pmu(sys.kernel(), target->pid(),
+                       {hw::HwEvent::instRetired,
+                        hw::HwEvent::branchRetired});
+    pmu.arm();
+    sys.kernel().startProcess(other);
+    sys.kernel().startProcess(target);
+    sys.run();
+
+    EXPECT_EQ(pmu.read(0), 10000000u);
+    EXPECT_EQ(pmu.read(1), 10 * 125000u);
+    auto all = pmu.readAll();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], 10000000u);
+}
+
+TEST(TaskPmu, CountingFlagTracksTarget)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(10, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    TaskPmuSession pmu(sys.kernel(), target->pid(),
+                       {hw::HwEvent::instRetired});
+    pmu.arm();
+    EXPECT_FALSE(pmu.counting());
+    sys.kernel().startProcess(target);
+    sys.run(msToTicks(1));
+    EXPECT_TRUE(pmu.counting());
+    sys.run();
+    EXPECT_FALSE(pmu.counting());
+}
+
+TEST(TaskPmu, DisarmStopsCounting)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(20, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    TaskPmuSession pmu(sys.kernel(), target->pid(),
+                       {hw::HwEvent::instRetired});
+    pmu.arm();
+    sys.kernel().startProcess(target);
+    sys.run(msToTicks(1));
+    pmu.disarm();
+    std::uint64_t at_disarm = pmu.read(0);
+    sys.run();
+    EXPECT_EQ(pmu.read(0), at_disarm);
+}
+
+TEST(TaskPmu, ArmWhileTargetRunning)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    FixedWorkSource src = computeSource(20, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    sys.kernel().startProcess(target);
+    sys.run(msToTicks(1));
+
+    TaskPmuSession pmu(sys.kernel(), target->pid(),
+                       {hw::HwEvent::instRetired});
+    pmu.arm();
+    EXPECT_TRUE(pmu.counting()); // picked up mid-run
+    sys.run();
+    // Counted only the part after arming.
+    EXPECT_LT(pmu.read(0), 20000000u);
+    EXPECT_GT(pmu.read(0), 0u);
+}

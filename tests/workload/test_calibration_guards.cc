@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "stats/time_series.hh"
+#include "workload/linpack.hh"
+#include "workload/matmul.hh"
+#include "workload/meltdown.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+Tick
+runToEnd(hw::WorkSource *src, std::uint64_t seed = 61)
+{
+    System sys(hw::MachineConfig::corei7_920(), seed,
+               quietCosts());
+    Process *p = sys.kernel().createWorkload("w", src, 0);
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(p->state(), ProcState::zombie);
+    return p->lifetime();
+}
+
+} // namespace
+
+/**
+ * Calibration guards: these pin the workload models to the
+ * absolute scales the paper's evaluation depends on.  If a model
+ * change moves one of these, the Table I-III reproductions drift —
+ * fail here first, with a readable message.
+ */
+TEST(CalibrationGuards, LinpackGflopsNearPaper)
+{
+    // Paper: 37.24 GFLOPS raw.  Guard a generous band around it.
+    workload::LinpackParams params;
+    params.n = 1200;
+    params.trials = 2; // 2 trials suffice for the rate
+    auto wl = workload::makeLinpack(params, 0x100000000ULL,
+                                    Random(3));
+    Tick t = runToEnd(wl.get());
+    double gflops = workload::linpackGflops(params, t);
+    EXPECT_GT(gflops, 30.0) << "LINPACK model too slow";
+    EXPECT_LT(gflops, 48.0) << "LINPACK model too fast";
+}
+
+TEST(CalibrationGuards, MatmulLoopNominalDuration)
+{
+    // Paper: ~2 s at n=1000.  Guard at n=640 (scales with n^3):
+    // expected ~2.4 s * 0.26 = ~0.63 s.
+    auto wl = workload::makeMatMulLoop({640}, 0x100000000ULL,
+                                       Random(3));
+    double sec = ticksToSec(runToEnd(wl.get()));
+    EXPECT_GT(sec, 0.45);
+    EXPECT_LT(sec, 0.85);
+}
+
+TEST(CalibrationGuards, MklRuntimeUnder100msScale)
+{
+    // Paper: <100 ms at n=1000; guard the model near that scale.
+    auto wl = workload::makeMatMulMkl({1000}, 0x100000000ULL,
+                                      Random(3));
+    double ms = ticksToMs(runToEnd(wl.get()));
+    EXPECT_GT(ms, 70.0);
+    EXPECT_LT(ms, 160.0);
+}
+
+TEST(CalibrationGuards, MklToLoopSpeedRatio)
+{
+    // The Table II/III contrast requires the loop version to be
+    // ~20x slower than dgemm at equal n.
+    auto loop = workload::makeMatMulLoop({500}, 0x100000000ULL,
+                                         Random(3));
+    auto mkl = workload::makeMatMulMkl({500}, 0x100000000ULL,
+                                       Random(3));
+    double ratio = static_cast<double>(runToEnd(loop.get())) /
+                   static_cast<double>(runToEnd(mkl.get()));
+    EXPECT_GT(ratio, 12.0);
+    EXPECT_LT(ratio, 35.0);
+}
+
+TEST(CalibrationGuards, SecretPrinterMpkiNearPaper)
+{
+    // Paper: 7.52 MPKI for the clean Meltdown victim.
+    System sys(hw::MachineConfig::corei7_920(), 62, quietCosts());
+    auto wl = workload::makeSecretPrinter(0x300000000ULL,
+                                          sys.forkRng(2));
+    Process *p = sys.kernel().createWorkload("w", wl.get(), 0);
+    sys.kernel().startProcess(p);
+    sys.run();
+    const hw::EventVector &ev = p->execContext()->totalEvents();
+    double mpki = stats::mpki(
+        static_cast<double>(at(ev, hw::HwEvent::llcMiss)),
+        static_cast<double>(at(ev, hw::HwEvent::instRetired)));
+    EXPECT_GT(mpki, 5.5);
+    EXPECT_LT(mpki, 9.5);
+}

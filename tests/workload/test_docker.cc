@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "stats/time_series.hh"
+#include "workload/docker.hh"
+
+using namespace klebsim;
+using namespace klebsim::workload;
+
+TEST(Docker, CatalogHasNineImages)
+{
+    const auto &catalog = dockerCatalog();
+    ASSERT_EQ(catalog.size(), 9u);
+    EXPECT_EQ(catalog.front().name, "ruby");
+    EXPECT_EQ(catalog.back().name, "tomcat");
+    int memory_intensive = 0;
+    for (const auto &spec : catalog)
+        memory_intensive += spec.expectMemoryIntensive ? 1 : 0;
+    EXPECT_EQ(memory_intensive, 3); // apache, nginx, tomcat
+}
+
+TEST(Docker, LookupByName)
+{
+    EXPECT_EQ(dockerImage("nginx").name, "nginx");
+    EXPECT_TRUE(dockerImage("nginx").expectMemoryIntensive);
+    EXPECT_FALSE(dockerImage("python").expectMemoryIntensive);
+}
+
+TEST(Docker, WorkloadBuilds)
+{
+    auto wl = makeDockerWorkload(dockerImage("mysql"), 0x10000000,
+                                 Random(1));
+    ASSERT_NE(wl, nullptr);
+    EXPECT_GT(wl->totalInstructions(),
+              dockerImage("mysql").instructions);
+}
+
+TEST(Docker, ContainerLaunchesShimAndChild)
+{
+    kernel::System sys;
+    DockerImageSpec spec = dockerImage("python");
+    spec.instructions = 5000000; // keep the test fast
+    auto container = launchContainer(sys.kernel(), spec, 0,
+                                     0x10000000, sys.forkRng(1));
+    ASSERT_NE(container->shim, nullptr);
+    EXPECT_EQ(container->entry, nullptr); // not yet forked
+
+    sys.run();
+
+    ASSERT_NE(container->entry, nullptr);
+    EXPECT_EQ(container->entry->ppid(), container->shim->pid());
+    EXPECT_EQ(container->shim->state(), kernel::ProcState::zombie);
+    EXPECT_EQ(container->entry->state(),
+              kernel::ProcState::zombie);
+    // The shim outlives the child (it reaps it).
+    EXPECT_GE(container->shim->exitTick(),
+              container->entry->exitTick());
+    // Descendant tracing covers the entry through the shim.
+    EXPECT_TRUE(sys.kernel().isDescendantOf(
+        container->entry->pid(), container->shim->pid()));
+    EXPECT_EQ(container->entry->execContext()
+                  ->instructionsRetired(),
+              container->workload->totalInstructions());
+}
+
+TEST(Docker, InterpreterVsWebServerMissRates)
+{
+    // Run a scaled-down python and tomcat and compare true LLC miss
+    // rates from the execution context: the web server must be far
+    // more memory-intensive.
+    auto run = [](const char *name) {
+        kernel::System sys(hw::MachineConfig::corei7_920(), 3);
+        DockerImageSpec spec = dockerImage(name);
+        spec.instructions = 30000000;
+        auto wl =
+            makeDockerWorkload(spec, 0x10000000, sys.forkRng(2));
+        kernel::Process *p =
+            sys.kernel().createWorkload(name, wl.get(), 0);
+        sys.kernel().startProcess(p);
+        sys.run();
+        const hw::EventVector &ev =
+            p->execContext()->totalEvents();
+        return stats::mpki(
+            static_cast<double>(at(ev, hw::HwEvent::llcMiss)),
+            static_cast<double>(
+                at(ev, hw::HwEvent::instRetired)));
+    };
+    double python_mpki = run("python");
+    double tomcat_mpki = run("tomcat");
+    EXPECT_LT(python_mpki, memoryIntensiveMpki);
+    EXPECT_GT(tomcat_mpki, memoryIntensiveMpki);
+    EXPECT_GT(tomcat_mpki, 5.0 * python_mpki);
+}

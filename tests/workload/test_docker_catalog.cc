@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "stats/time_series.hh"
+#include "workload/docker.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::DockerImageSpec;
+
+namespace
+{
+
+/**
+ * Catalog sweep: every image must land in its expected MPKI class
+ * when measured the way Fig. 5 measures it (through the container
+ * shim with descendant tracing), and the container plumbing must
+ * behave identically for all of them.
+ */
+class DockerImageSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+} // namespace
+
+TEST_P(DockerImageSweep, ClassificationMatchesSpec)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 23);
+    DockerImageSpec spec = workload::dockerImage(GetParam());
+    spec.instructions = 30000000;
+    auto container = workload::launchContainer(
+        sys.kernel(), spec, 0, 0x200000000ULL, sys.forkRng(11));
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired, hw::HwEvent::llcMiss};
+    opts.period = 1_ms;
+    opts.controllerCore = 1;
+    kleb::Session session(sys, opts);
+    session.monitor(container->shim, false);
+    sys.run();
+
+    hw::EventVector totals = session.finalTotals();
+    double mpki = stats::mpki(
+        static_cast<double>(at(totals, hw::HwEvent::llcMiss)),
+        static_cast<double>(
+            at(totals, hw::HwEvent::instRetired)));
+
+    EXPECT_EQ(mpki > workload::memoryIntensiveMpki,
+              spec.expectMemoryIntensive)
+        << spec.name << " MPKI " << mpki;
+
+    // Container plumbing invariants hold for every image.
+    ASSERT_NE(container->entry, nullptr);
+    EXPECT_EQ(container->entry->ppid(), container->shim->pid());
+    EXPECT_EQ(container->shim->state(), ProcState::zombie);
+    EXPECT_EQ(container->entry->state(), ProcState::zombie);
+    EXPECT_GE(at(totals, hw::HwEvent::instRetired),
+              spec.instructions);
+}
+
+TEST_P(DockerImageSweep, WorkloadIsResettable)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 24);
+    DockerImageSpec spec = workload::dockerImage(GetParam());
+    spec.instructions = 5000000;
+    auto wl = workload::makeDockerWorkload(spec, 0x200000000ULL,
+                                           sys.forkRng(12));
+
+    Process *first = sys.kernel().createWorkload("a", wl.get(), 0);
+    sys.kernel().startProcess(first);
+    sys.run();
+    std::uint64_t instr_a =
+        first->execContext()->instructionsRetired();
+
+    wl->reset();
+    Process *second =
+        sys.kernel().createWorkload("b", wl.get(), 0);
+    sys.kernel().startProcess(second);
+    sys.run();
+    EXPECT_EQ(second->execContext()->instructionsRetired(),
+              instr_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, DockerImageSweep,
+    ::testing::Values("ruby", "golang", "python", "mysql",
+                      "traefik", "ghost", "apache", "nginx",
+                      "tomcat"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });

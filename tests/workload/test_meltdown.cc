@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "stats/time_series.hh"
+#include "workload/meltdown.hh"
+
+using namespace klebsim;
+using namespace klebsim::workload;
+
+namespace
+{
+
+struct RunOutcome
+{
+    Tick lifetime;
+    hw::EventVector events;
+};
+
+RunOutcome
+runWorkload(hw::WorkSource *src)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 5);
+    kernel::Process *p = sys.kernel().createWorkload("m", src, 0);
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(p->state(), kernel::ProcState::zombie);
+    return {p->lifetime(), p->execContext()->totalEvents()};
+}
+
+} // namespace
+
+TEST(Meltdown, SecretPrinterIsShort)
+{
+    auto printer = makeSecretPrinter(0x20000000, Random(3));
+    RunOutcome out = runWorkload(printer.get());
+    // The paper stresses the clean program finishes in <10 ms —
+    // too fast for perf's 10 ms timer to produce multiple samples.
+    EXPECT_LT(ticksToMs(out.lifetime), 10.0);
+    EXPECT_GT(ticksToMs(out.lifetime), 2.0);
+}
+
+TEST(Meltdown, AttackRecoversSecretThroughCacheSideChannel)
+{
+    MeltdownParams params;
+    params.secret = "SQUEAMISH";
+    params.retriesPerByte = 5;
+    MeltdownWorkload attack(params, 0x30000000, Random(4));
+    runWorkload(&attack);
+    EXPECT_EQ(attack.recoveredSecret(), "SQUEAMISH");
+    EXPECT_GT(attack.recoveryAccuracy(), 0.95);
+}
+
+TEST(Meltdown, AttackRecoversAllByteValues)
+{
+    // Exercise low and high byte values (probe-array indexing).
+    MeltdownParams params;
+    params.secret = std::string("\x01\x7f\x80\xfeZ", 5);
+    params.retriesPerByte = 3;
+    MeltdownWorkload attack(params, 0x30000000, Random(4));
+    runWorkload(&attack);
+    EXPECT_EQ(attack.recoveredSecret(), params.secret);
+}
+
+TEST(Meltdown, AttackInflatesLlcActivity)
+{
+    auto printer = makeSecretPrinter(0x20000000, Random(6));
+    RunOutcome clean = runWorkload(printer.get());
+
+    MeltdownParams params;
+    params.retriesPerByte = 40;
+    MeltdownWorkload attack(params, 0x20000000, Random(6));
+    RunOutcome attacked = runWorkload(&attack);
+
+    // Fig. 6: LLC references and misses far higher under attack.
+    EXPECT_GT(at(attacked.events, hw::HwEvent::llcReference),
+              2 * at(clean.events, hw::HwEvent::llcReference));
+    EXPECT_GT(at(attacked.events, hw::HwEvent::llcMiss),
+              2 * at(clean.events, hw::HwEvent::llcMiss));
+    // Fig. 7: the attack also lengthens the run.
+    EXPECT_GT(attacked.lifetime, clean.lifetime);
+}
+
+TEST(Meltdown, MpkiSignature)
+{
+    auto printer = makeSecretPrinter(0x20000000, Random(8));
+    RunOutcome clean = runWorkload(printer.get());
+    double clean_mpki = stats::mpki(
+        static_cast<double>(at(clean.events, hw::HwEvent::llcMiss)),
+        static_cast<double>(
+            at(clean.events, hw::HwEvent::instRetired)));
+
+    MeltdownParams params;
+    params.retriesPerByte = 60;
+    MeltdownWorkload attack(params, 0x20000000, Random(8));
+    RunOutcome attacked = runWorkload(&attack);
+    double attack_mpki = stats::mpki(
+        static_cast<double>(
+            at(attacked.events, hw::HwEvent::llcMiss)),
+        static_cast<double>(
+            at(attacked.events, hw::HwEvent::instRetired)));
+
+    // Paper section IV-C: 7.52 MPKI clean vs 27.53 under attack.
+    EXPECT_GT(clean_mpki, 2.0);
+    EXPECT_LT(clean_mpki, 15.0);
+    EXPECT_GT(attack_mpki, 2.0 * clean_mpki);
+}
+
+TEST(Meltdown, ResetReplays)
+{
+    MeltdownParams params;
+    params.secret = "AB";
+    params.retriesPerByte = 2;
+    MeltdownWorkload attack(params, 0x30000000, Random(4));
+    runWorkload(&attack);
+    EXPECT_EQ(attack.recoveredSecret(), "AB");
+    attack.reset();
+    EXPECT_EQ(attack.recoveredSecret(), "");
+    EXPECT_FALSE(attack.done());
+    runWorkload(&attack);
+    EXPECT_EQ(attack.recoveredSecret(), "AB");
+}

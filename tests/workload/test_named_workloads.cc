@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "kernel/system.hh"
+#include "workload/linpack.hh"
+#include "workload/matmul.hh"
+
+using namespace klebsim;
+using namespace klebsim::workload;
+
+namespace
+{
+
+kernel::CostModel
+quietCosts()
+{
+    kernel::CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+/** Run a workload to completion on a fresh system. */
+Tick
+runToCompletion(hw::WorkSource *src, double &flops_out)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 1,
+                       quietCosts());
+    kernel::Process *p =
+        sys.kernel().createWorkload("w", src, 0);
+    sys.kernel().startProcess(p);
+    sys.run();
+    EXPECT_EQ(p->state(), kernel::ProcState::zombie);
+    flops_out = p->execContext()->flopsDone();
+    return p->lifetime();
+}
+
+} // namespace
+
+TEST(Linpack, FlopsFormula)
+{
+    LinpackParams params;
+    params.n = 100;
+    params.trials = 2;
+    EXPECT_NEAR(linpackFlops(params),
+                2.0 * (2.0 / 3.0 * 1e6 + 2e4), 1.0);
+}
+
+TEST(Linpack, SmallRunCompletesWithExpectedFlops)
+{
+    LinpackParams params;
+    params.n = 300;
+    params.trials = 2;
+    params.blocksPerTrial = 4;
+    auto wl = makeLinpack(params, 0x10000000, Random(1));
+    double flops = 0;
+    Tick lifetime = runToCompletion(wl.get(), flops);
+    EXPECT_NEAR(flops, linpackFlops(params),
+                linpackFlops(params) * 0.01);
+    EXPECT_GT(lifetime, 0u);
+    // GFLOPS should be in a plausible HPC range for the model.
+    double gflops = linpackGflops(params, lifetime);
+    EXPECT_GT(gflops, 5.0);
+    EXPECT_LT(gflops, 80.0);
+}
+
+TEST(Linpack, PhaseStructure)
+{
+    LinpackParams params;
+    params.trials = 3;
+    params.blocksPerTrial = 5;
+    auto wl = makeLinpack(params, 0, Random(1));
+    // init + setup + trials * blocks * 3 phases.
+    EXPECT_GT(wl->totalInstructions(), 0u);
+    EXPECT_DOUBLE_EQ(wl->totalFlops(), linpackFlops(params));
+}
+
+TEST(MatMul, FlopsFormula)
+{
+    EXPECT_DOUBLE_EQ(matmulFlops({1000}), 2e9);
+}
+
+TEST(MatMul, LoopSlowerThanMkl)
+{
+    MatMulParams params{320};
+    auto loop = makeMatMulLoop(params, 0x10000000, Random(1));
+    auto mkl = makeMatMulMkl(params, 0x10000000, Random(1));
+    double f1 = 0, f2 = 0;
+    Tick t_loop = runToCompletion(loop.get(), f1);
+    Tick t_mkl = runToCompletion(mkl.get(), f2);
+    EXPECT_NEAR(f1, matmulFlops(params), matmulFlops(params) * 0.01);
+    EXPECT_NEAR(f2, matmulFlops(params), matmulFlops(params) * 0.01);
+    // The triple loop is an order of magnitude slower (paper: ~2 s
+    // vs <100 ms at n=1000).
+    EXPECT_GT(static_cast<double>(t_loop),
+              8.0 * static_cast<double>(t_mkl));
+}
+
+TEST(MatMul, NominalDurationsMatchPaperScale)
+{
+    // Full-size n=1000 runs are bench territory; verify the scaling
+    // trend on n=500: loop time ~ n^3.
+    MatMulParams small{250};
+    MatMulParams big{500};
+    auto wl_small = makeMatMulLoop(small, 0x10000000, Random(1));
+    auto wl_big = makeMatMulLoop(big, 0x10000000, Random(1));
+    double f = 0;
+    Tick t_small = runToCompletion(wl_small.get(), f);
+    Tick t_big = runToCompletion(wl_big.get(), f);
+    double ratio = static_cast<double>(t_big) /
+                   static_cast<double>(t_small);
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 12.0);
+}

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_buffering.cc" "bench/CMakeFiles/abl_buffering.dir/abl_buffering.cc.o" "gcc" "bench/CMakeFiles/abl_buffering.dir/abl_buffering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/kleb_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/kleb/CMakeFiles/kleb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/kleb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kleb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kleb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kleb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kleb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kleb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

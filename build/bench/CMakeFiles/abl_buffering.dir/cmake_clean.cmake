@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buffering.dir/abl_buffering.cc.o"
+  "CMakeFiles/abl_buffering.dir/abl_buffering.cc.o.d"
+  "abl_buffering"
+  "abl_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_jitter.dir/abl_jitter.cc.o"
+  "CMakeFiles/abl_jitter.dir/abl_jitter.cc.o.d"
+  "abl_jitter"
+  "abl_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

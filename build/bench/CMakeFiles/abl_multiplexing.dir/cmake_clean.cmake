@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multiplexing.dir/abl_multiplexing.cc.o"
+  "CMakeFiles/abl_multiplexing.dir/abl_multiplexing.cc.o.d"
+  "abl_multiplexing"
+  "abl_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

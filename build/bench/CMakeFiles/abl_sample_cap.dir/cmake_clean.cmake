@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sample_cap.dir/abl_sample_cap.cc.o"
+  "CMakeFiles/abl_sample_cap.dir/abl_sample_cap.cc.o.d"
+  "abl_sample_cap"
+  "abl_sample_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_timer_sweep.dir/abl_timer_sweep.cc.o"
+  "CMakeFiles/abl_timer_sweep.dir/abl_timer_sweep.cc.o.d"
+  "abl_timer_sweep"
+  "abl_timer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_timer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_linpack_series.dir/fig4_linpack_series.cc.o"
+  "CMakeFiles/fig4_linpack_series.dir/fig4_linpack_series.cc.o.d"
+  "fig4_linpack_series"
+  "fig4_linpack_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_linpack_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_docker_mpki.dir/fig5_docker_mpki.cc.o"
+  "CMakeFiles/fig5_docker_mpki.dir/fig5_docker_mpki.cc.o.d"
+  "fig5_docker_mpki"
+  "fig5_docker_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_docker_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

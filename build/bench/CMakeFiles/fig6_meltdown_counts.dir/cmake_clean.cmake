@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_meltdown_counts.dir/fig6_meltdown_counts.cc.o"
+  "CMakeFiles/fig6_meltdown_counts.dir/fig6_meltdown_counts.cc.o.d"
+  "fig6_meltdown_counts"
+  "fig6_meltdown_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_meltdown_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_meltdown_series.dir/fig7_meltdown_series.cc.o"
+  "CMakeFiles/fig7_meltdown_series.dir/fig7_meltdown_series.cc.o.d"
+  "fig7_meltdown_series"
+  "fig7_meltdown_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_meltdown_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

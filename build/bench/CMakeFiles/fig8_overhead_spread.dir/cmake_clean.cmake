@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overhead_spread.dir/fig8_overhead_spread.cc.o"
+  "CMakeFiles/fig8_overhead_spread.dir/fig8_overhead_spread.cc.o.d"
+  "fig8_overhead_spread"
+  "fig8_overhead_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overhead_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

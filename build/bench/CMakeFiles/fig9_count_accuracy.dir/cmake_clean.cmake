@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_count_accuracy.dir/fig9_count_accuracy.cc.o"
+  "CMakeFiles/fig9_count_accuracy.dir/fig9_count_accuracy.cc.o.d"
+  "fig9_count_accuracy"
+  "fig9_count_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_count_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

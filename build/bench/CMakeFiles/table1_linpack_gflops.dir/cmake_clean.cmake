@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_linpack_gflops.dir/table1_linpack_gflops.cc.o"
+  "CMakeFiles/table1_linpack_gflops.dir/table1_linpack_gflops.cc.o.d"
+  "table1_linpack_gflops"
+  "table1_linpack_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_linpack_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_matmul_overhead.dir/table2_matmul_overhead.cc.o"
+  "CMakeFiles/table2_matmul_overhead.dir/table2_matmul_overhead.cc.o.d"
+  "table2_matmul_overhead"
+  "table2_matmul_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_matmul_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

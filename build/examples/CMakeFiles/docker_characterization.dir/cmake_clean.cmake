@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docker_characterization.dir/docker_characterization.cpp.o"
+  "CMakeFiles/docker_characterization.dir/docker_characterization.cpp.o.d"
+  "docker_characterization"
+  "docker_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docker_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meltdown_detection.dir/meltdown_detection.cpp.o"
+  "CMakeFiles/meltdown_detection.dir/meltdown_detection.cpp.o.d"
+  "meltdown_detection"
+  "meltdown_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meltdown_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

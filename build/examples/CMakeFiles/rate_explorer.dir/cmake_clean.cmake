@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_explorer.dir/rate_explorer.cpp.o"
+  "CMakeFiles/rate_explorer.dir/rate_explorer.cpp.o.d"
+  "rate_explorer"
+  "rate_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

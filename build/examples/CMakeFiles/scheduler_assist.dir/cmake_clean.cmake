@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_assist.dir/scheduler_assist.cpp.o"
+  "CMakeFiles/scheduler_assist.dir/scheduler_assist.cpp.o.d"
+  "scheduler_assist"
+  "scheduler_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_base.dir/csv.cc.o"
+  "CMakeFiles/kleb_base.dir/csv.cc.o.d"
+  "CMakeFiles/kleb_base.dir/logging.cc.o"
+  "CMakeFiles/kleb_base.dir/logging.cc.o.d"
+  "CMakeFiles/kleb_base.dir/random.cc.o"
+  "CMakeFiles/kleb_base.dir/random.cc.o.d"
+  "CMakeFiles/kleb_base.dir/str.cc.o"
+  "CMakeFiles/kleb_base.dir/str.cc.o.d"
+  "libkleb_base.a"
+  "libkleb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/kleb_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/cpu_core.cc" "src/hw/CMakeFiles/kleb_hw.dir/cpu_core.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/cpu_core.cc.o.d"
+  "/root/repo/src/hw/machine_config.cc" "src/hw/CMakeFiles/kleb_hw.dir/machine_config.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/machine_config.cc.o.d"
+  "/root/repo/src/hw/mem_hierarchy.cc" "src/hw/CMakeFiles/kleb_hw.dir/mem_hierarchy.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/mem_hierarchy.cc.o.d"
+  "/root/repo/src/hw/msr.cc" "src/hw/CMakeFiles/kleb_hw.dir/msr.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/msr.cc.o.d"
+  "/root/repo/src/hw/perf_event.cc" "src/hw/CMakeFiles/kleb_hw.dir/perf_event.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/perf_event.cc.o.d"
+  "/root/repo/src/hw/pmu.cc" "src/hw/CMakeFiles/kleb_hw.dir/pmu.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/pmu.cc.o.d"
+  "/root/repo/src/hw/timer_device.cc" "src/hw/CMakeFiles/kleb_hw.dir/timer_device.cc.o" "gcc" "src/hw/CMakeFiles/kleb_hw.dir/timer_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/kleb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kleb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_hw.dir/cache.cc.o"
+  "CMakeFiles/kleb_hw.dir/cache.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/cpu_core.cc.o"
+  "CMakeFiles/kleb_hw.dir/cpu_core.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/machine_config.cc.o"
+  "CMakeFiles/kleb_hw.dir/machine_config.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/mem_hierarchy.cc.o"
+  "CMakeFiles/kleb_hw.dir/mem_hierarchy.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/msr.cc.o"
+  "CMakeFiles/kleb_hw.dir/msr.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/perf_event.cc.o"
+  "CMakeFiles/kleb_hw.dir/perf_event.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/pmu.cc.o"
+  "CMakeFiles/kleb_hw.dir/pmu.cc.o.d"
+  "CMakeFiles/kleb_hw.dir/timer_device.cc.o"
+  "CMakeFiles/kleb_hw.dir/timer_device.cc.o.d"
+  "libkleb_hw.a"
+  "libkleb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

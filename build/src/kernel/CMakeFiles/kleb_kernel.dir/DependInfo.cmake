@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/kleb_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/kleb_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/kleb_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/kleb_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/system.cc" "src/kernel/CMakeFiles/kleb_kernel.dir/system.cc.o" "gcc" "src/kernel/CMakeFiles/kleb_kernel.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/kleb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kleb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kleb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_kernel.dir/kernel.cc.o"
+  "CMakeFiles/kleb_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/kleb_kernel.dir/process.cc.o"
+  "CMakeFiles/kleb_kernel.dir/process.cc.o.d"
+  "CMakeFiles/kleb_kernel.dir/system.cc.o"
+  "CMakeFiles/kleb_kernel.dir/system.cc.o.d"
+  "libkleb_kernel.a"
+  "libkleb_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

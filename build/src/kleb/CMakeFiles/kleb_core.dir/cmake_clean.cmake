@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_core.dir/kleb_controller.cc.o"
+  "CMakeFiles/kleb_core.dir/kleb_controller.cc.o.d"
+  "CMakeFiles/kleb_core.dir/kleb_module.cc.o"
+  "CMakeFiles/kleb_core.dir/kleb_module.cc.o.d"
+  "CMakeFiles/kleb_core.dir/sequential.cc.o"
+  "CMakeFiles/kleb_core.dir/sequential.cc.o.d"
+  "CMakeFiles/kleb_core.dir/session.cc.o"
+  "CMakeFiles/kleb_core.dir/session.cc.o.d"
+  "libkleb_core.a"
+  "libkleb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

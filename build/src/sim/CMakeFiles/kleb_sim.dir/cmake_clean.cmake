@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/kleb_sim.dir/event_queue.cc.o.d"
+  "libkleb_sim.a"
+  "libkleb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

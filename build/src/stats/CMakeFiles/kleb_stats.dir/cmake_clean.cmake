@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_stats.dir/histogram.cc.o"
+  "CMakeFiles/kleb_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/kleb_stats.dir/summary.cc.o"
+  "CMakeFiles/kleb_stats.dir/summary.cc.o.d"
+  "CMakeFiles/kleb_stats.dir/time_series.cc.o"
+  "CMakeFiles/kleb_stats.dir/time_series.cc.o.d"
+  "libkleb_stats.a"
+  "libkleb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_tools.dir/harness.cc.o"
+  "CMakeFiles/kleb_tools.dir/harness.cc.o.d"
+  "CMakeFiles/kleb_tools.dir/instrumented.cc.o"
+  "CMakeFiles/kleb_tools.dir/instrumented.cc.o.d"
+  "CMakeFiles/kleb_tools.dir/multiplex.cc.o"
+  "CMakeFiles/kleb_tools.dir/multiplex.cc.o.d"
+  "CMakeFiles/kleb_tools.dir/perf.cc.o"
+  "CMakeFiles/kleb_tools.dir/perf.cc.o.d"
+  "CMakeFiles/kleb_tools.dir/task_pmu.cc.o"
+  "CMakeFiles/kleb_tools.dir/task_pmu.cc.o.d"
+  "libkleb_tools.a"
+  "libkleb_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_streams.cc" "src/workload/CMakeFiles/kleb_workload.dir/address_streams.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/address_streams.cc.o.d"
+  "/root/repo/src/workload/docker.cc" "src/workload/CMakeFiles/kleb_workload.dir/docker.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/docker.cc.o.d"
+  "/root/repo/src/workload/linpack.cc" "src/workload/CMakeFiles/kleb_workload.dir/linpack.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/linpack.cc.o.d"
+  "/root/repo/src/workload/matmul.cc" "src/workload/CMakeFiles/kleb_workload.dir/matmul.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/matmul.cc.o.d"
+  "/root/repo/src/workload/meltdown.cc" "src/workload/CMakeFiles/kleb_workload.dir/meltdown.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/meltdown.cc.o.d"
+  "/root/repo/src/workload/phase_workload.cc" "src/workload/CMakeFiles/kleb_workload.dir/phase_workload.cc.o" "gcc" "src/workload/CMakeFiles/kleb_workload.dir/phase_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/kleb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kleb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kleb_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kleb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

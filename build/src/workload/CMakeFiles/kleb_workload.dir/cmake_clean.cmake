@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleb_workload.dir/address_streams.cc.o"
+  "CMakeFiles/kleb_workload.dir/address_streams.cc.o.d"
+  "CMakeFiles/kleb_workload.dir/docker.cc.o"
+  "CMakeFiles/kleb_workload.dir/docker.cc.o.d"
+  "CMakeFiles/kleb_workload.dir/linpack.cc.o"
+  "CMakeFiles/kleb_workload.dir/linpack.cc.o.d"
+  "CMakeFiles/kleb_workload.dir/matmul.cc.o"
+  "CMakeFiles/kleb_workload.dir/matmul.cc.o.d"
+  "CMakeFiles/kleb_workload.dir/meltdown.cc.o"
+  "CMakeFiles/kleb_workload.dir/meltdown.cc.o.d"
+  "CMakeFiles/kleb_workload.dir/phase_workload.cc.o"
+  "CMakeFiles/kleb_workload.dir/phase_workload.cc.o.d"
+  "libkleb_workload.a"
+  "libkleb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkleb_workload.a"
+)

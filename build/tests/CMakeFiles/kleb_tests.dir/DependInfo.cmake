@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/test_csv.cc" "tests/CMakeFiles/kleb_tests.dir/base/test_csv.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/base/test_csv.cc.o.d"
+  "/root/repo/tests/base/test_intmath.cc" "tests/CMakeFiles/kleb_tests.dir/base/test_intmath.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/base/test_intmath.cc.o.d"
+  "/root/repo/tests/base/test_random.cc" "tests/CMakeFiles/kleb_tests.dir/base/test_random.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/base/test_random.cc.o.d"
+  "/root/repo/tests/base/test_ring_buffer.cc" "tests/CMakeFiles/kleb_tests.dir/base/test_ring_buffer.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/base/test_ring_buffer.cc.o.d"
+  "/root/repo/tests/base/test_str.cc" "tests/CMakeFiles/kleb_tests.dir/base/test_str.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/base/test_str.cc.o.d"
+  "/root/repo/tests/hw/test_attribution_properties.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_attribution_properties.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_attribution_properties.cc.o.d"
+  "/root/repo/tests/hw/test_cache.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cache.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cache.cc.o.d"
+  "/root/repo/tests/hw/test_cache_properties.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cache_properties.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cache_properties.cc.o.d"
+  "/root/repo/tests/hw/test_cpu_core.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cpu_core.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_cpu_core.cc.o.d"
+  "/root/repo/tests/hw/test_machine_config.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_machine_config.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_machine_config.cc.o.d"
+  "/root/repo/tests/hw/test_mem_hierarchy.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_mem_hierarchy.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_mem_hierarchy.cc.o.d"
+  "/root/repo/tests/hw/test_msr.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_msr.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_msr.cc.o.d"
+  "/root/repo/tests/hw/test_perf_event.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_perf_event.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_perf_event.cc.o.d"
+  "/root/repo/tests/hw/test_pmu.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_pmu.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_pmu.cc.o.d"
+  "/root/repo/tests/hw/test_timer_device.cc" "tests/CMakeFiles/kleb_tests.dir/hw/test_timer_device.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/hw/test_timer_device.cc.o.d"
+  "/root/repo/tests/integration/test_accuracy.cc" "tests/CMakeFiles/kleb_tests.dir/integration/test_accuracy.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/integration/test_accuracy.cc.o.d"
+  "/root/repo/tests/integration/test_case_studies.cc" "tests/CMakeFiles/kleb_tests.dir/integration/test_case_studies.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/integration/test_case_studies.cc.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/kleb_tests.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/kernel/test_hrtimer.cc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_hrtimer.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_hrtimer.cc.o.d"
+  "/root/repo/tests/kernel/test_modules.cc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_modules.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_modules.cc.o.d"
+  "/root/repo/tests/kernel/test_scheduler.cc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_scheduler.cc.o.d"
+  "/root/repo/tests/kernel/test_scheduler_properties.cc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_scheduler_properties.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kernel/test_scheduler_properties.cc.o.d"
+  "/root/repo/tests/kleb/test_failure_injection.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_failure_injection.cc.o.d"
+  "/root/repo/tests/kleb/test_kleb_module.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_kleb_module.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_kleb_module.cc.o.d"
+  "/root/repo/tests/kleb/test_kleb_properties.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_kleb_properties.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_kleb_properties.cc.o.d"
+  "/root/repo/tests/kleb/test_safety.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_safety.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_safety.cc.o.d"
+  "/root/repo/tests/kleb/test_sequential.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_sequential.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_sequential.cc.o.d"
+  "/root/repo/tests/kleb/test_session.cc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_session.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/kleb/test_session.cc.o.d"
+  "/root/repo/tests/sim/test_clock_domain.cc" "tests/CMakeFiles/kleb_tests.dir/sim/test_clock_domain.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/sim/test_clock_domain.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/kleb_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/stats/test_histogram.cc" "tests/CMakeFiles/kleb_tests.dir/stats/test_histogram.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/stats/test_histogram.cc.o.d"
+  "/root/repo/tests/stats/test_summary.cc" "tests/CMakeFiles/kleb_tests.dir/stats/test_summary.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/stats/test_summary.cc.o.d"
+  "/root/repo/tests/stats/test_time_series.cc" "tests/CMakeFiles/kleb_tests.dir/stats/test_time_series.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/stats/test_time_series.cc.o.d"
+  "/root/repo/tests/tools/test_harness.cc" "tests/CMakeFiles/kleb_tests.dir/tools/test_harness.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/tools/test_harness.cc.o.d"
+  "/root/repo/tests/tools/test_instrumented.cc" "tests/CMakeFiles/kleb_tests.dir/tools/test_instrumented.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/tools/test_instrumented.cc.o.d"
+  "/root/repo/tests/tools/test_multiplex.cc" "tests/CMakeFiles/kleb_tests.dir/tools/test_multiplex.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/tools/test_multiplex.cc.o.d"
+  "/root/repo/tests/tools/test_perf.cc" "tests/CMakeFiles/kleb_tests.dir/tools/test_perf.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/tools/test_perf.cc.o.d"
+  "/root/repo/tests/tools/test_task_pmu.cc" "tests/CMakeFiles/kleb_tests.dir/tools/test_task_pmu.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/tools/test_task_pmu.cc.o.d"
+  "/root/repo/tests/workload/test_calibration_guards.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_calibration_guards.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_calibration_guards.cc.o.d"
+  "/root/repo/tests/workload/test_docker.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_docker.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_docker.cc.o.d"
+  "/root/repo/tests/workload/test_docker_catalog.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_docker_catalog.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_docker_catalog.cc.o.d"
+  "/root/repo/tests/workload/test_meltdown.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_meltdown.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_meltdown.cc.o.d"
+  "/root/repo/tests/workload/test_meltdown_properties.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_meltdown_properties.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_meltdown_properties.cc.o.d"
+  "/root/repo/tests/workload/test_named_workloads.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_named_workloads.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_named_workloads.cc.o.d"
+  "/root/repo/tests/workload/test_phase_workload.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_phase_workload.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_phase_workload.cc.o.d"
+  "/root/repo/tests/workload/test_streams.cc" "tests/CMakeFiles/kleb_tests.dir/workload/test_streams.cc.o" "gcc" "tests/CMakeFiles/kleb_tests.dir/workload/test_streams.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/kleb_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/kleb/CMakeFiles/kleb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/kleb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kleb_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kleb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kleb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/kleb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/kleb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,130 @@
+#include "determinism.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/str.hh"
+
+namespace klebsim::analysis
+{
+
+namespace
+{
+
+/** Records of shared history to include before a divergence. */
+constexpr std::size_t contextRecords = 5;
+
+std::string
+recordAt(const EventTrace &t, std::size_t i)
+{
+    if (i >= t.size())
+        return "<end of trace>";
+    return t.records()[i].str();
+}
+
+/** Compare named counters; append "name: a vs b" lines to @p out. */
+void
+diffCounters(
+    const std::vector<std::pair<std::string, std::uint64_t>> &a,
+    const std::vector<std::pair<std::string, std::uint64_t>> &b,
+    std::vector<std::string> &out)
+{
+    std::map<std::string, std::uint64_t> bmap(b.begin(), b.end());
+    for (const auto &[name, va] : a) {
+        auto it = bmap.find(name);
+        if (it == bmap.end()) {
+            out.push_back(csprintf("counter '%s' missing from "
+                                   "second run", name.c_str()));
+            continue;
+        }
+        if (it->second != va)
+            out.push_back(csprintf(
+                "counter '%s': %llu vs %llu", name.c_str(),
+                (unsigned long long)va,
+                (unsigned long long)it->second));
+        bmap.erase(it);
+    }
+    for (const auto &[name, vb] : bmap) {
+        (void)vb;
+        out.push_back(csprintf("counter '%s' missing from first run",
+                               name.c_str()));
+    }
+}
+
+} // anonymous namespace
+
+void
+DeterminismHarness::compareRuns(DeterminismReport &report,
+                                const Observation &a,
+                                const Observation &b)
+{
+    report.deterministic = true;
+    auto div = EventTrace::firstDivergence(a.trace, b.trace);
+    if (div) {
+        report.deterministic = false;
+        TraceDivergence d;
+        d.index = *div;
+        d.expected = recordAt(a.trace, *div);
+        d.actual = recordAt(b.trace, *div);
+        std::size_t start =
+            *div > contextRecords ? *div - contextRecords : 0;
+        for (std::size_t i = start; i < *div; ++i)
+            d.context.push_back(recordAt(a.trace, i));
+        report.divergence = std::move(d);
+    }
+    diffCounters(a.counters, b.counters, report.counterMismatches);
+    if (!report.counterMismatches.empty())
+        report.deterministic = false;
+}
+
+DeterminismReport
+DeterminismHarness::checkReplay(const Scenario &scenario)
+{
+    DeterminismReport report;
+    Observation first = scenario(0);
+    Observation second = scenario(0);
+    compareRuns(report, first, second);
+    return report;
+}
+
+DeterminismReport
+DeterminismHarness::check(const Scenario &scenario)
+{
+    DeterminismReport report;
+    Observation first = scenario(0);
+    Observation second = scenario(0);
+    compareRuns(report, first, second);
+
+    // Perturbed tie-break: the event *order* legitimately changes,
+    // so only the semantic observables (counters) are compared.
+    Observation perturbed = scenario(perturbSalt);
+    diffCounters(first.counters, perturbed.counters,
+                 report.tieBreakMismatches);
+    report.tieBreakSensitive = !report.tieBreakMismatches.empty();
+    return report;
+}
+
+std::string
+DeterminismReport::summary() const
+{
+    std::string out;
+    out += csprintf("deterministic: %s\n",
+                    deterministic ? "yes" : "NO");
+    if (divergence) {
+        out += csprintf("first trace divergence at record %zu:\n",
+                        divergence->index);
+        for (const std::string &c : divergence->context)
+            out += "    ... " + c + "\n";
+        out += "    run A: " + divergence->expected + "\n";
+        out += "    run B: " + divergence->actual + "\n";
+    }
+    for (const std::string &m : counterMismatches)
+        out += "  " + m + "\n";
+    out += csprintf("tie-break sensitive: %s\n",
+                    tieBreakSensitive ? "YES" : "no");
+    for (const std::string &m : tieBreakMismatches)
+        out += "  " + m + "\n";
+    return out;
+}
+
+} // namespace klebsim::analysis

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism harness — the DES analogue of a race detector.
+ *
+ * DESIGN.md claims the substrate is fully deterministic: same-tick
+ * events ordered by priority, then schedule order (FIFO).  This
+ * harness enforces that claim empirically.  Given a scenario — a
+ * callable that builds a fresh machine, runs it, and returns its
+ * observables — the harness:
+ *
+ *  1. runs the scenario twice with the specification tie-break
+ *     (salt 0) and diffs the full event traces and final counter
+ *     values: any divergence means hidden nondeterminism leaked in
+ *     (wall-clock time, unseeded randomness, address-dependent
+ *     iteration order, ...), and the report pins down the first
+ *     divergent event with context;
+ *
+ *  2. runs it once more with a perturbed same-tick tie-break and
+ *     compares only the counters: a difference means some module's
+ *     results secretly depend on FIFO order between same-priority
+ *     events — the discrete-event equivalent of a data race.
+ */
+
+#ifndef KLEBSIM_ANALYSIS_DETERMINISM_HH
+#define KLEBSIM_ANALYSIS_DETERMINISM_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event_trace.hh"
+
+namespace klebsim::analysis
+{
+
+/** What one scenario run exposes for comparison. */
+struct Observation
+{
+    /** Full event trace of the run. */
+    EventTrace trace;
+
+    /** Named final values (counter totals, sample counts, ...). */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/** Where two traces first disagree. */
+struct TraceDivergence
+{
+    std::size_t index;
+    std::string expected; //!< record from the first run (or "<end>")
+    std::string actual;   //!< record from the second run (or "<end>")
+    /** A few records of shared history leading up to the split. */
+    std::vector<std::string> context;
+};
+
+struct DeterminismReport
+{
+    /** Replay with identical tie-break reproduced bit-for-bit. */
+    bool deterministic = false;
+
+    /** Results changed under a perturbed same-tick tie-break. */
+    bool tieBreakSensitive = false;
+
+    std::optional<TraceDivergence> divergence;
+    std::vector<std::string> counterMismatches;
+    std::vector<std::string> tieBreakMismatches;
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+class DeterminismHarness
+{
+  public:
+    /**
+     * A scenario builds a fresh machine, applies @p tie_salt to its
+     * event queue (EventQueue::setTieBreakSalt) before running,
+     * attaches the trace it returns, runs to completion, and
+     * reports its observables.  It must not share state between
+     * invocations.
+     */
+    using Scenario = std::function<Observation(std::uint64_t tie_salt)>;
+
+    /** Salt handed to the perturbed run. */
+    static constexpr std::uint64_t perturbSalt =
+        0x9e3779b97f4a7c15ULL;
+
+    /** Run the full check: replay twice, perturb once. */
+    static DeterminismReport check(const Scenario &scenario);
+
+    /** Replay-only check (no tie-break perturbation). */
+    static DeterminismReport checkReplay(const Scenario &scenario);
+
+  private:
+    static void compareRuns(DeterminismReport &report,
+                            const Observation &a,
+                            const Observation &b);
+};
+
+} // namespace klebsim::analysis
+
+#endif // KLEBSIM_ANALYSIS_DETERMINISM_HH

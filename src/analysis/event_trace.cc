@@ -1,0 +1,95 @@
+#include "event_trace.hh"
+
+#include "base/str.hh"
+
+namespace klebsim::analysis
+{
+
+const char *
+traceKindName(TraceRecord::Kind k)
+{
+    switch (k) {
+      case TraceRecord::Kind::schedule:
+        return "schedule";
+      case TraceRecord::Kind::deschedule:
+        return "deschedule";
+      case TraceRecord::Kind::dispatch:
+        return "dispatch";
+    }
+    return "?";
+}
+
+std::string
+TraceRecord::str() const
+{
+    return csprintf("%-10s @%llu '%s' when=%llu prio=%d seq=%llu",
+                    traceKindName(kind),
+                    static_cast<unsigned long long>(at),
+                    name.c_str(),
+                    static_cast<unsigned long long>(when), priority,
+                    static_cast<unsigned long long>(seq));
+}
+
+void
+EventTrace::append(TraceRecord::Kind kind, const sim::Event &ev,
+                   Tick now)
+{
+    records_.push_back(TraceRecord{kind, now, ev.when(),
+                                   ev.priority(), ev.seq(),
+                                   ev.name()});
+}
+
+void
+EventTrace::onSchedule(const sim::Event &ev, Tick now)
+{
+    append(TraceRecord::Kind::schedule, ev, now);
+}
+
+void
+EventTrace::onDeschedule(const sim::Event &ev, Tick now)
+{
+    append(TraceRecord::Kind::deschedule, ev, now);
+}
+
+void
+EventTrace::onDispatch(const sim::Event &ev, Tick now)
+{
+    append(TraceRecord::Kind::dispatch, ev, now);
+}
+
+std::uint64_t
+EventTrace::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const void *data, std::size_t len) {
+        auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const TraceRecord &r : records_) {
+        auto kind = static_cast<std::uint8_t>(r.kind);
+        mix(&kind, sizeof(kind));
+        mix(&r.at, sizeof(r.at));
+        mix(&r.when, sizeof(r.when));
+        mix(&r.priority, sizeof(r.priority));
+        mix(&r.seq, sizeof(r.seq));
+        mix(r.name.data(), r.name.size());
+    }
+    return h;
+}
+
+std::optional<std::size_t>
+EventTrace::firstDivergence(const EventTrace &a, const EventTrace &b)
+{
+    std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (!(a.records_[i] == b.records_[i]))
+            return i;
+    if (a.size() != b.size())
+        return n;
+    return std::nullopt;
+}
+
+} // namespace klebsim::analysis

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compact recording of event-queue activity.
+ *
+ * An EventTrace is an EventQueueListener that logs every schedule,
+ * deschedule and dispatch the queue performs.  Two runs of the same
+ * scenario must produce byte-identical traces — that is the
+ * determinism contract DESIGN.md claims for the substrate, and the
+ * determinism harness (determinism.hh) enforces it by diffing the
+ * traces of repeated runs.
+ */
+
+#ifndef KLEBSIM_ANALYSIS_EVENT_TRACE_HH
+#define KLEBSIM_ANALYSIS_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace klebsim::analysis
+{
+
+/** One observed queue operation. */
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        schedule,
+        deschedule,
+        dispatch,
+    };
+
+    Kind kind;
+    Tick at;           //!< curTick when the operation happened
+    Tick when;         //!< the event's target tick
+    int priority;      //!< the event's same-tick ordering class
+    std::uint64_t seq; //!< the event's schedule-order stamp
+    std::string name;  //!< the event's debug name
+
+    bool operator==(const TraceRecord &) const = default;
+
+    /** One-line rendering for divergence reports. */
+    std::string str() const;
+};
+
+const char *traceKindName(TraceRecord::Kind k);
+
+/**
+ * The listener.  Attach with EventQueue::addListener(); detach (or
+ * destroy the trace) before the queue goes away.
+ */
+class EventTrace : public sim::EventQueueListener
+{
+  public:
+    void onSchedule(const sim::Event &ev, Tick now) override;
+    void onDeschedule(const sim::Event &ev, Tick now) override;
+    void onDispatch(const sim::Event &ev, Tick now) override;
+
+    const std::vector<TraceRecord> &records() const
+    { return records_; }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+
+    /** FNV-1a hash over the canonical encoding of all records. */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * Index of the first record where the traces differ (including
+     * one trace being a prefix of the other), or nullopt when they
+     * are identical.
+     */
+    static std::optional<std::size_t>
+    firstDivergence(const EventTrace &a, const EventTrace &b);
+
+  private:
+    void append(TraceRecord::Kind kind, const sim::Event &ev,
+                Tick now);
+
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace klebsim::analysis
+
+#endif // KLEBSIM_ANALYSIS_EVENT_TRACE_HH

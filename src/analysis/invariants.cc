@@ -1,0 +1,191 @@
+#include "invariants.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace klebsim::analysis
+{
+
+using kernel::ProcState;
+
+InvariantChecker::InvariantChecker(bool panic_on_violation)
+    : panicOnViolation_(panic_on_violation)
+{
+}
+
+InvariantChecker::~InvariantChecker()
+{
+    if (eq_)
+        eq_->removeListener(this);
+    if (kernel_) {
+        kernel_->unregisterStateHook(stateHookId_);
+        kernel_->unregisterModuleHook(moduleHookId_);
+    }
+    if (pmu_)
+        pmu_->setReadHook(nullptr);
+}
+
+void
+InvariantChecker::attachQueue(sim::EventQueue &eq)
+{
+    panic_if(eq_ != nullptr, "checker already watching a queue");
+    eq_ = &eq;
+    lastDispatchTick_ = eq.curTick();
+    eq.addListener(this);
+}
+
+void
+InvariantChecker::attachKernel(kernel::Kernel &kernel)
+{
+    panic_if(kernel_ != nullptr, "checker already watching a kernel");
+    kernel_ = &kernel;
+    stateHookId_ = kernel.registerStateHook(
+        [this](kernel::Process &proc, ProcState from, ProcState to) {
+            onProcState(proc, from, to);
+        });
+    moduleHookId_ = kernel.registerModuleHook(
+        [this](kernel::KernelModule &mod, const std::string &dev,
+               bool loaded) { onModule(mod, dev, loaded); });
+}
+
+void
+InvariantChecker::attachPmu(hw::Pmu &pmu, std::string label)
+{
+    panic_if(pmu_ != nullptr, "checker already watching a PMU");
+    pmu_ = &pmu;
+    pmuLabel_ = std::move(label);
+    pmu.setReadHook([this](int idx, bool fixed, bool programmed) {
+        onPmuRead(idx, fixed, programmed);
+    });
+}
+
+void
+InvariantChecker::banEventsMatching(std::string substring)
+{
+    if (!substring.empty())
+        bannedNames_.push_back(std::move(substring));
+}
+
+void
+InvariantChecker::violation(std::string msg)
+{
+    if (panicOnViolation_)
+        panic("invariant violated: ", msg);
+    violations_.push_back(std::move(msg));
+}
+
+void
+InvariantChecker::onSchedule(const sim::Event &ev, Tick now)
+{
+    ++checks_;
+    if (ev.when() < now)
+        violation(csprintf("event '%s' scheduled into the past "
+                           "(when=%llu < now=%llu)",
+                           ev.name().c_str(),
+                           (unsigned long long)ev.when(),
+                           (unsigned long long)now));
+}
+
+void
+InvariantChecker::onDeschedule(const sim::Event &ev, Tick now)
+{
+    (void)ev;
+    (void)now;
+    ++checks_;
+}
+
+void
+InvariantChecker::onDispatch(const sim::Event &ev, Tick now)
+{
+    ++checks_;
+    if (now < lastDispatchTick_)
+        violation(csprintf("time ran backwards: dispatch at %llu "
+                           "after dispatch at %llu",
+                           (unsigned long long)now,
+                           (unsigned long long)lastDispatchTick_));
+    lastDispatchTick_ = now;
+    if (ev.when() != now)
+        violation(csprintf("event '%s' dispatched at %llu but was "
+                           "scheduled for %llu",
+                           ev.name().c_str(),
+                           (unsigned long long)now,
+                           (unsigned long long)ev.when()));
+    for (const std::string &banned : bannedNames_) {
+        if (ev.name().find(banned) != std::string::npos)
+            violation(csprintf("event '%s' dispatched at %llu after "
+                               "its owner ('%s') unloaded",
+                               ev.name().c_str(),
+                               (unsigned long long)now,
+                               banned.c_str()));
+    }
+}
+
+bool
+InvariantChecker::legalTransition(ProcState from, ProcState to)
+{
+    switch (from) {
+      case ProcState::created:
+        return to == ProcState::ready || to == ProcState::zombie;
+      case ProcState::ready:
+        return to == ProcState::running || to == ProcState::zombie;
+      case ProcState::running:
+        return to == ProcState::ready || to == ProcState::sleeping ||
+               to == ProcState::blocked || to == ProcState::zombie;
+      case ProcState::sleeping:
+      case ProcState::blocked:
+        return to == ProcState::ready || to == ProcState::zombie;
+      case ProcState::zombie:
+        return false;
+    }
+    return false;
+}
+
+void
+InvariantChecker::onProcState(kernel::Process &proc, ProcState from,
+                              ProcState to)
+{
+    ++checks_;
+    if (!legalTransition(from, to))
+        violation(csprintf("process '%s' (pid %d): illegal state "
+                           "transition %s -> %s",
+                           proc.name().c_str(), proc.pid(),
+                           kernel::procStateName(from),
+                           kernel::procStateName(to)));
+}
+
+void
+InvariantChecker::onModule(kernel::KernelModule &mod,
+                           const std::string &dev_path, bool loaded)
+{
+    ++checks_;
+    if (loaded) {
+        // A reloaded module may legitimately schedule again.
+        std::erase(bannedNames_, mod.name());
+        return;
+    }
+    (void)dev_path;
+    banEventsMatching(mod.name());
+}
+
+void
+InvariantChecker::onPmuRead(int idx, bool fixed, bool programmed)
+{
+    ++checks_;
+    if (!programmed)
+        violation(csprintf("%s: read of unprogrammed %s counter %d",
+                           pmuLabel_.c_str(),
+                           fixed ? "fixed" : "programmable", idx));
+}
+
+std::string
+InvariantChecker::report() const
+{
+    std::string out;
+    for (const std::string &v : violations_) {
+        out += v;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace klebsim::analysis

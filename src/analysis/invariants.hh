@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Online invariant checking for the simulated machine.
+ *
+ * The InvariantChecker is an opt-in observer that attaches to the
+ * substrate's hook points — the event queue's listener interface,
+ * the kernel's state/module tracepoints, and the PMU's read
+ * observer — and verifies structural invariants while the machine
+ * runs:
+ *
+ *  - simulated time never moves backwards, and every event fires at
+ *    exactly the tick it was scheduled for;
+ *  - no event is scheduled into the past;
+ *  - no event belonging to an unloaded kernel module is ever
+ *    dispatched (the DES analogue of a use-after-free);
+ *  - process state transitions follow the legal state machine;
+ *  - counter reads (RDMSR/RDPMC) only touch programmed counters.
+ *
+ * Violations are collected as human-readable strings; tests assert
+ * ok() after a scenario, or construct the checker with
+ * panic_on_violation to die at the first offence.
+ */
+
+#ifndef KLEBSIM_ANALYSIS_INVARIANTS_HH
+#define KLEBSIM_ANALYSIS_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/pmu.hh"
+#include "kernel/kernel.hh"
+#include "sim/event_queue.hh"
+
+namespace klebsim::analysis
+{
+
+class InvariantChecker : public sim::EventQueueListener
+{
+  public:
+    explicit InvariantChecker(bool panic_on_violation = false);
+    ~InvariantChecker() override;
+
+    InvariantChecker(const InvariantChecker &) = delete;
+    InvariantChecker &operator=(const InvariantChecker &) = delete;
+
+    /** @{ Attachment points (each at most once per checker). */
+
+    /** Watch queue ordering and event lifetime invariants. */
+    void attachQueue(sim::EventQueue &eq);
+
+    /** Watch process state transitions and module lifecycles. */
+    void attachKernel(kernel::Kernel &kernel);
+
+    /** Watch counter reads on @p pmu (label used in messages). */
+    void attachPmu(hw::Pmu &pmu, std::string label = "pmu");
+
+    /** @} */
+
+    /**
+     * Treat any future dispatch of an event whose name contains
+     * @p substring as a violation.  attachKernel() arranges this
+     * automatically for every module that unloads, using the module
+     * name (timers owned by a module carry its name by convention).
+     */
+    void banEventsMatching(std::string substring);
+
+    /** @{ EventQueueListener. */
+    void onSchedule(const sim::Event &ev, Tick now) override;
+    void onDeschedule(const sim::Event &ev, Tick now) override;
+    void onDispatch(const sim::Event &ev, Tick now) override;
+    /** @} */
+
+    /** True when no invariant has been violated. */
+    bool ok() const { return violations_.empty(); }
+
+    const std::vector<std::string> &violations() const
+    { return violations_; }
+
+    /** All violations joined into one newline-separated string. */
+    std::string report() const;
+
+    /** Number of individual checks evaluated so far. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    /** True if @p from -> @p to is a legal ProcState transition. */
+    static bool legalTransition(kernel::ProcState from,
+                                kernel::ProcState to);
+
+  private:
+    void violation(std::string msg);
+
+    void onProcState(kernel::Process &proc, kernel::ProcState from,
+                     kernel::ProcState to);
+    void onModule(kernel::KernelModule &mod,
+                  const std::string &dev_path, bool loaded);
+    void onPmuRead(int idx, bool fixed, bool programmed);
+
+    sim::EventQueue *eq_ = nullptr;
+    kernel::Kernel *kernel_ = nullptr;
+    hw::Pmu *pmu_ = nullptr;
+    std::string pmuLabel_;
+    int stateHookId_ = 0;
+    int moduleHookId_ = 0;
+
+    bool panicOnViolation_;
+    Tick lastDispatchTick_ = 0;
+    std::uint64_t checks_ = 0;
+    std::vector<std::string> bannedNames_;
+    std::vector<std::string> violations_;
+};
+
+} // namespace klebsim::analysis
+
+#endif // KLEBSIM_ANALYSIS_INVARIANTS_HH

@@ -1,0 +1,341 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/str.hh"
+
+namespace klebsim::analysis
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+const char *const scannedDirs[] = {"src", "bench", "examples"};
+
+bool
+sourceExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".h";
+}
+
+bool
+headerExtension(const std::string &rel_path)
+{
+    return rel_path.ends_with(".hh") || rel_path.ends_with(".h");
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Remove comments and the contents of string/char literals so that
+ * documentation or a table heading mentioning a banned API does not
+ * trip the rules.  Tracks block-comment state across lines; raw
+ * string literals are treated like ordinary ones (good enough for a
+ * lenient scan — a missed violation inside one is acceptable).
+ */
+std::vector<std::string>
+stripCommentsAndStrings(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    bool in_block = false;
+    for (const std::string &line : lines) {
+        std::string kept;
+        for (std::size_t i = 0; i < line.size();) {
+            if (in_block) {
+                if (line.compare(i, 2, "*/") == 0) {
+                    in_block = false;
+                    i += 2;
+                } else {
+                    ++i;
+                }
+                continue;
+            }
+            if (line.compare(i, 2, "/*") == 0) {
+                in_block = true;
+                i += 2;
+                continue;
+            }
+            if (line.compare(i, 2, "//") == 0)
+                break;
+            char c = line[i];
+            if (c == '"' || c == '\'') {
+                // Skip the literal body; literals do not span lines.
+                kept += c;
+                ++i;
+                while (i < line.size() && line[i] != c) {
+                    if (line[i] == '\\')
+                        ++i;
+                    ++i;
+                }
+                if (i < line.size()) {
+                    kept += c;
+                    ++i;
+                }
+                continue;
+            }
+            kept += c;
+            ++i;
+        }
+        out.push_back(std::move(kept));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+LintViolation::str() const
+{
+    if (line == 0)
+        return csprintf("%s: [%s] %s -- %s", file.c_str(),
+                        rule.c_str(), text.c_str(), message.c_str());
+    return csprintf("%s:%zu: [%s] %s -- %s", file.c_str(), line,
+                    rule.c_str(), text.c_str(), message.c_str());
+}
+
+Linter::Linter()
+{
+    addRule({"wall-clock",
+             R"(std::chrono::(system_clock|steady_clock|high_resolution_clock))"
+             R"(|\b(gettimeofday|clock_gettime|localtime|gmtime|mktime|asctime|ctime)\s*\()"
+             R"(|\btime\s*\()",
+             "host wall-clock APIs leak nondeterminism; use "
+             "simulated Ticks (base/types.hh)",
+             {"src", "bench", "examples"}});
+
+    addRule({"raw-random",
+             R"(\b(rand|srand|srandom|drand48|lrand48)\s*\()"
+             R"(|std::random_device|\bmt19937)",
+             "unseeded/global randomness breaks replay; draw from a "
+             "forked base/random stream",
+             {"src", "bench", "examples"}});
+
+    addRule({"event-new",
+             R"(new\s+(klebsim::)?(sim::)?EventFunctionWrapper)",
+             "raw wrapper allocation loses autoDelete ownership; "
+             "use EventQueue::scheduleLambda",
+             {"src", "bench", "examples"}});
+
+    addRule({"printf-family",
+             R"(\b(printf|fprintf|sprintf|snprintf|vsnprintf|vsprintf|vfprintf|puts|putchar|fputs)\s*\()"
+             R"(|std::(cout|cerr))",
+             "raw stdio in the simulator; report through "
+             "base/logging or format with base/str",
+             {"src"}});
+
+    // Canonical carve-outs: the facilities the rules point at.
+    allow("raw-random", "src/base/random");
+    allow("printf-family", "src/base/logging.cc");
+    allow("printf-family", "src/base/str.cc");
+    allow("event-new", "src/sim/event_queue.cc");
+}
+
+void
+Linter::addRule(const LintRule &rule)
+{
+    rules_.push_back(rule);
+    compiled_.emplace_back(rule.pattern,
+                           std::regex::ECMAScript |
+                               std::regex::optimize);
+}
+
+void
+Linter::allow(const std::string &rule_id,
+              const std::string &path_prefix)
+{
+    allow_.emplace_back(rule_id, path_prefix);
+}
+
+bool
+Linter::loadAllowlist(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open allowlist: " + path;
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string body = line.substr(0, line.find('#'));
+        std::istringstream fields(body);
+        std::string rule, prefix, extra;
+        if (!(fields >> rule))
+            continue; // blank or comment-only line
+        if (!(fields >> prefix) || (fields >> extra)) {
+            if (error)
+                *error = csprintf("%s:%zu: expected 'rule-id "
+                                  "path-prefix'", path.c_str(),
+                                  lineno);
+            return false;
+        }
+        allow(rule, prefix);
+    }
+    return true;
+}
+
+bool
+Linter::allowed(const std::string &rule_id,
+                const std::string &rel_path) const
+{
+    for (const auto &[rule, prefix] : allow_)
+        if (rule == rule_id && rel_path.starts_with(prefix))
+            return true;
+    return false;
+}
+
+bool
+Linter::ruleApplies(const LintRule &rule,
+                    const std::string &rel_path) const
+{
+    for (const std::string &dir : rule.dirs)
+        if (rel_path.starts_with(dir + "/"))
+            return true;
+    return false;
+}
+
+std::string
+Linter::expectedGuard(const std::string &rel_path)
+{
+    std::string p = rel_path;
+    if (p.starts_with("src/"))
+        p = p.substr(4);
+    std::string guard = "KLEBSIM_";
+    for (char c : p) {
+        guard += std::isalnum(static_cast<unsigned char>(c))
+                     ? static_cast<char>(
+                           std::toupper(static_cast<unsigned char>(c)))
+                     : '_';
+    }
+    return guard;
+}
+
+void
+Linter::checkGuard(const std::string &rel_path,
+                   const std::vector<std::string> &lines,
+                   std::vector<LintViolation> &out) const
+{
+    static const std::string rule = "include-guard";
+    if (allowed(rule, rel_path))
+        return;
+
+    const std::string expected = expectedGuard(rel_path);
+    std::size_t ifndef_line = 0;
+    std::string found;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string t = trimmed(lines[i]);
+        if (t.starts_with("#ifndef")) {
+            found = trimmed(t.substr(7));
+            ifndef_line = i + 1;
+            break;
+        }
+        // Any other preprocessor directive or code before the
+        // guard means there is no guard at the top.
+        if (!t.empty() && !t.starts_with("//") &&
+            !t.starts_with("/*") && !t.starts_with("*"))
+            break;
+    }
+
+    if (found.empty()) {
+        out.push_back({rule, rel_path, 0, "missing include guard",
+                       "expected '#ifndef " + expected + "'"});
+        return;
+    }
+    if (found != expected) {
+        out.push_back({rule, rel_path, ifndef_line, "#ifndef " + found,
+                       "guard should be " + expected});
+        return;
+    }
+    // The #define must immediately follow and match.
+    if (ifndef_line >= lines.size() ||
+        trimmed(lines[ifndef_line]) != "#define " + expected) {
+        out.push_back({rule, rel_path, ifndef_line,
+                       "#ifndef " + found,
+                       "'#define " + expected +
+                           "' must follow the guard"});
+    }
+}
+
+std::vector<LintViolation>
+Linter::scanSource(const std::string &rel_path,
+                   const std::string &content) const
+{
+    std::vector<LintViolation> out;
+
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(content);
+    while (std::getline(in, line))
+        lines.push_back(line);
+
+    if (headerExtension(rel_path))
+        checkGuard(rel_path, lines, out);
+
+    const std::vector<std::string> code =
+        stripCommentsAndStrings(lines);
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+        const LintRule &rule = rules_[r];
+        if (!ruleApplies(rule, rel_path) ||
+            allowed(rule.id, rel_path))
+            continue;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            if (std::regex_search(code[i], compiled_[r]))
+                out.push_back({rule.id, rel_path, i + 1,
+                               trimmed(lines[i]), rule.message});
+        }
+    }
+    return out;
+}
+
+std::vector<LintViolation>
+Linter::scanTree(const std::string &root) const
+{
+    std::vector<LintViolation> out;
+    std::vector<std::string> files;
+    for (const char *dir : scannedDirs) {
+        fs::path base = fs::path(root) / dir;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (entry.is_regular_file() &&
+                sourceExtension(entry.path()))
+                files.push_back(
+                    fs::relative(entry.path(), root)
+                        .generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &rel : files) {
+        std::ifstream in(fs::path(root) / rel,
+                         std::ios::in | std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        auto file_violations = scanSource(rel, buf.str());
+        out.insert(out.end(), file_violations.begin(),
+                   file_violations.end());
+    }
+    return out;
+}
+
+} // namespace klebsim::analysis

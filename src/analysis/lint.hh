@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Source-level lint pass for simulator correctness.
+ *
+ * The simulated machine must be a closed, deterministic world, so a
+ * small set of host-environment leaks are banned at the source
+ * level and enforced as a tier-1 test (`ctest -R lint`):
+ *
+ *  - wall-clock:    host time APIs (std::chrono::system_clock,
+ *                   gettimeofday, time(), ...) — simulated code
+ *                   must use Ticks from the event queue;
+ *  - raw-random:    rand()/std::random_device/mt19937 — all
+ *                   randomness flows from base/random's seeded
+ *                   PCG32 streams;
+ *  - event-new:     `new EventFunctionWrapper` outside the queue —
+ *                   use EventQueue::scheduleLambda so autoDelete
+ *                   ownership is handled;
+ *  - printf-family: raw stdio in src/ — report through
+ *                   base/logging or format with base/str;
+ *  - include-guard: headers must carry the canonical KLEBSIM_*
+ *                   guard derived from their path.
+ *
+ * Exceptions live in a per-rule allowlist ("rule-id path-prefix"
+ * lines); the canonical carve-outs (base/random, base/logging, the
+ * queue itself) are built in.
+ */
+
+#ifndef KLEBSIM_ANALYSIS_LINT_HH
+#define KLEBSIM_ANALYSIS_LINT_HH
+
+#include <cstddef>
+#include <regex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace klebsim::analysis
+{
+
+/** One pattern rule (the include-guard check is built in). */
+struct LintRule
+{
+    std::string id;
+    std::string pattern; //!< ECMAScript regex, applied per line
+    std::string message;
+    std::vector<std::string> dirs; //!< top-level dirs it applies to
+};
+
+struct LintViolation
+{
+    std::string rule;
+    std::string file; //!< repo-relative, '/'-separated
+    std::size_t line; //!< 1-based; 0 for whole-file findings
+    std::string text; //!< offending source line (trimmed)
+    std::string message;
+
+    /** "file:line: [rule] text -- message" */
+    std::string str() const;
+};
+
+class Linter
+{
+  public:
+    /** Installs the default rules and canonical carve-outs. */
+    Linter();
+
+    /** Register an additional pattern rule. */
+    void addRule(const LintRule &rule);
+
+    const std::vector<LintRule> &rules() const { return rules_; }
+
+    /** Exempt paths starting with @p path_prefix from @p rule_id. */
+    void allow(const std::string &rule_id,
+               const std::string &path_prefix);
+
+    /**
+     * Load "rule-id path-prefix" lines ('#' starts a comment).
+     * @return false (with @p error set) on malformed input.
+     */
+    bool loadAllowlist(const std::string &path,
+                       std::string *error = nullptr);
+
+    /** True if @p rel_path is exempt from @p rule_id. */
+    bool allowed(const std::string &rule_id,
+                 const std::string &rel_path) const;
+
+    /** Scan one in-memory source file. */
+    std::vector<LintViolation>
+    scanSource(const std::string &rel_path,
+               const std::string &content) const;
+
+    /** Scan src/, bench/ and examples/ under @p root. */
+    std::vector<LintViolation>
+    scanTree(const std::string &root) const;
+
+    /** Canonical guard name for a header path (src/ is elided). */
+    static std::string expectedGuard(const std::string &rel_path);
+
+  private:
+    bool ruleApplies(const LintRule &rule,
+                     const std::string &rel_path) const;
+
+    void checkGuard(const std::string &rel_path,
+                    const std::vector<std::string> &lines,
+                    std::vector<LintViolation> &out) const;
+
+    std::vector<LintRule> rules_;
+    std::vector<std::regex> compiled_;
+    std::vector<std::pair<std::string, std::string>> allow_;
+};
+
+} // namespace klebsim::analysis
+
+#endif // KLEBSIM_ANALYSIS_LINT_HH

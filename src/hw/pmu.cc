@@ -44,14 +44,20 @@ std::uint64_t
 Pmu::readMsr(std::uint32_t addr)
 {
     if (addr >= msr::ia32Pmc0 &&
-        addr < msr::ia32Pmc0 + numProgrammable)
-        return prog_[addr - msr::ia32Pmc0].value;
+        addr < msr::ia32Pmc0 + numProgrammable) {
+        int idx = static_cast<int>(addr - msr::ia32Pmc0);
+        observeRead(idx, false);
+        return prog_[idx].value;
+    }
     if (addr >= msr::ia32Perfevtsel0 &&
         addr < msr::ia32Perfevtsel0 + numProgrammable)
         return prog_[addr - msr::ia32Perfevtsel0].evtsel;
     if (addr >= msr::ia32FixedCtr0 &&
-        addr < msr::ia32FixedCtr0 + numFixed)
-        return fixed_[addr - msr::ia32FixedCtr0];
+        addr < msr::ia32FixedCtr0 + numFixed) {
+        int idx = static_cast<int>(addr - msr::ia32FixedCtr0);
+        observeRead(idx, true);
+        return fixed_[idx];
+    }
     switch (addr) {
       case msr::ia32FixedCtrCtrl:
         return fixedCtrl_;
@@ -117,15 +123,17 @@ Pmu::decodeSelector(int idx)
 }
 
 std::uint64_t
-Pmu::rdpmc(std::uint32_t index) const
+Pmu::rdpmc(std::uint32_t index)
 {
     if (index & rdpmcFixedFlag) {
         std::uint32_t fi = index & ~rdpmcFixedFlag;
         fatal_if(fi >= numFixed, "rdpmc: bad fixed counter index");
+        observeRead(static_cast<int>(fi), true);
         return fixed_[fi];
     }
     fatal_if(index >= numProgrammable,
              "rdpmc: bad programmable counter index");
+    observeRead(static_cast<int>(index), false);
     return prog_[index].value;
 }
 
@@ -133,6 +141,22 @@ void
 Pmu::setOverflowCallback(OverflowCallback cb)
 {
     overflow_ = std::move(cb);
+}
+
+void
+Pmu::setReadHook(ReadHook hook)
+{
+    readHook_ = std::move(hook);
+}
+
+void
+Pmu::observeRead(int idx, bool fixed)
+{
+    if (!readHook_)
+        return;
+    bool programmed =
+        fixed ? fixedProgrammed(idx) : counterProgrammed(idx);
+    readHook_(idx, fixed, programmed);
 }
 
 bool
@@ -150,6 +174,21 @@ Pmu::fixedActive(int idx) const
     panic_if(idx < 0 || idx >= numFixed, "bad fixed counter index");
     std::uint64_t en = (fixedCtrl_ >> (4 * idx)) & 0x3;
     return (globalCtrl_ & bit(32 + idx)) && en != 0;
+}
+
+bool
+Pmu::counterProgrammed(int idx) const
+{
+    panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
+    return (prog_[idx].evtsel & bit(selEnBit)) &&
+           prog_[idx].event.has_value();
+}
+
+bool
+Pmu::fixedProgrammed(int idx) const
+{
+    panic_if(idx < 0 || idx >= numFixed, "bad fixed counter index");
+    return ((fixedCtrl_ >> (4 * idx)) & 0x3) != 0;
 }
 
 void

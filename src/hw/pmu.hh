@@ -49,6 +49,17 @@ class Pmu : public MsrDevice
      */
     using OverflowCallback = std::function<void(int counter)>;
 
+    /**
+     * Observer for architectural counter reads (RDMSR of a counter
+     * MSR, or RDPMC).  @p fixed selects the bank, @p idx the counter
+     * within it, and @p programmed whether that counter currently
+     * has a valid selector/enable field — the invariant checker
+     * (src/analysis/invariants.hh) flags reads of never-programmed
+     * counters, a classic driver bug that silently yields zeros.
+     */
+    using ReadHook = std::function<void(int idx, bool fixed,
+                                        bool programmed)>;
+
     Pmu();
 
     /** @{ MsrDevice interface. */
@@ -62,10 +73,13 @@ class Pmu : public MsrDevice
      * is 0..3 for programmable counters, or rdpmcFixedFlag | i for
      * fixed counter i.
      */
-    std::uint64_t rdpmc(std::uint32_t index) const;
+    std::uint64_t rdpmc(std::uint32_t index);
 
     /** Install the overflow (PMI) callback. */
     void setOverflowCallback(OverflowCallback cb);
+
+    /** Install the counter-read observer (null to remove). */
+    void setReadHook(ReadHook hook);
 
     /**
      * Feed an attribution of executed work into the counters.  Each
@@ -122,6 +136,16 @@ class Pmu : public MsrDevice
     /** True if fixed counter @p idx is enabled and counting. */
     bool fixedActive(int idx) const;
 
+    /**
+     * True if programmable counter @p idx has a valid, enabled
+     * selector — regardless of the global-enable freeze, which
+     * drivers drop while snapshotting.
+     */
+    bool counterProgrammed(int idx) const;
+
+    /** True if fixed counter @p idx has enable bits set. */
+    bool fixedProgrammed(int idx) const;
+
     /** @} */
 
   private:
@@ -139,12 +163,16 @@ class Pmu : public MsrDevice
     void advance(std::uint64_t &value, std::uint64_t n,
                  int overflow_idx, bool pmi);
 
+    /** Report an architectural read to the read hook, if any. */
+    void observeRead(int idx, bool fixed);
+
     std::array<ProgCounter, numProgrammable> prog_;
     std::array<std::uint64_t, numFixed> fixed_;
     std::uint64_t fixedCtrl_;
     std::uint64_t globalCtrl_;
     std::uint64_t globalStatus_;
     OverflowCallback overflow_;
+    ReadHook readHook_;
 };
 
 } // namespace klebsim::hw

@@ -144,7 +144,7 @@ Kernel::startProcess(Process *proc)
     panic_if(proc->state() != ProcState::created,
              "startProcess on ", procStateName(proc->state()),
              " process '", proc->name(), "'");
-    proc->state_ = ProcState::ready;
+    setState(proc, ProcState::ready);
     proc->startTick_ = now();
     enqueue(proc, false);
     if (coreState_[proc->affinity()].current == nullptr)
@@ -190,7 +190,7 @@ Kernel::runOn(CoreId core_id, Process *next)
     panic_if(cs.current != nullptr, "runOn with busy core ", core_id);
     hw::CpuCore &c = core(core_id);
 
-    next->state_ = ProcState::running;
+    setState(next, ProcState::running);
     cs.current = next;
 
     if (next->isWorkload()) {
@@ -235,7 +235,7 @@ Kernel::suspendCurrent(CoreId core_id, ProcState new_state)
     c.syncTo(now());
     if (proc->isWorkload())
         c.detachContext();
-    proc->state_ = new_state;
+    setState(proc, new_state);
     cs.current = nullptr;
 }
 
@@ -275,7 +275,7 @@ Kernel::onSliceEnd(CoreId core_id)
     Process *next = cs.runQueue.front();
     cs.runQueue.pop_front();
     c.detachContext();
-    proc->state_ = ProcState::ready;
+    setState(proc, ProcState::ready);
     cs.current = nullptr;
     enqueue(proc, false);
     performSwitch(core_id, proc, next);
@@ -373,7 +373,7 @@ Kernel::processExit(Process *proc)
     c.syncTo(now());
     if (proc->isWorkload())
         c.detachContext();
-    proc->state_ = ProcState::zombie;
+    setState(proc, ProcState::zombie);
     proc->exitTick_ = now();
     cs.current = nullptr;
 
@@ -432,7 +432,7 @@ Kernel::kill(Process *proc)
       case ProcState::created:
         break;
     }
-    proc->state_ = ProcState::zombie;
+    setState(proc, ProcState::zombie);
     proc->exitTick_ = now();
     for (auto &[id, hook] : exitHooks_)
         hook(*proc);
@@ -457,7 +457,7 @@ Kernel::wake(Process *proc)
         eq_.cancelLambda(proc->pendingEvent_);
         proc->pendingEvent_ = nullptr;
     }
-    proc->state_ = ProcState::ready;
+    setState(proc, ProcState::ready);
     proc->blockedOn_ = nullptr;
 
     CoreId core_id = proc->affinity();
@@ -511,7 +511,7 @@ Kernel::doResched(CoreId core_id)
     hw::CpuCore &c = core(core_id);
     c.syncTo(now());
     c.detachContext();
-    prev->state_ = ProcState::ready;
+    setState(prev, ProcState::ready);
     cs.current = nullptr;
     enqueue(prev, true); // resumes right after the waker sleeps
     performSwitch(core_id, prev, next);
@@ -555,6 +555,43 @@ Kernel::unregisterExitHook(int id)
     exitHooks_.erase(id);
 }
 
+int
+Kernel::registerStateHook(StateHook hook)
+{
+    int id = nextHookId_++;
+    stateHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterStateHook(int id)
+{
+    stateHooks_.erase(id);
+}
+
+int
+Kernel::registerModuleHook(ModuleHook hook)
+{
+    int id = nextHookId_++;
+    moduleHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterModuleHook(int id)
+{
+    moduleHooks_.erase(id);
+}
+
+void
+Kernel::setState(Process *proc, ProcState to)
+{
+    ProcState from = proc->state_;
+    proc->state_ = to;
+    for (auto &[id, hook] : stateHooks_)
+        hook(*proc, from, to);
+}
+
 void
 Kernel::loadModule(std::unique_ptr<KernelModule> module,
                    const std::string &dev_path)
@@ -564,6 +601,8 @@ Kernel::loadModule(std::unique_ptr<KernelModule> module,
     KernelModule *raw = module.get();
     modules_[dev_path] = std::move(module);
     raw->init(*this);
+    for (auto &[id, hook] : moduleHooks_)
+        hook(*raw, dev_path, true);
 }
 
 void
@@ -573,6 +612,8 @@ Kernel::unloadModule(const std::string &dev_path)
     fatal_if(it == modules_.end(),
              "no module at device path: " + dev_path);
     it->second->exitModule(*this);
+    for (auto &[id, hook] : moduleHooks_)
+        hook(*it->second, dev_path, false);
     modules_.erase(it);
 }
 

@@ -52,6 +52,23 @@ using ExitHook = std::function<void(Process &proc)>;
 using ForkHook = std::function<void(Process &parent, Process &child)>;
 
 /**
+ * Process state-transition tracepoint.  Fired on every ProcState
+ * change, after the new state has been stored; the invariant checker
+ * (src/analysis/invariants.hh) uses it to verify transitions follow
+ * the legal state machine.
+ */
+using StateHook =
+    std::function<void(Process &proc, ProcState from, ProcState to)>;
+
+/**
+ * Module lifecycle tracepoint.  Fired after init() on load and
+ * after exitModule() on unload — i.e. once the module has had its
+ * chance to cancel timers and unhook tracepoints.
+ */
+using ModuleHook = std::function<void(
+    KernelModule &mod, const std::string &dev_path, bool loaded)>;
+
+/**
  * The kernel.
  */
 class Kernel
@@ -118,6 +135,12 @@ class Kernel
 
     int registerExitHook(ExitHook hook);
     void unregisterExitHook(int id);
+
+    int registerStateHook(StateHook hook);
+    void unregisterStateHook(int id);
+
+    int registerModuleHook(ModuleHook hook);
+    void unregisterModuleHook(int id);
 
     /** @} */
 
@@ -247,6 +270,9 @@ class Kernel
     Process *allocProcess(const std::string &name, CoreId affinity,
                           Pid ppid);
 
+    /** Change @p proc's state and fire the state tracepoints. */
+    void setState(Process *proc, ProcState to);
+
     /** Fire switch tracepoints and charge the switch cost. */
     void performSwitch(CoreId core, Process *prev, Process *next);
 
@@ -297,6 +323,8 @@ class Kernel
 
     std::map<int, SwitchHook> switchHooks_;
     std::map<int, ExitHook> exitHooks_;
+    std::map<int, StateHook> stateHooks_;
+    std::map<int, ModuleHook> moduleHooks_;
     int nextHookId_ = 1;
 
     std::map<std::string, std::unique_ptr<KernelModule>> modules_;

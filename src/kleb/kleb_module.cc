@@ -126,7 +126,7 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
         samplesDropped_ = 0;
         pauseEpisodes_ = 0;
         timer_ = kernel.createHrTimer(
-            "kleb-hrtimer", targetCore_, [this] { onTimer(); },
+            name() + "-hrtimer", targetCore_, [this] { onTimer(); },
             tuning_.handlerCost, tuning_.handlerFootprint);
         // Starting on a process that is already gone finalizes
         // immediately: there is nothing to trace.
@@ -213,8 +213,13 @@ KLebModule::recordSample(SampleCause cause)
     s.numEvents = static_cast<std::uint8_t>(counterMap_.size());
     for (std::size_t i = 0; i < counterMap_.size(); ++i) {
         const CounterRef &ref = counterMap_[i];
-        s.counts[i] = ref.fixed ? pmu.fixedValue(ref.idx)
-                                : pmu.counterValue(ref.idx);
+        // Read through the architectural RDPMC path (as the real
+        // driver does) so read-observing tooling sees the access.
+        std::uint32_t pmc_index =
+            ref.fixed ? (hw::Pmu::rdpmcFixedFlag |
+                         static_cast<std::uint32_t>(ref.idx))
+                      : static_cast<std::uint32_t>(ref.idx);
+        s.counts[i] = pmu.rdpmc(pmc_index);
     }
 
     if (!buf_->push(s)) {

@@ -28,7 +28,8 @@ EventFunctionWrapper::process()
     fn_();
 }
 
-EventQueue::EventQueue() : curTick_(0), nextSeq_(0), processed_(0)
+EventQueue::EventQueue()
+    : events_(Compare{this}), curTick_(0), nextSeq_(0), processed_(0)
 {
 }
 
@@ -56,6 +57,8 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->seq_ = nextSeq_++;
     ev->queue_ = this;
     events_.insert(ev);
+    for (EventQueueListener *l : listeners_)
+        l->onSchedule(*ev, curTick_);
 }
 
 void
@@ -67,11 +70,14 @@ EventQueue::deschedule(Event *ev)
     auto erased = events_.erase(ev);
     panic_if(erased != 1, "scheduled event missing from queue set");
     ev->queue_ = nullptr;
+    for (EventQueueListener *l : listeners_)
+        l->onDeschedule(*ev, curTick_);
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
+    panic_if(ev == nullptr, "reschedule of null event");
     if (ev->scheduled())
         deschedule(ev);
     schedule(ev, when);
@@ -91,9 +97,14 @@ EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
 void
 EventQueue::cancelLambda(Event *ev)
 {
+    panic_if(ev == nullptr, "cancelLambda of null event");
     panic_if(!ev->autoDelete(),
              "cancelLambda on a caller-owned event");
-    deschedule(ev);
+    // A wrapper that rescheduled itself and was then descheduled (or
+    // never re-entered a queue) is still owed its deletion; only a
+    // still-scheduled one needs removing first.
+    if (ev->scheduled())
+        deschedule(ev);
     delete ev;
 }
 
@@ -112,6 +123,8 @@ EventQueue::dispatch(Event *ev)
     ev->queue_ = nullptr;
     curTick_ = ev->when_;
     ++processed_;
+    for (EventQueueListener *l : listeners_)
+        l->onDispatch(*ev, curTick_);
     ev->process();
     if (ev->autoDelete() && !ev->scheduled())
         delete ev;
@@ -146,6 +159,52 @@ EventQueue::runAll()
     while (runOne())
         ++n;
     return n;
+}
+
+void
+EventQueue::addListener(EventQueueListener *l)
+{
+    panic_if(l == nullptr, "null event-queue listener");
+    for (EventQueueListener *existing : listeners_)
+        panic_if(existing == l, "event-queue listener added twice");
+    listeners_.push_back(l);
+}
+
+void
+EventQueue::removeListener(EventQueueListener *l)
+{
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+        if (*it == l) {
+            listeners_.erase(it);
+            return;
+        }
+    }
+}
+
+std::uint64_t
+EventQueue::mixSeq(std::uint64_t seq, std::uint64_t salt)
+{
+    if (salt == 0)
+        return seq;
+    // splitmix64 finalizer: bijective, so distinct seqs never tie.
+    std::uint64_t z = seq + salt * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+EventQueue::setTieBreakSalt(std::uint64_t salt)
+{
+    if (salt == tieSalt_)
+        return;
+    // The comparator reads tieSalt_, so pending events must be
+    // pulled out and re-inserted under the new ordering.
+    std::vector<Event *> pending(events_.begin(), events_.end());
+    events_.clear();
+    tieSalt_ = salt;
+    for (Event *ev : pending)
+        events_.insert(ev);
 }
 
 } // namespace klebsim::sim

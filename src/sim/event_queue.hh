@@ -15,6 +15,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "base/types.hh"
 
@@ -22,6 +23,7 @@ namespace klebsim::sim
 {
 
 class EventQueue;
+class EventQueueListener;
 
 /**
  * Base class for schedulable events.  Derive and implement
@@ -67,6 +69,13 @@ class Event
     int priority() const { return priority_; }
 
     /**
+     * Monotonic schedule-order stamp, assigned at schedule() time.
+     * Same-tick same-priority events dispatch in seq order (FIFO);
+     * trace tooling records it to pin down total event order.
+     */
+    std::uint64_t seq() const { return seq_; }
+
+    /**
      * If true, the queue deletes the event after process() returns
      * (used by scheduleLambda's heap-allocated wrappers).
      */
@@ -99,6 +108,33 @@ class EventFunctionWrapper : public Event
   private:
     std::function<void()> fn_;
     std::string name_;
+};
+
+/**
+ * Observer interface for queue activity (see src/analysis/).
+ *
+ * Listeners see every schedule, deschedule and dispatch as it
+ * happens.  They must not mutate the queue from inside a callback;
+ * they exist so correctness tooling (event tracing, invariant
+ * checking, the determinism harness) can watch the machine without
+ * perturbing it.
+ */
+class EventQueueListener
+{
+  public:
+    virtual ~EventQueueListener() = default;
+
+    /** @p ev was inserted, to fire at ev.when(). */
+    virtual void onSchedule(const Event &ev, Tick now)
+    { (void)ev; (void)now; }
+
+    /** @p ev was removed without firing. */
+    virtual void onDeschedule(const Event &ev, Tick now)
+    { (void)ev; (void)now; }
+
+    /** @p ev is about to run; now == ev.when(). */
+    virtual void onDispatch(const Event &ev, Tick now)
+    { (void)ev; (void)now; }
 };
 
 /**
@@ -165,9 +201,37 @@ class EventQueue
     /** Total number of events ever processed. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
+    /** @{ Correctness-tooling hooks (see src/analysis/). */
+
+    /** Attach @p l; it sees every schedule/deschedule/dispatch. */
+    void addListener(EventQueueListener *l);
+
+    /** Detach @p l (no-op if not attached). */
+    void removeListener(EventQueueListener *l);
+
+    /**
+     * Perturb the same-tick same-priority tie-break.  With salt 0
+     * (the default) ties dispatch in schedule order — the FIFO
+     * contract every module may rely on.  A non-zero salt reorders
+     * ties by a deterministic hash of (seq, salt) instead; the
+     * determinism harness uses this to detect modules whose results
+     * secretly depend on FIFO order between same-priority events.
+     * Pending events are re-ordered under the new salt.
+     */
+    void setTieBreakSalt(std::uint64_t salt);
+
+    std::uint64_t tieBreakSalt() const { return tieSalt_; }
+
+    /** @} */
+
   private:
+    /** Tie-break mix: identity under salt 0, splitmix64 otherwise. */
+    static std::uint64_t mixSeq(std::uint64_t seq, std::uint64_t salt);
+
     struct Compare
     {
+        const EventQueue *q = nullptr;
+
         bool
         operator()(const Event *a, const Event *b) const
         {
@@ -175,7 +239,8 @@ class EventQueue
                 return a->when_ < b->when_;
             if (a->priority_ != b->priority_)
                 return a->priority_ < b->priority_;
-            return a->seq_ < b->seq_;
+            return mixSeq(a->seq_, q->tieSalt_) <
+                   mixSeq(b->seq_, q->tieSalt_);
         }
     };
 
@@ -185,6 +250,8 @@ class EventQueue
     Tick curTick_;
     std::uint64_t nextSeq_;
     std::uint64_t processed_;
+    std::uint64_t tieSalt_ = 0;
+    std::vector<EventQueueListener *> listeners_;
 };
 
 } // namespace klebsim::sim

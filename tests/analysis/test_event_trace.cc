@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "analysis/event_trace.hh"
+#include "sim/event_queue.hh"
+
+using namespace klebsim;
+using analysis::EventTrace;
+using analysis::TraceRecord;
+using sim::Event;
+using sim::EventQueue;
+
+namespace
+{
+
+/** Run a canned scenario and return its trace. */
+EventTrace
+runScenario(bool extra_event = false)
+{
+    EventQueue eq;
+    EventTrace trace;
+    eq.addListener(&trace);
+    eq.scheduleLambda(10, [] {}, Event::defaultPriority, "a");
+    eq.scheduleLambda(20, [] {}, Event::timerPriority, "b");
+    if (extra_event)
+        eq.scheduleLambda(15, [] {}, Event::defaultPriority, "c");
+    eq.runAll();
+    eq.removeListener(&trace);
+    return trace;
+}
+
+} // namespace
+
+TEST(EventTrace, RecordsScheduleAndDispatch)
+{
+    EventQueue eq;
+    EventTrace trace;
+    eq.addListener(&trace);
+
+    Event *ev = eq.scheduleLambda(100, [] {},
+                                  Event::defaultPriority, "tick");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.records()[0].kind, TraceRecord::Kind::schedule);
+    EXPECT_EQ(trace.records()[0].when, 100u);
+    EXPECT_EQ(trace.records()[0].name, "tick");
+
+    eq.cancelLambda(ev);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.records()[1].kind,
+              TraceRecord::Kind::deschedule);
+
+    eq.scheduleLambda(200, [] {}, Event::defaultPriority, "fire");
+    eq.runAll();
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.records()[3].kind, TraceRecord::Kind::dispatch);
+    EXPECT_EQ(trace.records()[3].at, 200u);
+
+    eq.removeListener(&trace);
+}
+
+TEST(EventTrace, IdenticalRunsProduceIdenticalTraces)
+{
+    EventTrace a = runScenario();
+    EventTrace b = runScenario();
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(EventTrace::firstDivergence(a, b), std::nullopt);
+}
+
+TEST(EventTrace, DivergenceIsPinpointed)
+{
+    EventTrace a = runScenario(false);
+    EventTrace b = runScenario(true);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    auto div = EventTrace::firstDivergence(a, b);
+    ASSERT_TRUE(div.has_value());
+    // Both runs schedule "a" and "b" identically; run B then
+    // schedules "c", so the split is at the third record.
+    EXPECT_EQ(*div, 2u);
+}
+
+TEST(EventTrace, PrefixTraceDiverges)
+{
+    EventTrace a = runScenario();
+    EventTrace b = runScenario();
+    ASSERT_FALSE(EventTrace::firstDivergence(a, b).has_value());
+    // Truncate b by rebuilding a shorter run: a prefix must count
+    // as a divergence at the first missing record.
+    EventTrace empty;
+    auto div = EventTrace::firstDivergence(a, empty);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(*div, 0u);
+}
+
+TEST(EventTrace, RecordRenderingIsStable)
+{
+    EventTrace a = runScenario();
+    ASSERT_FALSE(a.empty());
+    const TraceRecord &r = a.records().front();
+    std::string s = r.str();
+    EXPECT_NE(s.find("schedule"), std::string::npos);
+    EXPECT_NE(s.find('a'), std::string::npos);
+}

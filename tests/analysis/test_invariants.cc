@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/invariants.hh"
+#include "hw/msr.hh"
+#include "hw/pmu.hh"
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using analysis::InvariantChecker;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+} // namespace
+
+TEST(InvariantChecker, LegalTransitionTable)
+{
+    using PS = ProcState;
+    auto ok = InvariantChecker::legalTransition;
+
+    EXPECT_TRUE(ok(PS::created, PS::ready));
+    EXPECT_TRUE(ok(PS::created, PS::zombie));
+    EXPECT_TRUE(ok(PS::ready, PS::running));
+    EXPECT_TRUE(ok(PS::running, PS::ready));
+    EXPECT_TRUE(ok(PS::running, PS::sleeping));
+    EXPECT_TRUE(ok(PS::running, PS::blocked));
+    EXPECT_TRUE(ok(PS::running, PS::zombie));
+    EXPECT_TRUE(ok(PS::sleeping, PS::ready));
+    EXPECT_TRUE(ok(PS::blocked, PS::ready));
+    EXPECT_TRUE(ok(PS::blocked, PS::zombie));
+
+    EXPECT_FALSE(ok(PS::created, PS::running));
+    EXPECT_FALSE(ok(PS::ready, PS::sleeping));
+    EXPECT_FALSE(ok(PS::sleeping, PS::running));
+    EXPECT_FALSE(ok(PS::blocked, PS::sleeping));
+    EXPECT_FALSE(ok(PS::zombie, PS::ready));
+    EXPECT_FALSE(ok(PS::zombie, PS::running));
+}
+
+TEST(InvariantChecker, CleanKlebSessionHasNoViolations)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+    checker.attachPmu(sys.core(0).pmu(), "core0-pmu");
+
+    FixedWorkSource src = computeSource(10, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    opts.idealTimer = true;
+    {
+        kleb::Session session(sys, opts);
+        session.monitor(target);
+        sys.run();
+        EXPECT_TRUE(session.finished());
+    }
+
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    // The checker actually watched the machine: every schedule,
+    // dispatch, state change and counter read was evaluated.
+    EXPECT_GT(checker.checksPerformed(), 100u);
+}
+
+TEST(InvariantChecker, FlagsReadOfUnprogrammedCounter)
+{
+    hw::Pmu pmu;
+    InvariantChecker checker;
+    checker.attachPmu(pmu, "pmu");
+
+    pmu.programCounter(0, hw::HwEvent::llcMiss);
+    pmu.rdpmc(0); // programmed: fine
+    EXPECT_TRUE(checker.ok()) << checker.report();
+
+    pmu.rdpmc(2); // never programmed
+    ASSERT_FALSE(checker.ok());
+    EXPECT_NE(checker.report().find("unprogrammed"),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsReadOfUnprogrammedCounterViaMsr)
+{
+    hw::Pmu pmu;
+    hw::MsrFile msrs;
+    msrs.attach(&pmu);
+
+    InvariantChecker checker;
+    checker.attachPmu(pmu, "pmu");
+
+    pmu.programFixed(0, true, false);
+    msrs.read(hw::msr::ia32FixedCtr0); // programmed: fine
+    EXPECT_TRUE(checker.ok());
+
+    msrs.read(hw::msr::ia32FixedCtr0 + 2); // never programmed
+    EXPECT_FALSE(checker.ok());
+}
+
+namespace
+{
+
+/** A module whose timer outlives it — the bug class the checker
+ *  exists to catch. */
+class LeakyModule : public KernelModule
+{
+  public:
+    explicit LeakyModule(bool cancel_on_exit)
+        : cancelOnExit_(cancel_on_exit)
+    {
+    }
+
+    std::string name() const override { return "leaky"; }
+
+    void
+    init(Kernel &kernel) override
+    {
+        timer_ = kernel.createHrTimer(name() + "-timer", 0,
+                                      [] {}, 0, 0);
+        timer_->startPeriodic(100_us);
+    }
+
+    void
+    exitModule(Kernel &kernel) override
+    {
+        (void)kernel;
+        if (cancelOnExit_)
+            timer_->cancel();
+    }
+
+  private:
+    bool cancelOnExit_;
+    kernel::HrTimer *timer_ = nullptr;
+};
+
+} // namespace
+
+TEST(InvariantChecker, FlagsEventAfterModuleUnload)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    sys.kernel().loadModule(
+        std::make_unique<LeakyModule>(/*cancel_on_exit=*/false),
+        "/dev/leaky");
+    sys.run(1_ms);
+    EXPECT_TRUE(checker.ok()) << checker.report();
+
+    sys.kernel().unloadModule("/dev/leaky");
+    sys.run(2_ms); // the orphaned timer keeps firing
+    ASSERT_FALSE(checker.ok());
+    EXPECT_NE(checker.report().find("after its owner"),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, WellBehavedModuleUnloadIsClean)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    sys.kernel().loadModule(
+        std::make_unique<LeakyModule>(/*cancel_on_exit=*/true),
+        "/dev/leaky");
+    sys.run(1_ms);
+    sys.kernel().unloadModule("/dev/leaky");
+    sys.run(2_ms);
+    EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(InvariantChecker, QueueOrderingInvariantsHold)
+{
+    sim::EventQueue eq;
+    InvariantChecker checker;
+    checker.attachQueue(eq);
+
+    for (int i = 0; i < 50; ++i)
+        eq.scheduleLambda(static_cast<Tick>(10 * (i % 7)) + 10,
+                          [] {});
+    eq.runAll();
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    // 50 schedule hooks + 50 dispatch hooks.
+    EXPECT_EQ(checker.checksPerformed(), 100u);
+}

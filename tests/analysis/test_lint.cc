@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+
+using namespace klebsim;
+using analysis::Linter;
+using analysis::LintViolation;
+
+namespace
+{
+
+std::vector<std::string>
+ruleIds(const std::vector<LintViolation> &vs)
+{
+    std::vector<std::string> ids;
+    for (const auto &v : vs)
+        ids.push_back(v.rule);
+    return ids;
+}
+
+bool
+flagged(const std::vector<LintViolation> &vs, const std::string &rule)
+{
+    for (const auto &v : vs)
+        if (v.rule == rule)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Lint, FlagsWallClockApis)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "#include <chrono>\n"
+        "auto t = std::chrono::system_clock::now();\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "wall-clock");
+    EXPECT_EQ(vs[0].line, 2u);
+
+    vs = linter.scanSource("src/hw/foo.cc",
+                           "long t = time(nullptr);\n");
+    EXPECT_TRUE(flagged(vs, "wall-clock"));
+
+    vs = linter.scanSource("src/hw/foo.cc",
+                           "gettimeofday(&tv, nullptr);\n");
+    EXPECT_TRUE(flagged(vs, "wall-clock"));
+}
+
+TEST(Lint, SimulatedTimeIsNotFlagged)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "Tick t = eq.curTick();\n"
+        "Tick l = proc.lifetime();\n" // contains "time(" unanchored
+        "double ms = ticksToMs(t);\n");
+    EXPECT_TRUE(vs.empty()) << vs[0].str();
+}
+
+TEST(Lint, CommentsAndStringsAreIgnored)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "// rand() and time(nullptr) discussed here\n"
+        "/* std::chrono::system_clock too */\n"
+        "const char *label = \"Run time (ms)\";\n"
+        "int x = 0; // trailing time( comment\n");
+    EXPECT_TRUE(vs.empty()) << vs[0].str();
+}
+
+TEST(Lint, FlagsRawRandomness)
+{
+    Linter linter;
+    auto vs = linter.scanSource("src/hw/foo.cc",
+                                "int r = rand() % 6;\n");
+    EXPECT_TRUE(flagged(vs, "raw-random"));
+
+    vs = linter.scanSource("src/hw/foo.cc",
+                           "std::random_device rd;\n");
+    EXPECT_TRUE(flagged(vs, "raw-random"));
+
+    // base/random itself is the canonical carve-out.
+    vs = linter.scanSource("src/base/random.cc",
+                           "std::random_device rd;\n");
+    EXPECT_FALSE(flagged(vs, "raw-random"));
+}
+
+TEST(Lint, FlagsRawEventAllocation)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/kernel/foo.cc",
+        "auto *ev = new EventFunctionWrapper(fn, \"x\");\n");
+    EXPECT_TRUE(flagged(vs, "event-new"));
+
+    vs = linter.scanSource(
+        "src/sim/event_queue.cc",
+        "auto *ev = new EventFunctionWrapper(fn, \"x\");\n");
+    EXPECT_FALSE(flagged(vs, "event-new"));
+}
+
+TEST(Lint, PrintfRuleAppliesToSrcOnly)
+{
+    Linter linter;
+    auto vs = linter.scanSource("src/stats/foo.cc",
+                                "printf(\"%d\\n\", x);\n");
+    EXPECT_TRUE(flagged(vs, "printf-family"));
+
+    // Bench executables legitimately print tables.
+    vs = linter.scanSource("bench/foo.cc",
+                          "printf(\"%d\\n\", x);\n");
+    EXPECT_FALSE(flagged(vs, "printf-family"));
+
+    // csprintf (base/str) must not look like sprintf.
+    vs = linter.scanSource("src/stats/foo.cc",
+                          "out += csprintf(\"%d\", x);\n");
+    EXPECT_FALSE(flagged(vs, "printf-family"));
+
+    // The logging backend is the carve-out.
+    vs = linter.scanSource("src/base/logging.cc",
+                          "std::fprintf(stderr, \"x\");\n");
+    EXPECT_FALSE(flagged(vs, "printf-family"));
+}
+
+TEST(Lint, ExpectedGuardNames)
+{
+    EXPECT_EQ(Linter::expectedGuard("src/sim/event_queue.hh"),
+              "KLEBSIM_SIM_EVENT_QUEUE_HH");
+    EXPECT_EQ(Linter::expectedGuard("bench/bench_util.hh"),
+              "KLEBSIM_BENCH_BENCH_UTIL_HH");
+    EXPECT_EQ(Linter::expectedGuard("src/analysis/lint.hh"),
+              "KLEBSIM_ANALYSIS_LINT_HH");
+}
+
+TEST(Lint, FlagsMissingOrWrongIncludeGuard)
+{
+    Linter linter;
+
+    auto vs = linter.scanSource("src/hw/foo.hh",
+                                "#pragma once\nint x;\n");
+    ASSERT_TRUE(flagged(vs, "include-guard"));
+
+    vs = linter.scanSource("src/hw/foo.hh",
+                           "#ifndef WRONG_NAME_HH\n"
+                           "#define WRONG_NAME_HH\n"
+                           "#endif\n");
+    ASSERT_TRUE(flagged(vs, "include-guard"));
+
+    vs = linter.scanSource("src/hw/foo.hh",
+                           "#ifndef KLEBSIM_HW_FOO_HH\n"
+                           "#define KLEBSIM_HW_FOO_HH\n"
+                           "#endif // KLEBSIM_HW_FOO_HH\n");
+    EXPECT_FALSE(flagged(vs, "include-guard"));
+
+    // Mismatched #define under a correct #ifndef.
+    vs = linter.scanSource("src/hw/foo.hh",
+                           "#ifndef KLEBSIM_HW_FOO_HH\n"
+                           "#define KLEBSIM_HW_BAR_HH\n"
+                           "#endif\n");
+    EXPECT_TRUE(flagged(vs, "include-guard"));
+
+    // A leading doc comment before the guard is fine.
+    vs = linter.scanSource("src/hw/foo.hh",
+                           "/**\n"
+                           " * @file doc\n"
+                           " */\n"
+                           "\n"
+                           "#ifndef KLEBSIM_HW_FOO_HH\n"
+                           "#define KLEBSIM_HW_FOO_HH\n"
+                           "#endif\n");
+    EXPECT_FALSE(flagged(vs, "include-guard"));
+
+    // .cc files have no guard requirement.
+    vs = linter.scanSource("src/hw/foo.cc", "int x;\n");
+    EXPECT_FALSE(flagged(vs, "include-guard"));
+}
+
+TEST(Lint, AllowlistSuppressesByRuleAndPrefix)
+{
+    Linter linter;
+    linter.allow("wall-clock", "src/legacy/");
+    auto vs = linter.scanSource("src/legacy/old.cc",
+                                "gettimeofday(&tv, nullptr);\n");
+    EXPECT_FALSE(flagged(vs, "wall-clock"));
+
+    // Only the named rule is exempt.
+    vs = linter.scanSource("src/legacy/old.cc", "int r = rand();\n");
+    EXPECT_TRUE(flagged(vs, "raw-random"));
+
+    // Other paths stay covered.
+    vs = linter.scanSource("src/hw/new.cc",
+                          "gettimeofday(&tv, nullptr);\n");
+    EXPECT_TRUE(flagged(vs, "wall-clock"));
+}
+
+TEST(Lint, AllowlistFileParsing)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(testing::TempDir()) / "lint_allow";
+    fs::create_directories(dir);
+    fs::path file = dir / "allow.txt";
+    {
+        std::ofstream out(file);
+        out << "# comment line\n"
+            << "\n"
+            << "wall-clock src/legacy/  # trailing comment\n";
+    }
+
+    Linter linter;
+    std::string error;
+    ASSERT_TRUE(linter.loadAllowlist(file.string(), &error))
+        << error;
+    EXPECT_TRUE(linter.allowed("wall-clock", "src/legacy/old.cc"));
+    EXPECT_FALSE(linter.allowed("wall-clock", "src/hw/x.cc"));
+
+    {
+        std::ofstream out(file);
+        out << "wall-clock\n"; // missing prefix
+    }
+    Linter strict;
+    EXPECT_FALSE(strict.loadAllowlist(file.string(), &error));
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_FALSE(Linter().loadAllowlist(
+        (dir / "missing.txt").string(), &error));
+}
+
+TEST(Lint, ScanTreeFindsInjectedViolation)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::path(testing::TempDir()) / "lint_tree";
+    fs::remove_all(root);
+    fs::create_directories(root / "src" / "sim");
+    fs::create_directories(root / "bench");
+    {
+        std::ofstream out(root / "src" / "sim" / "clean.cc");
+        out << "int x = 1;\n";
+    }
+    {
+        std::ofstream out(root / "src" / "sim" / "dirty.cc");
+        out << "#include <chrono>\n"
+            << "auto t = std::chrono::system_clock::now();\n";
+    }
+    {
+        // Headers get the guard check.
+        std::ofstream out(root / "src" / "sim" / "bad_guard.hh");
+        out << "#ifndef WRONG\n#define WRONG\n#endif\n";
+    }
+
+    Linter linter;
+    auto vs = linter.scanTree(root.string());
+    ASSERT_EQ(vs.size(), 2u);
+    // scanTree sorts files, so order is stable.
+    EXPECT_EQ(vs[0].rule, "include-guard");
+    EXPECT_EQ(vs[0].file, "src/sim/bad_guard.hh");
+    EXPECT_EQ(vs[1].rule, "wall-clock");
+    EXPECT_EQ(vs[1].file, "src/sim/dirty.cc");
+    EXPECT_EQ(vs[1].line, 2u);
+
+    EXPECT_EQ(ruleIds(linter.scanTree(
+                  (root / "nonexistent").string()))
+                  .size(),
+              0u);
+}

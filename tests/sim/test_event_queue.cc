@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -146,6 +147,120 @@ TEST(EventQueue, PeriodicSelfRescheduling)
     EXPECT_EQ(fired, 5);
     EXPECT_EQ(eq.curTick(), 500u);
     EXPECT_EQ(eq.eventsProcessed(), 5u);
+}
+
+TEST(EventQueue, RunUntilLimitEqualsCurTick)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    ASSERT_EQ(eq.curTick(), 100u);
+
+    // Nothing due: a degenerate run neither advances time nor fires.
+    EXPECT_EQ(eq.runUntil(eq.curTick()), 0u);
+    EXPECT_EQ(eq.curTick(), 100u);
+
+    // Events at exactly the limit are due and must fire.
+    int fired = 0;
+    eq.scheduleLambda(100, [&] { ++fired; });
+    eq.scheduleLambda(101, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(eq.curTick()), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, AutoDeleteEventReschedulesItself)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *ev = nullptr;
+    ev = eq.scheduleLambda(10, [&] {
+        if (++fired < 3)
+            eq.reschedule(ev, eq.curTick() + 10);
+    }, Event::defaultPriority, "self-resched");
+    eq.runAll();
+    // The wrapper must survive each dispatch it re-arms from and be
+    // reclaimed only after the run it doesn't re-arm.
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 30u);
+    EXPECT_EQ(eq.eventsProcessed(), 3u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DestructionWithCallerOwnedEvents)
+{
+    int fired = 0;
+    EventFunctionWrapper ev([&] { ++fired; }, "outlives-queue");
+    {
+        EventQueue eq;
+        eq.schedule(&ev, 100);
+        EXPECT_TRUE(ev.scheduled());
+    }
+    // The dying queue must unlink the event instead of deleting it
+    // (or leaving it "scheduled", which would panic ev's destructor).
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_EQ(fired, 0);
+
+    EventQueue eq2;
+    eq2.schedule(&ev, 5);
+    eq2.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelLambdaAfterDeschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *ev = eq.scheduleLambda(10, [&] { ++fired; });
+    eq.deschedule(ev);
+    EXPECT_FALSE(ev->scheduled());
+    // The wrapper is still owed its deletion.
+    eq.cancelLambda(ev);
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, TieBreakSaltRebuildsPendingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleLambda(10, [&order, i] { order.push_back(i); });
+    // Changing the salt with events already pending must re-sort
+    // them, not corrupt the set.
+    eq.setTieBreakSalt(0x1234);
+    EXPECT_EQ(eq.tieBreakSalt(), 0x1234u);
+    EXPECT_EQ(eq.size(), 8u);
+    eq.runAll();
+
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+    // Back to salt 0 restores the documented FIFO contract.
+    eq.setTieBreakSalt(0);
+    std::vector<int> order2;
+    for (int i = 0; i < 4; ++i)
+        eq.scheduleLambda(eq.curTick() + 5,
+                          [&order2, i] { order2.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order2, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueDeath, RescheduleNull)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.reschedule(nullptr, 10), "null");
+}
+
+TEST(EventQueueDeath, CancelLambdaOnCallerOwnedEvent)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "owned");
+    eq.schedule(&ev, 10);
+    EXPECT_DEATH(eq.cancelLambda(&ev), "caller-owned");
+    eq.deschedule(&ev);
 }
 
 TEST(EventQueueDeath, PastScheduling)

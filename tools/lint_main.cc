@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Command-line driver for the source lint pass (src/analysis/lint).
+ *
+ * Usage: kleb_lint --root <repo-root> [--allowlist <file>]
+ *                  [--list-rules]
+ *
+ * Registered by CMake as the tier-1 `lint.sources` test; exits 1
+ * when any banned pattern survives outside the allowlist.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string allowlist;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--root") && i + 1 < argc) {
+            root = argv[++i];
+        } else if (!std::strcmp(argv[i], "--allowlist") &&
+                   i + 1 < argc) {
+            allowlist = argv[++i];
+        } else if (!std::strcmp(argv[i], "--list-rules")) {
+            list_rules = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s --root <dir> [--allowlist "
+                         "<file>] [--list-rules]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    klebsim::analysis::Linter linter;
+
+    if (list_rules) {
+        for (const auto &rule : linter.rules())
+            std::printf("%-14s %s\n", rule.id.c_str(),
+                        rule.message.c_str());
+        return 0;
+    }
+
+    if (!allowlist.empty()) {
+        std::string error;
+        if (!linter.loadAllowlist(allowlist, &error)) {
+            std::fprintf(stderr, "kleb_lint: %s\n", error.c_str());
+            return 2;
+        }
+    }
+
+    auto violations = linter.scanTree(root);
+    for (const auto &v : violations)
+        std::fprintf(stderr, "%s\n", v.str().c_str());
+
+    if (!violations.empty()) {
+        std::fprintf(stderr, "kleb_lint: %zu violation(s)\n",
+                     violations.size());
+        return 1;
+    }
+    std::printf("kleb_lint: clean\n");
+    return 0;
+}

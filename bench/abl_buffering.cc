@@ -27,15 +27,13 @@ namespace
 
 struct Probe
 {
-    double overhead_pct;
+    double sec;
     std::size_t samples;
-    std::uint64_t drains;
     std::uint64_t pauses;
 };
 
 Probe
-run(std::uint32_t n, Tick drain_interval, std::size_t capacity,
-    double baseline_sec)
+run(std::uint32_t n, Tick drain_interval, std::size_t capacity)
 {
     kernel::System sys(hw::MachineConfig::corei7_920(), 5);
     auto wl = workload::makeMatMulLoop({n}, 0x100000000ULL,
@@ -51,13 +49,24 @@ run(std::uint32_t n, Tick drain_interval, std::size_t capacity,
     sys.run();
 
     Probe p;
-    double sec = ticksToSec(target->exitTick());
-    p.overhead_pct = (sec - baseline_sec) / baseline_sec * 100.0;
+    p.sec = ticksToSec(target->exitTick());
     p.samples = session.samples().size();
     kleb::KLebStatus st = session.status();
     p.pauses = st.pauseEpisodes;
-    p.drains = 0;
     return p;
+}
+
+double
+runBaseline(std::uint32_t n)
+{
+    kernel::System sys(hw::MachineConfig::corei7_920(), 5);
+    auto wl = workload::makeMatMulLoop({n}, 0x100000000ULL,
+                                       sys.forkRng(3));
+    kernel::Process *target =
+        sys.kernel().createWorkload("mm", wl.get(), 0);
+    sys.kernel().startProcess(target);
+    sys.run();
+    return ticksToSec(target->exitTick());
 }
 
 } // namespace
@@ -68,18 +77,28 @@ main(int argc, char **argv)
     BenchArgs args = BenchArgs::parse(argc, argv);
     std::uint32_t n = args.quick ? 400 : 640;
 
-    // Baseline without monitoring.
-    double baseline_sec;
-    {
-        kernel::System sys(hw::MachineConfig::corei7_920(), 5);
-        auto wl = workload::makeMatMulLoop({n}, 0x100000000ULL,
-                                           sys.forkRng(3));
-        kernel::Process *target =
-            sys.kernel().createWorkload("mm", wl.get(), 0);
-        sys.kernel().startProcess(target);
-        sys.run();
-        baseline_sec = ticksToSec(target->exitTick());
-    }
+    const std::vector<Tick> drains = {
+        usToTicks(100), msToTicks(1), msToTicks(10),
+        msToTicks(50)};
+    const std::vector<std::size_t> capacities = {8, 32, 128, 1024,
+                                                 16384};
+
+    // Baseline plus every sweep point, each a fresh machine: one
+    // independent-trial grid.
+    std::vector<Probe> probes = runTrials(
+        args.jobs, 1 + drains.size() + capacities.size(),
+        [&](std::size_t k) {
+            if (k == 0)
+                return Probe{runBaseline(n), 0, 0};
+            if (k <= drains.size())
+                return run(n, drains[k - 1], 16384);
+            return run(n, msToTicks(10),
+                       capacities[k - 1 - drains.size()]);
+        });
+    double baseline_sec = probes[0].sec;
+    auto overhead_pct = [&](const Probe &p) {
+        return (p.sec - baseline_sec) / baseline_sec * 100.0;
+    };
 
     banner("Ablation: kernel-space sample pooling (100 us "
            "sampling, matmul loop)");
@@ -87,12 +106,12 @@ main(int argc, char **argv)
     std::printf("-- drain interval sweep (buffer 16384) --\n");
     Table t1({"Drain interval", "Batch size (approx)",
               "Overhead (%)", "Samples"});
-    for (Tick d : {usToTicks(100), msToTicks(1), msToTicks(10),
-                   msToTicks(50)}) {
-        Probe p = run(n, d, 16384, baseline_sec);
+    for (std::size_t i = 0; i < drains.size(); ++i) {
+        Tick d = drains[i];
+        const Probe &p = probes[1 + i];
         t1.addRow({csprintf("%7.1f ms", ticksToMs(d)),
                    std::to_string(std::max<Tick>(d / 100_us, 1)),
-                   toFixed(p.overhead_pct, 3),
+                   toFixed(overhead_pct(p), 3),
                    std::to_string(p.samples)});
     }
     t1.print();
@@ -103,10 +122,10 @@ main(int argc, char **argv)
     std::printf("\n-- buffer capacity sweep (drain every 10 ms, "
                 "safety mechanism) --\n");
     Table t2({"Capacity", "Overhead (%)", "Samples", "Pauses"});
-    for (std::size_t cap : {8u, 32u, 128u, 1024u, 16384u}) {
-        Probe p = run(n, msToTicks(10), cap, baseline_sec);
-        t2.addRow({std::to_string(cap),
-                   toFixed(p.overhead_pct, 3),
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+        const Probe &p = probes[1 + drains.size() + i];
+        t2.addRow({std::to_string(capacities[i]),
+                   toFixed(overhead_pct(p), 3),
                    std::to_string(p.samples),
                    std::to_string(p.pauses)});
     }

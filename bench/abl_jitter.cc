@@ -29,27 +29,37 @@ main(int argc, char **argv)
 
     banner("Ablation: HRTimer jitter vs sampling period");
 
+    // Each period probes a fresh machine — independent trials.
+    const std::vector<Tick> periods = {
+        usToTicks(50), usToTicks(100), usToTicks(500),
+        msToTicks(1), msToTicks(10)};
+    std::vector<std::vector<double>> lateness = runTrials(
+        args.jobs, periods.size(), [&](std::size_t k) {
+            Tick period = periods[k];
+            kernel::System sys(hw::MachineConfig::corei7_920(),
+                               31);
+            std::vector<double> lateness_us;
+            std::vector<Tick> fire_times;
+            kernel::HrTimer *timer = sys.kernel().createHrTimer(
+                "jitter-probe", 0,
+                [&] { fire_times.push_back(sys.now()); }, 0, 0);
+            timer->startPeriodic(period);
+            sys.run(period * static_cast<Tick>(expiries) +
+                    usToTicks(200));
+            timer->cancel();
+            for (std::size_t i = 0; i < fire_times.size(); ++i) {
+                Tick deadline = (i + 1) * period;
+                lateness_us.push_back(
+                    ticksToUs(fire_times[i] - deadline));
+            }
+            return lateness_us;
+        });
+
     Table table({"Period", "Mean lateness (us)", "P99 (us)",
                  "Relative jitter (%)", "Drift after N (us)"});
-    for (Tick period : {usToTicks(50), usToTicks(100),
-                        usToTicks(500), msToTicks(1),
-                        msToTicks(10)}) {
-        kernel::System sys(hw::MachineConfig::corei7_920(), 31);
-        std::vector<double> lateness_us;
-        std::vector<Tick> fire_times;
-        kernel::HrTimer *timer = sys.kernel().createHrTimer(
-            "jitter-probe", 0,
-            [&] { fire_times.push_back(sys.now()); }, 0, 0);
-        timer->startPeriodic(period);
-        sys.run(period * static_cast<Tick>(expiries) +
-                usToTicks(200));
-        timer->cancel();
-
-        for (std::size_t i = 0; i < fire_times.size(); ++i) {
-            Tick deadline = (i + 1) * period;
-            lateness_us.push_back(
-                ticksToUs(fire_times[i] - deadline));
-        }
+    for (std::size_t k = 0; k < periods.size(); ++k) {
+        Tick period = periods[k];
+        const std::vector<double> &lateness_us = lateness[k];
         stats::RunningStats st;
         for (double v : lateness_us)
             st.add(v);
@@ -74,8 +84,6 @@ main(int argc, char **argv)
     stats::Histogram hist(0.0, 8.0, 16);
     kernel::HrTimer *timer = sys.kernel().createHrTimer(
         "hist-probe", 0, [] {}, 0, 0);
-    std::vector<double> lateness;
-    int count = 0;
     kernel::HrTimer *observer = timer; // observe via lastLateness
     sys.kernel()
         .createHrTimer("collector", 1,
@@ -88,7 +96,6 @@ main(int argc, char **argv)
     for (int i = 0; i < expiries; ++i) {
         sys.run(sys.now() + 100_us);
         hist.add(ticksToUs(timer->lastLateness()));
-        ++count;
     }
     timer->cancel();
     std::printf("%s", hist.render(1).c_str());

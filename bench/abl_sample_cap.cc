@@ -29,33 +29,50 @@ main(int argc, char **argv)
     banner("Ablation: chunk-engine memory sample cap (mysql "
            "docker image)");
 
+    // Each cap simulates a fresh machine — independent trials.
+    const std::vector<std::uint32_t> caps = {16, 48, 96, 192, 384,
+                                             768};
+    struct CapResult
+    {
+        double mpki;
+        double ms;
+        std::uint64_t issued;
+    };
+    std::vector<CapResult> results = runTrials(
+        args.jobs, caps.size(), [&](std::size_t k) {
+            hw::MachineConfig machine =
+                hw::MachineConfig::corei7_920();
+            machine.memSampleCap = caps[k];
+            kernel::System sys(machine, 9);
+            workload::DockerImageSpec spec =
+                workload::dockerImage("mysql");
+            spec.instructions = instructions;
+            auto wl = workload::makeDockerWorkload(
+                spec, 0x200000000ULL, sys.forkRng(2));
+            kernel::Process *p =
+                sys.kernel().createWorkload("mysql", wl.get(), 0);
+            sys.kernel().startProcess(p);
+            sys.run();
+
+            const hw::EventVector &ev =
+                p->execContext()->totalEvents();
+            return CapResult{
+                stats::mpki(
+                    static_cast<double>(
+                        at(ev, hw::HwEvent::llcMiss)),
+                    static_cast<double>(
+                        at(ev, hw::HwEvent::instRetired))),
+                ticksToMs(p->lifetime()),
+                sys.core(0).mem().l1().stats().accesses()};
+        });
+
     Table table({"Sample cap", "MPKI", "Run time (ms)",
                  "Cache accesses issued"});
-    for (std::uint32_t cap : {16u, 48u, 96u, 192u, 384u, 768u}) {
-        hw::MachineConfig machine =
-            hw::MachineConfig::corei7_920();
-        machine.memSampleCap = cap;
-        kernel::System sys(machine, 9);
-        workload::DockerImageSpec spec =
-            workload::dockerImage("mysql");
-        spec.instructions = instructions;
-        auto wl = workload::makeDockerWorkload(
-            spec, 0x200000000ULL, sys.forkRng(2));
-        kernel::Process *p =
-            sys.kernel().createWorkload("mysql", wl.get(), 0);
-        sys.kernel().startProcess(p);
-        sys.run();
-
-        const hw::EventVector &ev =
-            p->execContext()->totalEvents();
-        double mpki = stats::mpki(
-            static_cast<double>(at(ev, hw::HwEvent::llcMiss)),
-            static_cast<double>(at(ev, hw::HwEvent::instRetired)));
-        std::uint64_t issued =
-            sys.core(0).mem().l1().stats().accesses();
-        table.addRow({std::to_string(cap), toFixed(mpki, 3),
-                      toFixed(ticksToMs(p->lifetime()), 2),
-                      std::to_string(issued)});
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+        table.addRow({std::to_string(caps[k]),
+                      toFixed(results[k].mpki, 3),
+                      toFixed(results[k].ms, 2),
+                      std::to_string(results[k].issued)});
     }
     table.print();
     std::printf("\nShape check: MPKI and run time converge well "

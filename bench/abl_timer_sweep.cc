@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
 #include "tools/harness.hh"
@@ -35,23 +36,56 @@ main(int argc, char **argv)
     banner("Ablation: K-LEB overhead vs sampling period "
            "(matmul loop)");
 
-    cfg.tool = ToolKind::none;
-    std::vector<double> baseline = runMany(cfg, runs);
-
     const Tick periods[] = {
         usToTicks(25),  usToTicks(50),  usToTicks(100),
         usToTicks(250), usToTicks(500), msToTicks(1),
         msToTicks(10),  msToTicks(100)};
+    const std::size_t n_periods = std::size(periods);
+
+    // Flatten baseline runs, per-period runs, and the per-period
+    // fixed-seed probes into one independent-trial grid.
+    const auto n_runs = static_cast<std::size_t>(runs);
+    std::vector<RunConfig> grid;
+    for (std::size_t i = 0; i < n_runs; ++i) {
+        RunConfig c = cfg;
+        c.tool = ToolKind::none;
+        c.seed = trialSeed(
+            cfg.seed, static_cast<std::uint64_t>(c.tool), i);
+        grid.push_back(c);
+    }
+    for (std::size_t p = 0; p < n_periods; ++p) {
+        for (std::size_t i = 0; i <= n_runs; ++i) {
+            RunConfig c = cfg;
+            c.tool = ToolKind::kleb;
+            c.period = periods[p];
+            // Trial n_runs is the fixed-seed probe run.
+            c.seed = i == n_runs
+                         ? 1
+                         : trialSeed(cfg.seed,
+                                     static_cast<std::uint64_t>(
+                                         c.tool),
+                                     i);
+            grid.push_back(c);
+        }
+    }
+    std::vector<RunResult> results = runTrials(
+        args.jobs, grid.size(),
+        [&](std::size_t k) { return runOnce(grid[k]); });
+
+    std::vector<double> baseline;
+    for (std::size_t i = 0; i < n_runs; ++i)
+        baseline.push_back(results[i].seconds);
 
     Table table({"Period", "Overhead (%)", "Samples",
                  "Per-sample cost (us)"});
-    for (Tick period : periods) {
-        cfg.tool = ToolKind::kleb;
-        cfg.period = period;
-        std::vector<double> secs = runMany(cfg, runs);
+    for (std::size_t p = 0; p < n_periods; ++p) {
+        Tick period = periods[p];
+        std::size_t base_idx = n_runs + p * (n_runs + 1);
+        std::vector<double> secs;
+        for (std::size_t i = 0; i < n_runs; ++i)
+            secs.push_back(results[base_idx + i].seconds);
         double overhead = overheadPct(secs, baseline);
-        cfg.seed = 1;
-        RunResult probe = runOnce(cfg);
+        const RunResult &probe = results[base_idx + n_runs];
         double base_mean = 0;
         for (double s : baseline)
             base_mean += s;

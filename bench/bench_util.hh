@@ -1,10 +1,14 @@
 /**
  * @file
  * Shared helpers for the experiment benches: command-line options,
- * paper-style table rendering, and CSV emission.
+ * parallel trial execution, paper-style table rendering, and CSV
+ * emission.
  *
  * Every bench accepts:
  *   --runs N     repetitions per configuration (default varies)
+ *   --jobs N     worker threads for independent trials (default:
+ *                all host cores); any value yields byte-identical
+ *                output
  *   --quick      reduced problem sizes / repetitions (CI-friendly)
  *   --csv        emit machine-readable CSV after the tables
  */
@@ -12,12 +16,15 @@
 #ifndef KLEBSIM_BENCH_BENCH_UTIL_HH
 #define KLEBSIM_BENCH_BENCH_UTIL_HH
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/str.hh"
+#include "bench_support/trial_pool.hh"
 
 namespace klebsim::bench
 {
@@ -26,8 +33,36 @@ namespace klebsim::bench
 struct BenchArgs
 {
     int runs = 0;      //!< 0 = bench default
+    unsigned jobs = 0; //!< resolved to a positive count by parse()
     bool quick = false;
     bool csv = false;
+
+    [[noreturn]] static void
+    usageExit(const char *prog)
+    {
+        std::fprintf(stderr,
+                     "usage: %s [--runs N] [--jobs N] [--quick] "
+                     "[--csv]\n",
+                     prog);
+        std::exit(2);
+    }
+
+    /**
+     * Strict positive-integer parse: the whole token must be
+     * numeric and the value > 0.  "abc", "-5", "0", "3x" and
+     * out-of-range values all take the usage/exit-2 path, the same
+     * as an unknown flag — never a silent fallback to the default.
+     */
+    static int
+    parsePositive(const char *text, const char *prog)
+    {
+        int value = 0;
+        const char *end = text + std::strlen(text);
+        auto [ptr, ec] = std::from_chars(text, end, value);
+        if (ec != std::errc() || ptr != end || value <= 0)
+            usageExit(prog);
+        return value;
+    }
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -40,15 +75,17 @@ struct BenchArgs
                 args.csv = true;
             } else if (!std::strcmp(argv[i], "--runs") &&
                        i + 1 < argc) {
-                args.runs = std::atoi(argv[++i]);
+                args.runs = parsePositive(argv[++i], argv[0]);
+            } else if (!std::strcmp(argv[i], "--jobs") &&
+                       i + 1 < argc) {
+                args.jobs = static_cast<unsigned>(
+                    parsePositive(argv[++i], argv[0]));
             } else {
-                std::fprintf(stderr,
-                             "usage: %s [--runs N] [--quick] "
-                             "[--csv]\n",
-                             argv[0]);
-                std::exit(2);
+                usageExit(argv[0]);
             }
         }
+        if (args.jobs == 0)
+            args.jobs = TrialPool::defaultJobs();
         return args;
     }
 
@@ -58,6 +95,23 @@ struct BenchArgs
         return runs > 0 ? runs : dflt;
     }
 };
+
+/**
+ * Run @p count independent trials of @p fn through a TrialPool of
+ * @p jobs workers and return the results in trial order.  Every
+ * bench's trial loop goes through here; a trial must build its own
+ * simulated machine, derive any seed via trialSeed() from its index
+ * (never from execution order), and do no printing — rendering
+ * happens after all trials committed, so output is byte-identical
+ * for every jobs value.
+ */
+template <typename Fn>
+auto
+runTrials(unsigned jobs, std::size_t count, Fn &&fn)
+{
+    TrialPool pool(jobs);
+    return pool.map(count, std::forward<Fn>(fn));
+}
 
 /** Fixed-width text table, printed like the paper's tables. */
 class Table

@@ -25,6 +25,10 @@ using namespace klebsim::ticks_literals;
 int
 main(int argc, char **argv)
 {
+    // This figure is one continuous time series from a single
+    // simulated machine ("trials" here are LINPACK-internal solve
+    // repetitions, not independent runs), so --jobs has nothing to
+    // fan out; BenchArgs still validates it.
     BenchArgs args = BenchArgs::parse(argc, argv);
     int trials = args.runsOr(args.quick ? 2 : 10);
 

@@ -76,11 +76,22 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, double>> xeon_order;
     bool all_classes_match = true;
 
-    for (const auto &spec : workload::dockerCatalog()) {
-        double mpki_i7 = measureImage(
-            hw::MachineConfig::corei7_920(), spec, instructions, 7);
-        double mpki_xeon = measureImage(
-            hw::MachineConfig::xeon8259cl(), spec, instructions, 7);
+    // Each (image, machine) measurement is an independent simulated
+    // machine; fan the whole catalog out across worker threads.
+    const auto &catalog = workload::dockerCatalog();
+    std::vector<double> mpki = runTrials(
+        args.jobs, catalog.size() * 2, [&](std::size_t k) {
+            const auto &spec = catalog[k / 2];
+            const hw::MachineConfig machine =
+                k % 2 == 0 ? hw::MachineConfig::corei7_920()
+                           : hw::MachineConfig::xeon8259cl();
+            return measureImage(machine, spec, instructions, 7);
+        });
+
+    for (std::size_t s = 0; s < catalog.size(); ++s) {
+        const auto &spec = catalog[s];
+        double mpki_i7 = mpki[s * 2];
+        double mpki_xeon = mpki[s * 2 + 1];
         bool memory_intensive =
             mpki_i7 > workload::memoryIntensiveMpki;
         if (memory_intensive != spec.expectMemoryIntensive)

@@ -32,13 +32,16 @@ struct Averages
     std::size_t samples = 0;
 };
 
+/** One independent round on a fresh machine. */
 Averages
-measure(bool with_attack, int rounds, std::uint32_t retries)
+measureRound(bool with_attack, std::uint64_t round,
+             std::uint32_t retries)
 {
     Averages avg;
-    for (int round = 0; round < rounds; ++round) {
+    {
         kernel::System sys(hw::MachineConfig::corei7_920(),
-                           100 + static_cast<std::uint64_t>(round));
+                           trialSeed(100, with_attack ? 1 : 0,
+                                     round));
         std::unique_ptr<workload::PhaseWorkload> printer;
         std::unique_ptr<workload::MeltdownWorkload> attack;
         hw::WorkSource *src = nullptr;
@@ -78,6 +81,27 @@ measure(bool with_attack, int rounds, std::uint32_t retries)
         avg.ms += ticksToMs(target->lifetime());
         avg.samples += session.samples().size();
     }
+    return avg;
+}
+
+/** Average @p rounds independent rounds, fanned across workers. */
+Averages
+measure(bool with_attack, int rounds, std::uint32_t retries,
+        unsigned jobs)
+{
+    std::vector<Averages> per_round = runTrials(
+        jobs, static_cast<std::size_t>(rounds),
+        [&](std::size_t round) {
+            return measureRound(with_attack, round, retries);
+        });
+    Averages avg;
+    for (const Averages &r : per_round) {
+        avg.llcRef += r.llcRef;
+        avg.llcMiss += r.llcMiss;
+        avg.mpki += r.mpki;
+        avg.ms += r.ms;
+        avg.samples += r.samples;
+    }
     avg.llcRef /= rounds;
     avg.llcMiss /= rounds;
     avg.mpki /= rounds;
@@ -100,8 +124,8 @@ main(int argc, char **argv)
                     "over %d rounds (K-LEB @ 100 us)",
                     rounds));
 
-    Averages clean = measure(false, rounds, retries);
-    Averages attacked = measure(true, rounds, retries);
+    Averages clean = measure(false, rounds, retries, args.jobs);
+    Averages attacked = measure(true, rounds, retries, args.jobs);
 
     Table table({"Program", "LLC refs", "LLC misses", "MPKI",
                  "Runtime (ms)", "Samples"});

@@ -113,8 +113,13 @@ main(int argc, char **argv)
 
     banner("Fig. 7: Meltdown vs non-Meltdown via K-LEB @ 100 us");
 
-    SeriesResult clean = runVictim(false, retries);
-    SeriesResult attacked = runVictim(true, retries);
+    // The clean and attacked victims run on independent machines.
+    std::vector<SeriesResult> victims = runTrials(
+        args.jobs, 2, [&](std::size_t k) {
+            return runVictim(k == 1, retries);
+        });
+    SeriesResult clean = std::move(victims[0]);
+    SeriesResult attacked = std::move(victims[1]);
 
     printSeries("without Meltdown", clean);
     printSeries("with Meltdown", attacked);

@@ -40,9 +40,33 @@ main(int argc, char **argv)
                     "matmul loop, %d runs/tool",
                     runs));
 
+    // Fan the full (tool, trial) grid out across worker threads.
+    const std::vector<ToolKind> &tools = allTools();
+    const auto n_runs = static_cast<std::size_t>(runs);
+    std::vector<RunResult> results = runTrials(
+        args.jobs, tools.size() * n_runs, [&](std::size_t k) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.tool = tools[k / n_runs];
+            trial_cfg.seed = trialSeed(
+                cfg.seed,
+                static_cast<std::uint64_t>(trial_cfg.tool),
+                k % n_runs);
+            return runOnce(trial_cfg);
+        });
+    auto tool_secs = [&](std::size_t t) {
+        std::vector<double> secs;
+        for (std::size_t i = 0; i < n_runs; ++i) {
+            const RunResult &r = results[t * n_runs + i];
+            if (r.supported)
+                secs.push_back(r.seconds);
+        }
+        if (secs.size() != n_runs)
+            secs.clear();
+        return secs;
+    };
+
     // Normalize against the baseline mean.
-    cfg.tool = ToolKind::none;
-    std::vector<double> baseline = runMany(cfg, runs);
+    std::vector<double> baseline = tool_secs(0);
     double base_mean = 0;
     for (double s : baseline)
         base_mean += s;
@@ -53,10 +77,10 @@ main(int argc, char **argv)
     double kleb_iqr = -1;
     double min_other_iqr = 1e300;
 
-    for (ToolKind tool : allTools()) {
-        cfg.tool = tool;
+    for (std::size_t t = 0; t < tools.size(); ++t) {
+        ToolKind tool = tools[t];
         std::vector<double> secs =
-            tool == ToolKind::none ? baseline : runMany(cfg, runs);
+            tool == ToolKind::none ? baseline : tool_secs(t);
         if (secs.empty()) {
             table.addRow({toolName(tool), "n/a"});
             continue;

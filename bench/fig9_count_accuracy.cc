@@ -47,12 +47,15 @@ main(int argc, char **argv)
     const std::vector<ToolKind> tools = {
         ToolKind::kleb, ToolKind::perfStat, ToolKind::perfRecord,
         ToolKind::papi, ToolKind::limit};
-    std::vector<std::vector<std::uint64_t>> totals;
-    for (ToolKind tool : tools) {
-        cfg.tool = tool;
-        RunResult r = runOnce(cfg);
-        totals.push_back(r.totals);
-    }
+    // All tools measure the same deterministic program (one shared
+    // seed), so the five runs are independent machines — fan them
+    // out in parallel.
+    std::vector<std::vector<std::uint64_t>> totals = runTrials(
+        args.jobs, tools.size(), [&](std::size_t t) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.tool = tools[t];
+            return runOnce(trial_cfg).totals;
+        });
 
     const char *event_names[] = {"BRANCH", "LOAD", "STORE",
                                  "INST_RETIRED"};

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_support/trial_pool.hh"
 #include "hw/cpu_core.hh"
 #include "kernel/system.hh"
 #include "sim/event_queue.hh"
@@ -106,6 +107,25 @@ BM_RandomStream(benchmark::State &state)
         benchmark::DoNotOptimize(rng.next64());
 }
 BENCHMARK(BM_RandomStream);
+
+void
+BM_TrialPoolMap(benchmark::State &state)
+{
+    // Dispatch + commit cost of the bench trial pool for 64 trivial
+    // trials; bounds the fan-out overhead the experiment benches
+    // pay on top of the simulation itself.
+    bench::TrialPool pool(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        auto seeds =
+            pool.map(64, [](std::size_t i) {
+                return bench::trialSeed(1, 2, i);
+            });
+        benchmark::DoNotOptimize(seeds);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TrialPoolMap)->Arg(1)->Arg(4);
 
 } // namespace
 

@@ -62,15 +62,25 @@ main(int argc, char **argv)
         ToolKind::none, ToolKind::kleb, ToolKind::perfStat,
         ToolKind::perfRecord};
 
+    // Fan the full (tool, trial) grid out across worker threads.
+    const auto n_runs = static_cast<std::size_t>(runs);
+    std::vector<RunResult> results = runTrials(
+        args.jobs, tools.size() * n_runs, [&](std::size_t k) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.tool = tools[k / n_runs];
+            trial_cfg.seed = trialSeed(
+                1, static_cast<std::uint64_t>(trial_cfg.tool),
+                k % n_runs);
+            return runOnce(trial_cfg);
+        });
+
     double raw_gflops = 0;
     Table table({"Profiling Tool", "GFLOPS", "Perf loss (%)",
                  "Paper GFLOPS", "Paper loss (%)"});
     for (std::size_t t = 0; t < tools.size(); ++t) {
-        cfg.tool = tools[t];
         double mean_gflops = 0;
-        for (int i = 0; i < runs; ++i) {
-            cfg.seed = static_cast<std::uint64_t>(i + 1);
-            RunResult r = runOnce(cfg);
+        for (std::size_t i = 0; i < n_runs; ++i) {
+            const RunResult &r = results[t * n_runs + i];
             mean_gflops +=
                 workload::linpackGflops(params, r.lifetime);
         }

@@ -56,16 +56,43 @@ main(int argc, char **argv)
     banner("Table II: triple-nested-loop matmul overhead @ 10 ms "
            "(" + std::to_string(runs) + " runs/tool)");
 
+    // Every (tool, trial) cell is an independent simulated machine:
+    // fan the whole table out at once.  The last trial per tool is
+    // the fixed-seed probe run the Samples column reports.
+    const std::vector<ToolKind> &tools = allTools();
+    const std::size_t per_tool =
+        static_cast<std::size_t>(runs) + 1;
+    std::vector<RunResult> results = runTrials(
+        args.jobs, tools.size() * per_tool, [&](std::size_t k) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.tool = tools[k / per_tool];
+            std::size_t trial = k % per_tool;
+            trial_cfg.seed =
+                trial == static_cast<std::size_t>(runs)
+                    ? 1
+                    : trialSeed(cfg.seed,
+                                static_cast<std::uint64_t>(
+                                    trial_cfg.tool),
+                                trial);
+            return runOnce(trial_cfg);
+        });
+
     std::vector<double> baseline;
     Table table({"Profiling Tool", "Mean time (s)", "Overhead (%)",
                  "Paper (%)", "Samples"});
     std::size_t tool_idx = 0;
     double kleb_overhead = 0, best_other = 1e9;
 
-    for (ToolKind tool : allTools()) {
-        cfg.tool = tool;
-        std::vector<double> secs = runMany(cfg, runs);
-        if (secs.empty()) {
+    for (ToolKind tool : tools) {
+        std::vector<double> secs;
+        for (int i = 0; i < runs; ++i) {
+            const RunResult &r =
+                results[tool_idx * per_tool +
+                        static_cast<std::size_t>(i)];
+            if (r.supported)
+                secs.push_back(r.seconds);
+        }
+        if (secs.size() != static_cast<std::size_t>(runs)) {
             table.addRow({toolName(tool), "n/a", "n/a", "-", "-"});
             ++tool_idx;
             continue;
@@ -85,8 +112,9 @@ main(int argc, char **argv)
         else if (tool != ToolKind::none)
             best_other = std::min(best_other, overhead);
 
-        cfg.seed = 1;
-        RunResult probe = runOnce(cfg);
+        const RunResult &probe =
+            results[tool_idx * per_tool +
+                    static_cast<std::size_t>(runs)];
         table.addRow({toolName(tool), toFixed(mean, 4),
                       tool == ToolKind::none ? "-"
                                              : toFixed(overhead, 2),

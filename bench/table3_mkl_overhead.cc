@@ -55,14 +55,35 @@ main(int argc, char **argv)
     banner("Table III: Intel MKL dgemm overhead @ 10 ms (" +
            std::to_string(runs) + " runs/tool)");
 
+    // One (tool, trial) grid, fanned out across worker threads;
+    // each cell simulates a fresh machine.
+    const std::vector<ToolKind> &tools = allTools();
+    const auto n_runs = static_cast<std::size_t>(runs);
+    std::vector<RunResult> results = runTrials(
+        args.jobs, tools.size() * n_runs, [&](std::size_t k) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.tool = tools[k / n_runs];
+            trial_cfg.seed = trialSeed(
+                cfg.seed,
+                static_cast<std::uint64_t>(trial_cfg.tool),
+                k % n_runs);
+            return runOnce(trial_cfg);
+        });
+
     std::vector<double> baseline;
     Table table({"Profiling Tool", "Mean time (ms)",
                  "Overhead (%)", "Paper (%)"});
     std::size_t tool_idx = 0;
 
-    for (ToolKind tool : allTools()) {
-        cfg.tool = tool;
-        std::vector<double> secs = runMany(cfg, runs);
+    for (ToolKind tool : tools) {
+        std::vector<double> secs;
+        for (std::size_t i = 0; i < n_runs; ++i) {
+            const RunResult &r = results[tool_idx * n_runs + i];
+            if (r.supported)
+                secs.push_back(r.seconds);
+        }
+        if (secs.size() != n_runs)
+            secs.clear();
         if (secs.empty()) {
             table.addRow({toolName(tool), "n/a", "n/a", "n/a"});
             ++tool_idx;

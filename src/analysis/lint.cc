@@ -133,6 +133,13 @@ Linter::Linter()
              "use EventQueue::scheduleLambda",
              {"src", "bench", "examples"}});
 
+    addRule({"raw-thread",
+             R"(std::j?thread\b(?!::))",
+             "raw thread construction bypasses the trial pool's "
+             "determinism contract; fan work out through "
+             "bench::TrialPool (bench_support/trial_pool.hh)",
+             {"src", "bench", "examples"}});
+
     addRule({"printf-family",
              R"(\b(printf|fprintf|sprintf|snprintf|vsnprintf|vsprintf|vfprintf|puts|putchar|fputs)\s*\()"
              R"(|std::(cout|cerr))",
@@ -145,6 +152,7 @@ Linter::Linter()
     allow("printf-family", "src/base/logging.cc");
     allow("printf-family", "src/base/str.cc");
     allow("event-new", "src/sim/event_queue.cc");
+    allow("raw-thread", "src/bench_support/trial_pool.cc");
 }
 
 void

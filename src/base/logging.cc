@@ -1,8 +1,8 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
 namespace klebsim
 {
@@ -10,20 +10,35 @@ namespace klebsim
 namespace
 {
 
-bool quietFlag = false;
+// Parallel bench trials flip and read this concurrently, so it must
+// be atomic; relaxed is enough (it only gates output, it never
+// orders data).
+std::atomic<bool> quietFlag{false};
+
+/**
+ * Emit one fully-formatted message as a single stdio call.
+ * Concurrent trials may log at the same time; one write per message
+ * keeps lines from interleaving mid-record (stdio locks the stream
+ * per call, not per message).
+ */
+void
+emit(std::FILE *stream, const std::string &line)
+{
+    std::fputs(line.c_str(), stream);
+}
 
 } // anonymous namespace
 
 void
 setLoggingQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 loggingQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 namespace logging_detail
@@ -32,8 +47,8 @@ namespace logging_detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file,
-                 line);
+    emit(stderr, "panic: " + msg + "\n  @ " + file + ":" +
+                     std::to_string(line) + "\n");
     std::fflush(stderr);
     std::abort();
 }
@@ -41,8 +56,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file,
-                 line);
+    emit(stderr, "fatal: " + msg + "\n  @ " + file + ":" +
+                     std::to_string(line) + "\n");
     std::fflush(stderr);
     std::exit(1);
 }
@@ -50,17 +65,18 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    if (quietFlag)
+    if (loggingQuiet())
         return;
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(stderr, "warn: " + msg + " (" + file + ":" +
+                     std::to_string(line) + ")\n");
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (quietFlag)
+    if (loggingQuiet())
         return;
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit(stdout, "info: " + msg + "\n");
 }
 
 } // namespace logging_detail

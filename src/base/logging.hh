@@ -40,7 +40,12 @@ void informImpl(const std::string &msg);
 
 } // namespace logging_detail
 
-/** Set to true (e.g. in tests) to silence warn()/inform() output. */
+/**
+ * Set to true (e.g. in tests) to silence warn()/inform() output.
+ * Thread-safe: parallel bench trials may log while another thread
+ * flips the flag, and every message is emitted as one stream write
+ * so concurrent trials cannot interleave lines.
+ */
 void setLoggingQuiet(bool quiet);
 
 /** @return true if warn()/inform() output is currently suppressed. */

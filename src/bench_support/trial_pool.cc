@@ -1,0 +1,78 @@
+#include "trial_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace klebsim::bench
+{
+
+TrialPool::TrialPool(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+unsigned
+TrialPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+TrialPool::runIndexed(std::size_t count,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs_, count);
+    if (workers <= 1) {
+        // Sequential reference path: no threads, exceptions
+        // propagate directly from the failing trial.
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_trial = count;
+
+    auto worker = [&] {
+        while (!failed.load(std::memory_order_acquire)) {
+            std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                // Keep the lowest-indexed failure: that is the one
+                // a sequential run would have surfaced.
+                if (i < first_error_trial) {
+                    first_error_trial = i;
+                    first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_release);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace klebsim::bench

@@ -9,14 +9,29 @@ namespace klebsim::kleb
 namespace
 {
 
-int sessionCounter = 0;
+/**
+ * First unbound /dev/klebN minor in @p kernel.  Allocating from the
+ * kernel's own device table (instead of a process-wide counter)
+ * keeps the path deterministic per simulated machine — concurrent
+ * trials on other threads each start at /dev/kleb0 — and makes the
+ * lookup free of shared mutable state.
+ */
+std::string
+nextDevPath(kernel::Kernel &kernel)
+{
+    for (int minor = 0;; ++minor) {
+        std::string path = csprintf("/dev/kleb%d", minor);
+        if (kernel.moduleAt(path) == nullptr)
+            return path;
+    }
+}
 
 } // anonymous namespace
 
 Session::Session(kernel::System &sys, Options options)
     : sys_(sys), options_(std::move(options))
 {
-    devPath_ = csprintf("/dev/kleb%d", sessionCounter++);
+    devPath_ = nextDevPath(sys_.kernel());
     auto module = std::make_unique<KLebModule>(
         options_.moduleTuning);
     module_ = module.get();

@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include "base/logging.hh"
+#include "bench_support/trial_pool.hh"
 #include "instrumented.hh"
 #include "kernel/system.hh"
 #include "kleb/session.hh"
@@ -194,14 +195,23 @@ runOnce(const RunConfig &cfg)
 }
 
 std::vector<double>
-runMany(RunConfig cfg, int runs)
+runMany(RunConfig cfg, int runs, unsigned jobs)
 {
+    if (runs <= 0)
+        return {};
+    const std::uint64_t base_seed = cfg.seed;
+    bench::TrialPool pool(jobs);
+    std::vector<RunResult> results = pool.map(
+        static_cast<std::size_t>(runs), [&](std::size_t i) {
+            RunConfig trial_cfg = cfg;
+            trial_cfg.seed = bench::trialSeed(
+                base_seed,
+                static_cast<std::uint64_t>(cfg.tool), i);
+            return runOnce(trial_cfg);
+        });
     std::vector<double> secs;
-    secs.reserve(static_cast<std::size_t>(runs));
-    std::uint64_t base_seed = cfg.seed;
-    for (int i = 0; i < runs; ++i) {
-        cfg.seed = base_seed + static_cast<std::uint64_t>(i);
-        RunResult r = runOnce(cfg);
+    secs.reserve(results.size());
+    for (const RunResult &r : results) {
         if (!r.supported)
             return {};
         secs.push_back(r.seconds);

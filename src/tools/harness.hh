@@ -128,10 +128,16 @@ struct RunResult
 RunResult runOnce(const RunConfig &cfg);
 
 /**
- * Run @p runs repetitions (seeds seed+0 .. seed+runs-1) and return
- * the per-run lifetimes in seconds.
+ * Run @p runs repetitions and return the per-run lifetimes in
+ * seconds.  Per-trial seeds are derived by the shared splitmix64
+ * mixer from (cfg.seed, cfg.tool, trialIndex) — see
+ * bench_support/trial_pool.hh — so adjacent trials never run
+ * correlated PCG32 streams.  Trials fan out across @p jobs worker
+ * threads (each on a fresh simulated machine); results are
+ * identical for every jobs value.
  */
-std::vector<double> runMany(RunConfig cfg, int runs);
+std::vector<double> runMany(RunConfig cfg, int runs,
+                            unsigned jobs = 1);
 
 /**
  * Mean overhead of @p tool versus baseline runs, in percent:

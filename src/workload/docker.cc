@@ -123,6 +123,7 @@ class ShimBehavior : public kernel::ServiceBehavior
     kernel::ServiceOp
     nextOp(kernel::Kernel &kernel, kernel::Process &self) override
     {
+        (void)kernel; // ops act through the syscall-callback kernel
         using Op = kernel::ServiceOp;
         switch (step_++) {
           case 0:

@@ -108,6 +108,37 @@ TEST(Lint, FlagsRawEventAllocation)
     EXPECT_FALSE(flagged(vs, "event-new"));
 }
 
+TEST(Lint, FlagsRawThreadConstruction)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/kernel/foo.cc",
+        "std::thread worker([] { run(); });\n");
+    EXPECT_TRUE(flagged(vs, "raw-thread"));
+
+    vs = linter.scanSource("bench/foo.cc",
+                           "std::jthread t(fn);\n");
+    EXPECT_TRUE(flagged(vs, "raw-thread"));
+
+    vs = linter.scanSource(
+        "src/hw/foo.cc",
+        "std::vector<std::thread> workers;\n");
+    EXPECT_TRUE(flagged(vs, "raw-thread"));
+
+    // Querying host parallelism is fine — only construction is
+    // banned.
+    vs = linter.scanSource(
+        "src/hw/foo.cc",
+        "unsigned n = std::thread::hardware_concurrency();\n");
+    EXPECT_FALSE(flagged(vs, "raw-thread"));
+
+    // The pool implementation is the canonical carve-out.
+    vs = linter.scanSource(
+        "src/bench_support/trial_pool.cc",
+        "std::vector<std::thread> threads;\n");
+    EXPECT_FALSE(flagged(vs, "raw-thread"));
+}
+
 TEST(Lint, PrintfRuleAppliesToSrcOnly)
 {
     Linter linter;

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_util.hh"
+
+using klebsim::bench::BenchArgs;
+
+namespace
+{
+
+BenchArgs
+parseOf(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "bench");
+    return BenchArgs::parse(
+        static_cast<int>(argv.size()),
+        const_cast<char **>(argv.data()));
+}
+
+} // namespace
+
+TEST(BenchArgs, Defaults)
+{
+    BenchArgs args = parseOf({});
+    EXPECT_EQ(args.runs, 0);
+    EXPECT_FALSE(args.quick);
+    EXPECT_FALSE(args.csv);
+    EXPECT_EQ(args.jobs,
+              klebsim::bench::TrialPool::defaultJobs());
+    EXPECT_EQ(args.runsOr(7), 7);
+}
+
+TEST(BenchArgs, ParsesAllFlags)
+{
+    BenchArgs args = parseOf(
+        {"--runs", "12", "--jobs", "3", "--quick", "--csv"});
+    EXPECT_EQ(args.runs, 12);
+    EXPECT_EQ(args.jobs, 3u);
+    EXPECT_TRUE(args.quick);
+    EXPECT_TRUE(args.csv);
+    EXPECT_EQ(args.runsOr(7), 12);
+}
+
+// Regression for the silent std::atoi parse: bad values must take
+// the usage/exit-2 path, never fall back to the bench default.
+
+
+TEST(BenchArgsDeathTest, RejectsNonNumericRuns)
+{
+    EXPECT_EXIT(parseOf({"--runs", "abc"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsNegativeRuns)
+{
+    EXPECT_EXIT(parseOf({"--runs", "-5"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsZeroRuns)
+{
+    EXPECT_EXIT(parseOf({"--runs", "0"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsTrailingGarbage)
+{
+    EXPECT_EXIT(parseOf({"--runs", "3x"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsOverflowingRuns)
+{
+    EXPECT_EXIT(parseOf({"--runs", "99999999999999999999"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsZeroAndBadJobs)
+{
+    EXPECT_EXIT(parseOf({"--jobs", "0"}),
+                testing::ExitedWithCode(2), "usage:");
+    EXPECT_EXIT(parseOf({"--jobs", "-1"}),
+                testing::ExitedWithCode(2), "usage:");
+    EXPECT_EXIT(parseOf({"--jobs", "many"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchArgsDeathTest, RejectsMissingValueAndUnknownFlag)
+{
+    EXPECT_EXIT(parseOf({"--runs"}),
+                testing::ExitedWithCode(2), "usage:");
+    EXPECT_EXIT(parseOf({"--jobs"}),
+                testing::ExitedWithCode(2), "usage:");
+    EXPECT_EXIT(parseOf({"--frobnicate"}),
+                testing::ExitedWithCode(2), "usage:");
+}

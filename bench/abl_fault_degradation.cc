@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation: K-LEB behaviour under injected faults (src/fault).
+ *
+ * Runs the same 200M-instruction workload under the K-LEB session
+ * while the deterministic fault injector degrades one thing at a
+ * time — narrowed counter widths, flaky chardev ops, a dead reader,
+ * vetoed module loads, a mid-run target crash — and reports what
+ * the hardened lifecycle salvages in each case: count accuracy,
+ * drop/retry accounting, and whether the session degraded or
+ * aborted.  The fault-free row doubles as the control: it must
+ * report zero injections and exact counts.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "tools/harness.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::bench;
+using namespace klebsim::tools;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeChunk;
+
+namespace
+{
+
+struct Scenario
+{
+    const char *label;
+    const char *spec;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const std::size_t chunks = args.quick ? 60 : 200;
+
+    banner("Ablation: fault injection vs the hardened K-LEB "
+           "lifecycle");
+
+    const std::vector<Scenario> scenarios = {
+        {"fault-free", ""},
+        {"24-bit counters", "pmu.width=24"},
+        {"flaky chardev", "ioctl.fail=0.2;read.fail=0.2"},
+        {"timer misses", "timer.miss=0.1;timer.spike=0.05"},
+        {"reader dead", "read.fail=1.0"},
+        {"insmod vetoed", "module.initfail=5"},
+        {"target crash", "target.crash=8ms"},
+    };
+
+    std::vector<RunResult> results = runTrials(
+        args.jobs, scenarios.size(), [&](std::size_t k) {
+            RunConfig cfg;
+            cfg.tool = ToolKind::kleb;
+            cfg.seed = 9;
+            cfg.period = msToTicks(1);
+            cfg.expectedLifetime = msToTicks(40);
+            cfg.expectedInstructions =
+                static_cast<std::uint64_t>(chunks) * 1000000ULL;
+            cfg.faultSpec = scenarios[k].spec;
+            cfg.workloadFactory = [chunks](Addr, Random) {
+                std::vector<hw::WorkChunk> work(
+                    chunks, computeChunk(1000000, 2.0));
+                return std::make_unique<FixedWorkSource>(
+                    std::move(work));
+            };
+            return runOnce(cfg);
+        });
+
+    Table table({"Scenario", "Lifetime (ms)", "Samples",
+                 "Inst err %", "Drops", "Retries", "Wraps",
+                 "Outcome", "Injections"});
+    for (std::size_t k = 0; k < scenarios.size(); ++k) {
+        const RunResult &r = results[k];
+        const std::uint64_t true_inst =
+            at(r.trueTotals, hw::HwEvent::instRetired);
+        double err = 0.0;
+        if (!r.totals.empty() && true_inst > 0)
+            err = (static_cast<double>(r.totals[0]) -
+                   static_cast<double>(true_inst)) /
+                  static_cast<double>(true_inst) * 100.0;
+        const char *outcome = r.klebAborted
+                                  ? "aborted"
+                                  : (r.samples == 0 ? "degraded"
+                                                    : "clean");
+        table.addRow({scenarios[k].label,
+                      toFixed(ticksToMs(r.lifetime), 2),
+                      std::to_string(r.samples), toFixed(err, 4),
+                      std::to_string(r.klebStatus.samplesDropped),
+                      std::to_string(r.klebRetries),
+                      std::to_string(r.klebStatus.counterWraps),
+                      outcome,
+                      std::to_string(r.faultsInjected)});
+    }
+    table.print();
+    if (args.csv)
+        table.printCsv();
+
+    std::printf("\nShape check: the fault-free row injects nothing "
+                "and reports 0%% count error; narrowed counters "
+                "stay at 0%% error (wraps corrected); transient "
+                "chardev faults cost retries, not samples; only "
+                "the dead-reader row aborts.\n");
+    return 0;
+}

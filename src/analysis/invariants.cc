@@ -158,13 +158,65 @@ InvariantChecker::onModule(kernel::KernelModule &mod,
                            const std::string &dev_path, bool loaded)
 {
     ++checks_;
+    auto it = moduleLoaded_.find(dev_path);
     if (loaded) {
+        if (it != moduleLoaded_.end() && it->second)
+            violation(csprintf("module '%s' loaded at %s which is "
+                               "already bound",
+                               mod.name().c_str(),
+                               dev_path.c_str()));
+        moduleLoaded_[dev_path] = true;
         // A reloaded module may legitimately schedule again.
         std::erase(bannedNames_, mod.name());
         return;
     }
-    (void)dev_path;
+    // First sighting at unload means the load predates this
+    // checker; that is pairing we cannot judge, not a violation.
+    if (it != moduleLoaded_.end() && !it->second)
+        violation(csprintf("module '%s' unloaded from %s twice "
+                           "without a reload",
+                           mod.name().c_str(), dev_path.c_str()));
+    moduleLoaded_[dev_path] = false;
     banEventsMatching(mod.name());
+}
+
+void
+InvariantChecker::checkSampleLog(const std::vector<kleb::Sample> &log,
+                                 const std::string &label)
+{
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const kleb::Sample &s = log[i];
+        ++checks_;
+        if (s.numEvents != log.front().numEvents)
+            violation(csprintf("%s: sample %zu has %d events, "
+                               "expected %d",
+                               label.c_str(), i, (int)s.numEvents,
+                               (int)log.front().numEvents));
+        if (s.cause == kleb::SampleCause::final &&
+            i + 1 != log.size())
+            violation(csprintf("%s: final sample at index %zu is "
+                               "not last (log has %zu samples)",
+                               label.c_str(), i, log.size()));
+        if (i == 0)
+            continue;
+        const kleb::Sample &prev = log[i - 1];
+        if (s.timestamp < prev.timestamp)
+            violation(csprintf("%s: sample %zu timestamp %llu "
+                               "before sample %zu at %llu",
+                               label.c_str(), i,
+                               (unsigned long long)s.timestamp,
+                               i - 1,
+                               (unsigned long long)prev.timestamp));
+        for (std::size_t c = 0; c < s.numEvents; ++c) {
+            if (s.counts[c] < prev.counts[c])
+                violation(csprintf(
+                    "%s: counter %zu moved backwards at sample "
+                    "%zu (%llu -> %llu); wrap correction failed",
+                    label.c_str(), c, i,
+                    (unsigned long long)prev.counts[c],
+                    (unsigned long long)s.counts[c]));
+        }
+    }
 }
 
 void

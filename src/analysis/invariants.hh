@@ -25,12 +25,14 @@
 #define KLEBSIM_ANALYSIS_INVARIANTS_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
 #include "hw/pmu.hh"
 #include "kernel/kernel.hh"
+#include "kleb/sample.hh"
 #include "sim/event_queue.hh"
 
 namespace klebsim::analysis
@@ -72,6 +74,17 @@ class InvariantChecker : public sim::EventQueueListener
     void onDispatch(const sim::Event &ev, Tick now) override;
     /** @} */
 
+    /**
+     * Post-hoc check of a drained K-LEB sample log: timestamps and
+     * cumulative counts must be nondecreasing (the module's
+     * overflow correction makes counts monotone even across wraps),
+     * every sample must carry the same event count, and a `final`
+     * sample may only appear in the last position.  Violations are
+     * recorded like the online checks; @p label prefixes messages.
+     */
+    void checkSampleLog(const std::vector<kleb::Sample> &log,
+                        const std::string &label = "sample log");
+
     /** True when no invariant has been violated. */
     bool ok() const { return violations_.empty(); }
 
@@ -109,6 +122,13 @@ class InvariantChecker : public sim::EventQueueListener
     std::uint64_t checks_ = 0;
     std::vector<std::string> bannedNames_;
     std::vector<std::string> violations_;
+
+    /**
+     * Module lifecycle pairing: dev_path -> currently loaded.
+     * Paths first seen at unload (loaded before the checker
+     * attached) are admitted without complaint.
+     */
+    std::map<std::string, bool> moduleLoaded_;
 };
 
 } // namespace klebsim::analysis

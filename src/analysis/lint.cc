@@ -315,6 +315,81 @@ Linter::scanSource(const std::string &rel_path,
 }
 
 std::vector<LintViolation>
+Linter::checkFaultHookCoverage(
+    const std::string &def_rel_path, const std::string &def_content,
+    const std::vector<std::pair<std::string, std::string>> &sources)
+    const
+{
+    static const std::string rule = "fault-hook-coverage";
+    std::vector<LintViolation> out;
+    if (allowed(rule, def_rel_path))
+        return out;
+
+    static const std::regex entry(
+        R"(KLEB_FAULT_POINT\(\s*([A-Za-z_]\w*))",
+        std::regex::ECMAScript | std::regex::optimize);
+
+    auto references = [](const std::string &content,
+                         const std::string &name) {
+        const std::string needle = "FaultPoint::" + name;
+        for (std::size_t pos = content.find(needle);
+             pos != std::string::npos;
+             pos = content.find(needle, pos + 1)) {
+            std::size_t end = pos + needle.size();
+            char next = end < content.size() ? content[end] : ' ';
+            if (!std::isalnum(static_cast<unsigned char>(next)) &&
+                next != '_')
+                return true;
+        }
+        return false;
+    };
+
+    auto isRegistryFile = [](const std::string &rel) {
+        std::size_t slash = rel.find_last_of('/');
+        std::string base =
+            slash == std::string::npos ? rel : rel.substr(slash + 1);
+        return base.starts_with("fault_plan.") ||
+               base.starts_with("fault_points.");
+    };
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(def_content);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    // Strip comments so the table's own documentation (which shows
+    // the macro form) is not mistaken for an entry.
+    const std::vector<std::string> code =
+        stripCommentsAndStrings(lines);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::size_t lineno = i + 1;
+        std::smatch m;
+        if (!std::regex_search(code[i], m, entry))
+            continue;
+        const std::string name = m[1].str();
+        bool hooked = false;
+        for (const auto &[rel, content] : sources) {
+            if (isRegistryFile(rel))
+                continue;
+            if (references(content, name)) {
+                hooked = true;
+                break;
+            }
+        }
+        if (!hooked)
+            out.push_back(
+                {rule, def_rel_path, lineno, trimmed(lines[i]),
+                 "fault point '" + name +
+                     "' is registered but never wired to a hook "
+                     "(no FaultPoint::" + name +
+                     " reference outside the registry)"});
+    }
+    return out;
+}
+
+std::vector<LintViolation>
 Linter::scanTree(const std::string &root) const
 {
     std::vector<LintViolation> out;
@@ -334,14 +409,30 @@ Linter::scanTree(const std::string &root) const
     }
     std::sort(files.begin(), files.end());
 
-    for (const std::string &rel : files) {
+    auto slurp = [&root](const std::string &rel) {
         std::ifstream in(fs::path(root) / rel,
                          std::ios::in | std::ios::binary);
         std::ostringstream buf;
         buf << in.rdbuf();
-        auto file_violations = scanSource(rel, buf.str());
+        return buf.str();
+    };
+
+    std::vector<std::pair<std::string, std::string>> sources;
+    sources.reserve(files.size());
+    for (const std::string &rel : files) {
+        sources.emplace_back(rel, slurp(rel));
+        auto file_violations =
+            scanSource(rel, sources.back().second);
         out.insert(out.end(), file_violations.begin(),
                    file_violations.end());
+    }
+
+    const std::string def_rel = "src/fault/fault_points.def";
+    if (fs::exists(fs::path(root) / def_rel)) {
+        auto def_violations =
+            checkFaultHookCoverage(def_rel, slurp(def_rel), sources);
+        out.insert(out.end(), def_violations.begin(),
+                   def_violations.end());
     }
     return out;
 }

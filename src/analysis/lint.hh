@@ -18,7 +18,12 @@
  *  - printf-family: raw stdio in src/ — report through
  *                   base/logging or format with base/str;
  *  - include-guard: headers must carry the canonical KLEBSIM_*
- *                   guard derived from their path.
+ *                   guard derived from their path;
+ *  - fault-hook-coverage: every fault point registered in the
+ *                   central table (src/fault/fault_points.def) must
+ *                   be wired up somewhere outside the registry
+ *                   itself — a declared-but-unhooked fault point is
+ *                   a coverage hole, not a feature.
  *
  * Exceptions live in a per-rule allowlist ("rule-id path-prefix"
  * lines); the canonical carve-outs (base/random, base/logging, the
@@ -88,6 +93,21 @@ class Linter
     std::vector<LintViolation>
     scanSource(const std::string &rel_path,
                const std::string &content) const;
+
+    /**
+     * Check the fault-point registry (@p def_content, the X-macro
+     * table at @p def_rel_path) against @p sources: every
+     * KLEB_FAULT_POINT(name, key) entry must be referenced as
+     * `FaultPoint::name` by at least one source other than the
+     * registry's own parser (fault_plan.*) — evidence the point is
+     * wired to a real hook.  scanTree() runs this automatically
+     * when the tree contains src/fault/fault_points.def.
+     */
+    std::vector<LintViolation> checkFaultHookCoverage(
+        const std::string &def_rel_path,
+        const std::string &def_content,
+        const std::vector<std::pair<std::string, std::string>>
+            &sources) const;
 
     /** Scan src/, bench/ and examples/ under @p root. */
     std::vector<LintViolation>

@@ -1,0 +1,185 @@
+#include "fault_injector.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "base/str.hh"
+#include "hw/pmu.hh"
+#include "kernel/module.hh"
+#include "kernel/process.hh"
+#include "kernel/system.hh"
+
+namespace klebsim::fault
+{
+
+namespace
+{
+
+/** FNV-1a, for salting per-timer streams by timer name. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+FaultInjector::FaultInjector(FaultPlan plan,
+                             std::uint64_t machine_seed)
+    : plan_(plan)
+{
+    // The base stream mixes the plan seed with the machine seed so
+    // per-trial machines get distinct schedules; each fault point
+    // then forks its own stream so hook types never share a draw
+    // sequence (enabling one fault cannot re-phase another).
+    Random base(plan_.seed ^ (machine_seed * 0x9e3779b97f4a7c15ULL),
+                0xfa017ULL);
+    for (int i = 0; i < numFaultPoints; ++i)
+        streams_[i] = base.fork(0xF417 + static_cast<std::uint64_t>(i));
+}
+
+hw::TimerDevice::FaultHook
+FaultInjector::makeTimerHook(const std::string &name, CoreId core)
+{
+    // One stream per timer, salted by its stable name, so the
+    // schedule does not depend on timer creation order.
+    auto rng = std::make_shared<Random>(
+        stream(FaultPoint::timerMiss)
+            .fork(fnv1a(name) + static_cast<std::uint64_t>(core)));
+    return [this, rng](Tick delay) -> Tick {
+        Tick extra = 0;
+        if (plan_.timerMissProb > 0.0 &&
+            rng->chance(plan_.timerMissProb)) {
+            inject(FaultPoint::timerMiss);
+            extra += delay;
+        }
+        if (plan_.timerSpikeProb > 0.0 &&
+            rng->chance(plan_.timerSpikeProb)) {
+            inject(FaultPoint::timerSpike);
+            extra += plan_.timerSpikeLateness;
+        }
+        return extra;
+    };
+}
+
+void
+FaultInjector::attach(kernel::System &sys)
+{
+    kernel::Kernel &k = sys.kernel();
+
+    if (plan_.counterWidth != 0) {
+        for (int i = 0; i < k.numCores(); ++i)
+            k.core(i).pmu().setCounterWidth(plan_.counterWidth);
+        inject(FaultPoint::counterWidth);
+    }
+
+    if (plan_.timerFaultsActive()) {
+        k.setTimerFaultFactory(
+            [this](const std::string &name, CoreId core) {
+                return makeTimerHook(name, core);
+            });
+    }
+
+    if (plan_.chardevFaultsActive()) {
+        k.setChardevFaultHook(
+            [this](const std::string &dev, bool is_read) -> long {
+                (void)dev;
+                if (is_read) {
+                    if (plan_.readFailProb > 0.0 &&
+                        stream(FaultPoint::readFail)
+                            .chance(plan_.readFailProb)) {
+                        inject(FaultPoint::readFail);
+                        return kernel::err::eagain;
+                    }
+                } else {
+                    if (plan_.ioctlFailProb > 0.0 &&
+                        stream(FaultPoint::ioctlFail)
+                            .chance(plan_.ioctlFailProb)) {
+                        inject(FaultPoint::ioctlFail);
+                        return kernel::err::eagain;
+                    }
+                }
+                return 0;
+            });
+    }
+
+    if (plan_.moduleInitFails > 0) {
+        k.setModuleLoadFaultHook(
+            [this](const std::string &dev_path) {
+                (void)dev_path;
+                if (loadsFailed_ >= plan_.moduleInitFails)
+                    return false;
+                ++loadsFailed_;
+                inject(FaultPoint::moduleInitFail);
+                return true;
+            });
+    }
+}
+
+std::function<Tick()>
+FaultInjector::readerStallHook()
+{
+    if (!plan_.readerStallActive())
+        return nullptr;
+    return [this]() -> Tick {
+        if (plan_.readerStallProb < 1.0 &&
+            !stream(FaultPoint::readerStall)
+                 .chance(plan_.readerStallProb))
+            return 0;
+        inject(FaultPoint::readerStall);
+        return plan_.readerStall;
+    };
+}
+
+void
+FaultInjector::scheduleTargetCrash(kernel::System &sys,
+                                   kernel::Process *target)
+{
+    if (plan_.targetCrashAt == 0 || target == nullptr)
+        return;
+    Tick when = std::max(sys.now() + 1, plan_.targetCrashAt);
+    kernel::Kernel &k = sys.kernel();
+    sys.eq().scheduleLambda(
+        when,
+        [this, &k, target] {
+            // Crash only a process that actually started and has
+            // not already finished.
+            if (target->state() == kernel::ProcState::zombie ||
+                target->state() == kernel::ProcState::created)
+                return;
+            inject(FaultPoint::targetCrash);
+            k.kill(target);
+        },
+        sim::Event::defaultPriority, "fault-target-crash");
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : injected_)
+        total += n;
+    return total;
+}
+
+std::string
+FaultInjector::injectionSummary() const
+{
+    std::vector<std::string> parts;
+    for (int i = 0; i < numFaultPoints; ++i) {
+        if (injected_[i] == 0)
+            continue;
+        parts.push_back(csprintf(
+            "%s=%llu", faultPointKey(static_cast<FaultPoint>(i)),
+            (unsigned long long)injected_[i]));
+    }
+    return parts.empty() ? "none" : join(parts, " ");
+}
+
+} // namespace klebsim::fault

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Seed-driven fault injector.
+ *
+ * Wires a FaultPlan into a simulated machine through the substrate's
+ * fault hooks: narrowed PMU counter widths, timer-tick misses and
+ * jitter spikes, transient chardev (ioctl/read) failures, stalled
+ * user-space readers, module load failures, and a monitored-process
+ * crash.  Each hook point draws from its own forked PCG32 stream,
+ * so enabling one fault type never perturbs another's schedule, and
+ * (seed, plan) fully determines every injection — faulted runs
+ * replay bit-for-bit.
+ *
+ * Lifetime: the injector must outlive the System it attaches to (or
+ * at least every event the System still runs); declare it alongside
+ * the System and attach() before running.
+ */
+
+#ifndef KLEBSIM_FAULT_FAULT_INJECTOR_HH
+#define KLEBSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "fault_plan.hh"
+#include "hw/timer_device.hh"
+
+namespace klebsim::kernel
+{
+class Process;
+class System;
+} // namespace klebsim::kernel
+
+namespace klebsim::fault
+{
+
+/**
+ * Drives one FaultPlan against one machine.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan the faults to inject
+     * @param machine_seed the target machine's master seed; mixed
+     *        with plan.seed so distinct machines (bench trials)
+     *        see distinct-but-deterministic fault schedules
+     */
+    FaultInjector(FaultPlan plan, std::uint64_t machine_seed);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Install every enabled fault into @p sys: PMU widths are set
+     * on all cores, and the kernel's chardev / timer / module-load
+     * hooks are bound.  A plan with no active faults installs
+     * nothing at all (zero-cost when off).
+     */
+    void attach(kernel::System &sys);
+
+    /**
+     * Reader-stall hook for a drain loop (extra sleep per drain
+     * cycle); null when the plan does not stall readers.  Plug into
+     * ControllerBehavior::Tuning::drainStallHook.
+     */
+    std::function<Tick()> readerStallHook();
+
+    /**
+     * Schedule the monitored-process crash (plan key target.crash)
+     * for @p target; no-op when the plan does not crash.  The kill
+     * fires at the planned tick only if the target is then alive.
+     */
+    void scheduleTargetCrash(kernel::System &sys,
+                             kernel::Process *target);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Number of injections performed at @p point so far. */
+    std::uint64_t injectedCount(FaultPoint point) const
+    { return injected_[static_cast<int>(point)]; }
+
+    /** Total injections across all fault points. */
+    std::uint64_t totalInjected() const;
+
+    /** "key=count" pairs for every point that fired (reporting). */
+    std::string injectionSummary() const;
+
+  private:
+    /** Per-point forked stream (independent draw sequences). */
+    Random &stream(FaultPoint point)
+    { return streams_[static_cast<int>(point)]; }
+
+    hw::TimerDevice::FaultHook makeTimerHook(const std::string &name,
+                                             CoreId core);
+
+    void inject(FaultPoint point)
+    { ++injected_[static_cast<int>(point)]; }
+
+    FaultPlan plan_;
+    std::array<Random, numFaultPoints> streams_;
+    std::array<std::uint64_t, numFaultPoints> injected_{};
+    int loadsFailed_ = 0;
+};
+
+} // namespace klebsim::fault
+
+#endif // KLEBSIM_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,241 @@
+#include "fault_plan.hh"
+
+#include <charconv>
+#include <vector>
+
+#include "base/str.hh"
+
+namespace klebsim::fault
+{
+
+namespace
+{
+
+const char *const pointKeys[] = {
+#define KLEB_FAULT_POINT(name, key) key,
+#include "fault_points.def"
+#undef KLEB_FAULT_POINT
+};
+
+const char *const pointNames[] = {
+#define KLEB_FAULT_POINT(name, key) #name,
+#include "fault_points.def"
+#undef KLEB_FAULT_POINT
+};
+
+bool
+parseDouble(const std::string &v, double *out)
+{
+    const char *first = v.data();
+    const char *last = v.data() + v.size();
+    auto [p, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && p == last;
+}
+
+bool
+parseProb(const std::string &v, double *out)
+{
+    return parseDouble(v, out) && *out >= 0.0 && *out <= 1.0;
+}
+
+bool
+parseInt(const std::string &v, int *out)
+{
+    const char *first = v.data();
+    const char *last = v.data() + v.size();
+    auto [p, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && p == last;
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t *out)
+{
+    const char *first = v.data();
+    const char *last = v.data() + v.size();
+    auto [p, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && p == last;
+}
+
+/** Parse "5ms" / "250us" / "1000" (bare ticks) into Ticks. */
+bool
+parseDuration(const std::string &v, Tick *out)
+{
+    double mag = 0.0;
+    const char *first = v.data();
+    const char *last = v.data() + v.size();
+    auto [p, ec] = std::from_chars(first, last, mag);
+    if (ec != std::errc() || mag < 0.0)
+        return false;
+    std::string suffix(p, last);
+    double scale;
+    if (suffix.empty())
+        scale = 1.0;
+    else if (suffix == "ns")
+        scale = static_cast<double>(tickPerNs);
+    else if (suffix == "us")
+        scale = static_cast<double>(tickPerUs);
+    else if (suffix == "ms")
+        scale = static_cast<double>(tickPerMs);
+    else if (suffix == "s")
+        scale = static_cast<double>(tickPerSec);
+    else
+        return false;
+    *out = static_cast<Tick>(mag * scale);
+    return true;
+}
+
+/** Render a Tick with the largest exact unit suffix. */
+std::string
+durationStr(Tick t)
+{
+    if (t >= tickPerMs && t % tickPerMs == 0)
+        return csprintf("%llums", (unsigned long long)(t / tickPerMs));
+    if (t >= tickPerUs && t % tickPerUs == 0)
+        return csprintf("%lluus", (unsigned long long)(t / tickPerUs));
+    if (t >= tickPerNs && t % tickPerNs == 0)
+        return csprintf("%lluns", (unsigned long long)(t / tickPerNs));
+    return csprintf("%llu", (unsigned long long)t);
+}
+
+std::string
+probStr(double p)
+{
+    return csprintf("%g", p);
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // anonymous namespace
+
+const char *
+faultPointKey(FaultPoint point)
+{
+    return pointKeys[static_cast<int>(point)];
+}
+
+const char *
+faultPointName(FaultPoint point)
+{
+    return pointNames[static_cast<int>(point)];
+}
+
+bool
+FaultPlan::active() const
+{
+    return timerFaultsActive() || counterWidth != 0 ||
+           chardevFaultsActive() || readerStallActive() ||
+           moduleInitFails > 0 || targetCrashAt != 0;
+}
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan *out,
+                 std::string *error)
+{
+    FaultPlan plan;
+    for (const std::string &token : split(spec, ';')) {
+        // Trim surrounding whitespace so specs can be written
+        // "a=1; b=2" as well as "a=1;b=2".
+        std::size_t first = token.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        std::size_t last = token.find_last_not_of(" \t");
+        std::string pair = token.substr(first, last - first + 1);
+
+        std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail(error, csprintf("fault spec token '%s' is not "
+                                        "key=value", pair.c_str()));
+        std::string key = pair.substr(0, eq);
+        std::string value = pair.substr(eq + 1);
+        bool ok;
+        if (key == "seed") {
+            ok = parseU64(value, &plan.seed);
+        } else if (key == faultPointKey(FaultPoint::timerMiss)) {
+            ok = parseProb(value, &plan.timerMissProb);
+        } else if (key == faultPointKey(FaultPoint::timerSpike)) {
+            ok = parseProb(value, &plan.timerSpikeProb);
+        } else if (key == "timer.spike.us") {
+            double us = 0.0;
+            ok = parseDouble(value, &us) && us > 0.0;
+            if (ok)
+                plan.timerSpikeLateness = usToTicks(us);
+        } else if (key == faultPointKey(FaultPoint::counterWidth)) {
+            ok = parseInt(value, &plan.counterWidth) &&
+                 (plan.counterWidth == 0 ||
+                  (plan.counterWidth >= 8 && plan.counterWidth <= 48));
+        } else if (key == faultPointKey(FaultPoint::ioctlFail)) {
+            ok = parseProb(value, &plan.ioctlFailProb);
+        } else if (key == faultPointKey(FaultPoint::readFail)) {
+            ok = parseProb(value, &plan.readFailProb);
+        } else if (key == faultPointKey(FaultPoint::readerStall)) {
+            ok = parseDuration(value, &plan.readerStall);
+        } else if (key == "reader.stall.p") {
+            ok = parseProb(value, &plan.readerStallProb);
+        } else if (key == faultPointKey(FaultPoint::moduleInitFail)) {
+            ok = parseInt(value, &plan.moduleInitFails) &&
+                 plan.moduleInitFails >= 0;
+        } else if (key == faultPointKey(FaultPoint::targetCrash)) {
+            ok = parseDuration(value, &plan.targetCrashAt);
+        } else {
+            return fail(error, csprintf("unknown fault spec key '%s'",
+                                        key.c_str()));
+        }
+        if (!ok)
+            return fail(error, csprintf("bad value '%s' for fault spec "
+                                        "key '%s'", value.c_str(),
+                                        key.c_str()));
+    }
+    *out = plan;
+    return true;
+}
+
+std::string
+FaultPlan::str() const
+{
+    std::vector<std::string> parts;
+    if (seed != 0)
+        parts.push_back(csprintf("seed=%llu",
+                                 (unsigned long long)seed));
+    if (timerMissProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::timerMiss) +
+                        ("=" + probStr(timerMissProb)));
+    if (timerSpikeProb > 0.0) {
+        parts.push_back(faultPointKey(FaultPoint::timerSpike) +
+                        ("=" + probStr(timerSpikeProb)));
+        parts.push_back("timer.spike.us=" +
+                        probStr(ticksToUs(timerSpikeLateness)));
+    }
+    if (counterWidth != 0)
+        parts.push_back(csprintf("%s=%d",
+                                 faultPointKey(FaultPoint::counterWidth),
+                                 counterWidth));
+    if (ioctlFailProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::ioctlFail) +
+                        ("=" + probStr(ioctlFailProb)));
+    if (readFailProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::readFail) +
+                        ("=" + probStr(readFailProb)));
+    if (readerStall > 0) {
+        parts.push_back(faultPointKey(FaultPoint::readerStall) +
+                        ("=" + durationStr(readerStall)));
+        if (readerStallProb < 1.0)
+            parts.push_back("reader.stall.p=" +
+                            probStr(readerStallProb));
+    }
+    if (moduleInitFails > 0)
+        parts.push_back(csprintf(
+            "%s=%d", faultPointKey(FaultPoint::moduleInitFail),
+            moduleInitFails));
+    if (targetCrashAt != 0)
+        parts.push_back(faultPointKey(FaultPoint::targetCrash) +
+                        ("=" + durationStr(targetCrashAt)));
+    return join(parts, ";");
+}
+
+} // namespace klebsim::fault

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan is a small, declarative description of the adverse
+ * conditions one run should experience: timer misses and coalescing
+ * spikes, narrowed PMU counter widths (forcing wraps), transient
+ * chardev failures, stalled user-space readers, module load
+ * failures, and a monitored-process crash.  Plans parse from a
+ * compact spec string so benches and tests can name a scenario in
+ * one line:
+ *
+ *   "pmu.width=24;ioctl.fail=0.2;reader.stall=5ms;target.crash=2ms"
+ *
+ * Determinism guarantee: a FaultPlan holds no randomness itself.
+ * The FaultInjector derives one forked PCG32 stream per hook point
+ * from (plan seed, machine seed), so the same seed and the same plan
+ * always produce the identical fault schedule — chaos runs replay
+ * bit-for-bit under the DeterminismHarness (DESIGN.md section 10).
+ */
+
+#ifndef KLEBSIM_FAULT_FAULT_PLAN_HH
+#define KLEBSIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace klebsim::fault
+{
+
+/**
+ * One hook point per injectable fault type.  The list is generated
+ * from fault_points.def — the central table the fault-hook-coverage
+ * lint rule checks call sites against.
+ */
+enum class FaultPoint : int
+{
+#define KLEB_FAULT_POINT(name, key) name,
+#include "fault_points.def"
+#undef KLEB_FAULT_POINT
+};
+
+/** Number of registered fault points. */
+constexpr int numFaultPoints =
+#define KLEB_FAULT_POINT(name, key) +1
+#include "fault_points.def"
+#undef KLEB_FAULT_POINT
+    ;
+
+/** Spec-string key for @p point (the table's second column). */
+const char *faultPointKey(FaultPoint point);
+
+/** Enumerator name for @p point ("timerMiss", ...). */
+const char *faultPointName(FaultPoint point);
+
+/**
+ * Declarative description of the faults one run experiences.  All
+ * rates default to "off"; a default-constructed plan is inert and
+ * attaching it is guaranteed to perturb nothing (zero-cost when
+ * disabled: no hook installs, no RNG draws).
+ */
+struct FaultPlan
+{
+    /** Base seed of the fault schedule (spec key "seed"). */
+    std::uint64_t seed = 0;
+
+    /**
+     * Probability that a timer expiry misses its tick entirely and
+     * slides a full programmed delay late (interrupt lost and
+     * recovered on the next firing opportunity).
+     */
+    double timerMissProb = 0.0;
+
+    /** Probability of an injected coalescing spike per expiry. */
+    double timerSpikeProb = 0.0;
+
+    /** Lateness added by an injected spike ("timer.spike.us"). */
+    Tick timerSpikeLateness = usToTicks(50);
+
+    /**
+     * Effective PMU counter width in bits (8..48); 0 leaves the
+     * architectural 48-bit width.  Narrow widths force counter
+     * wraps that the monitoring tools must detect and correct.
+     */
+    int counterWidth = 0;
+
+    /** Probability an ioctl on a chardev transiently fails EAGAIN. */
+    double ioctlFailProb = 0.0;
+
+    /** Probability a read() on a chardev transiently fails EAGAIN. */
+    double readFailProb = 0.0;
+
+    /** Extra stall added to a reader's drain sleep when it hits. */
+    Tick readerStall = 0;
+
+    /** Probability a drain cycle is stalled ("reader.stall.p"). */
+    double readerStallProb = 1.0;
+
+    /** The first N module loads fail (simulated insmod failure). */
+    int moduleInitFails = 0;
+
+    /** Absolute sim time to crash the monitored process; 0 = off. */
+    Tick targetCrashAt = 0;
+
+    /** True if any fault is enabled. */
+    bool active() const;
+
+    /** True if the timer hook needs installing. */
+    bool timerFaultsActive() const
+    { return timerMissProb > 0.0 || timerSpikeProb > 0.0; }
+
+    /** True if the chardev hook needs installing. */
+    bool chardevFaultsActive() const
+    { return ioctlFailProb > 0.0 || readFailProb > 0.0; }
+
+    /** True if the reader-stall hook needs installing. */
+    bool readerStallActive() const
+    { return readerStall > 0 && readerStallProb > 0.0; }
+
+    /**
+     * Parse a spec string: ';'-separated key=value pairs using the
+     * keys from fault_points.def plus "seed", "timer.spike.us" and
+     * "reader.stall.p".  Durations accept a unit suffix (ns, us,
+     * ms, s); bare numbers are ticks.  Empty specs parse to the
+     * inert plan.
+     * @return false (with @p error set) on unknown keys or
+     *         malformed/out-of-range values; @p out is untouched.
+     */
+    static bool parse(const std::string &spec, FaultPlan *out,
+                      std::string *error = nullptr);
+
+    /** Canonical spec rendering (stable across round-trips). */
+    std::string str() const;
+};
+
+} // namespace klebsim::fault
+
+#endif // KLEBSIM_FAULT_FAULT_PLAN_HH

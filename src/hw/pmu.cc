@@ -77,7 +77,7 @@ Pmu::writeMsr(std::uint32_t addr, std::uint64_t value)
 {
     if (addr >= msr::ia32Pmc0 &&
         addr < msr::ia32Pmc0 + numProgrammable) {
-        prog_[addr - msr::ia32Pmc0].value = value & counterMask;
+        prog_[addr - msr::ia32Pmc0].value = value & mask_;
         return;
     }
     if (addr >= msr::ia32Perfevtsel0 &&
@@ -89,7 +89,7 @@ Pmu::writeMsr(std::uint32_t addr, std::uint64_t value)
     }
     if (addr >= msr::ia32FixedCtr0 &&
         addr < msr::ia32FixedCtr0 + numFixed) {
-        fixed_[addr - msr::ia32FixedCtr0] = value & counterMask;
+        fixed_[addr - msr::ia32FixedCtr0] = value & mask_;
         return;
     }
     switch (addr) {
@@ -150,6 +150,20 @@ Pmu::setReadHook(ReadHook hook)
 }
 
 void
+Pmu::setCounterWidth(int bits)
+{
+    panic_if(bits < 8 || bits > counterBits,
+             "PMU counter width must be in [8, ", counterBits,
+             "], got ", bits);
+    width_ = bits;
+    mask_ = (std::uint64_t(1) << bits) - 1;
+    for (auto &pc : prog_)
+        pc.value &= mask_;
+    for (auto &f : fixed_)
+        f &= mask_;
+}
+
+void
 Pmu::observeRead(int idx, bool fixed)
 {
     if (!readHook_)
@@ -196,8 +210,8 @@ Pmu::advance(std::uint64_t &value, std::uint64_t n, int overflow_idx,
              bool pmi)
 {
     std::uint64_t before = value;
-    value = (value + n) & counterMask;
-    bool wrapped = (before + n) > counterMask;
+    value = (value + n) & mask_;
+    bool wrapped = (before + n) > mask_;
     if (wrapped) {
         globalStatus_ |= overflow_idx < numProgrammable
                              ? bit(overflow_idx)
@@ -331,7 +345,7 @@ void
 Pmu::setCounterValue(int idx, std::uint64_t value)
 {
     panic_if(idx < 0 || idx >= numProgrammable, "bad counter index");
-    prog_[idx].value = value & counterMask;
+    prog_[idx].value = value & mask_;
 }
 
 std::optional<HwEvent>

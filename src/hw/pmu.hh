@@ -82,6 +82,21 @@ class Pmu : public MsrDevice
     void setReadHook(ReadHook hook);
 
     /**
+     * Override the effective counter width (fault injection: narrow
+     * counters wrap sooner, exercising driver overflow handling).
+     * @p bits must be in [8, counterBits]; existing counter values
+     * are truncated to the new width.  The architectural default is
+     * counterBits (48).
+     */
+    void setCounterWidth(int bits);
+
+    /** Effective counter width in bits. */
+    int counterWidth() const { return width_; }
+
+    /** Mask for the effective width (modulus - 1). */
+    std::uint64_t counterMaskValue() const { return mask_; }
+
+    /**
      * Feed an attribution of executed work into the counters.  Each
      * enabled counter whose event appears in @p deltas and whose
      * privilege filter matches @p priv advances.
@@ -168,6 +183,8 @@ class Pmu : public MsrDevice
 
     std::array<ProgCounter, numProgrammable> prog_;
     std::array<std::uint64_t, numFixed> fixed_;
+    int width_ = counterBits;
+    std::uint64_t mask_ = counterMask;
     std::uint64_t fixedCtrl_;
     std::uint64_t globalCtrl_;
     std::uint64_t globalStatus_;

@@ -38,7 +38,11 @@ void
 TimerDevice::arm(Tick delay, Callback cb)
 {
     panic_if(armed(), "timer '", name_, "' armed twice");
+    panic_if(delay == 0, "timer '", name_,
+             "' armed with zero delay");
     lastLateness_ = drawLateness();
+    if (faultHook_)
+        lastLateness_ += faultHook_(delay);
     Tick when = eq_.curTick() + delay + lastLateness_;
     event_ = eq_.scheduleLambda(
         when,

@@ -56,6 +56,16 @@ class TimerDevice
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * Fault-injection hook: called once per arm() with the
+     * programmed delay, returns extra lateness (ticks) to add on
+     * top of the jitter model's draw.  Unlike the jitter model the
+     * extra lateness is NOT capped by maxLateness — a missed tick
+     * may slide a whole period.  Null (the default) costs nothing:
+     * no call, no RNG draw.
+     */
+    using FaultHook = std::function<Tick(Tick delay)>;
+
     TimerDevice(std::string name, sim::EventQueue &eq, Random rng,
                 TimerJitterModel jitter = {});
 
@@ -81,6 +91,9 @@ class TimerDevice
     const TimerJitterModel &jitterModel() const { return jitter_; }
     void setJitterModel(const TimerJitterModel &m) { jitter_ = m; }
 
+    /** Install (or clear, with null) the fault-injection hook. */
+    void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
+
   private:
     Tick drawLateness();
 
@@ -88,6 +101,7 @@ class TimerDevice
     sim::EventQueue &eq_;
     Random rng_;
     TimerJitterModel jitter_;
+    FaultHook faultHook_;
     sim::Event *event_;
     Tick lastLateness_;
 };

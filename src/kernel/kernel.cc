@@ -593,8 +593,8 @@ Kernel::setState(Process *proc, ProcState to)
 }
 
 void
-Kernel::loadModule(std::unique_ptr<KernelModule> module,
-                   const std::string &dev_path)
+Kernel::installModule(std::unique_ptr<KernelModule> module,
+                      const std::string &dev_path)
 {
     fatal_if(modules_.count(dev_path),
              "device path already bound: " + dev_path);
@@ -603,6 +603,23 @@ Kernel::loadModule(std::unique_ptr<KernelModule> module,
     raw->init(*this);
     for (auto &[id, hook] : moduleHooks_)
         hook(*raw, dev_path, true);
+}
+
+void
+Kernel::loadModule(std::unique_ptr<KernelModule> module,
+                   const std::string &dev_path)
+{
+    installModule(std::move(module), dev_path);
+}
+
+bool
+Kernel::tryLoadModule(std::unique_ptr<KernelModule> module,
+                      const std::string &dev_path)
+{
+    if (moduleLoadFault_ && moduleLoadFault_(dev_path))
+        return false;
+    installModule(std::move(module), dev_path);
+    return true;
 }
 
 void
@@ -637,6 +654,8 @@ Kernel::ioctl(Process &caller, const std::string &dev_path,
     spec.priv = hw::PrivLevel::kernel;
     spec.footprintBytes = syscallFootprint;
     c.charge(spec);
+    if (long rc = drawChardevFault(dev_path, false))
+        return rc;
     return module->ioctl(*this, caller, cmd, arg);
 }
 
@@ -653,6 +672,8 @@ Kernel::readDev(Process &caller, const std::string &dev_path,
     spec.priv = hw::PrivLevel::kernel;
     spec.footprintBytes = syscallFootprint;
     c.charge(spec);
+    if (long rc = drawChardevFault(dev_path, true))
+        return rc;
     return module->read(*this, caller, buf, len);
 }
 
@@ -711,7 +732,20 @@ Kernel::createHrTimer(const std::string &name, CoreId core_id,
         handler_footprint);
     HrTimer *raw = timer.get();
     timers_.push_back(std::move(timer));
+    if (timerFaultFactory_)
+        raw->setFaultHook(timerFaultFactory_(name, core_id));
     return raw;
+}
+
+void
+Kernel::setTimerFaultFactory(TimerFaultFactory factory)
+{
+    timerFaultFactory_ = std::move(factory);
+    if (!timerFaultFactory_)
+        return;
+    for (auto &timer : timers_)
+        timer->setFaultHook(
+            timerFaultFactory_(timer->name(), timer->core()));
 }
 
 HrTimer::HrTimer(std::string name, Kernel &kernel, CoreId core,

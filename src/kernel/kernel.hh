@@ -69,6 +69,39 @@ using ModuleHook = std::function<void(
     KernelModule &mod, const std::string &dev_path, bool loaded)>;
 
 /**
+ * @{ Fault-injection hooks (src/fault/).  All default to null, in
+ * which case the corresponding code paths are byte-identical to a
+ * fault-free kernel: no calls, no RNG draws, no extra charges.
+ */
+
+/**
+ * Consulted by chardev syscalls (ioctl/read) after the syscall cost
+ * is charged but before the module handler runs.  Returns 0 to let
+ * the call through or a negative errno (err::eagain, err::eio) the
+ * syscall fails with instead.
+ */
+using ChardevFaultHook =
+    std::function<long(const std::string &dev_path, bool is_read)>;
+
+/**
+ * Produces a per-timer TimerDevice fault hook; consulted when an
+ * HrTimer is created (and retroactively for existing timers when
+ * installed).  May return null to leave a given timer clean.
+ */
+using TimerFaultFactory = std::function<hw::TimerDevice::FaultHook(
+    const std::string &name, CoreId core)>;
+
+/**
+ * Consulted by tryLoadModule() before a module's init() runs.
+ * Returning true makes the load fail (simulated insmod error); the
+ * module object is destroyed without init() ever running.
+ */
+using ModuleLoadFaultHook =
+    std::function<bool(const std::string &dev_path)>;
+
+/** @} */
+
+/**
  * The kernel.
  */
 class Kernel
@@ -150,6 +183,15 @@ class Kernel
     void loadModule(std::unique_ptr<KernelModule> module,
                     const std::string &dev_path);
 
+    /**
+     * Like loadModule(), but consults the module-load fault hook:
+     * when the hook vetoes the load, the module is destroyed
+     * (init() never runs) and false is returned.  Callers that can
+     * survive a failed insmod use this entry point.
+     */
+    bool tryLoadModule(std::unique_ptr<KernelModule> module,
+                       const std::string &dev_path);
+
     /** Unload the module at @p dev_path. */
     void unloadModule(const std::string &dev_path);
 
@@ -166,6 +208,37 @@ class Kernel
     /** read(2) from @p caller on @p dev_path. */
     long readDev(Process &caller, const std::string &dev_path,
                  void *buf, std::size_t len);
+
+    /** @} */
+
+    /** @{ Fault injection (see src/fault/fault_injector.hh). */
+
+    /** Install (or clear) the chardev transient-failure hook. */
+    void setChardevFaultHook(ChardevFaultHook hook)
+    { chardevFault_ = std::move(hook); }
+
+    /**
+     * Draw one chardev fault decision for @p dev_path: 0 to
+     * proceed, negative errno to fail.  Free (no call, no draw)
+     * when no hook is installed.  Exposed so user-space models
+     * that call module handlers directly (e.g. the K-LEB
+     * controller) share the kernel syscall layer's fault source.
+     */
+    long
+    drawChardevFault(const std::string &dev_path, bool is_read)
+    {
+        return chardevFault_ ? chardevFault_(dev_path, is_read) : 0;
+    }
+
+    /**
+     * Install the timer fault factory; applies to every HrTimer
+     * already created and all future ones.
+     */
+    void setTimerFaultFactory(TimerFaultFactory factory);
+
+    /** Install (or clear) the module-load failure hook. */
+    void setModuleLoadFaultHook(ModuleLoadFaultHook hook)
+    { moduleLoadFault_ = std::move(hook); }
 
     /** @} */
 
@@ -327,8 +400,16 @@ class Kernel
     std::map<int, ModuleHook> moduleHooks_;
     int nextHookId_ = 1;
 
+    /** Shared load path behind loadModule()/tryLoadModule(). */
+    void installModule(std::unique_ptr<KernelModule> module,
+                       const std::string &dev_path);
+
     std::map<std::string, std::unique_ptr<KernelModule>> modules_;
     std::vector<std::unique_ptr<HrTimer>> timers_;
+
+    ChardevFaultHook chardevFault_;
+    TimerFaultFactory timerFaultFactory_;
+    ModuleLoadFaultHook moduleLoadFault_;
 
     std::multimap<Pid, std::function<void()>> exitWaiters_;
 };
@@ -377,6 +458,13 @@ class HrTimer
     /** Replace the jitter model (tests use the ideal model). */
     void setJitterModel(const hw::TimerJitterModel &m)
     { device_.setJitterModel(m); }
+
+    /** Install a fault hook on the underlying timer device. */
+    void setFaultHook(hw::TimerDevice::FaultHook hook)
+    { device_.setFaultHook(std::move(hook)); }
+
+    const std::string &name() const { return name_; }
+    CoreId core() const { return core_; }
 
   private:
     void armNext();

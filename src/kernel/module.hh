@@ -23,6 +23,22 @@ class Kernel;
 class Process;
 
 /**
+ * Errno-style return codes used by module handlers and the chardev
+ * syscall layer (negative, Linux convention).
+ */
+namespace err
+{
+
+constexpr long eio = -5;     //!< I/O error (non-transient)
+constexpr long enxio = -6;   //!< no such device (module unloaded)
+constexpr long eagain = -11; //!< transient failure; retry
+constexpr long ebusy = -16;  //!< device busy
+constexpr long einval = -22; //!< invalid argument
+constexpr long enotty = -25; //!< unknown ioctl command
+
+} // namespace err
+
+/**
  * Base class for loadable modules.  init()/exitModule() mirror
  * module_init/module_exit; the ioctl/read/open/release handlers are
  * the module's file_operations on its character device.

@@ -65,6 +65,13 @@ struct KLebStatus
     std::uint64_t samplesRecorded = 0;
     std::uint64_t samplesDropped = 0;
     std::uint64_t pauseEpisodes = 0;
+
+    /**
+     * Counter wraps detected and corrected by the module's
+     * overflow-aware delta logic (nonzero only when the effective
+     * counter width is narrow enough to wrap between samples).
+     */
+    std::uint64_t counterWraps = 0;
 };
 
 } // namespace klebsim::kleb

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "kernel/kernel.hh"
+#include "kernel/module.hh"
 
 namespace klebsim::kleb
 {
@@ -25,6 +26,66 @@ ControllerBehavior::ControllerBehavior(
     panic_if(module_ == nullptr, "controller without module");
 }
 
+long
+ControllerBehavior::doIoctl(kernel::Kernel &kernel,
+                            kernel::Process &self,
+                            std::uint32_t cmd, void *arg)
+{
+    // Transient faults are drawn from the kernel's chardev fault
+    // source first, so a faulted call never touches the module.
+    if (long rc = kernel.drawChardevFault(devPath_, false))
+        return rc;
+    // The module pointer is only compared, never dereferenced,
+    // until the registry confirms it is still the device bound at
+    // our path -- an unloaded module must not be touched.
+    if (kernel.moduleAt(devPath_) != module_)
+        return kernel::err::enxio;
+    return module_->ioctl(kernel, self, cmd, arg);
+}
+
+long
+ControllerBehavior::doRead(kernel::Kernel &kernel,
+                           kernel::Process &self, void *buf,
+                           std::size_t len)
+{
+    if (long rc = kernel.drawChardevFault(devPath_, true))
+        return rc;
+    if (kernel.moduleAt(devPath_) != module_)
+        return kernel::err::enxio;
+    return module_->read(kernel, self, buf, len);
+}
+
+bool
+ControllerBehavior::handleRc(long rc, State retry_state,
+                             const char *what)
+{
+    if (rc == 0) {
+        attempts_ = 0;
+        return true;
+    }
+    if (rc == kernel::err::eagain &&
+        attempts_ < tuning_.maxRetries) {
+        ++attempts_;
+        ++retries_;
+        retrySleep_ = tuning_.retryBackoff
+                      << (attempts_ - 1);
+        retryPending_ = true;
+        state_ = retry_state;
+        return false;
+    }
+    if (rc == kernel::err::enxio || rc == kernel::err::eio ||
+        rc == kernel::err::eagain) {
+        // Device gone, hard I/O error, or transient failures past
+        // the retry budget: abort the session but keep (and flush)
+        // everything logged so far.
+        attempts_ = 0;
+        aborted_ = true;
+        state_ = State::abortFlush;
+        return false;
+    }
+    fatal("K-LEB ", what, " failed: ", rc);
+}
+
 kernel::ServiceOp
 ControllerBehavior::nextOp(kernel::Kernel &kernel,
                            kernel::Process &self)
@@ -39,30 +100,46 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
         return Op::makeCompute(tuning_.setupCost, 64 * 1024);
 
       case State::configure:
+        if (retryPending_) {
+            retryPending_ = false;
+            return Op::makeSleep(retrySleep_);
+        }
         state_ = State::start;
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &me) {
-                long rc = module_->ioctl(k, me, ioc::config, &cfg_);
-                fatal_if(rc != 0, "K-LEB CONFIG ioctl failed: ", rc);
+                long rc = doIoctl(k, me, ioc::config, &cfg_);
+                handleRc(rc, State::configure, "CONFIG ioctl");
             });
 
       case State::start:
+        if (retryPending_) {
+            retryPending_ = false;
+            return Op::makeSleep(retrySleep_);
+        }
         state_ = State::sleep;
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &me) {
-                long rc =
-                    module_->ioctl(k, me, ioc::start, nullptr);
-                fatal_if(rc != 0, "K-LEB START ioctl failed: ", rc);
+                long rc = doIoctl(k, me, ioc::start, nullptr);
+                if (!handleRc(rc, State::start, "START ioctl"))
+                    return;
                 module_->setWakeTarget(&me);
+                started_ = true;
                 if (onStarted_)
                     onStarted_();
             });
 
-      case State::sleep:
+      case State::sleep: {
         state_ = State::drain;
-        return Op::makeSleep(tuning_.drainInterval);
+        Tick stall =
+            tuning_.drainStallHook ? tuning_.drainStallHook() : 0;
+        return Op::makeSleep(tuning_.drainInterval + stall);
+      }
 
       case State::drain:
+        if (retryPending_) {
+            retryPending_ = false;
+            return Op::makeSleep(retrySleep_);
+        }
         state_ = State::logWrite;
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &me) {
@@ -70,8 +147,10 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                 req.out = &log_;
                 req.max = tuning_.batchMax;
                 std::size_t before = log_.size();
-                long rc = module_->read(k, me, &req, sizeof(req));
-                fatal_if(rc < 0, "K-LEB read failed: ", rc);
+                long rc = doRead(k, me, &req, sizeof(req));
+                if (!handleRc(rc < 0 ? rc : 0, State::drain,
+                              "read"))
+                    return;
                 lastDrained_ = log_.size() - before;
                 moduleFinished_ = req.finished;
                 ++drains_;
@@ -82,10 +161,10 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
             state_ = State::finalStatus;
             return Op::makeSyscall(
                 [this](kernel::Kernel &k, kernel::Process &me) {
+                    // Best-effort: the module may already be gone;
+                    // the session still ends cleanly either way.
                     KLebStatus st;
-                    long rc = module_->ioctl(k, me, ioc::status,
-                                             &st);
-                    fatal_if(rc != 0, "K-LEB STATUS failed: ", rc);
+                    (void)doIoctl(k, me, ioc::status, &st);
                 });
         }
         state_ = State::sleep;
@@ -102,8 +181,24 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
         finished_ = true;
         return Op::makeExit();
 
+      case State::abortFlush:
+        // Degrade, don't wedge: if the abort hit before START
+        // completed, the workload still runs (unmonitored) so the
+        // rest of the simulation proceeds.
+        if (!started_ && onStarted_) {
+            started_ = true;
+            onStarted_();
+        }
+        state_ = State::done;
+        finished_ = true;
+        return Op::makeCompute(
+            tuning_.logBase +
+                tuning_.logPerSample *
+                    static_cast<Tick>(lastDrained_),
+            tuning_.logFootprint);
+
       case State::done:
-        break;
+        return Op::makeExit();
     }
     panic("controller behavior ran past exit");
 }

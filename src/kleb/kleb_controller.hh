@@ -51,6 +51,21 @@ class ControllerBehavior : public kernel::ServiceBehavior
 
         /** Max samples pulled per read(). */
         std::size_t batchMax = 8192;
+
+        /**
+         * First retry backoff after a transient (-EAGAIN) chardev
+         * failure; doubles per consecutive failure.
+         */
+        Tick retryBackoff = usToTicks(50);
+
+        /** Consecutive transient failures tolerated per syscall. */
+        int maxRetries = 8;
+
+        /**
+         * Fault-injection hook: extra stall added to each drain
+         * sleep (a slow/blocked reader).  Null costs nothing.
+         */
+        std::function<Tick()> drainStallHook;
     };
 
     /**
@@ -77,8 +92,18 @@ class ControllerBehavior : public kernel::ServiceBehavior
     /** True once the controller has exited its main loop. */
     bool finished() const { return finished_; }
 
+    /**
+     * True if the session was cut short (module unloaded, retries
+     * exhausted, or a non-transient chardev error); the log holds
+     * whatever was flushed before the failure.
+     */
+    bool aborted() const { return aborted_; }
+
     /** Number of drain cycles performed. */
     std::uint64_t drains() const { return drains_; }
+
+    /** Transient-failure retries performed across all syscalls. */
+    std::uint64_t retries() const { return retries_; }
 
   private:
     enum class State
@@ -90,8 +115,25 @@ class ControllerBehavior : public kernel::ServiceBehavior
         drain,
         logWrite,
         finalStatus,
+        abortFlush,
         done,
     };
+
+    /** @{ Chardev access with unload/fault awareness. */
+    long doIoctl(kernel::Kernel &kernel, kernel::Process &self,
+                 std::uint32_t cmd, void *arg);
+    long doRead(kernel::Kernel &kernel, kernel::Process &self,
+                void *buf, std::size_t len);
+    /** @} */
+
+    /**
+     * Common syscall-outcome handling: returns true when @p rc is
+     * success; otherwise arranges a backed-off retry of
+     * @p retry_state (transient failure with attempts left) or an
+     * abort (unload / retries exhausted), and returns false.
+     * Unexpected error codes are fatal, as before.
+     */
+    bool handleRc(long rc, State retry_state, const char *what);
 
     KLebModule *module_;
     std::string devPath_;
@@ -104,7 +146,15 @@ class ControllerBehavior : public kernel::ServiceBehavior
     std::size_t lastDrained_ = 0;
     bool moduleFinished_ = false;
     bool finished_ = false;
+    bool aborted_ = false;
+    bool started_ = false;
     std::uint64_t drains_ = 0;
+
+    /** Retry machinery for transient chardev failures. */
+    int attempts_ = 0;
+    std::uint64_t retries_ = 0;
+    Tick retrySleep_ = 0;
+    bool retryPending_ = false;
 };
 
 } // namespace klebsim::kleb

@@ -96,12 +96,12 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
     switch (cmd) {
       case ioc::config: {
         if (monitoring_)
-            return -16; // EBUSY
+            return kernel::err::ebusy;
         auto *cfg = static_cast<KLebConfig *>(arg);
         if (cfg == nullptr || cfg->events.empty() ||
             cfg->events.size() > maxSampleEvents ||
             cfg->timerPeriod == 0 || cfg->bufferCapacity == 0)
-            return -22; // EINVAL
+            return kernel::err::einval;
         kernel.chargeKernelWork(caller.affinity(),
                                 tuning_.configCost, 8192);
         cfg_ = *cfg;
@@ -112,7 +112,7 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
       }
       case ioc::start: {
         if (!configured_ || monitoring_)
-            return -22;
+            return kernel::err::einval;
         kernel::Process *target =
             kernel.findProcess(cfg_.targetPid);
         targetCore_ = target ? target->affinity() : caller.affinity();
@@ -125,6 +125,11 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
         samplesRecorded_ = 0;
         samplesDropped_ = 0;
         pauseEpisodes_ = 0;
+        counterModulus_ =
+            kernel.core(targetCore_).pmu().counterMaskValue() + 1;
+        lastRaw_.assign(counterMap_.size(), 0);
+        wrapBase_.assign(counterMap_.size(), 0);
+        counterWraps_ = 0;
         timer_ = kernel.createHrTimer(
             name() + "-hrtimer", targetCore_, [this] { onTimer(); },
             tuning_.handlerCost, tuning_.handlerFootprint);
@@ -150,19 +155,19 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
       }
       case ioc::stop: {
         if (!monitoring_)
-            return -22;
+            return kernel::err::einval;
         stopMonitoring(SampleCause::final);
         return 0;
       }
       case ioc::status: {
         auto *st = static_cast<KLebStatus *>(arg);
         if (st == nullptr)
-            return -22;
+            return kernel::err::einval;
         *st = status();
         return 0;
       }
       default:
-        return -25; // ENOTTY
+        return kernel::err::enotty;
     }
 }
 
@@ -173,7 +178,7 @@ KLebModule::read(kernel::Kernel &kernel, kernel::Process &caller,
     (void)len;
     auto *req = static_cast<DrainRequest *>(buf);
     if (req == nullptr || req->out == nullptr)
-        return -22;
+        return kernel::err::einval;
     if (!buf_) {
         req->finished = !monitoring_;
         return 0;
@@ -219,7 +224,16 @@ KLebModule::recordSample(SampleCause cause)
             ref.fixed ? (hw::Pmu::rdpmcFixedFlag |
                          static_cast<std::uint32_t>(ref.idx))
                       : static_cast<std::uint32_t>(ref.idx);
-        s.counts[i] = pmu.rdpmc(pmc_index);
+        std::uint64_t raw = pmu.rdpmc(pmc_index);
+        // Overflow-aware accumulation: counters only count up, so a
+        // raw reading below the previous one means the counter
+        // wrapped at its effective width since the last sample.
+        if (raw < lastRaw_[i]) {
+            wrapBase_[i] += counterModulus_;
+            ++counterWraps_;
+        }
+        lastRaw_[i] = raw;
+        s.counts[i] = wrapBase_[i] + raw;
     }
 
     if (!buf_->push(s)) {
@@ -329,6 +343,7 @@ KLebModule::status() const
     st.samplesRecorded = samplesRecorded_;
     st.samplesDropped = samplesDropped_;
     st.pauseEpisodes = pauseEpisodes_;
+    st.counterWraps = counterWraps_;
     return st;
 }
 

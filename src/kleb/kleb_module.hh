@@ -139,6 +139,19 @@ class KLebModule : public kernel::KernelModule
     std::uint64_t samplesRecorded_ = 0;
     std::uint64_t samplesDropped_ = 0;
     std::uint64_t pauseEpisodes_ = 0;
+
+    /**
+     * Overflow-aware delta state: samples report wrapBase + raw so
+     * logged counts stay cumulative even when the hardware counter
+     * wraps at a narrow effective width.  A wrap is detected when a
+     * raw reading moves backwards; sampling faster than one wrap
+     * per period is the driver's responsibility (the paper's 100 us
+     * hrtimer at 48 bits gives ~10^9 s of headroom).
+     */
+    std::uint64_t counterModulus_ = 0;
+    std::vector<std::uint64_t> lastRaw_;
+    std::vector<std::uint64_t> wrapBase_;
+    std::uint64_t counterWraps_ = 0;
 };
 
 } // namespace klebsim::kleb

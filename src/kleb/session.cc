@@ -1,5 +1,7 @@
 #include "session.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/str.hh"
 
@@ -32,13 +34,48 @@ Session::Session(kernel::System &sys, Options options)
     : sys_(sys), options_(std::move(options))
 {
     devPath_ = nextDevPath(sys_.kernel());
-    auto module = std::make_unique<KLebModule>(
-        options_.moduleTuning);
-    module_ = module.get();
-    sys_.kernel().loadModule(std::move(module), devPath_);
+    int attempts = 1 + std::max(0, options_.loadRetries);
+    for (int i = 0; i < attempts; ++i) {
+        ++loadAttempts_;
+        auto module = std::make_unique<KLebModule>(
+            options_.moduleTuning);
+        KLebModule *raw = module.get();
+        if (sys_.kernel().tryLoadModule(std::move(module),
+                                        devPath_)) {
+            module_ = raw;
+            break;
+        }
+    }
+    loadFailed_ = module_ == nullptr;
+    if (loadFailed_)
+        return;
+
+    // Snapshot the final status and drop the pointer the moment
+    // our module is unloaded, whoever unloads it: every later
+    // status() call then reads the snapshot, never freed memory.
+    moduleHookId_ = sys_.kernel().registerModuleHook(
+        [this](kernel::KernelModule &mod, const std::string &path,
+               bool loaded) {
+            if (loaded || path != devPath_ ||
+                &mod != static_cast<kernel::KernelModule *>(
+                            module_))
+                return;
+            lastStatus_ = module_->status();
+            module_ = nullptr;
+        });
 }
 
-Session::~Session() = default;
+Session::~Session()
+{
+    if (moduleHookId_ != -1)
+        sys_.kernel().unregisterModuleHook(moduleHookId_);
+}
+
+KLebStatus
+Session::status() const
+{
+    return module_ ? module_->status() : lastStatus_;
+}
 
 void
 Session::monitor(kernel::Process *target, bool start_target)
@@ -46,6 +83,15 @@ Session::monitor(kernel::Process *target, bool start_target)
     panic_if(target == nullptr, "Session::monitor(null)");
     panic_if(controller_ != nullptr, "session already monitoring");
     target_ = target;
+
+    // Module never came up: degrade to an unmonitored run rather
+    // than wedging the simulation behind a process that would
+    // never be started.
+    if (loadFailed_) {
+        if (start_target)
+            sys_.kernel().startProcess(target);
+        return;
+    }
 
     KLebConfig cfg;
     cfg.targetPid = target->pid();
@@ -56,7 +102,7 @@ Session::monitor(kernel::Process *target, bool start_target)
     cfg.countKernel = options_.countKernel;
 
     auto on_started = [this, target, start_target] {
-        if (options_.idealTimer && module_->timer()) {
+        if (options_.idealTimer && module_ && module_->timer()) {
             module_->timer()->setJitterModel(
                 hw::TimerJitterModel::ideal());
         }
@@ -82,7 +128,10 @@ Session::monitor(kernel::Process *target, bool start_target)
 bool
 Session::finished() const
 {
-    return behavior_ && behavior_->finished();
+    if (behavior_)
+        return behavior_->finished();
+    // A failed-load session has nothing left to do.
+    return loadFailed_;
 }
 
 const std::vector<Sample> &

@@ -26,6 +26,7 @@
 #include "kleb_config.hh"
 #include "kleb_controller.hh"
 #include "kleb_module.hh"
+#include "stats/summary.hh"
 #include "stats/time_series.hh"
 
 namespace klebsim::kleb
@@ -59,6 +60,14 @@ class Session
 
         /** Disable timer jitter (unit tests). */
         bool idealTimer = false;
+
+        /**
+         * Extra insmod attempts after a failed module load (the
+         * kernel's module-load fault hook can veto loads).  With
+         * all attempts exhausted the session degrades: monitor()
+         * still runs the target, just unmonitored.
+         */
+        int loadRetries = 2;
     };
 
     Session(kernel::System &sys, Options options);
@@ -73,11 +82,33 @@ class Session
      * starts the controller; once the controller's START ioctl
      * lands, @p target is started so that its very first
      * instruction is monitored.
+     *
+     * If the module failed to load (see Options::loadRetries) the
+     * session degrades gracefully: @p target is started
+     * unmonitored and no controller is spawned.
      */
     void monitor(kernel::Process *target, bool start_target = true);
 
     /** True once the controller has drained everything and exited. */
     bool finished() const;
+
+    /** True when every insmod attempt was vetoed. */
+    bool loadFailed() const { return loadFailed_; }
+
+    /** insmod attempts made by the constructor (>= 1). */
+    int loadAttempts() const { return loadAttempts_; }
+
+    /**
+     * True when the controller gave up mid-session (module
+     * unloaded under it, or chardev retries exhausted); the
+     * partial log remains available through samples().
+     */
+    bool aborted() const
+    { return behavior_ && behavior_->aborted(); }
+
+    /** Transient chardev failures the controller retried through. */
+    std::uint64_t retries() const
+    { return behavior_ ? behavior_->retries() : 0; }
 
     /** All samples the controller logged. */
     const std::vector<Sample> &samples() const;
@@ -94,12 +125,34 @@ class Session
      */
     hw::EventVector finalTotals() const;
 
-    /** Module status snapshot. */
-    KLebStatus status() const { return module_->status(); }
+    /**
+     * Module status snapshot.  Safe at any point of the lifecycle:
+     * after the module is unloaded (or was never loaded) this
+     * returns the snapshot taken at unload time rather than
+     * touching freed module state.
+     */
+    KLebStatus status() const;
 
+    /**
+     * Ring-buffer loss accounting in the shared stats::LossCounts
+     * form (same shape the histogram reports for its out-of-range
+     * bins); valid whether or not the module is still loaded.
+     */
+    stats::LossCounts
+    losses() const
+    {
+        KLebStatus st = status();
+        stats::LossCounts lc;
+        lc.accepted = st.samplesRecorded;
+        lc.dropped = st.samplesDropped;
+        return lc;
+    }
+
+    /** Module (null if load failed or it was unloaded). */
     KLebModule *module() { return module_; }
     kernel::Process *controllerProcess() { return controller_; }
     kernel::Process *target() { return target_; }
+    const std::string &devPath() const { return devPath_; }
 
   private:
     kernel::System &sys_;
@@ -109,6 +162,15 @@ class Session
     std::unique_ptr<ControllerBehavior> behavior_;
     kernel::Process *controller_ = nullptr;
     kernel::Process *target_ = nullptr;
+
+    bool loadFailed_ = false;
+    int loadAttempts_ = 0;
+
+    /** Watches for our module being unloaded out from under us. */
+    int moduleHookId_ = -1;
+
+    /** Status captured the moment the module went away. */
+    KLebStatus lastStatus_;
 };
 
 } // namespace klebsim::kleb

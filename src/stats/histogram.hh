@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "summary.hh"
+
 namespace klebsim::stats
 {
 
@@ -29,6 +31,17 @@ class Histogram
     std::size_t total() const { return total_; }
     std::size_t underflow() const { return underflow_; }
     std::size_t overflow() const { return overflow_; }
+
+    /** Out-of-range accounting in the shared LossCounts form. */
+    LossCounts
+    losses() const
+    {
+        LossCounts lc;
+        lc.accepted = total_ - underflow_ - overflow_;
+        lc.overflow = overflow_;
+        lc.underflow = underflow_;
+        return lc;
+    }
 
     /** Count in bin @p idx. */
     std::size_t count(std::size_t idx) const;

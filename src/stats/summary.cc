@@ -5,9 +5,39 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "base/str.hh"
 
 namespace klebsim::stats
 {
+
+double
+LossCounts::lossFraction() const
+{
+    std::uint64_t all = total();
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(lost()) / static_cast<double>(all);
+}
+
+void
+LossCounts::merge(const LossCounts &other)
+{
+    accepted += other.accepted;
+    dropped += other.dropped;
+    overflow += other.overflow;
+    underflow += other.underflow;
+}
+
+std::string
+LossCounts::str() const
+{
+    return csprintf("accepted=%llu dropped=%llu overflow=%llu "
+                    "underflow=%llu",
+                    static_cast<unsigned long long>(accepted),
+                    static_cast<unsigned long long>(dropped),
+                    static_cast<unsigned long long>(overflow),
+                    static_cast<unsigned long long>(underflow));
+}
 
 RunningStats::RunningStats()
 {

@@ -9,10 +9,43 @@
 #define KLEBSIM_STATS_SUMMARY_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace klebsim::stats
 {
+
+/**
+ * Loss accounting shared by every lossy collector in the tree: the
+ * histogram's out-of-range bins, the K-LEB ring buffer's dropped
+ * samples, and any fault-degraded session.  One struct so benches
+ * and reports render losses uniformly.
+ */
+struct LossCounts
+{
+    std::uint64_t accepted = 0;  //!< samples stored/recorded
+    std::uint64_t dropped = 0;   //!< rejected for lack of space
+    std::uint64_t overflow = 0;  //!< above the representable range
+    std::uint64_t underflow = 0; //!< below the representable range
+
+    /** Everything offered to the collector. */
+    std::uint64_t total() const
+    { return accepted + dropped + overflow + underflow; }
+
+    /** Everything that did not land in a regular slot. */
+    std::uint64_t lost() const
+    { return dropped + overflow + underflow; }
+
+    /** lost() / total(), 0 when nothing was offered. */
+    double lossFraction() const;
+
+    /** Accumulate another collector's losses. */
+    void merge(const LossCounts &other);
+
+    /** "accepted=N dropped=N overflow=N underflow=N" for reports. */
+    std::string str() const;
+};
 
 /**
  * Streaming mean/variance/min/max using Welford's algorithm.

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "bench_support/trial_pool.hh"
+#include "fault/fault_injector.hh"
 #include "instrumented.hh"
 #include "kernel/system.hh"
 #include "kleb/session.hh"
@@ -56,6 +57,19 @@ runOnce(const RunConfig &cfg)
     result.tool = cfg.tool;
 
     kernel::System sys(cfg.machine, cfg.seed, cfg.costs);
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!cfg.faultSpec.empty()) {
+        fault::FaultPlan plan;
+        std::string err;
+        fatal_if(!fault::FaultPlan::parse(cfg.faultSpec, &plan,
+                                          &err),
+                 "bad fault spec: ", err);
+        injector = std::make_unique<fault::FaultInjector>(
+            plan, cfg.seed);
+        injector->attach(sys);
+    }
+
     Random wl_rng = sys.forkRng(0x3141 + cfg.seed);
     std::unique_ptr<hw::WorkSource> workload =
         cfg.workloadFactory(workloadBase, wl_rng);
@@ -116,6 +130,9 @@ runOnce(const RunConfig &cfg)
         opts.period = cfg.period;
         opts.countKernel = cfg.countKernel;
         opts.idealTimer = cfg.idealTimer;
+        if (injector)
+            opts.controllerTuning.drainStallHook =
+                injector->readerStallHook();
         kleb_session =
             std::make_unique<kleb::Session>(sys, opts);
         kleb_session->monitor(target);
@@ -149,9 +166,14 @@ runOnce(const RunConfig &cfg)
         break;
     }
 
+    if (injector)
+        injector->scheduleTargetCrash(sys, target);
+
     sys.run(cfg.simLimit);
     fatal_if(target->state() != kernel::ProcState::zombie,
              "workload did not finish within the simulation limit");
+    if (injector)
+        result.faultsInjected = injector->totalInjected();
 
     // The paper times the whole profiled execution ("time perf stat
     // ./prog"), so tool setup that delays the program's start is
@@ -172,6 +194,9 @@ runOnce(const RunConfig &cfg)
         result.samples = kleb_session->samples().size();
         result.series = kleb_session->series();
         result.klebStatus = kleb_session->status();
+        result.klebAborted = kleb_session->aborted();
+        result.klebRetries = kleb_session->retries();
+        result.klebLoadAttempts = kleb_session->loadAttempts();
         break;
       }
       case ToolKind::perfStat:

@@ -90,6 +90,14 @@ struct RunConfig
     /** Use the ideal (jitter-free) timer; unit tests only. */
     bool idealTimer = false;
 
+    /**
+     * Fault-injection plan spec (src/fault/fault_plan.hh), e.g.
+     * "pmu.width=24;ioctl.fail=0.2".  Empty (the default) runs the
+     * machine fault-free and byte-identical to a build without the
+     * fault subsystem.
+     */
+    std::string faultSpec;
+
     /** Hard cap on simulated time (safety against hangs). */
     Tick simLimit = secToTicks(120.0);
 };
@@ -119,6 +127,22 @@ struct RunResult
 
     /** K-LEB module status (tool == kleb only). */
     kleb::KLebStatus klebStatus{};
+
+    /** @{ Fault-run outcome (zero/false on fault-free runs). */
+
+    /** Total injections the fault plan performed. */
+    std::uint64_t faultsInjected = 0;
+
+    /** K-LEB controller gave up mid-session (partial log kept). */
+    bool klebAborted = false;
+
+    /** Transient chardev failures the controller retried through. */
+    std::uint64_t klebRetries = 0;
+
+    /** insmod attempts the K-LEB session needed (0 = not kleb). */
+    int klebLoadAttempts = 0;
+
+    /** @} */
 
     /** Context switches the kernel performed during the run. */
     std::uint64_t contextSwitches = 0;

@@ -70,6 +70,10 @@ TaskPmuSession::arm()
         pmu.programFixed(i, true, countKernel_);
     pmu.globalDisable();
 
+    counterModulus_ = pmu.counterMaskValue() + 1;
+    lastRaw_.assign(counterMap_.size(), 0);
+    wrapBase_.assign(counterMap_.size(), 0);
+
     hookId_ = kernel_.registerSwitchHook(
         [this](kernel::Process *prev, kernel::Process *next,
                CoreId core) { onSwitch(prev, next, core); });
@@ -123,8 +127,14 @@ TaskPmuSession::read(std::size_t idx) const
     const hw::Pmu &pmu =
         const_cast<kernel::Kernel &>(kernel_).core(core_).pmu();
     const CounterRef &ref = counterMap_[idx];
-    return ref.fixed ? pmu.fixedValue(ref.idx)
-                     : pmu.counterValue(ref.idx);
+    std::uint64_t raw = ref.fixed ? pmu.fixedValue(ref.idx)
+                                  : pmu.counterValue(ref.idx);
+    // Counters only count up; a reading below the previous one
+    // means a wrap at the effective counter width.
+    if (raw < lastRaw_[idx])
+        wrapBase_[idx] += counterModulus_;
+    lastRaw_[idx] = raw;
+    return wrapBase_[idx] + raw;
 }
 
 std::vector<std::uint64_t>

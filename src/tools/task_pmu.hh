@@ -84,6 +84,16 @@ class TaskPmuSession
     int hookId_ = -1;
     bool armed_ = false;
     bool counting_ = false;
+
+    /**
+     * Overflow-aware read state (mutable: read() is logically
+     * const but must remember the last raw value to spot wraps at
+     * narrow effective counter widths).  reads report
+     * wrapBase + raw, so values stay cumulative across wraps.
+     */
+    mutable std::vector<std::uint64_t> lastRaw_;
+    mutable std::vector<std::uint64_t> wrapBase_;
+    std::uint64_t counterModulus_ = 0;
 };
 
 } // namespace klebsim::tools

@@ -6,6 +6,7 @@
 
 #include "analysis/determinism.hh"
 #include "analysis/event_trace.hh"
+#include "fault/fault_injector.hh"
 #include "kernel/system.hh"
 #include "kleb/session.hh"
 #include "sim/event_queue.hh"
@@ -83,12 +84,82 @@ klebScenario(std::uint64_t tie_salt)
     return obs;
 }
 
+/**
+ * The same session with the fault injector degrading the machine:
+ * narrowed counters, flaky chardev ops, timer misses.  (seed, plan)
+ * must fully determine every injection, so the faulted run replays
+ * bit-for-bit too.
+ */
+Observation
+faultedKlebScenario(std::uint64_t tie_salt)
+{
+    Observation obs;
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    sys.eq().setTieBreakSalt(tie_salt);
+
+    EventTrace trace;
+    sys.eq().addListener(&trace);
+
+    fault::FaultPlan plan;
+    EXPECT_TRUE(fault::FaultPlan::parse(
+        "seed=5;pmu.width=28;ioctl.fail=0.2;read.fail=0.2;"
+        "timer.miss=0.05;timer.spike=0.05",
+        &plan));
+    fault::FaultInjector injector(plan, 1);
+    injector.attach(sys);
+
+    FixedWorkSource src = computeSource(10, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    opts.controllerTuning.drainStallHook = injector.readerStallHook();
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run();
+
+    hw::EventVector totals = session.finalTotals();
+    for (std::size_t e = 0; e < totals.size(); ++e)
+        obs.counters.emplace_back(
+            "total." + std::to_string(e), totals[e]);
+    obs.counters.emplace_back("samples",
+                              session.samples().size());
+    obs.counters.emplace_back("retries", session.retries());
+    obs.counters.emplace_back("wraps",
+                              session.status().counterWraps);
+    obs.counters.emplace_back("injected",
+                              injector.totalInjected());
+    obs.counters.emplace_back("final.tick", sys.now());
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const kleb::Sample &s : session.samples()) {
+        h = (h ^ s.timestamp) * 0x100000001b3ULL;
+        for (std::uint8_t i = 0; i < s.numEvents; ++i)
+            h = (h ^ s.counts[i]) * 0x100000001b3ULL;
+    }
+    obs.counters.emplace_back("samples.hash", h);
+
+    sys.eq().removeListener(&trace);
+    obs.trace = trace;
+    return obs;
+}
+
 } // namespace
 
 TEST(Determinism, KlebSessionReplaysBitForBit)
 {
     DeterminismReport report =
         DeterminismHarness::checkReplay(klebScenario);
+    EXPECT_TRUE(report.deterministic) << report.summary();
+    EXPECT_FALSE(report.divergence.has_value()) << report.summary();
+    EXPECT_TRUE(report.counterMismatches.empty())
+        << report.summary();
+}
+
+TEST(Determinism, FaultedKlebSessionReplaysBitForBit)
+{
+    DeterminismReport report =
+        DeterminismHarness::checkReplay(faultedKlebScenario);
     EXPECT_TRUE(report.deterministic) << report.summary();
     EXPECT_FALSE(report.divergence.has_value()) << report.summary();
     EXPECT_TRUE(report.counterMismatches.empty())

@@ -202,3 +202,70 @@ TEST(InvariantChecker, QueueOrderingInvariantsHold)
     // 50 schedule hooks + 50 dispatch hooks.
     EXPECT_EQ(checker.checksPerformed(), 100u);
 }
+
+TEST(InvariantChecker, ModuleReloadPairingIsClean)
+{
+    System sys(hw::MachineConfig::corei7_920(), 7, quietCosts());
+    InvariantChecker checker;
+    checker.attachKernel(sys.kernel());
+
+    sys.kernel().loadModule(std::make_unique<kleb::KLebModule>(),
+                            "/dev/pair");
+    sys.kernel().unloadModule("/dev/pair");
+    // A reload at the same path is legitimate and must also lift
+    // the unloaded module's event ban.
+    sys.kernel().loadModule(std::make_unique<kleb::KLebModule>(),
+                            "/dev/pair");
+    sys.kernel().unloadModule("/dev/pair");
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GE(checker.checksPerformed(), 4u);
+}
+
+TEST(InvariantChecker, SampleLogChecksCatchCorruption)
+{
+    InvariantChecker checker;
+
+    auto sample = [](Tick ts, std::uint64_t count,
+                     kleb::SampleCause cause =
+                         kleb::SampleCause::timer) {
+        kleb::Sample s;
+        s.timestamp = ts;
+        s.cause = cause;
+        s.numEvents = 1;
+        s.counts[0] = count;
+        return s;
+    };
+
+    // A well-formed log passes.
+    checker.checkSampleLog(
+        {sample(100, 10), sample(200, 10),
+         sample(300, 30, kleb::SampleCause::final)},
+        "good");
+    EXPECT_TRUE(checker.ok()) << checker.report();
+
+    // Backwards timestamp.
+    checker.checkSampleLog({sample(200, 10), sample(100, 20)},
+                           "ts");
+    EXPECT_EQ(checker.violations().size(), 1u);
+
+    // Counter moving backwards = failed wrap correction.
+    checker.checkSampleLog({sample(100, 50), sample(200, 40)},
+                           "wrap");
+    ASSERT_EQ(checker.violations().size(), 2u);
+    EXPECT_NE(checker.violations()[1].find("wrap correction"),
+              std::string::npos);
+
+    // A `final` sample anywhere but last.
+    checker.checkSampleLog(
+        {sample(100, 10, kleb::SampleCause::final),
+         sample(200, 20)},
+        "early-final");
+    EXPECT_EQ(checker.violations().size(), 3u);
+
+    // Inconsistent event counts.
+    kleb::Sample wide = sample(300, 30);
+    wide.numEvents = 3;
+    checker.checkSampleLog({sample(100, 10), wide}, "events");
+    EXPECT_EQ(checker.violations().size(), 4u);
+    EXPECT_FALSE(checker.ok());
+}

@@ -302,3 +302,78 @@ TEST(Lint, ScanTreeFindsInjectedViolation)
                   .size(),
               0u);
 }
+
+TEST(Lint, FaultHookCoverageFlagsUnwiredPoint)
+{
+    Linter linter;
+    const std::string def =
+        "KLEB_FAULT_POINT(timerMiss, \"timer.miss\")\n"
+        "KLEB_FAULT_POINT(ioctlFail, \"ioctl.fail\")\n";
+    std::vector<std::pair<std::string, std::string>> sources = {
+        {"src/fault/fault_injector.cc",
+         "if (p < 1.0) inject(FaultPoint::timerMiss);\n"}};
+
+    auto vs = linter.checkFaultHookCoverage(
+        "src/fault/fault_points.def", def, sources);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "fault-hook-coverage");
+    EXPECT_EQ(vs[0].line, 2u);
+    EXPECT_NE(vs[0].message.find("ioctlFail"), std::string::npos);
+
+    // Wiring the second point clears the report.
+    sources[0].second += "stream(FaultPoint::ioctlFail).draw();\n";
+    EXPECT_TRUE(linter
+                    .checkFaultHookCoverage(
+                        "src/fault/fault_points.def", def, sources)
+                    .empty());
+}
+
+TEST(Lint, FaultHookCoverageIgnoresRegistryAndComments)
+{
+    Linter linter;
+    // The table's own doc comment shows the macro form; that must
+    // not be parsed as an entry.
+    const std::string def =
+        "// Columns: KLEB_FAULT_POINT(enumerator, \"spec-key\")\n"
+        "KLEB_FAULT_POINT(readerStall, \"reader.stall\")\n";
+
+    // References inside the registry files themselves don't count
+    // as wiring (the plan/table always name every point).
+    std::vector<std::pair<std::string, std::string>> registry_only =
+        {{"src/fault/fault_plan.cc",
+          "case FaultPoint::readerStall: break;\n"},
+         {"src/fault/fault_points.def", "FaultPoint::readerStall\n"},
+         // A prefix match ("FaultPoint::readerStallX") is not a
+         // reference either.
+         {"src/fault/fault_injector.cc",
+          "use(FaultPoint::readerStallExtra);\n"}};
+    auto vs = linter.checkFaultHookCoverage(
+        "src/fault/fault_points.def", def, registry_only);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_NE(vs[0].message.find("readerStall"), std::string::npos);
+}
+
+TEST(Lint, FaultHookCoverageRespectsAllowlist)
+{
+    Linter linter;
+    linter.allow("fault-hook-coverage", "src/fault/");
+    const std::string def =
+        "KLEB_FAULT_POINT(targetCrash, \"target.crash\")\n";
+    EXPECT_TRUE(linter
+                    .checkFaultHookCoverage(
+                        "src/fault/fault_points.def", def, {})
+                    .empty());
+}
+
+TEST(Lint, FaultHookCoverageCleanOnRealTree)
+{
+    // The shipped registry must be fully wired (this is the check
+    // the `lint.sources` tier-1 test runs over the repo).
+    namespace fs = std::filesystem;
+    fs::path def = fs::path("src") / "fault" / "fault_points.def";
+    if (!fs::exists(def))
+        GTEST_SKIP() << "run from the repo root to check the tree";
+    Linter linter;
+    for (const auto &v : linter.scanTree("."))
+        EXPECT_NE(v.rule, "fault-hook-coverage") << v.str();
+}

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hh"
+#include "fault/fault_injector.hh"
+#include "kernel/system.hh"
+#include "kleb/session.hh"
+#include "tools/harness.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeChunk;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+/** Everything a chaos scenario can be asserted on afterwards. */
+struct ChaosOutcome
+{
+    std::vector<kleb::Sample> samples;
+    kleb::KLebStatus status{};
+    stats::LossCounts losses{};
+    hw::EventVector finalTotals{};
+    bool finished = false;
+    bool aborted = false;
+    bool loadFailed = false;
+    int loadAttempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t targetInstructions = 0;
+    bool targetDone = false;
+    Tick targetExit = 0;
+    std::string injections;
+    std::vector<std::string> invariantViolations;
+};
+
+/**
+ * Run one 60M-instruction workload under a K-LEB session with the
+ * given fault spec and seed, invariant-checked, and return the full
+ * outcome.  `mutate` can adjust the session options (buffer size,
+ * events, load retries) before the session is built.
+ */
+ChaosOutcome
+runChaos(const std::string &spec, std::uint64_t seed,
+         const std::function<void(kleb::Session::Options &)> &mutate
+             = nullptr,
+         int mega_instructions = 60)
+{
+    System sys(hw::MachineConfig::corei7_920(), seed, quietCosts());
+    analysis::InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    fault::FaultPlan plan;
+    std::string err;
+    EXPECT_TRUE(fault::FaultPlan::parse(spec, &plan, &err)) << err;
+    fault::FaultInjector injector(plan, seed);
+    injector.attach(sys);
+
+    FixedWorkSource src =
+        computeSource(mega_instructions, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired};
+    opts.period = 100_us;
+    if (mutate)
+        mutate(opts);
+    opts.controllerTuning.drainStallHook = injector.readerStallHook();
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    injector.scheduleTargetCrash(sys, target);
+
+    sys.run(secToTicks(5.0));
+
+    ChaosOutcome out;
+    out.samples = session.samples();
+    out.status = session.status();
+    out.losses = session.losses();
+    out.finalTotals = session.finalTotals();
+    out.finished = session.finished();
+    out.aborted = session.aborted();
+    out.loadFailed = session.loadFailed();
+    out.loadAttempts = session.loadAttempts();
+    out.retries = session.retries();
+    out.targetDone = target->state() == ProcState::zombie;
+    out.targetExit = target->exitTick();
+    out.targetInstructions =
+        target->execContext()->instructionsRetired();
+    out.injections = injector.injectionSummary();
+    checker.checkSampleLog(out.samples);
+    out.invariantViolations = checker.violations();
+    return out;
+}
+
+std::vector<Tick>
+timestamps(const std::vector<kleb::Sample> &log)
+{
+    std::vector<Tick> out;
+    out.reserve(log.size());
+    for (const kleb::Sample &s : log)
+        out.push_back(s.timestamp);
+    return out;
+}
+
+bool
+sameLog(const std::vector<kleb::Sample> &a,
+        const std::vector<kleb::Sample> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].timestamp != b[i].timestamp ||
+            a[i].cause != b[i].cause ||
+            a[i].numEvents != b[i].numEvents ||
+            a[i].counts != b[i].counts)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+/**
+ * Chaos suite: the deterministic fault plans from src/fault driven
+ * through a full K-LEB session.  Every scenario must end with the
+ * workload complete, no invariant violations, and the degradation
+ * the plan provokes accounted for in the session's status.
+ */
+TEST(ChaosKLeb, InertPlanMatchesNoInjector)
+{
+    // An attached-but-empty plan must be byte-identical to not
+    // constructing an injector at all (zero-cost when off).
+    ChaosOutcome with_injector = runChaos("", 77);
+
+    System sys(hw::MachineConfig::corei7_920(), 77, quietCosts());
+    FixedWorkSource src = computeSource(60, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired};
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run(secToTicks(5.0));
+
+    EXPECT_TRUE(sameLog(with_injector.samples, session.samples()));
+    EXPECT_EQ(with_injector.status.samplesRecorded,
+              session.status().samplesRecorded);
+    EXPECT_EQ(with_injector.injections, "none");
+    EXPECT_TRUE(with_injector.invariantViolations.empty())
+        << with_injector.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, CounterWrapCorrected)
+{
+    // 60M instructions through a 24-bit counter (wraps every ~16.7M)
+    // must produce the exact totals of the full-width run: the
+    // module's overflow-aware delta logic reconstructs the wrapped
+    // bits.  Narrowing the width draws no randomness and costs no
+    // simulated time, so even the sample timestamps line up.
+    ChaosOutcome clean = runChaos("", 91);
+    ChaosOutcome narrow = runChaos("pmu.width=24", 91);
+
+    EXPECT_GT(narrow.status.counterWraps, 0u);
+    EXPECT_EQ(clean.status.counterWraps, 0u);
+    EXPECT_EQ(timestamps(narrow.samples), timestamps(clean.samples));
+    EXPECT_TRUE(sameLog(narrow.samples, clean.samples));
+    EXPECT_EQ(at(narrow.finalTotals, hw::HwEvent::instRetired),
+              at(clean.finalTotals, hw::HwEvent::instRetired));
+    EXPECT_EQ(at(narrow.finalTotals, hw::HwEvent::instRetired),
+              60000000u);
+    EXPECT_TRUE(narrow.invariantViolations.empty())
+        << narrow.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, TransientChardevFailuresRetried)
+{
+    // ~25% of ioctls and reads fail with EAGAIN; the controller's
+    // bounded retry-with-backoff must ride through every one and
+    // still deliver the complete, monotone sample log.
+    ChaosOutcome out =
+        runChaos("seed=3;ioctl.fail=0.25;read.fail=0.25", 13);
+
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_GT(out.retries, 0u);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_EQ(out.targetInstructions, 60000000u);
+    ASSERT_FALSE(out.samples.empty());
+    EXPECT_EQ(out.samples.back().cause, kleb::SampleCause::final);
+    EXPECT_EQ(at(out.finalTotals, hw::HwEvent::instRetired),
+              60000000u);
+    EXPECT_EQ(out.status.samplesDropped, 0u);
+    EXPECT_NE(out.injections.find("ioctl.fail="), std::string::npos);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, ExhaustedRetriesAbortWithDropsAccounted)
+{
+    // Every read fails: the drain loop exhausts its retry budget and
+    // the controller aborts.  With the reader gone the ring buffer
+    // fills and pauses; the target's exit snapshot then finds it
+    // full, and that loss must show up in the drop accounting.
+    auto shrink = [](kleb::Session::Options &o) {
+        o.bufferCapacity = 32;
+    };
+    ChaosOutcome out = runChaos("read.fail=1.0", 21, shrink);
+
+    EXPECT_TRUE(out.aborted);
+    EXPECT_TRUE(out.finished);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_EQ(out.targetInstructions, 60000000u);
+    EXPECT_GT(out.status.pauseEpisodes, 0u);
+    EXPECT_GE(out.status.samplesDropped, 1u);
+    EXPECT_GE(out.losses.dropped, 1u);
+    EXPECT_GT(out.losses.lossFraction(), 0.0);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, ReaderStallDropsFinalSnapshot)
+{
+    // Probe run: a hard reader stall keeps the controller from ever
+    // draining, so the ring buffer (32 deep) pauses at its 32nd
+    // sample.  The pause wakes the controller, but the drain takes
+    // nonzero simulated time to land.
+    auto shrink = [](kleb::Session::Options &o) {
+        o.bufferCapacity = 32;
+    };
+    ChaosOutcome probe = runChaos("reader.stall=200ms", 29, shrink);
+    EXPECT_GT(probe.status.pauseEpisodes, 0u);
+    ASSERT_GE(probe.samples.size(), 32u);
+    Tick pause_tick = probe.samples[31].timestamp;
+
+    // Crash the target at exactly that tick: the kill dispatches
+    // after the buffer-filling timer sample but before the woken
+    // controller gets to drain, so the exit snapshot meets a full
+    // buffer and is dropped -- and the drop is counted.  The 32
+    // buffered samples still flush afterwards.
+    ChaosOutcome out = runChaos(
+        "reader.stall=200ms;target.crash=" +
+            std::to_string(pause_tick),
+        29, shrink);
+
+    EXPECT_TRUE(out.finished);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_LT(out.targetInstructions, 60000000u);
+    EXPECT_GE(out.status.samplesDropped, 1u);
+    EXPECT_GE(out.losses.dropped, 1u);
+    EXPECT_GE(out.samples.size(), 32u);
+    EXPECT_NE(out.injections.find("reader.stall="),
+              std::string::npos);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, TargetCrashFlushesPartialLog)
+{
+    ChaosOutcome full = runChaos("", 37);
+    ChaosOutcome out = runChaos("target.crash=3ms", 37);
+
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_GE(out.targetExit, 3_ms);
+    EXPECT_LT(out.targetInstructions, 60000000u);
+    ASSERT_FALSE(out.samples.empty());
+    EXPECT_EQ(out.samples.back().cause, kleb::SampleCause::final);
+    EXPECT_LT(out.samples.size(), full.samples.size());
+    EXPECT_FALSE(out.status.monitoring);
+    EXPECT_FALSE(out.status.targetAlive);
+    EXPECT_EQ(out.status.pendingSamples, 0u);
+    EXPECT_NE(out.injections.find("target.crash=1"),
+              std::string::npos);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, ModuleLoadFailureRetriedThenFine)
+{
+    ChaosOutcome out = runChaos("module.initfail=1", 51);
+
+    EXPECT_EQ(out.loadAttempts, 2);
+    EXPECT_FALSE(out.loadFailed);
+    EXPECT_TRUE(out.finished);
+    EXPECT_EQ(at(out.finalTotals, hw::HwEvent::instRetired),
+              60000000u);
+    EXPECT_NE(out.injections.find("module.initfail=1"),
+              std::string::npos);
+}
+
+TEST(ChaosKLeb, ModuleLoadFailureDegradesToUnmonitored)
+{
+    // More vetoes than retries: the session gives up on the module
+    // but still runs the workload, unmonitored, to completion.
+    auto one_retry = [](kleb::Session::Options &o) {
+        o.loadRetries = 1;
+    };
+    ChaosOutcome out =
+        runChaos("module.initfail=5", 53, one_retry);
+
+    EXPECT_TRUE(out.loadFailed);
+    EXPECT_EQ(out.loadAttempts, 2);
+    EXPECT_TRUE(out.finished);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_EQ(out.targetInstructions, 60000000u);
+    EXPECT_TRUE(out.samples.empty());
+    EXPECT_FALSE(out.status.monitoring);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(ChaosKLeb, ModuleUnloadMidSessionAborts)
+{
+    // rmmod under a live session: the controller's next chardev op
+    // returns ENXIO and it aborts; the session's status() keeps
+    // working off the snapshot taken at unload time.
+    System sys(hw::MachineConfig::corei7_920(), 57, quietCosts());
+    analysis::InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    FixedWorkSource src = computeSource(60, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired};
+    opts.period = 100_us;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+
+    sys.run(3_ms);
+    ASSERT_TRUE(session.status().monitoring);
+    sys.kernel().unloadModule(session.devPath());
+    EXPECT_EQ(session.module(), nullptr);
+    kleb::KLebStatus snap = session.status();
+    EXPECT_GT(snap.samplesRecorded, 0u);
+
+    sys.run();
+    EXPECT_TRUE(session.aborted());
+    EXPECT_TRUE(session.finished());
+    EXPECT_EQ(target->state(), ProcState::zombie);
+    EXPECT_EQ(target->execContext()->instructionsRetired(),
+              60000000u);
+    // Status stays answerable (and frozen) after the unload.
+    EXPECT_EQ(session.status().samplesRecorded,
+              snap.samplesRecorded);
+    EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ChaosKLeb, SameSeedReplaysBitForBit)
+{
+    const std::string spec =
+        "seed=5;timer.miss=0.05;timer.spike=0.1;timer.spike.us=40;"
+        "pmu.width=28;ioctl.fail=0.2;read.fail=0.2";
+    ChaosOutcome a = runChaos(spec, 101);
+    ChaosOutcome b = runChaos(spec, 101);
+
+    EXPECT_TRUE(sameLog(a.samples, b.samples));
+    EXPECT_EQ(a.injections, b.injections);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.status.samplesRecorded, b.status.samplesRecorded);
+    EXPECT_EQ(a.status.counterWraps, b.status.counterWraps);
+    EXPECT_EQ(a.targetExit, b.targetExit);
+
+    // A different plan seed reshuffles the injection schedule.
+    ChaosOutcome c = runChaos("seed=6;" + spec.substr(7), 101);
+    EXPECT_FALSE(sameLog(a.samples, c.samples) &&
+                 a.injections == c.injections);
+}
+
+TEST(ChaosKLeb, HarnessRunsFaultSpec)
+{
+    // The tool harness plumbs RunConfig::faultSpec end to end: a
+    // narrow-width faulted run reports the same totals as the clean
+    // run (wraps corrected) plus a nonzero injection count.
+    tools::RunConfig cfg;
+    cfg.tool = tools::ToolKind::kleb;
+    cfg.costs = quietCosts();
+    cfg.period = msToTicks(1);
+    cfg.expectedLifetime = msToTicks(37);
+    cfg.expectedInstructions = 200000000;
+    cfg.workloadFactory = [](Addr, Random) {
+        std::vector<hw::WorkChunk> chunks(
+            200, computeChunk(1000000, 2.0));
+        return std::make_unique<FixedWorkSource>(std::move(chunks));
+    };
+
+    tools::RunResult clean = tools::runOnce(cfg);
+    cfg.faultSpec = "pmu.width=24";
+    tools::RunResult faulted = tools::runOnce(cfg);
+
+    ASSERT_TRUE(clean.supported);
+    ASSERT_TRUE(faulted.supported);
+    EXPECT_EQ(clean.faultsInjected, 0u);
+    EXPECT_GT(faulted.faultsInjected, 0u);
+    EXPECT_GT(faulted.klebStatus.counterWraps, 0u);
+    EXPECT_FALSE(faulted.klebAborted);
+    ASSERT_EQ(faulted.totals.size(), clean.totals.size());
+    EXPECT_EQ(faulted.totals, clean.totals);
+    EXPECT_EQ(faulted.klebLoadAttempts, 1);
+}

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.hh"
+
+using namespace klebsim;
+using namespace klebsim::ticks_literals;
+using fault::FaultPlan;
+using fault::FaultPoint;
+using fault::numFaultPoints;
+
+TEST(FaultPlan, DefaultIsInert)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.active());
+    EXPECT_FALSE(plan.timerFaultsActive());
+    EXPECT_FALSE(plan.chardevFaultsActive());
+    EXPECT_FALSE(plan.readerStallActive());
+    EXPECT_EQ(plan.str(), "");
+}
+
+TEST(FaultPlan, EmptySpecParsesInert)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("", &plan));
+    EXPECT_FALSE(plan.active());
+    ASSERT_TRUE(FaultPlan::parse("  ;  ; ", &plan));
+    EXPECT_FALSE(plan.active());
+}
+
+TEST(FaultPlan, ParsesEveryKey)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=7;timer.miss=0.1;timer.spike=0.05;timer.spike.us=80;"
+        "pmu.width=24;ioctl.fail=0.2;read.fail=0.3;"
+        "reader.stall=5ms;reader.stall.p=0.5;module.initfail=2;"
+        "target.crash=2ms",
+        &plan));
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_DOUBLE_EQ(plan.timerMissProb, 0.1);
+    EXPECT_DOUBLE_EQ(plan.timerSpikeProb, 0.05);
+    EXPECT_EQ(plan.timerSpikeLateness, 80_us);
+    EXPECT_EQ(plan.counterWidth, 24);
+    EXPECT_DOUBLE_EQ(plan.ioctlFailProb, 0.2);
+    EXPECT_DOUBLE_EQ(plan.readFailProb, 0.3);
+    EXPECT_EQ(plan.readerStall, 5_ms);
+    EXPECT_DOUBLE_EQ(plan.readerStallProb, 0.5);
+    EXPECT_EQ(plan.moduleInitFails, 2);
+    EXPECT_EQ(plan.targetCrashAt, 2_ms);
+    EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlan, WhitespaceTolerant)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse(" pmu.width=16 ; ioctl.fail=0.5 ", &plan));
+    EXPECT_EQ(plan.counterWidth, 16);
+    EXPECT_DOUBLE_EQ(plan.ioctlFailProb, 0.5);
+}
+
+TEST(FaultPlan, DurationUnits)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("reader.stall=250us", &plan));
+    EXPECT_EQ(plan.readerStall, 250_us);
+    ASSERT_TRUE(FaultPlan::parse("reader.stall=40ns", &plan));
+    EXPECT_EQ(plan.readerStall, 40_ns);
+    ASSERT_TRUE(FaultPlan::parse("target.crash=1s", &plan));
+    EXPECT_EQ(plan.targetCrashAt, secToTicks(1.0));
+    // Bare numbers are ticks.
+    ASSERT_TRUE(FaultPlan::parse("reader.stall=12345", &plan));
+    EXPECT_EQ(plan.readerStall, 12345u);
+}
+
+TEST(FaultPlan, RejectsBadInput)
+{
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse("bogus.key=1", &plan, &err));
+    EXPECT_NE(err.find("bogus.key"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::parse("timer.miss=1.5", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("timer.miss=-0.1", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("pmu.width=4", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("pmu.width=64", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("module.initfail=-1", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("reader.stall=10lightyears",
+                                  &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("justakey", &plan, &err));
+    EXPECT_FALSE(FaultPlan::parse("=value", &plan, &err));
+}
+
+TEST(FaultPlan, FailedParseLeavesOutputUntouched)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("pmu.width=24", &plan));
+    ASSERT_EQ(plan.counterWidth, 24);
+    EXPECT_FALSE(FaultPlan::parse("pmu.width=3", &plan));
+    EXPECT_EQ(plan.counterWidth, 24);
+    EXPECT_FALSE(FaultPlan::parse("pmu.width=16;nope=1", &plan));
+    EXPECT_EQ(plan.counterWidth, 24);
+}
+
+TEST(FaultPlan, StrRoundTrips)
+{
+    const std::string spec =
+        "seed=9;timer.miss=0.25;pmu.width=32;read.fail=0.1;"
+        "reader.stall=3ms;module.initfail=1;target.crash=7ms";
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(spec, &plan));
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.str(), &again));
+    EXPECT_EQ(again.str(), plan.str());
+    EXPECT_EQ(again.seed, plan.seed);
+    EXPECT_EQ(again.counterWidth, plan.counterWidth);
+    EXPECT_EQ(again.readerStall, plan.readerStall);
+    EXPECT_EQ(again.targetCrashAt, plan.targetCrashAt);
+}
+
+TEST(FaultPlan, PointTableIsComplete)
+{
+    // Every registered point has a distinct, nonempty key and name.
+    ASSERT_GE(numFaultPoints, 8);
+    for (int i = 0; i < numFaultPoints; ++i) {
+        auto p = static_cast<FaultPoint>(i);
+        ASSERT_NE(fault::faultPointKey(p), nullptr);
+        ASSERT_NE(fault::faultPointName(p), nullptr);
+        EXPECT_GT(std::string(fault::faultPointKey(p)).size(), 0u);
+        for (int j = i + 1; j < numFaultPoints; ++j) {
+            auto q = static_cast<FaultPoint>(j);
+            EXPECT_STRNE(fault::faultPointKey(p),
+                         fault::faultPointKey(q));
+            EXPECT_STRNE(fault::faultPointName(p),
+                         fault::faultPointName(q));
+        }
+    }
+    EXPECT_STREQ(fault::faultPointKey(FaultPoint::counterWidth),
+                 "pmu.width");
+    EXPECT_STREQ(fault::faultPointName(FaultPoint::counterWidth),
+                 "counterWidth");
+}

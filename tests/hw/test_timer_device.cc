@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "hw/timer_device.hh"
 
 using namespace klebsim;
@@ -92,6 +95,80 @@ TEST(TimerDevice, RearmFromCallback)
     EXPECT_EQ(eq.curTick(), 30_us);
 }
 
+TEST(TimerDevice, CancelWhilePendingFromAnotherEvent)
+{
+    // Cancelling mid-flight (from an event that runs before the
+    // expiry would) must suppress the fire and leave the device
+    // immediately re-armable.
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1), TimerJitterModel::ideal());
+    int fired = 0;
+    dev.arm(100_us, [&] { ++fired; });
+    eq.scheduleLambda(50_us, [&] {
+        dev.cancel();
+        EXPECT_FALSE(dev.armed());
+        dev.arm(30_us, [&] { fired += 10; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.curTick(), 80_us);
+}
+
+TEST(TimerDevice, ReprogramAtExactFireTick)
+{
+    // Reprogramming at the exact tick the timer would fire, from an
+    // event with higher (more negative) priority than the expiry,
+    // must win the tie: the old deadline never fires and the new
+    // one fires exactly once.
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1), TimerJitterModel::ideal());
+    int old_fired = 0;
+    int new_fired = 0;
+    dev.arm(100_us, [&] { ++old_fired; });
+    eq.scheduleLambda(
+        100_us,
+        [&] {
+            dev.cancel();
+            dev.arm(40_us, [&] { ++new_fired; });
+        },
+        sim::Event::timerPriority - 1, "reprogram");
+    eq.runAll();
+    EXPECT_EQ(old_fired, 0);
+    EXPECT_EQ(new_fired, 1);
+    EXPECT_EQ(eq.curTick(), 140_us);
+}
+
+TEST(TimerDevice, FaultHookAddsUncappedLateness)
+{
+    // The fault hook's extra lateness stacks on top of the jitter
+    // draw and is exempt from maxLateness (a missed tick can slide
+    // a whole period).
+    sim::EventQueue eq;
+    TimerJitterModel jm = TimerJitterModel::ideal();
+    jm.maxLateness = usToTicks(5);
+    TimerDevice dev("t", eq, Random(1), jm);
+    std::vector<Tick> seen_delays;
+    dev.setFaultHook([&](Tick delay) {
+        seen_delays.push_back(delay);
+        return delay; // miss by one full period
+    });
+
+    Tick fired_at = 0;
+    dev.arm(100_us, [&] { fired_at = eq.curTick(); });
+    eq.runAll();
+    EXPECT_EQ(fired_at, 200_us);
+    EXPECT_EQ(dev.lastLateness(), 100_us);
+    ASSERT_EQ(seen_delays.size(), 1u);
+    EXPECT_EQ(seen_delays[0], 100_us);
+
+    // Clearing the hook restores the ideal timer.
+    dev.setFaultHook(nullptr);
+    dev.arm(100_us, [&] { fired_at = eq.curTick(); });
+    eq.runAll();
+    EXPECT_EQ(fired_at, 300_us);
+    EXPECT_EQ(dev.lastLateness(), 0u);
+}
+
 TEST(TimerDeviceDeath, DoubleArm)
 {
     sim::EventQueue eq;
@@ -99,4 +176,11 @@ TEST(TimerDeviceDeath, DoubleArm)
     dev.arm(10_us, [] {});
     EXPECT_DEATH(dev.arm(10_us, [] {}), "armed twice");
     dev.cancel();
+}
+
+TEST(TimerDeviceDeath, ZeroDelay)
+{
+    sim::EventQueue eq;
+    TimerDevice dev("t", eq, Random(1));
+    EXPECT_DEATH(dev.arm(0, [] {}), "zero delay");
 }

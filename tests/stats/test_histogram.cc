@@ -57,3 +57,20 @@ TEST(Histogram, RenderMentionsCounts)
     std::string text = h.render();
     EXPECT_NE(text.find(": 1"), std::string::npos);
 }
+
+TEST(Histogram, LossesMatchOutOfRangeBins)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(-1.0);
+    h.add(2.0);
+    h.add(3.0);
+    klebsim::stats::LossCounts lc = h.losses();
+    EXPECT_EQ(lc.accepted, 2u);
+    EXPECT_EQ(lc.underflow, 1u);
+    EXPECT_EQ(lc.overflow, 2u);
+    EXPECT_EQ(lc.dropped, 0u);
+    EXPECT_EQ(lc.total(), h.total());
+    EXPECT_DOUBLE_EQ(lc.lossFraction(), 0.6);
+}

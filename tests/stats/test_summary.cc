@@ -117,3 +117,46 @@ TEST(PctDiff, Basics)
     EXPECT_NEAR(pctDiff(99.0, 100.0), 1.0, 1e-12);
     EXPECT_EQ(pctDiff(100.0, 100.0), 0.0);
 }
+
+TEST(LossCounts, EmptyIsLossless)
+{
+    LossCounts lc;
+    EXPECT_EQ(lc.total(), 0u);
+    EXPECT_EQ(lc.lost(), 0u);
+    EXPECT_DOUBLE_EQ(lc.lossFraction(), 0.0);
+    EXPECT_EQ(lc.str(),
+              "accepted=0 dropped=0 overflow=0 underflow=0");
+}
+
+TEST(LossCounts, TotalsAndFraction)
+{
+    LossCounts lc;
+    lc.accepted = 90;
+    lc.dropped = 6;
+    lc.overflow = 3;
+    lc.underflow = 1;
+    EXPECT_EQ(lc.total(), 100u);
+    EXPECT_EQ(lc.lost(), 10u);
+    EXPECT_DOUBLE_EQ(lc.lossFraction(), 0.1);
+    EXPECT_EQ(lc.str(),
+              "accepted=90 dropped=6 overflow=3 underflow=1");
+}
+
+TEST(LossCounts, MergeAccumulates)
+{
+    LossCounts a;
+    a.accepted = 10;
+    a.dropped = 2;
+    LossCounts b;
+    b.accepted = 5;
+    b.overflow = 1;
+    b.underflow = 4;
+    a.merge(b);
+    EXPECT_EQ(a.accepted, 15u);
+    EXPECT_EQ(a.dropped, 2u);
+    EXPECT_EQ(a.overflow, 1u);
+    EXPECT_EQ(a.underflow, 4u);
+    EXPECT_EQ(a.total(), 22u);
+    a.merge(LossCounts{});
+    EXPECT_EQ(a.total(), 22u);
+}

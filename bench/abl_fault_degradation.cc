@@ -76,8 +76,8 @@ main(int argc, char **argv)
         });
 
     Table table({"Scenario", "Lifetime (ms)", "Samples",
-                 "Inst err %", "Drops", "Retries", "Wraps",
-                 "Outcome", "Injections"});
+                 "Inst err %", "Accepted", "Drops", "Retries",
+                 "Wraps", "Load att.", "Outcome", "Injections"});
     for (std::size_t k = 0; k < scenarios.size(); ++k) {
         const RunResult &r = results[k];
         const std::uint64_t true_inst =
@@ -94,9 +94,11 @@ main(int argc, char **argv)
         table.addRow({scenarios[k].label,
                       toFixed(ticksToMs(r.lifetime), 2),
                       std::to_string(r.samples), toFixed(err, 4),
+                      std::to_string(r.klebStatus.samplesRecorded),
                       std::to_string(r.klebStatus.samplesDropped),
                       std::to_string(r.klebRetries),
                       std::to_string(r.klebStatus.counterWraps),
+                      std::to_string(r.klebLoadAttempts),
                       outcome,
                       std::to_string(r.faultsInjected)});
     }

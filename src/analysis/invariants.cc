@@ -220,6 +220,57 @@ InvariantChecker::checkSampleLog(const std::vector<kleb::Sample> &log,
 }
 
 void
+InvariantChecker::checkRecoveredSeries(const stats::TimeSeries &series,
+                                       const std::string &label)
+{
+    for (std::size_t row = 1; row < series.size(); ++row) {
+        ++checks_;
+        if (series.timeAt(row) < series.timeAt(row - 1))
+            violation(csprintf(
+                "%s: row %zu timestamp %llu before row %zu at %llu",
+                label.c_str(), row,
+                (unsigned long long)series.timeAt(row), row - 1,
+                (unsigned long long)series.timeAt(row - 1)));
+    }
+    for (std::size_t c = 0; c < series.channels(); ++c) {
+        if (series.channelNames()[c] == "gap_ticks")
+            continue;
+        for (std::size_t row = 1; row < series.size(); ++row) {
+            ++checks_;
+            if (series.valueAt(row, c) < series.valueAt(row - 1, c))
+                violation(csprintf(
+                    "%s: channel '%s' moved backwards at row %zu "
+                    "(%g -> %g); recovery spliced out of order",
+                    label.c_str(),
+                    series.channelNames()[c].c_str(), row,
+                    series.valueAt(row - 1, c),
+                    series.valueAt(row, c)));
+        }
+    }
+}
+
+void
+InvariantChecker::checkSupervision(const kleb::SupervisorStats &stats,
+                                   const std::string &label)
+{
+    ++checks_;
+    if (stats.reattaches + stats.failedReattaches != stats.restarts)
+        violation(csprintf(
+            "%s: %llu restarts but %llu + %llu re-attach attempts; "
+            "every restart must pair with exactly one re-attach",
+            label.c_str(), (unsigned long long)stats.restarts,
+            (unsigned long long)stats.reattaches,
+            (unsigned long long)stats.failedReattaches));
+    ++checks_;
+    if (stats.budget >= 0 &&
+        stats.restarts > static_cast<std::uint64_t>(stats.budget))
+        violation(csprintf(
+            "%s: %llu restarts exceed the budget of %d",
+            label.c_str(), (unsigned long long)stats.restarts,
+            stats.budget));
+}
+
+void
 InvariantChecker::onPmuRead(int idx, bool fixed, bool programmed)
 {
     ++checks_;

@@ -33,7 +33,9 @@
 #include "hw/pmu.hh"
 #include "kernel/kernel.hh"
 #include "kleb/sample.hh"
+#include "kleb/supervisor.hh"
 #include "sim/event_queue.hh"
+#include "stats/time_series.hh"
 
 namespace klebsim::analysis
 {
@@ -84,6 +86,26 @@ class InvariantChecker : public sim::EventQueueListener
      */
     void checkSampleLog(const std::vector<kleb::Sample> &log,
                         const std::string &label = "sample log");
+
+    /**
+     * Post-hoc check of a spliced post-crash time series
+     * (LogRecovery::splice): timestamps must be nondecreasing and
+     * every channel except the synthetic "gap_ticks" channel must
+     * be monotone — a recovered series splicing pre-crash and
+     * post-restart epochs may pause across an outage but must never
+     * run backwards.
+     */
+    void checkRecoveredSeries(const stats::TimeSeries &series,
+                              const std::string &label =
+                                  "recovered series");
+
+    /**
+     * Post-hoc check of a supervisor's bookkeeping: every restart
+     * must pair with exactly one re-attach attempt (successful or
+     * failed), and restarts can never exceed the configured budget.
+     */
+    void checkSupervision(const kleb::SupervisorStats &stats,
+                          const std::string &label = "supervisor");
 
     /** True when no invariant has been violated. */
     bool ok() const { return violations_.empty(); }

@@ -174,12 +174,23 @@ Linter::allow(const std::string &rule_id,
 bool
 Linter::loadAllowlist(const std::string &path, std::string *error)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::in | std::ios::binary);
     if (!in) {
         if (error)
             *error = "cannot open allowlist: " + path;
         return false;
     }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return loadAllowlistFromString(buf.str(), path, error);
+}
+
+bool
+Linter::loadAllowlistFromString(const std::string &content,
+                                const std::string &origin,
+                                std::string *error)
+{
+    std::istringstream in(content);
     std::string line;
     std::size_t lineno = 0;
     while (std::getline(in, line)) {
@@ -192,11 +203,12 @@ Linter::loadAllowlist(const std::string &path, std::string *error)
         if (!(fields >> prefix) || (fields >> extra)) {
             if (error)
                 *error = csprintf("%s:%zu: expected 'rule-id "
-                                  "path-prefix'", path.c_str(),
+                                  "path-prefix'", origin.c_str(),
                                   lineno);
             return false;
         }
         allow(rule, prefix);
+        loaded_.push_back({rule, prefix, origin, lineno});
     }
     return true;
 }
@@ -390,6 +402,85 @@ Linter::checkFaultHookCoverage(
 }
 
 std::vector<LintViolation>
+Linter::checkHeartbeatCoverage(
+    const std::string &def_rel_path, const std::string &def_content,
+    const std::vector<std::pair<std::string, std::string>> &tests)
+    const
+{
+    static const std::string rule = "heartbeat-coverage";
+    std::vector<LintViolation> out;
+    if (allowed(rule, def_rel_path))
+        return out;
+
+    // The spec key lives inside a string literal, so match the raw
+    // line — but only on lines that survive comment stripping, so
+    // the table's own documentation does not register entries.
+    static const std::regex entry(
+        R"re(KLEB_FAULT_POINT\(\s*([A-Za-z_]\w*)\s*,\s*"([^"]+)")re",
+        std::regex::ECMAScript | std::regex::optimize);
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(def_content);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    const std::vector<std::string> code =
+        stripCommentsAndStrings(lines);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].find("KLEB_FAULT_POINT") == std::string::npos)
+            continue;
+        std::smatch m;
+        if (!std::regex_search(lines[i], m, entry))
+            continue;
+        const std::string key = m[2].str();
+        if (!key.starts_with("controller.") &&
+            !key.starts_with("log."))
+            continue;
+        bool exercised = false;
+        for (const auto &[rel, content] : tests) {
+            (void)rel;
+            if (content.find(key) != std::string::npos) {
+                exercised = true;
+                break;
+            }
+        }
+        if (!exercised)
+            out.push_back(
+                {rule, def_rel_path, i + 1, trimmed(lines[i]),
+                 "supervised-pipeline fault point '" + key +
+                     "' is never injected by a chaos test under "
+                     "tests/"});
+    }
+    return out;
+}
+
+std::vector<LintViolation>
+Linter::checkAllowlistEntries(
+    const std::vector<std::string> &files) const
+{
+    static const std::string rule = "allowlist-dangling";
+    std::vector<LintViolation> out;
+    for (const AllowlistEntry &entry : loaded_) {
+        bool matches = false;
+        for (const std::string &rel : files) {
+            if (rel.starts_with(entry.prefix)) {
+                matches = true;
+                break;
+            }
+        }
+        if (!matches)
+            out.push_back(
+                {rule, entry.origin, entry.line,
+                 entry.rule + " " + entry.prefix,
+                 "allowlist entry matches no existing source file; "
+                 "prune it"});
+    }
+    return out;
+}
+
+std::vector<LintViolation>
 Linter::scanTree(const std::string &root) const
 {
     std::vector<LintViolation> out;
@@ -427,13 +518,64 @@ Linter::scanTree(const std::string &root) const
                    file_violations.end());
     }
 
+    // The chaos tests are not pattern-scanned (tests may use raw
+    // stdio etc.), but heartbeat coverage and allowlist hygiene
+    // need to see them.
+    std::vector<std::string> testFiles;
+    {
+        fs::path base = fs::path(root) / "tests";
+        if (fs::exists(base)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(base)) {
+                if (entry.is_regular_file() &&
+                    sourceExtension(entry.path()))
+                    testFiles.push_back(
+                        fs::relative(entry.path(), root)
+                            .generic_string());
+            }
+        }
+        std::sort(testFiles.begin(), testFiles.end());
+    }
+
     const std::string def_rel = "src/fault/fault_points.def";
     if (fs::exists(fs::path(root) / def_rel)) {
+        const std::string def_content = slurp(def_rel);
         auto def_violations =
-            checkFaultHookCoverage(def_rel, slurp(def_rel), sources);
+            checkFaultHookCoverage(def_rel, def_content, sources);
         out.insert(out.end(), def_violations.begin(),
                    def_violations.end());
+
+        std::vector<std::pair<std::string, std::string>> tests;
+        tests.reserve(testFiles.size());
+        for (const std::string &rel : testFiles)
+            tests.emplace_back(rel, slurp(rel));
+        auto hb_violations =
+            checkHeartbeatCoverage(def_rel, def_content, tests);
+        out.insert(out.end(), hb_violations.begin(),
+                   hb_violations.end());
     }
+
+    // Stale-allowlist audit: entries must point at files that still
+    // exist somewhere lintable (including tests/ and tools/, which
+    // allowlists may legitimately reference).
+    std::vector<std::string> allFiles = files;
+    allFiles.insert(allFiles.end(), testFiles.begin(),
+                    testFiles.end());
+    {
+        fs::path base = fs::path(root) / "tools";
+        if (fs::exists(base)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(base)) {
+                if (entry.is_regular_file())
+                    allFiles.push_back(
+                        fs::relative(entry.path(), root)
+                            .generic_string());
+            }
+        }
+    }
+    auto allow_violations = checkAllowlistEntries(allFiles);
+    out.insert(out.end(), allow_violations.begin(),
+               allow_violations.end());
     return out;
 }
 

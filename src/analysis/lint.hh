@@ -23,7 +23,16 @@
  *                   central table (src/fault/fault_points.def) must
  *                   be wired up somewhere outside the registry
  *                   itself — a declared-but-unhooked fault point is
- *                   a coverage hole, not a feature.
+ *                   a coverage hole, not a feature;
+ *  - heartbeat-coverage: every fault point whose spec key targets
+ *                   the supervised pipeline ("controller." or
+ *                   "log." prefix) must be exercised by at least
+ *                   one chaos test under tests/ — a crash-path
+ *                   fault nobody injects is untested recovery code;
+ *  - allowlist-dangling: every allowlist entry loaded from a file
+ *                   must still match at least one existing source
+ *                   file, so stale carve-outs cannot silently
+ *                   mask future violations.
  *
  * Exceptions live in a per-rule allowlist ("rule-id path-prefix"
  * lines); the canonical carve-outs (base/random, base/logging, the
@@ -80,10 +89,21 @@ class Linter
 
     /**
      * Load "rule-id path-prefix" lines ('#' starts a comment).
+     * Entries loaded this way are recorded with their origin and
+     * line number so checkAllowlistEntries() can flag the stale
+     * ones.
      * @return false (with @p error set) on malformed input.
      */
     bool loadAllowlist(const std::string &path,
                        std::string *error = nullptr);
+
+    /**
+     * Parse allowlist @p content as loadAllowlist() would read it
+     * from a file named @p origin.  Exposed for unit tests.
+     */
+    bool loadAllowlistFromString(const std::string &content,
+                                 const std::string &origin,
+                                 std::string *error = nullptr);
 
     /** True if @p rel_path is exempt from @p rule_id. */
     bool allowed(const std::string &rule_id,
@@ -109,6 +129,28 @@ class Linter
         const std::vector<std::pair<std::string, std::string>>
             &sources) const;
 
+    /**
+     * Check the fault-point registry's supervised-pipeline entries
+     * against the chaos tests: every KLEB_FAULT_POINT whose spec
+     * key starts with "controller." or "log." must have its key
+     * appear in at least one of @p tests (rel-path/content pairs
+     * from tests/).  scanTree() runs this automatically.
+     */
+    std::vector<LintViolation> checkHeartbeatCoverage(
+        const std::string &def_rel_path,
+        const std::string &def_content,
+        const std::vector<std::pair<std::string, std::string>>
+            &tests) const;
+
+    /**
+     * Verify every file-loaded allowlist entry still matches at
+     * least one path in @p files (repo-relative).  Dangling entries
+     * are reported against the allowlist file itself, so pruning a
+     * source file forces its carve-outs to be pruned too.
+     */
+    std::vector<LintViolation> checkAllowlistEntries(
+        const std::vector<std::string> &files) const;
+
     /** Scan src/, bench/ and examples/ under @p root. */
     std::vector<LintViolation>
     scanTree(const std::string &root) const;
@@ -124,9 +166,19 @@ class Linter
                     const std::vector<std::string> &lines,
                     std::vector<LintViolation> &out) const;
 
+    /** One allowlist line loaded from a file (origin for reports). */
+    struct AllowlistEntry
+    {
+        std::string rule;
+        std::string prefix;
+        std::string origin;
+        std::size_t line;
+    };
+
     std::vector<LintRule> rules_;
     std::vector<std::regex> compiled_;
     std::vector<std::pair<std::string, std::string>> allow_;
+    std::vector<AllowlistEntry> loaded_;
 };
 
 } // namespace klebsim::analysis

@@ -159,6 +159,68 @@ FaultInjector::scheduleTargetCrash(kernel::System &sys,
         sim::Event::defaultPriority, "fault-target-crash");
 }
 
+void
+FaultInjector::scheduleControllerCrash(kernel::System &sys,
+                                       kernel::Process *controller)
+{
+    if (plan_.controllerCrashAt == 0 || controller == nullptr)
+        return;
+    Tick when = std::max(sys.now() + 1, plan_.controllerCrashAt);
+    kernel::Kernel &k = sys.kernel();
+    sys.eq().scheduleLambda(
+        when,
+        [this, &k, controller] {
+            if (controller->state() == kernel::ProcState::zombie ||
+                controller->state() == kernel::ProcState::created)
+                return;
+            inject(FaultPoint::controllerCrash);
+            k.kill(controller);
+        },
+        sim::Event::defaultPriority, "fault-controller-crash");
+}
+
+std::function<Tick()>
+FaultInjector::controllerHangHook(kernel::System &sys)
+{
+    if (plan_.controllerHangAt == 0)
+        return nullptr;
+    return [this, &sys]() -> Tick {
+        if (hangFired_ || sys.now() < plan_.controllerHangAt)
+            return 0;
+        hangFired_ = true;
+        inject(FaultPoint::controllerHang);
+        // Far beyond any heartbeat timeout: the controller wedges
+        // until the supervisor kills it.
+        return secToTicks(30);
+    };
+}
+
+void
+FaultInjector::corruptLog(std::vector<std::uint8_t> &bytes,
+                          std::size_t protect_prefix)
+{
+    if (bytes.size() <= protect_prefix)
+        return;
+    if (plan_.logTornTailBytes > 0) {
+        std::size_t body = bytes.size() - protect_prefix;
+        std::size_t cut = std::min<std::size_t>(
+            plan_.logTornTailBytes, body);
+        bytes.resize(bytes.size() - cut);
+        inject(FaultPoint::logTornTail);
+    }
+    for (int i = 0; i < plan_.logBitflips; ++i) {
+        std::size_t body = bytes.size() - protect_prefix;
+        if (body == 0)
+            break;
+        Random &rng = stream(FaultPoint::logBitflip);
+        std::size_t pos = protect_prefix +
+            static_cast<std::size_t>(
+                rng.below(static_cast<std::uint32_t>(body)));
+        bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        inject(FaultPoint::logBitflip);
+    }
+}
+
 std::uint64_t
 FaultInjector::totalInjected() const
 {

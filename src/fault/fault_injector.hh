@@ -20,9 +20,11 @@
 #define KLEBSIM_FAULT_FAULT_INJECTOR_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "base/random.hh"
 #include "base/types.hh"
@@ -78,6 +80,35 @@ class FaultInjector
     void scheduleTargetCrash(kernel::System &sys,
                              kernel::Process *target);
 
+    /**
+     * Schedule the controller crash (plan key controller.crash) for
+     * @p controller; no-op when the plan does not crash it.  The
+     * kill fires at the planned tick only if the controller is then
+     * alive — a supervisor (if any) sees it as a crash and restarts.
+     */
+    void scheduleControllerCrash(kernel::System &sys,
+                                 kernel::Process *controller);
+
+    /**
+     * Drain-stall hook implementing controller.hang: starting at
+     * the planned tick, the controller's next drain sleep is
+     * stretched by ~30 simulated seconds — a wedged reader only a
+     * supervisor's heartbeat timeout can detect.  Fires once per
+     * run.  Null when the plan does not hang; compose with
+     * readerStallHook() when both are active.
+     */
+    std::function<Tick()> controllerHangHook(kernel::System &sys);
+
+    /**
+     * Corrupt a captured durable-log image in place: truncate the
+     * tail by plan key log.torn_tail bytes (never into the first
+     * @p protect_prefix bytes — the header a real filesystem would
+     * have long since flushed), then flip log.bitflip random bits
+     * in the body.  No-op when neither key is set.
+     */
+    void corruptLog(std::vector<std::uint8_t> &bytes,
+                    std::size_t protect_prefix);
+
     const FaultPlan &plan() const { return plan_; }
 
     /** Number of injections performed at @p point so far. */
@@ -105,6 +136,7 @@ class FaultInjector
     std::array<Random, numFaultPoints> streams_;
     std::array<std::uint64_t, numFaultPoints> injected_{};
     int loadsFailed_ = 0;
+    bool hangFired_ = false;
 };
 
 } // namespace klebsim::fault

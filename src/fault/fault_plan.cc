@@ -130,7 +130,9 @@ FaultPlan::active() const
 {
     return timerFaultsActive() || counterWidth != 0 ||
            chardevFaultsActive() || readerStallActive() ||
-           moduleInitFails > 0 || targetCrashAt != 0;
+           moduleInitFails > 0 || targetCrashAt != 0 ||
+           controllerCrashAt != 0 || controllerHangAt != 0 ||
+           logTornTailBytes != 0 || logBitflips > 0;
 }
 
 bool
@@ -182,6 +184,15 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
                  plan.moduleInitFails >= 0;
         } else if (key == faultPointKey(FaultPoint::targetCrash)) {
             ok = parseDuration(value, &plan.targetCrashAt);
+        } else if (key == faultPointKey(FaultPoint::controllerCrash)) {
+            ok = parseDuration(value, &plan.controllerCrashAt);
+        } else if (key == faultPointKey(FaultPoint::controllerHang)) {
+            ok = parseDuration(value, &plan.controllerHangAt);
+        } else if (key == faultPointKey(FaultPoint::logTornTail)) {
+            ok = parseU64(value, &plan.logTornTailBytes);
+        } else if (key == faultPointKey(FaultPoint::logBitflip)) {
+            ok = parseInt(value, &plan.logBitflips) &&
+                 plan.logBitflips >= 0;
         } else {
             return fail(error, csprintf("unknown fault spec key '%s'",
                                         key.c_str()));
@@ -235,6 +246,20 @@ FaultPlan::str() const
     if (targetCrashAt != 0)
         parts.push_back(faultPointKey(FaultPoint::targetCrash) +
                         ("=" + durationStr(targetCrashAt)));
+    if (controllerCrashAt != 0)
+        parts.push_back(faultPointKey(FaultPoint::controllerCrash) +
+                        ("=" + durationStr(controllerCrashAt)));
+    if (controllerHangAt != 0)
+        parts.push_back(faultPointKey(FaultPoint::controllerHang) +
+                        ("=" + durationStr(controllerHangAt)));
+    if (logTornTailBytes != 0)
+        parts.push_back(csprintf(
+            "%s=%llu", faultPointKey(FaultPoint::logTornTail),
+            (unsigned long long)logTornTailBytes));
+    if (logBitflips > 0)
+        parts.push_back(csprintf(
+            "%s=%d", faultPointKey(FaultPoint::logBitflip),
+            logBitflips));
     return join(parts, ";");
 }
 

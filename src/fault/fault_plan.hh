@@ -104,6 +104,22 @@ struct FaultPlan
     /** Absolute sim time to crash the monitored process; 0 = off. */
     Tick targetCrashAt = 0;
 
+    /** Absolute sim time to crash the K-LEB controller; 0 = off. */
+    Tick controllerCrashAt = 0;
+
+    /**
+     * Absolute sim time after which the controller's next drain
+     * sleep wedges (a hung reader the supervisor must kill);
+     * 0 = off.  One-shot per run.
+     */
+    Tick controllerHangAt = 0;
+
+    /** Truncate the durable log's tail by N bytes after the run. */
+    std::uint64_t logTornTailBytes = 0;
+
+    /** Flip N random bits in the durable log body after the run. */
+    int logBitflips = 0;
+
     /** True if any fault is enabled. */
     bool active() const;
 

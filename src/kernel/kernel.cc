@@ -410,6 +410,7 @@ Kernel::kill(Process *proc)
       case ProcState::zombie:
         return;
       case ProcState::running:
+        proc->killed_ = true;
         processExit(proc);
         return;
       case ProcState::ready: {
@@ -432,6 +433,7 @@ Kernel::kill(Process *proc)
       case ProcState::created:
         break;
     }
+    proc->killed_ = true;
     setState(proc, ProcState::zombie);
     proc->exitTick_ = now();
     for (auto &[id, hook] : exitHooks_)

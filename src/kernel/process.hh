@@ -72,6 +72,13 @@ class Process
     /** Tick the process exited at (valid once zombie). */
     Tick exitTick() const { return exitTick_; }
 
+    /**
+     * True when the process was terminated by Kernel::kill rather
+     * than exiting on its own — the distinction a supervisor needs
+     * to tell a crash from a clean finish.
+     */
+    bool wasKilled() const { return killed_; }
+
     /** Wall-clock lifetime (valid once zombie). */
     Tick
     lifetime() const
@@ -97,6 +104,7 @@ class Process
 
     Tick startTick_ = 0;
     Tick exitTick_ = 0;
+    bool killed_ = false;
 
     /** Pending sleep/continuation event (queue-owned lambda). */
     sim::Event *pendingEvent_ = nullptr;

@@ -27,6 +27,16 @@ constexpr std::uint32_t start = 0x4b02;
 constexpr std::uint32_t stop = 0x4b03;
 constexpr std::uint32_t status = 0x4b04; //!< arg: KLebStatus*
 
+/**
+ * Re-attach a (replacement) controller to a module that may already
+ * be monitoring: rebinds the module's wake target to the caller and
+ * returns the current status (arg: KLebStatus*).  Always succeeds
+ * while the module is loaded, so a supervisor-spawned controller
+ * can adopt an in-flight session without the einval a second START
+ * would earn.
+ */
+constexpr std::uint32_t attach = 0x4b05;
+
 } // namespace ioc
 
 /** Module configuration. */
@@ -58,6 +68,7 @@ struct KLebConfig
 /** Snapshot returned by the status ioctl. */
 struct KLebStatus
 {
+    bool configured = false;    //!< CONFIG accepted
     bool monitoring = false;    //!< between START and STOP/exit
     bool targetAlive = false;
     bool paused = false;        //!< safety mechanism engaged

@@ -1,6 +1,7 @@
 #include "kleb_controller.hh"
 
 #include "base/logging.hh"
+#include "durable_log.hh"
 #include "kernel/kernel.hh"
 #include "kernel/module.hh"
 
@@ -19,11 +20,41 @@ ControllerBehavior::ControllerBehavior(
 ControllerBehavior::ControllerBehavior(
     KLebModule *module, std::string dev_path, KLebConfig cfg,
     std::function<void()> on_started, Tuning tuning)
+    : ControllerBehavior(module, std::move(dev_path),
+                         std::move(cfg), std::move(on_started),
+                         tuning, Mode::fresh)
+{
+}
+
+ControllerBehavior::ControllerBehavior(
+    KLebModule *module, std::string dev_path, KLebConfig cfg,
+    std::function<void()> on_started, Tuning tuning, Mode mode)
     : module_(module), devPath_(std::move(dev_path)),
       cfg_(std::move(cfg)), onStarted_(std::move(on_started)),
-      tuning_(tuning)
+      tuning_(tuning), mode_(mode)
 {
     panic_if(module_ == nullptr, "controller without module");
+}
+
+void
+ControllerBehavior::onSyscallOk(kernel::Kernel &kernel)
+{
+    if (heartbeat_) {
+        heartbeat_->lastBeat = kernel.now();
+        ++heartbeat_->beats;
+    }
+}
+
+void
+ControllerBehavior::armed(kernel::Kernel &kernel)
+{
+    // Each incarnation that arms monitoring opens a fresh durable
+    // epoch, so recovery can splice around the outage between them.
+    if (durableLog_)
+        durableLog_->beginEpoch(kernel.now());
+    started_ = true;
+    if (onStarted_)
+        onStarted_();
 }
 
 long
@@ -96,6 +127,10 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
 
     switch (state_) {
       case State::setup:
+        if (mode_ == Mode::reattach) {
+            state_ = State::attach;
+            return Op::makeCompute(tuning_.attachCost, 16 * 1024);
+        }
         state_ = State::configure;
         return Op::makeCompute(tuning_.setupCost, 64 * 1024);
 
@@ -108,7 +143,10 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &me) {
                 long rc = doIoctl(k, me, ioc::config, &cfg_);
-                handleRc(rc, State::configure, "CONFIG ioctl");
+                if (!handleRc(rc, State::configure,
+                              "CONFIG ioctl"))
+                    return;
+                onSyscallOk(k);
             });
 
       case State::start:
@@ -123,9 +161,30 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                 if (!handleRc(rc, State::start, "START ioctl"))
                     return;
                 module_->setWakeTarget(&me);
-                started_ = true;
-                if (onStarted_)
-                    onStarted_();
+                onSyscallOk(k);
+                armed(k);
+            });
+
+      case State::attach:
+        if (retryPending_) {
+            retryPending_ = false;
+            return Op::makeSleep(retrySleep_);
+        }
+        state_ = State::sleep;
+        return Op::makeSyscall(
+            [this](kernel::Kernel &k, kernel::Process &me) {
+                KLebStatus st;
+                long rc = doIoctl(k, me, ioc::attach, &st);
+                if (!handleRc(rc, State::attach, "ATTACH ioctl"))
+                    return;
+                onSyscallOk(k);
+                if (!st.configured) {
+                    // The predecessor died before CONFIG landed:
+                    // nothing to adopt, run the fresh path.
+                    state_ = State::configure;
+                    return;
+                }
+                armed(k);
             });
 
       case State::sleep: {
@@ -154,6 +213,15 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                 lastDrained_ = log_.size() - before;
                 moduleFinished_ = req.finished;
                 ++drains_;
+                onSyscallOk(k);
+                // Durability: the drained batch is journaled as
+                // part of the drain syscall, so a crash between
+                // drains never loses an already-drained sample.
+                if (durableLog_) {
+                    for (std::size_t i = before; i < log_.size();
+                         ++i)
+                        durableLog_->append(log_[i]);
+                }
             });
 
       case State::logWrite:
@@ -184,8 +252,12 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
       case State::abortFlush:
         // Degrade, don't wedge: if the abort hit before START
         // completed, the workload still runs (unmonitored) so the
-        // rest of the simulation proceeds.
-        if (!started_ && onStarted_) {
+        // rest of the simulation proceeds.  Re-attach incarnations
+        // skip this — their abort is the supervisor's problem (it
+        // retries or gives up), not a reason to double-start.
+        if (onAborted_)
+            onAborted_(started_);
+        if (mode_ == Mode::fresh && !started_ && onStarted_) {
             started_ = true;
             onStarted_();
         }

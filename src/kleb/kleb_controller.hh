@@ -21,9 +21,12 @@
 #include "kernel/service.hh"
 #include "kleb_config.hh"
 #include "kleb_module.hh"
+#include "supervisor.hh"
 
 namespace klebsim::kleb
 {
+
+class DurableLog;
 
 /**
  * Scripted behaviour of the controller process.
@@ -31,6 +34,17 @@ namespace klebsim::kleb
 class ControllerBehavior : public kernel::ServiceBehavior
 {
   public:
+    /**
+     * fresh: CONFIG + START a new monitoring run.  reattach: adopt
+     * an in-flight run through the ATTACH ioctl (supervisor restart
+     * path), falling back to the fresh path if the predecessor died
+     * before CONFIG landed.
+     */
+    enum class Mode
+    {
+        fresh,
+        reattach,
+    };
     /** Calibrated costs of the controller's user-space work. */
     struct Tuning
     {
@@ -66,6 +80,9 @@ class ControllerBehavior : public kernel::ServiceBehavior
          * sleep (a slow/blocked reader).  Null costs nothing.
          */
         std::function<Tick()> drainStallHook;
+
+        /** Device re-open + ATTACH prep (reattach mode setup). */
+        Tick attachCost = usToTicks(180);
     };
 
     /**
@@ -82,9 +99,31 @@ class ControllerBehavior : public kernel::ServiceBehavior
                        KLebConfig cfg,
                        std::function<void()> on_started,
                        Tuning tuning);
+    ControllerBehavior(KLebModule *module, std::string dev_path,
+                       KLebConfig cfg,
+                       std::function<void()> on_started,
+                       Tuning tuning, Mode mode);
 
     kernel::ServiceOp nextOp(kernel::Kernel &kernel,
                              kernel::Process &self) override;
+
+    /**
+     * Mirror every drained sample into @p log (crash durability);
+     * null (the default) keeps the PR 3 behaviour byte-identical.
+     */
+    void setDurableLog(DurableLog *log) { durableLog_ = log; }
+
+    /** Stamp @p heartbeat on every successful chardev syscall. */
+    void setHeartbeat(Heartbeat *heartbeat)
+    { heartbeat_ = heartbeat; }
+
+    /**
+     * Called once from the abort path; the bool reports whether
+     * monitoring had been armed before the abort (the supervisor
+     * uses it to count failed re-attaches).
+     */
+    void setOnAborted(std::function<void(bool armed)> fn)
+    { onAborted_ = std::move(fn); }
 
     /** Samples logged so far (the "log file" contents). */
     const std::vector<Sample> &log() const { return log_; }
@@ -111,6 +150,7 @@ class ControllerBehavior : public kernel::ServiceBehavior
         setup,
         configure,
         start,
+        attach,
         sleep,
         drain,
         logWrite,
@@ -135,11 +175,21 @@ class ControllerBehavior : public kernel::ServiceBehavior
      */
     bool handleRc(long rc, State retry_state, const char *what);
 
+    /** Heartbeat + durable-log bookkeeping on a syscall success. */
+    void onSyscallOk(kernel::Kernel &kernel);
+
+    /** Arm bookkeeping shared by START and ATTACH success. */
+    void armed(kernel::Kernel &kernel);
+
     KLebModule *module_;
     std::string devPath_;
     KLebConfig cfg_;
     std::function<void()> onStarted_;
     Tuning tuning_;
+    Mode mode_ = Mode::fresh;
+    DurableLog *durableLog_ = nullptr;
+    Heartbeat *heartbeat_ = nullptr;
+    std::function<void(bool)> onAborted_;
 
     State state_ = State::setup;
     std::vector<Sample> log_;

@@ -166,6 +166,19 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
         *st = status();
         return 0;
       }
+      case ioc::attach: {
+        // A replacement controller adopting an in-flight session:
+        // rebind the wake target and report where monitoring
+        // stands.  Valid in any module state — the caller decides
+        // (from status.configured) whether to fall back to the
+        // fresh CONFIG/START path.
+        auto *st = static_cast<KLebStatus *>(arg);
+        if (st == nullptr)
+            return kernel::err::einval;
+        wakeTarget_ = &caller;
+        *st = status();
+        return 0;
+      }
       default:
         return kernel::err::enotty;
     }
@@ -336,6 +349,7 @@ KLebStatus
 KLebModule::status() const
 {
     KLebStatus st;
+    st.configured = configured_;
     st.monitoring = monitoring_;
     st.targetAlive = targetAlive_;
     st.paused = paused_;

@@ -1,0 +1,212 @@
+#include "log_recovery.hh"
+
+#include "base/str.hh"
+
+namespace klebsim::kleb
+{
+
+namespace
+{
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &b, std::size_t at)
+{
+    return static_cast<std::uint32_t>(b[at]) |
+           static_cast<std::uint32_t>(b[at + 1]) << 8 |
+           static_cast<std::uint32_t>(b[at + 2]) << 16 |
+           static_cast<std::uint32_t>(b[at + 3]) << 24;
+}
+
+std::uint64_t
+get64(const std::vector<std::uint8_t> &b, std::size_t at)
+{
+    return static_cast<std::uint64_t>(get32(b, at)) |
+           static_cast<std::uint64_t>(get32(b, at + 4)) << 32;
+}
+
+} // anonymous namespace
+
+stats::LossCounts
+RecoveryReport::losses() const
+{
+    stats::LossCounts lc;
+    lc.accepted = samplesRecovered;
+    lc.dropped = framesDropped;
+    lc.gaps = framesVanished;
+    return lc;
+}
+
+RecoveredLog
+LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
+{
+    RecoveredLog out;
+    RecoveryReport &rep = out.report;
+
+    if (bytes.size() < DurableLog::headerSize ||
+        get32(bytes, 0) != DurableLog::logMagic ||
+        get32(bytes, 4) != DurableLog::version) {
+        rep.violations.push_back(
+            "durable log header missing or unreadable");
+        return out;
+    }
+    rep.valid = true;
+    rep.framesEmitted = get64(bytes, 8);
+
+    const std::size_t body = bytes.size() - DurableLog::headerSize;
+    const std::size_t slots = body / DurableLog::frameSize;
+    if (body % DurableLog::frameSize != 0) {
+        // A torn append: the partial slot is one dropped frame.
+        rep.tornTail = true;
+        ++rep.framesDropped;
+    }
+
+    std::uint64_t expected_seq = 0;
+    std::uint32_t current_epoch = 0;
+    bool epoch_open = false;
+    Tick last_sample_tick = 0;
+    std::uint32_t last_sample_epoch = 0;
+    bool have_sample = false;
+
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        const std::size_t at =
+            DurableLog::headerSize + slot * DurableLog::frameSize;
+
+        const bool intact =
+            get32(bytes, at) == DurableLog::frameMagic &&
+            get32(bytes, at + 4) ==
+                crc32c(bytes.data() + at + 8,
+                       DurableLog::frameSize - 8);
+        if (!intact) {
+            // Fixed-size slots: the corrupt slot still consumed
+            // exactly one frame (and one sequence number).
+            ++rep.framesDropped;
+            ++expected_seq;
+            continue;
+        }
+
+        const std::uint32_t epoch = get32(bytes, at + 8);
+        const std::uint32_t kind = get32(bytes, at + 12);
+        const std::uint64_t seq = get64(bytes, at + 16);
+        const Tick ts = get64(bytes, at + 24);
+        const std::uint8_t num_events = bytes[at + 33];
+
+        if (seq != expected_seq) {
+            rep.violations.push_back(csprintf(
+                "frame slot %zu: sequence %llu, expected %llu",
+                slot, (unsigned long long)seq,
+                (unsigned long long)expected_seq));
+            expected_seq = seq;
+        }
+        ++expected_seq;
+
+        if (kind > static_cast<std::uint32_t>(FrameKind::sample) ||
+            num_events > maxSampleEvents) {
+            // Structurally impossible despite an intact CRC: treat
+            // it as corrupt rather than trusting it.
+            rep.violations.push_back(csprintf(
+                "frame slot %zu: invalid kind/arity", slot));
+            ++rep.framesDropped;
+            continue;
+        }
+
+        ++rep.framesKept;
+        if (kind ==
+            static_cast<std::uint32_t>(FrameKind::epochBegin)) {
+            if (epoch_open && epoch != current_epoch + 1)
+                rep.violations.push_back(csprintf(
+                    "frame slot %zu: epoch %u after epoch %u", slot,
+                    epoch, current_epoch));
+            current_epoch = epoch;
+            epoch_open = true;
+            ++rep.epochs;
+            continue;
+        }
+
+        if (!epoch_open)
+            rep.violations.push_back(csprintf(
+                "frame slot %zu: sample outside any epoch", slot));
+        else if (epoch != current_epoch)
+            rep.violations.push_back(csprintf(
+                "frame slot %zu: sample tagged epoch %u inside "
+                "epoch %u",
+                slot, epoch, current_epoch));
+
+        // Sample time must never run backwards.  (Epoch-begin
+        // frames are excluded: a reattached incarnation stamps its
+        // epoch at attach time, while the ring buffer it then
+        // drains still holds older outage samples — that interleave
+        // is legitimate.)
+        if (have_sample && ts < last_sample_tick)
+            rep.violations.push_back(csprintf(
+                "frame slot %zu: timestamp moves backwards", slot));
+
+        Sample s;
+        s.timestamp = ts;
+        s.cause = static_cast<SampleCause>(bytes[at + 32]);
+        s.numEvents = num_events;
+        for (std::size_t i = 0; i < maxSampleEvents; ++i)
+            s.counts[i] = get64(bytes, at + 40 + 8 * i);
+
+        // Crossing an epoch boundary between kept samples is a
+        // monitoring outage: record the explicit gap.
+        if (have_sample && epoch != last_sample_epoch) {
+            GapRecord gap;
+            gap.fromEpoch = last_sample_epoch;
+            gap.toEpoch = epoch;
+            gap.from = last_sample_tick;
+            gap.to = ts;
+            rep.gapTicks += gap.to - gap.from;
+            rep.gaps.push_back(gap);
+        }
+        last_sample_tick = ts;
+        last_sample_epoch = epoch;
+        have_sample = true;
+
+        ++rep.samplesRecovered;
+        out.samples.push_back(s);
+        out.sampleEpochs.push_back(epoch);
+    }
+
+    const std::uint64_t present =
+        rep.framesKept + rep.framesDropped;
+    if (present <= rep.framesEmitted) {
+        rep.framesVanished = rep.framesEmitted - present;
+    } else {
+        rep.violations.push_back(csprintf(
+            "medium holds %llu frames but the writer recorded "
+            "only %llu",
+            (unsigned long long)present,
+            (unsigned long long)rep.framesEmitted));
+    }
+    return out;
+}
+
+stats::TimeSeries
+LogRecovery::splice(const RecoveredLog &recovered,
+                    const std::vector<std::string> &channel_names)
+{
+    std::vector<std::string> names = channel_names;
+    names.emplace_back("gap_ticks");
+    stats::TimeSeries ts(names);
+
+    for (std::size_t i = 0; i < recovered.samples.size(); ++i) {
+        const Sample &s = recovered.samples[i];
+        if (s.numEvents < channel_names.size())
+            continue; // arity mismatch: scan already flagged it
+        std::vector<double> row;
+        row.reserve(names.size());
+        for (std::size_t c = 0; c < channel_names.size(); ++c)
+            row.push_back(static_cast<double>(s.counts[c]));
+        double gap = 0.0;
+        if (i > 0 && recovered.sampleEpochs[i] !=
+                         recovered.sampleEpochs[i - 1])
+            gap = static_cast<double>(
+                s.timestamp -
+                recovered.samples[i - 1].timestamp);
+        row.push_back(gap);
+        ts.append(s.timestamp, row);
+    }
+    return ts;
+}
+
+} // namespace klebsim::kleb

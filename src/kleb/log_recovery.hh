@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Post-crash recovery scan over a DurableLog medium.
+ *
+ * LogRecovery::scan() walks the fixed-size frame slots, validates
+ * magic/CRC/sequence numbers, and classifies every frame the writer
+ * ever emitted into exactly one of three buckets:
+ *
+ *  - kept:     the slot is present and intact;
+ *  - dropped:  the slot is present but corrupt (bad magic, CRC
+ *              mismatch, torn partial tail) — fixed-size slots mean
+ *              a corrupt slot consumes exactly one sequence number;
+ *  - vanished: the header says the writer appended it but the
+ *              medium no longer holds a slot for it (truncation
+ *              past a frame boundary).
+ *
+ * So the accounting balances exactly:
+ *     kept + dropped + vanished == header.framesAppended.
+ *
+ * Outage gaps are derived from epoch structure: whenever kept
+ * sample frames change epoch, the span from the last pre-crash
+ * sample to the first post-restart sample is recorded as a
+ * GapRecord, summed into gapTicks, and surfaced as the `gap_ticks`
+ * channel of the spliced time series (and the `gaps` field of
+ * stats::LossCounts).
+ */
+
+#ifndef KLEBSIM_KLEB_LOG_RECOVERY_HH
+#define KLEBSIM_KLEB_LOG_RECOVERY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "durable_log.hh"
+#include "sample.hh"
+#include "stats/summary.hh"
+#include "stats/time_series.hh"
+
+namespace klebsim::kleb
+{
+
+/** One monitoring outage spliced over during recovery. */
+struct GapRecord
+{
+    std::uint32_t fromEpoch = 0; //!< epoch of the last sample before
+    std::uint32_t toEpoch = 0;   //!< epoch of the first sample after
+    Tick from = 0;               //!< last durable pre-outage sample
+    Tick to = 0;                 //!< first durable post-outage sample
+};
+
+/** What a recovery scan found. */
+struct RecoveryReport
+{
+    /** Header parsed (magic/version ok, length >= header). */
+    bool valid = false;
+
+    /** Writer-side frame count from the durable header. */
+    std::uint64_t framesEmitted = 0;
+
+    /** Intact frames (epoch + sample). */
+    std::uint64_t framesKept = 0;
+
+    /** Present-but-corrupt slots (incl. a torn partial tail). */
+    std::uint64_t framesDropped = 0;
+
+    /** Emitted frames with no slot left on the medium. */
+    std::uint64_t framesVanished = 0;
+
+    /** Medium ends in a partial (torn) frame slot. */
+    bool tornTail = false;
+
+    /** Epoch-begin frames recovered intact. */
+    std::uint32_t epochs = 0;
+
+    /** Intact sample frames. */
+    std::uint64_t samplesRecovered = 0;
+
+    /** Outages between consecutive kept-sample epochs. */
+    std::vector<GapRecord> gaps;
+
+    /** Total simulated time covered by the gaps. */
+    Tick gapTicks = 0;
+
+    /** Sequence/ordering/structure anomalies (diagnostics). */
+    std::vector<std::string> violations;
+
+    /** Exact frame accounting (must hold for any valid medium). */
+    bool
+    balanced() const
+    {
+        return valid && framesKept + framesDropped +
+                            framesVanished == framesEmitted;
+    }
+
+    /**
+     * The scan folded into the shared loss-accounting shape:
+     * accepted = recovered samples, dropped = corrupt slots,
+     * gaps = vanished frames.
+     */
+    stats::LossCounts losses() const;
+};
+
+/** A scanned medium: the report plus the kept sample frames. */
+struct RecoveredLog
+{
+    RecoveryReport report;
+    std::vector<Sample> samples;
+    std::vector<std::uint32_t> sampleEpochs; //!< parallel to samples
+};
+
+class LogRecovery
+{
+  public:
+    /** Scan @p bytes (a DurableLog medium, possibly corrupted). */
+    static RecoveredLog scan(const std::vector<std::uint8_t> &bytes);
+
+    /**
+     * Splice the kept samples of every epoch into one TimeSeries.
+     * Channels are @p channel_names (one per configured event, in
+     * sample-column order) plus a final "gap_ticks" channel that is
+     * nonzero exactly on the first sample after each outage,
+     * carrying the outage length.
+     */
+    static stats::TimeSeries
+    splice(const RecoveredLog &recovered,
+           const std::vector<std::string> &channel_names);
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_LOG_RECOVERY_HH

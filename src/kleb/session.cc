@@ -67,6 +67,14 @@ Session::Session(kernel::System &sys, Options options)
 
 Session::~Session()
 {
+    // Exactly-once module teardown: whoever unloads first (the
+    // sequential runner, a test, or this destructor) trips the
+    // module hook, which nulls module_ — so the rmmod below can
+    // never run twice, and a module left loaded by a dead
+    // controller (supervisor out of budget, degrade path) is still
+    // reclaimed here.
+    if (module_ != nullptr)
+        sys_.kernel().unloadModule(devPath_);
     if (moduleHookId_ != -1)
         sys_.kernel().unregisterModuleHook(moduleHookId_);
 }
@@ -93,29 +101,34 @@ Session::monitor(kernel::Process *target, bool start_target)
         return;
     }
 
-    KLebConfig cfg;
-    cfg.targetPid = target->pid();
-    cfg.events = options_.events;
-    cfg.timerPeriod = options_.period;
-    cfg.bufferCapacity = options_.bufferCapacity;
-    cfg.traceChildren = options_.traceChildren;
-    cfg.countKernel = options_.countKernel;
+    cfg_ = KLebConfig{};
+    cfg_.targetPid = target->pid();
+    cfg_.events = options_.events;
+    cfg_.timerPeriod = options_.period;
+    cfg_.bufferCapacity = options_.bufferCapacity;
+    cfg_.traceChildren = options_.traceChildren;
+    cfg_.countKernel = options_.countKernel;
 
     auto on_started = [this, target, start_target] {
         if (options_.idealTimer && module_ && module_->timer()) {
             module_->timer()->setJitterModel(
                 hw::TimerJitterModel::ideal());
         }
-        if (start_target)
+        if (start_target && target->state() ==
+                                kernel::ProcState::created)
             sys_.kernel().startProcess(target);
     };
+
+    if (options_.supervise || options_.durableLog)
+        durableLog_ = std::make_unique<DurableLog>();
 
     // The ideal-timer override must also apply to a timer created
     // after START; install via the behavior's start hook above and
     // again below in case of re-arm.
     behavior_ = std::make_unique<ControllerBehavior>(
-        module_, devPath_, cfg, on_started,
+        module_, devPath_, cfg_, on_started,
         options_.controllerTuning);
+    plumbBehavior(*behavior_);
 
     CoreId core = options_.controllerCore != invalidCore
                       ? options_.controllerCore
@@ -123,6 +136,101 @@ Session::monitor(kernel::Process *target, bool start_target)
     controller_ = sys_.kernel().createService(
         "kleb-controller", behavior_.get(), core);
     sys_.kernel().startProcess(controller_);
+
+    if (options_.supervise) {
+        heartbeat_.lastBeat = sys_.now();
+        SupervisorBehavior::Ward ward;
+        ward.controller = [this] { return controller_; };
+        ward.finishedCleanly = [this] {
+            return behavior_ && behavior_->finished() &&
+                   !behavior_->aborted();
+        };
+        ward.moduleLoaded = [this] {
+            return module_ != nullptr;
+        };
+        ward.restart = [this](Tick) {
+            return restartController();
+        };
+        ward.giveUp = [this, target, start_target] {
+            // Monitoring is over for good; make sure the target at
+            // least runs so the simulation can finish.
+            if (start_target && target->state() ==
+                                    kernel::ProcState::created)
+                sys_.kernel().startProcess(target);
+        };
+        supervisorBehavior_ =
+            std::make_unique<SupervisorBehavior>(
+                std::move(ward), &heartbeat_,
+                options_.supervisorTuning);
+        // The watchdog must not share a CPU with its ward: a hung
+        // controller wedges inside a syscall that monopolizes its
+        // core, and a same-core supervisor would be starved of the
+        // very poll that is meant to detect the hang.
+        CoreId sup_core = core;
+        if (sys_.kernel().numCores() > 1)
+            sup_core = static_cast<CoreId>(
+                (core + 1) % sys_.kernel().numCores());
+        supervisor_ = sys_.kernel().createService(
+            "kleb-supervisor", supervisorBehavior_.get(),
+            sup_core);
+        sys_.kernel().startProcess(supervisor_);
+    }
+}
+
+void
+Session::plumbBehavior(ControllerBehavior &b)
+{
+    if (durableLog_)
+        b.setDurableLog(durableLog_.get());
+    if (options_.supervise)
+        b.setHeartbeat(&heartbeat_);
+}
+
+kernel::Process *
+Session::restartController()
+{
+    if (module_ == nullptr)
+        return nullptr;
+
+    retired_.push_back(std::move(behavior_));
+
+    auto on_attached = [this] {
+        if (options_.idealTimer && module_ && module_->timer()) {
+            module_->timer()->setJitterModel(
+                hw::TimerJitterModel::ideal());
+        }
+        // The predecessor may have died before ever starting the
+        // target (crash between CONFIG and START): the reattach
+        // fallback path re-arms and starts it now.
+        if (target_ && target_->state() ==
+                           kernel::ProcState::created)
+            sys_.kernel().startProcess(target_);
+        if (supervisorBehavior_)
+            supervisorBehavior_->noteReattach(true);
+    };
+
+    behavior_ = std::make_unique<ControllerBehavior>(
+        module_, devPath_, cfg_, on_attached,
+        options_.controllerTuning,
+        ControllerBehavior::Mode::reattach);
+    plumbBehavior(*behavior_);
+    behavior_->setOnAborted([this](bool armed) {
+        if (!armed && supervisorBehavior_)
+            supervisorBehavior_->noteReattach(false);
+    });
+
+    // Fresh grace period: the replacement needs setup + attach
+    // time before its first beat.
+    heartbeat_.lastBeat = sys_.now();
+
+    CoreId core = options_.controllerCore != invalidCore
+                      ? options_.controllerCore
+                      : (target_ ? target_->affinity() : CoreId{0});
+    controller_ = sys_.kernel().createService(
+        csprintf("kleb-controller-r%zu", retired_.size()),
+        behavior_.get(), core);
+    sys_.kernel().startProcess(controller_);
+    return controller_;
 }
 
 bool
@@ -138,7 +246,30 @@ const std::vector<Sample> &
 Session::samples() const
 {
     static const std::vector<Sample> empty;
-    return behavior_ ? behavior_->log() : empty;
+    if (retired_.empty())
+        return behavior_ ? behavior_->log() : empty;
+    // Supervised sessions splice every incarnation's log, in
+    // incarnation order (which is also time order).
+    mergedSamples_.clear();
+    for (const auto &b : retired_)
+        mergedSamples_.insert(mergedSamples_.end(),
+                              b->log().begin(), b->log().end());
+    if (behavior_)
+        mergedSamples_.insert(mergedSamples_.end(),
+                              behavior_->log().begin(),
+                              behavior_->log().end());
+    return mergedSamples_;
+}
+
+std::uint64_t
+Session::retries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : retired_)
+        total += b->retries();
+    if (behavior_)
+        total += behavior_->retries();
+    return total;
 }
 
 stats::TimeSeries

@@ -22,12 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "durable_log.hh"
 #include "kernel/system.hh"
 #include "kleb_config.hh"
 #include "kleb_controller.hh"
 #include "kleb_module.hh"
 #include "stats/summary.hh"
 #include "stats/time_series.hh"
+#include "supervisor.hh"
 
 namespace klebsim::kleb
 {
@@ -68,9 +70,37 @@ class Session
          * still runs the target, just unmonitored.
          */
         int loadRetries = 2;
+
+        /**
+         * Journal every drained sample into a crash-durable,
+         * checksummed log (src/kleb/durable_log.hh) that
+         * LogRecovery can replay after a crash.  Off by default:
+         * fault-free runs stay byte-identical to earlier builds.
+         */
+        bool durableLog = false;
+
+        /**
+         * Spawn a supervisor service that watches the controller's
+         * heartbeat and restarts it (bounded, backed off) on death
+         * or hang, re-attaching to the still-loaded module.
+         * Implies durableLog.  Off by default for the same
+         * byte-identical reason.
+         */
+        bool supervise = false;
+
+        SupervisorBehavior::Tuning supervisorTuning{};
     };
 
     Session(kernel::System &sys, Options options);
+
+    /**
+     * Unloads the module if this session still owns a loaded one —
+     * exactly once, whatever path led here (clean finish, degrade,
+     * supervisor giving up with the controller dead): the unload
+     * hook nulls module_ so a module already removed (by the
+     * sequential runner, a test, or a crash of the whole machine)
+     * is never double-rmmod'ed.
+     */
     ~Session();
 
     Session(const Session &) = delete;
@@ -106,11 +136,13 @@ class Session
     bool aborted() const
     { return behavior_ && behavior_->aborted(); }
 
-    /** Transient chardev failures the controller retried through. */
-    std::uint64_t retries() const
-    { return behavior_ ? behavior_->retries() : 0; }
+    /** Transient chardev failures retried, over all incarnations. */
+    std::uint64_t retries() const;
 
-    /** All samples the controller logged. */
+    /**
+     * All samples logged, across every controller incarnation (a
+     * supervised session may have several after restarts).
+     */
     const std::vector<Sample> &samples() const;
 
     /** Cumulative counter time series (one channel per event). */
@@ -154,7 +186,31 @@ class Session
     kernel::Process *target() { return target_; }
     const std::string &devPath() const { return devPath_; }
 
+    /** Durable sample journal (null unless enabled). */
+    const DurableLog *durableLog() const { return durableLog_.get(); }
+
+    /** Supervision outcome (all-zero when unsupervised). */
+    SupervisorStats supervisorStats() const
+    {
+        return supervisorBehavior_ ? supervisorBehavior_->stats()
+                                   : SupervisorStats{};
+    }
+
+    /** Controller incarnations spawned (1 = never restarted). */
+    std::size_t incarnations() const
+    { return retired_.size() + (behavior_ ? 1 : 0); }
+
   private:
+    /**
+     * Supervisor restart path: retire the dead incarnation and
+     * spawn a replacement in reattach mode.  Returns the new
+     * controller process, or null when the module is gone.
+     */
+    kernel::Process *restartController();
+
+    /** Wire heartbeat/durable-log/abort plumbing into @p b. */
+    void plumbBehavior(ControllerBehavior &b);
+
     kernel::System &sys_;
     Options options_;
     std::string devPath_;
@@ -162,6 +218,16 @@ class Session
     std::unique_ptr<ControllerBehavior> behavior_;
     kernel::Process *controller_ = nullptr;
     kernel::Process *target_ = nullptr;
+
+    /** Dead incarnations, kept alive for their logs/counters. */
+    std::vector<std::unique_ptr<ControllerBehavior>> retired_;
+    mutable std::vector<Sample> mergedSamples_;
+
+    KLebConfig cfg_{};
+    Heartbeat heartbeat_;
+    std::unique_ptr<DurableLog> durableLog_;
+    std::unique_ptr<SupervisorBehavior> supervisorBehavior_;
+    kernel::Process *supervisor_ = nullptr;
 
     bool loadFailed_ = false;
     int loadAttempts_ = 0;

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Controller supervision (DESIGN.md section 11).
+ *
+ * A SupervisorBehavior is a small kernel service that watches the
+ * K-LEB controller for death or hang and restarts it, bounded by a
+ * restart budget with exponential backoff.  Liveness is judged from
+ * a heartbeat the controller beats on every successful chardev
+ * syscall (piggybacked on the drain path — no extra traffic), so a
+ * wedged controller that is technically alive still trips the
+ * timeout and is killed before being replaced.
+ *
+ * The supervisor never owns the controller: it calls back into the
+ * Session (the Ward) to spawn replacement incarnations, which
+ * re-attach to the still-loaded module whose ring buffer kept
+ * collecting during the outage.  It exits on clean controller
+ * finish, on module unload, or once the restart budget is spent —
+ * so a supervised run always drains its event queue.
+ */
+
+#ifndef KLEBSIM_KLEB_SUPERVISOR_HH
+#define KLEBSIM_KLEB_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/types.hh"
+#include "kernel/service.hh"
+
+namespace klebsim::kleb
+{
+
+/**
+ * Shared-memory heartbeat cell.  The controller stamps it; the
+ * supervisor compares it against the timeout.
+ */
+struct Heartbeat
+{
+    Tick lastBeat = 0;
+    std::uint64_t beats = 0;
+};
+
+/** Everything the supervisor did, for reports and invariants. */
+struct SupervisorStats
+{
+    std::uint64_t polls = 0;
+    std::uint64_t restarts = 0;          //!< replacements spawned
+    std::uint64_t reattaches = 0;        //!< ATTACH ioctls that landed
+    std::uint64_t failedReattaches = 0;  //!< replacements that aborted
+    std::uint64_t kills = 0;             //!< hung controllers killed
+    int budget = 0;                      //!< configured restart budget
+    bool budgetExhausted = false;
+    Tick totalOutage = 0;   //!< controller death -> replacement spawn
+    Tick lastRestartTick = 0;
+};
+
+class SupervisorBehavior : public kernel::ServiceBehavior
+{
+  public:
+    struct Tuning
+    {
+        /** Poll interval (should undercut the heartbeat timeout). */
+        Tick pollInterval = msToTicks(2);
+
+        /** Heartbeat staleness that counts as a hang. */
+        Tick heartbeatTimeout = msToTicks(25);
+
+        /** Max replacement controllers spawned per session. */
+        int restartBudget = 3;
+
+        /** First restart delay; doubles per consecutive restart. */
+        Tick restartBackoff = usToTicks(200);
+
+        /** CPU cost of one liveness check. */
+        Tick pollCost = usToTicks(3);
+
+        /** Poll working-set footprint. */
+        std::uint64_t pollFootprint = 2048;
+    };
+
+    /** Callbacks into the owning Session. */
+    struct Ward
+    {
+        /** Current controller process (may be null). */
+        std::function<kernel::Process *()> controller;
+
+        /** Controller finished its loop without aborting. */
+        std::function<bool()> finishedCleanly;
+
+        /** The module is still loaded (re-attach possible). */
+        std::function<bool()> moduleLoaded;
+
+        /**
+         * Spawn a replacement controller; @p death_tick is when the
+         * previous incarnation died.  Returns the new process or
+         * null when a restart is impossible.
+         */
+        std::function<kernel::Process *(Tick death_tick)> restart;
+
+        /**
+         * Called once when supervision ends without a live
+         * monitoring pipeline (budget exhausted or module gone), so
+         * the session can degrade instead of wedging.
+         */
+        std::function<void()> giveUp;
+    };
+
+    SupervisorBehavior(Ward ward, const Heartbeat *heartbeat,
+                       Tuning tuning);
+
+    kernel::ServiceOp nextOp(kernel::Kernel &kernel,
+                             kernel::Process &self) override;
+
+    const SupervisorStats &stats() const { return stats_; }
+
+    /**
+     * Outcome report from a replacement incarnation: true once its
+     * ATTACH (or fallback CONFIG/START) landed, false if it aborted
+     * before arming monitoring.
+     */
+    void noteReattach(bool armed);
+
+    /** True once the supervisor exited its loop. */
+    bool done() const { return state_ == State::done; }
+
+  private:
+    enum class State
+    {
+        poll,
+        evaluate,
+        backoff,
+        restart,
+        done,
+    };
+
+    Ward ward_;
+    const Heartbeat *heartbeat_;
+    Tuning tuning_;
+
+    State state_ = State::poll;
+    SupervisorStats stats_;
+    Tick deathTick_ = 0;
+    bool gaveUp_ = false;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_SUPERVISOR_HH

@@ -26,17 +26,23 @@ LossCounts::merge(const LossCounts &other)
     dropped += other.dropped;
     overflow += other.overflow;
     underflow += other.underflow;
+    gaps += other.gaps;
 }
 
 std::string
 LossCounts::str() const
 {
-    return csprintf("accepted=%llu dropped=%llu overflow=%llu "
-                    "underflow=%llu",
-                    static_cast<unsigned long long>(accepted),
-                    static_cast<unsigned long long>(dropped),
-                    static_cast<unsigned long long>(overflow),
-                    static_cast<unsigned long long>(underflow));
+    std::string s =
+        csprintf("accepted=%llu dropped=%llu overflow=%llu "
+                 "underflow=%llu",
+                 static_cast<unsigned long long>(accepted),
+                 static_cast<unsigned long long>(dropped),
+                 static_cast<unsigned long long>(overflow),
+                 static_cast<unsigned long long>(underflow));
+    if (gaps != 0)
+        s += csprintf(" gaps=%llu",
+                      static_cast<unsigned long long>(gaps));
+    return s;
 }
 
 RunningStats::RunningStats()

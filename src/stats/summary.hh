@@ -28,14 +28,16 @@ struct LossCounts
     std::uint64_t dropped = 0;   //!< rejected for lack of space
     std::uint64_t overflow = 0;  //!< above the representable range
     std::uint64_t underflow = 0; //!< below the representable range
+    std::uint64_t gaps = 0;      //!< samples lost to outage windows
+                                 //!< (crash recovery, section 11)
 
     /** Everything offered to the collector. */
     std::uint64_t total() const
-    { return accepted + dropped + overflow + underflow; }
+    { return accepted + dropped + overflow + underflow + gaps; }
 
     /** Everything that did not land in a regular slot. */
     std::uint64_t lost() const
-    { return dropped + overflow + underflow; }
+    { return dropped + overflow + underflow + gaps; }
 
     /** lost() / total(), 0 when nothing was offered. */
     double lossFraction() const;
@@ -43,7 +45,11 @@ struct LossCounts
     /** Accumulate another collector's losses. */
     void merge(const LossCounts &other);
 
-    /** "accepted=N dropped=N overflow=N underflow=N" for reports. */
+    /**
+     * "accepted=N dropped=N overflow=N underflow=N" for reports;
+     * " gaps=N" is appended only when nonzero so pre-recovery
+     * outputs render byte-identically.
+     */
     std::string str() const;
 };
 

@@ -3,6 +3,7 @@
 #include "base/logging.hh"
 #include "bench_support/trial_pool.hh"
 #include "fault/fault_injector.hh"
+#include "hw/perf_event.hh"
 #include "instrumented.hh"
 #include "kernel/system.hh"
 #include "kleb/session.hh"
@@ -130,12 +131,35 @@ runOnce(const RunConfig &cfg)
         opts.period = cfg.period;
         opts.countKernel = cfg.countKernel;
         opts.idealTimer = cfg.idealTimer;
-        if (injector)
-            opts.controllerTuning.drainStallHook =
-                injector->readerStallHook();
+        opts.durableLog = cfg.durableLog || cfg.supervise;
+        opts.supervise = cfg.supervise;
+        if (cfg.heartbeatTimeout > 0)
+            opts.supervisorTuning.heartbeatTimeout =
+                cfg.heartbeatTimeout;
+        if (cfg.restartBudget >= 0)
+            opts.supervisorTuning.restartBudget = cfg.restartBudget;
+        if (cfg.restartBackoff > 0)
+            opts.supervisorTuning.restartBackoff =
+                cfg.restartBackoff;
+        if (injector) {
+            // A hang and a stall can both stretch the drain sleep;
+            // compose the hooks so either plan key works alone.
+            auto stall = injector->readerStallHook();
+            auto hang = injector->controllerHangHook(sys);
+            if (stall && hang)
+                opts.controllerTuning.drainStallHook =
+                    [stall, hang]() { return stall() + hang(); };
+            else if (hang)
+                opts.controllerTuning.drainStallHook = hang;
+            else
+                opts.controllerTuning.drainStallHook = stall;
+        }
         kleb_session =
             std::make_unique<kleb::Session>(sys, opts);
         kleb_session->monitor(target);
+        if (injector)
+            injector->scheduleControllerCrash(
+                sys, kleb_session->controllerProcess());
         break;
       }
 
@@ -197,6 +221,25 @@ runOnce(const RunConfig &cfg)
         result.klebAborted = kleb_session->aborted();
         result.klebRetries = kleb_session->retries();
         result.klebLoadAttempts = kleb_session->loadAttempts();
+        result.supervisor = kleb_session->supervisorStats();
+        if (const kleb::DurableLog *dlog =
+                kleb_session->durableLog()) {
+            // Crash recovery runs over a copy of the medium so the
+            // post-run corruption faults (torn tail, bitflips)
+            // never touch the live session state.
+            std::vector<std::uint8_t> medium = dlog->bytes();
+            if (injector)
+                injector->corruptLog(medium,
+                                     kleb::DurableLog::headerSize);
+            kleb::RecoveredLog rec = kleb::LogRecovery::scan(medium);
+            result.recovery = rec.report;
+            std::vector<std::string> names;
+            names.reserve(cfg.events.size());
+            for (hw::HwEvent ev : cfg.events)
+                names.emplace_back(hw::eventName(ev));
+            result.recoveredSeries =
+                kleb::LogRecovery::splice(rec, names);
+        }
         break;
       }
       case ToolKind::perfStat:

@@ -21,6 +21,8 @@
 #include "hw/machine_config.hh"
 #include "kernel/cost_model.hh"
 #include "kleb/kleb_config.hh"
+#include "kleb/log_recovery.hh"
+#include "kleb/supervisor.hh"
 #include "stats/time_series.hh"
 
 namespace klebsim::tools
@@ -98,6 +100,29 @@ struct RunConfig
      */
     std::string faultSpec;
 
+    /**
+     * @{ Crash-survivable monitoring (tool == kleb only; DESIGN.md
+     * section 11).  All off by default — a plain run stays
+     * byte-identical to builds without the recovery subsystem.
+     */
+
+    /** Supervise the controller (implies a durable log). */
+    bool supervise = false;
+
+    /** Journal drained samples to the durable log. */
+    bool durableLog = false;
+
+    /** Heartbeat staleness treated as a hang; 0 keeps the default. */
+    Tick heartbeatTimeout = 0;
+
+    /** Restart budget; negative keeps the default. */
+    int restartBudget = -1;
+
+    /** First restart backoff; 0 keeps the default. */
+    Tick restartBackoff = 0;
+
+    /** @} */
+
     /** Hard cap on simulated time (safety against hangs). */
     Tick simLimit = secToTicks(120.0);
 };
@@ -141,6 +166,19 @@ struct RunResult
 
     /** insmod attempts the K-LEB session needed (0 = not kleb). */
     int klebLoadAttempts = 0;
+
+    /** @} */
+
+    /** @{ Crash-recovery outcome (durable-log runs only). */
+
+    /** Scan report over the (possibly corrupted) durable log. */
+    kleb::RecoveryReport recovery{};
+
+    /** Recovered, gap-annotated series spliced from the log. */
+    std::optional<stats::TimeSeries> recoveredSeries;
+
+    /** Supervisor bookkeeping (zero when unsupervised). */
+    kleb::SupervisorStats supervisor{};
 
     /** @} */
 

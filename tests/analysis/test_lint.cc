@@ -377,3 +377,114 @@ TEST(Lint, FaultHookCoverageCleanOnRealTree)
     for (const auto &v : linter.scanTree("."))
         EXPECT_NE(v.rule, "fault-hook-coverage") << v.str();
 }
+
+TEST(Lint, HeartbeatCoverageFlagsUntestedCrashFault)
+{
+    Linter linter;
+    const std::string def =
+        "KLEB_FAULT_POINT(controllerCrash, \"controller.crash\")\n"
+        "KLEB_FAULT_POINT(logTornTail, \"log.torn_tail\")\n";
+
+    // No chaos test mentions either key: two coverage holes.
+    auto vs = linter.checkHeartbeatCoverage(
+        "src/fault/fault_points.def", def, {});
+    ASSERT_EQ(vs.size(), 2u);
+    EXPECT_EQ(vs[0].rule, "heartbeat-coverage");
+    EXPECT_EQ(vs[0].line, 1u);
+    EXPECT_NE(vs[0].message.find("controller.crash"),
+              std::string::npos);
+    EXPECT_NE(vs[1].message.find("log.torn_tail"),
+              std::string::npos);
+
+    // A test injecting one key clears exactly that entry.
+    std::vector<std::pair<std::string, std::string>> tests = {
+        {"tests/fault/test_recovery_chaos.cc",
+         "runSupervised(\"controller.crash=8ms\", 1);\n"}};
+    vs = linter.checkHeartbeatCoverage(
+        "src/fault/fault_points.def", def, tests);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_NE(vs[0].message.find("log.torn_tail"),
+              std::string::npos);
+}
+
+TEST(Lint, HeartbeatCoverageOnlySupervisedPrefixes)
+{
+    Linter linter;
+    // Non-supervised keys (timer.*, ioctl.*, ...) are the
+    // fault-hook-coverage rule's business, not this one's; the doc
+    // comment's macro form is not an entry either.
+    const std::string def =
+        "// Columns: KLEB_FAULT_POINT(enumerator, \"spec-key\")\n"
+        "KLEB_FAULT_POINT(timerMiss, \"timer.miss\")\n"
+        "KLEB_FAULT_POINT(ioctlFail, \"ioctl.fail\")\n";
+    EXPECT_TRUE(linter
+                    .checkHeartbeatCoverage(
+                        "src/fault/fault_points.def", def, {})
+                    .empty());
+}
+
+TEST(Lint, HeartbeatCoverageCleanOnRealTree)
+{
+    // Every controller.* / log.* fault point shipped must be
+    // injected by at least one chaos test (part of `lint.sources`).
+    namespace fs = std::filesystem;
+    fs::path def = fs::path("src") / "fault" / "fault_points.def";
+    if (!fs::exists(def))
+        GTEST_SKIP() << "run from the repo root to check the tree";
+    Linter linter;
+    for (const auto &v : linter.scanTree("."))
+        EXPECT_NE(v.rule, "heartbeat-coverage") << v.str();
+}
+
+TEST(Lint, AllowlistDanglingEntryFlagged)
+{
+    Linter linter;
+    std::string err;
+    ASSERT_TRUE(linter.loadAllowlistFromString(
+        "# carve-outs\n"
+        "wall-clock src/gone/legacy.cc\n"
+        "printf-family src/tools/report.cc\n",
+        "tools/lint_allowlist.txt", &err))
+        << err;
+
+    // Only report.cc still exists: the legacy carve-out dangles,
+    // and the violation points at the allowlist file and line.
+    auto vs = linter.checkAllowlistEntries(
+        {"src/tools/report.cc", "src/kleb/session.cc"});
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "allowlist-dangling");
+    EXPECT_EQ(vs[0].file, "tools/lint_allowlist.txt");
+    EXPECT_EQ(vs[0].line, 2u);
+    EXPECT_NE(vs[0].text.find("src/gone/legacy.cc"),
+              std::string::npos);
+
+    // Prefix semantics: a directory prefix matching any file is
+    // alive, and programmatic allow() entries are never checked.
+    Linter dir_linter;
+    ASSERT_TRUE(dir_linter.loadAllowlistFromString(
+        "raw-random src/hw/\n", "allow.txt", &err))
+        << err;
+    dir_linter.allow("wall-clock", "src/never/checked.cc");
+    EXPECT_TRUE(dir_linter
+                    .checkAllowlistEntries({"src/hw/pmu.cc"})
+                    .empty());
+    EXPECT_EQ(dir_linter.checkAllowlistEntries({"src/kleb/a.cc"})
+                  .size(),
+              1u);
+}
+
+TEST(Lint, AllowlistCleanOnRealTree)
+{
+    // The shipped allowlist must not carry carve-outs for files
+    // that no longer exist.
+    namespace fs = std::filesystem;
+    if (!fs::exists(fs::path("tools") / "lint_allowlist.txt"))
+        GTEST_SKIP() << "run from the repo root to check the tree";
+    Linter linter;
+    std::string err;
+    ASSERT_TRUE(linter.loadAllowlist("tools/lint_allowlist.txt",
+                                     &err))
+        << err;
+    for (const auto &v : linter.scanTree("."))
+        EXPECT_NE(v.rule, "allowlist-dangling") << v.str();
+}

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "kleb/durable_log.hh"
+#include "kleb/log_recovery.hh"
+
+using namespace klebsim;
+using namespace klebsim::kleb;
+
+namespace
+{
+
+/** A deterministic, distinctive sample for slot @p i. */
+Sample
+sampleAt(std::uint64_t i)
+{
+    Sample s;
+    s.timestamp = 1000 + i * 250;
+    s.cause = SampleCause::timer;
+    s.numEvents = 3;
+    s.counts = {};
+    for (std::size_t c = 0; c < 3; ++c)
+        s.counts[c] = i * 100 + c * 7;
+    return s;
+}
+
+bool
+sameSample(const Sample &a, const Sample &b)
+{
+    return a.timestamp == b.timestamp && a.cause == b.cause &&
+           a.numEvents == b.numEvents && a.counts == b.counts;
+}
+
+/** A log with @p epochs epochs of @p per samples each. */
+DurableLog
+makeLog(std::uint32_t epochs, std::uint64_t per)
+{
+    DurableLog log;
+    std::uint64_t i = 0;
+    for (std::uint32_t e = 0; e < epochs; ++e) {
+        // Epoch frames sit just before their first sample so the
+        // whole medium stays time-monotone.
+        log.beginEpoch(sampleAt(i).timestamp - 50);
+        for (std::uint64_t k = 0; k < per; ++k)
+            log.append(sampleAt(i++));
+    }
+    return log;
+}
+
+bool
+sameReports(const RecoveryReport &a, const RecoveryReport &b)
+{
+    return a.valid == b.valid && a.framesEmitted == b.framesEmitted &&
+           a.framesKept == b.framesKept &&
+           a.framesDropped == b.framesDropped &&
+           a.framesVanished == b.framesVanished &&
+           a.tornTail == b.tornTail && a.epochs == b.epochs &&
+           a.samplesRecovered == b.samplesRecovered &&
+           a.gapTicks == b.gapTicks &&
+           a.gaps.size() == b.gaps.size();
+}
+
+} // namespace
+
+TEST(Crc32c, KnownAnswer)
+{
+    // The canonical CRC32C check value: "123456789" -> 0xE3069283
+    // (RFC 3720 appendix B / the iSCSI test vector).
+    const char *msg = "123456789";
+    EXPECT_EQ(crc32c(reinterpret_cast<const std::uint8_t *>(msg),
+                     std::strlen(msg)),
+              0xE3069283u);
+}
+
+TEST(Crc32c, SeedChainsIncrementally)
+{
+    // crc(a+b) == crc(b, seeded with crc(a)): the seed parameter
+    // makes incremental framing possible.
+    const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::uint32_t whole = crc32c(data, 8);
+    std::uint32_t first = crc32c(data, 3);
+    EXPECT_EQ(crc32c(data + 3, 5, first), whole);
+    EXPECT_NE(crc32c(data, 8, 1), whole);
+}
+
+TEST(DurableLog, LayoutAndCounters)
+{
+    DurableLog log = makeLog(1, 5);
+    EXPECT_EQ(log.epochsOpened(), 1u);
+    EXPECT_EQ(log.samplesAppended(), 5u);
+    EXPECT_EQ(log.framesAppended(), 6u); // epoch frame + 5 samples
+    EXPECT_EQ(log.bytes().size(),
+              DurableLog::headerSize + 6 * DurableLog::frameSize);
+}
+
+TEST(DurableLog, CleanRoundTrip)
+{
+    DurableLog log = makeLog(1, 20);
+    RecoveredLog rec = LogRecovery::scan(log.bytes());
+
+    EXPECT_TRUE(rec.report.valid);
+    EXPECT_TRUE(rec.report.balanced());
+    EXPECT_EQ(rec.report.framesEmitted, log.framesAppended());
+    EXPECT_EQ(rec.report.framesKept, log.framesAppended());
+    EXPECT_EQ(rec.report.framesDropped, 0u);
+    EXPECT_EQ(rec.report.framesVanished, 0u);
+    EXPECT_FALSE(rec.report.tornTail);
+    EXPECT_EQ(rec.report.epochs, 1u);
+    EXPECT_TRUE(rec.report.gaps.empty());
+    EXPECT_TRUE(rec.report.violations.empty())
+        << rec.report.violations.front();
+    ASSERT_EQ(rec.samples.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_TRUE(sameSample(rec.samples[i], sampleAt(i))) << i;
+}
+
+TEST(DurableLog, MultiEpochGapRecords)
+{
+    DurableLog log = makeLog(3, 4);
+    RecoveredLog rec = LogRecovery::scan(log.bytes());
+
+    EXPECT_TRUE(rec.report.balanced());
+    EXPECT_EQ(rec.report.epochs, 3u);
+    ASSERT_EQ(rec.report.gaps.size(), 2u);
+    // Gap spans run from the last pre-outage sample to the first
+    // post-restart sample; epochs are adjacent incarnations.
+    EXPECT_EQ(rec.report.gaps[0].fromEpoch, 0u);
+    EXPECT_EQ(rec.report.gaps[0].toEpoch, 1u);
+    EXPECT_EQ(rec.report.gaps[0].from, sampleAt(3).timestamp);
+    EXPECT_EQ(rec.report.gaps[0].to, sampleAt(4).timestamp);
+    Tick expected = (sampleAt(4).timestamp - sampleAt(3).timestamp) +
+                    (sampleAt(8).timestamp - sampleAt(7).timestamp);
+    EXPECT_EQ(rec.report.gapTicks, expected);
+
+    // The spliced series carries the outages in its gap channel.
+    stats::TimeSeries series =
+        LogRecovery::splice(rec, {"a", "b", "c"});
+    ASSERT_EQ(series.size(), 12u);
+    ASSERT_EQ(series.channels(), 4u);
+    EXPECT_EQ(series.channelNames().back(), "gap_ticks");
+    std::size_t gap_col = series.channelIndex("gap_ticks");
+    double gap_sum = 0;
+    for (std::size_t row = 0; row < series.size(); ++row)
+        gap_sum += series.valueAt(row, gap_col);
+    EXPECT_EQ(gap_sum, static_cast<double>(expected));
+
+    // Losses fold into the shared accounting shape.
+    stats::LossCounts lc = rec.report.losses();
+    EXPECT_EQ(lc.accepted, 12u);
+    EXPECT_EQ(lc.dropped, 0u);
+    EXPECT_EQ(lc.gaps, 0u);
+}
+
+TEST(DurableLog, HeaderCorruptionInvalidatesScan)
+{
+    DurableLog log = makeLog(1, 3);
+    std::vector<std::uint8_t> bytes = log.bytes();
+    bytes[0] ^= 0xff; // magic
+    RecoveredLog rec = LogRecovery::scan(bytes);
+    EXPECT_FALSE(rec.report.valid);
+    EXPECT_FALSE(rec.report.balanced());
+    EXPECT_TRUE(rec.samples.empty());
+    EXPECT_FALSE(rec.report.violations.empty());
+
+    RecoveredLog tiny = LogRecovery::scan({1, 2, 3});
+    EXPECT_FALSE(tiny.report.valid);
+}
+
+TEST(DurableLog, TornTailProperty)
+{
+    // Truncating any number of bytes off the tail must (a) keep the
+    // accounting balanced, (b) recover a strict prefix of the
+    // original samples, byte-identical, and (c) flag a torn tail
+    // exactly when the cut leaves a partial slot.
+    DurableLog log = makeLog(2, 10);
+    const std::vector<std::uint8_t> &full = log.bytes();
+    RecoveredLog clean = LogRecovery::scan(full);
+    ASSERT_TRUE(clean.report.balanced());
+
+    Random rng(0xD15C, 1);
+    const std::size_t body = full.size() - DurableLog::headerSize;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::size_t cut = rng.below(static_cast<std::uint32_t>(body));
+        std::vector<std::uint8_t> torn(full.begin(),
+                                       full.end() - cut);
+        RecoveredLog rec = LogRecovery::scan(torn);
+
+        EXPECT_TRUE(rec.report.valid);
+        EXPECT_TRUE(rec.report.balanced())
+            << "cut=" << cut << " kept=" << rec.report.framesKept
+            << " dropped=" << rec.report.framesDropped
+            << " vanished=" << rec.report.framesVanished
+            << " emitted=" << rec.report.framesEmitted;
+        EXPECT_EQ(rec.report.tornTail,
+                  cut % DurableLog::frameSize != 0);
+
+        // Recovered samples are a byte-identical prefix.
+        ASSERT_LE(rec.samples.size(), clean.samples.size());
+        for (std::size_t i = 0; i < rec.samples.size(); ++i)
+            EXPECT_TRUE(
+                sameSample(rec.samples[i], clean.samples[i]));
+
+        // Deterministic: a second scan agrees exactly.
+        RecoveredLog again = LogRecovery::scan(torn);
+        EXPECT_TRUE(sameReports(rec.report, again.report));
+        EXPECT_EQ(rec.samples.size(), again.samples.size());
+    }
+}
+
+TEST(DurableLog, BitflipProperty)
+{
+    // Flipping random bits in the body must never smuggle a wrong
+    // sample through: every recovered sample is byte-identical to
+    // one the writer appended (CRC catches the rest as dropped),
+    // and the accounting still balances.
+    DurableLog log = makeLog(2, 12);
+    const std::vector<std::uint8_t> &full = log.bytes();
+    RecoveredLog clean = LogRecovery::scan(full);
+
+    Random rng(0xB17F, 2);
+    const std::size_t size = full.size();
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> dirty = full;
+        int flips = 1 + static_cast<int>(rng.below(6));
+        for (int f = 0; f < flips; ++f) {
+            std::size_t pos =
+                DurableLog::headerSize +
+                rng.below(static_cast<std::uint32_t>(
+                    size - DurableLog::headerSize));
+            dirty[pos] ^= static_cast<std::uint8_t>(
+                1u << rng.below(8));
+        }
+        RecoveredLog rec = LogRecovery::scan(dirty);
+
+        EXPECT_TRUE(rec.report.valid);
+        EXPECT_TRUE(rec.report.balanced());
+        EXPECT_EQ(rec.report.framesKept + rec.report.framesDropped,
+                  rec.report.framesEmitted);
+
+        // Every kept sample matches some original sample exactly.
+        for (const Sample &s : rec.samples) {
+            bool found = false;
+            for (const Sample &o : clean.samples)
+                if (sameSample(s, o)) {
+                    found = true;
+                    break;
+                }
+            EXPECT_TRUE(found)
+                << "corrupted sample survived the CRC";
+        }
+
+        RecoveredLog again = LogRecovery::scan(dirty);
+        EXPECT_TRUE(sameReports(rec.report, again.report));
+    }
+}
+
+TEST(DurableLog, AppendWithoutEpochPanics)
+{
+    DurableLog log;
+    EXPECT_DEATH(log.append(sampleAt(0)), "beginEpoch");
+}

@@ -156,3 +156,74 @@ TEST(Session, MultipleSessionsDistinctDevices)
     kleb::Session b(sys, kleb::Session::Options{});
     EXPECT_NE(a.module(), b.module());
 }
+
+TEST(Session, DestructorUnloadsModuleExactlyOnce)
+{
+    // The controller never rmmods: after a clean run the module is
+    // still loaded with the controller dead.  The session
+    // destructor must reclaim it — exactly once.
+    System sys(hw::MachineConfig::corei7_920(), 8, quietCosts());
+    FixedWorkSource src = computeSource(5, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    int unloads = 0;
+    std::string path;
+    int hook = sys.kernel().registerModuleHook(
+        [&unloads, &path](KernelModule &, const std::string &p,
+                          bool loaded) {
+            if (!loaded && p == path)
+                ++unloads;
+        });
+    {
+        kleb::Session::Options opts;
+        opts.period = 100_us;
+        kleb::Session session(sys, opts);
+        path = session.devPath();
+        session.monitor(target);
+        sys.run();
+        ASSERT_TRUE(session.finished());
+        ASSERT_NE(session.module(), nullptr);
+        EXPECT_EQ(unloads, 0);
+    }
+    EXPECT_EQ(unloads, 1);
+    EXPECT_EQ(sys.kernel().moduleAt(path), nullptr);
+    sys.kernel().unregisterModuleHook(hook);
+}
+
+TEST(Session, NoDoubleRmmodAfterExternalUnload)
+{
+    // Regression: if something else already rmmod'ed our module
+    // (the sequential runner, a test, a whole-machine teardown),
+    // the destructor must not unload a second time — the path may
+    // by then host a different module, or nothing at all.
+    System sys(hw::MachineConfig::corei7_920(), 9, quietCosts());
+    FixedWorkSource src = computeSource(5, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    int unloads = 0;
+    std::string path;
+    int hook = sys.kernel().registerModuleHook(
+        [&unloads, &path](KernelModule &, const std::string &p,
+                          bool loaded) {
+            if (!loaded && p == path)
+                ++unloads;
+        });
+    {
+        kleb::Session::Options opts;
+        opts.period = 100_us;
+        kleb::Session session(sys, opts);
+        path = session.devPath();
+        session.monitor(target);
+        sys.run();
+        ASSERT_TRUE(session.finished());
+
+        sys.kernel().unloadModule(path);
+        EXPECT_EQ(unloads, 1);
+        EXPECT_EQ(session.module(), nullptr);
+        // Status stays answerable off the unload-time snapshot.
+        EXPECT_GT(session.status().samplesRecorded, 0u);
+    }
+    // The destructor did not rmmod again.
+    EXPECT_EQ(unloads, 1);
+    sys.kernel().unregisterModuleHook(hook);
+}

@@ -35,6 +35,97 @@ BM_EventQueueSchedule(benchmark::State &state)
 BENCHMARK(BM_EventQueueSchedule);
 
 void
+BM_EventQueueScheduleWithListener(benchmark::State &state)
+{
+    // Same loop as BM_EventQueueSchedule with a no-op listener
+    // attached: the price of having tracing on.
+    sim::EventQueue eq;
+    sim::EventQueueListener listener;
+    eq.addListener(&listener);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.scheduleLambda(eq.curTick() + 100,
+                          [&n] { ++n; });
+        eq.runOne();
+    }
+    eq.removeListener(&listener);
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueScheduleWithListener);
+
+void
+BM_EventQueueScheduleAfterListenerDetach(benchmark::State &state)
+{
+    // Attach and detach a listener before timing: throughput must
+    // match the never-listened BM_EventQueueSchedule baseline (the
+    // empty-check guard; bench_report --compare enforces the pair).
+    sim::EventQueue eq;
+    sim::EventQueueListener listener;
+    eq.addListener(&listener);
+    eq.removeListener(&listener);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.scheduleLambda(eq.curTick() + 100,
+                          [&n] { ++n; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueScheduleAfterListenerDetach);
+
+void
+BM_EventQueueScheduleDeschedule(benchmark::State &state)
+{
+    // Schedule/deschedule-heavy pattern: a standing population of
+    // timers where most are cancelled before firing (the kernel's
+    // slice-end and hrtimer behaviour under frequent reprogramming).
+    struct NopEvent : sim::Event
+    {
+        void process() override {}
+    };
+    sim::EventQueue eq;
+    constexpr int population = 32;
+    NopEvent events[population];
+    for (int i = 0; i < population; ++i)
+        eq.schedule(&events[i],
+                    eq.curTick() + 100 + static_cast<Tick>(i));
+    int next = 0;
+    for (auto _ : state) {
+        sim::Event *ev = &events[next];
+        eq.deschedule(ev);
+        eq.schedule(ev, eq.curTick() + 100 +
+                            static_cast<Tick>(next));
+        next = (next + 1) % population;
+    }
+    for (int i = 0; i < population; ++i)
+        eq.deschedule(&events[i]);
+}
+BENCHMARK(BM_EventQueueScheduleDeschedule);
+
+void
+BM_EventQueueMixedPriority(benchmark::State &state)
+{
+    // Same-tick events across all priority classes (timer expiry,
+    // interrupt delivery, scheduler, stats) — exercises bin
+    // insertion at several keys per tick, the hrtimer-tick shape.
+    sim::EventQueue eq;
+    static constexpr int prios[] = {
+        sim::Event::timerPriority, sim::Event::interruptPriority,
+        sim::Event::defaultPriority, sim::Event::schedulerPriority,
+        sim::Event::statsPriority,
+    };
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        Tick when = eq.curTick() + 100;
+        for (int prio : prios)
+            eq.scheduleLambda(when, [&n] { ++n; }, prio);
+        eq.runUntil(when);
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventQueueMixedPriority);
+
+void
 BM_CacheAccessHit(benchmark::State &state)
 {
     hw::Cache cache("bench", {32 * 1024, 8, 64,
@@ -59,6 +150,28 @@ BM_CacheAccessStream(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_CacheEvictLru(benchmark::State &state)
+{
+    // Every access misses in a full set and evicts via exact LRU —
+    // isolates the victim-selection path (recency-list tail read vs.
+    // the historical per-set stamp scan).
+    hw::Cache cache("bench", {32 * 1024, 8, 64,
+                              hw::ReplPolicy::lru},
+                    Random(1));
+    const std::uint64_t sets = cache.geometry().sets();
+    // 9 tags mapping to set 0 of an 8-way set: round-robin over them
+    // never hits.
+    Addr addr = 0;
+    std::uint64_t tag = 0;
+    for (auto _ : state) {
+        addr = (tag % 9) * sets * 64;
+        ++tag;
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+}
+BENCHMARK(BM_CacheEvictLru);
 
 void
 BM_PmuAddEvents(benchmark::State &state)

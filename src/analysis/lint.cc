@@ -140,6 +140,14 @@ Linter::Linter()
              "bench::TrialPool (bench_support/trial_pool.hh)",
              {"src", "bench", "examples"}});
 
+    addRule({"hot-std-function",
+             R"(std::function\s*<)",
+             "std::function heap-allocates captured state on the "
+             "simulator's hot paths; store sim::InlineCallable "
+             "(sim/inline_callable.hh) or a concrete functor "
+             "instead (allowlist cold setup/configuration hooks)",
+             {"src/sim", "src/hw"}});
+
     addRule({"printf-family",
              R"(\b(printf|fprintf|sprintf|snprintf|vsnprintf|vsprintf|vfprintf|puts|putchar|fputs)\s*\()"
              R"(|std::(cout|cerr))",

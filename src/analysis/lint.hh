@@ -15,6 +15,11 @@
  *  - event-new:     `new EventFunctionWrapper` outside the queue —
  *                   use EventQueue::scheduleLambda so autoDelete
  *                   ownership is handled;
+ *  - hot-std-function: std::function in src/sim/ and src/hw/ — the
+ *                   substrate's hot paths must not heap-allocate per
+ *                   callback; store sim::InlineCallable or a
+ *                   concrete functor (cold setup/configuration
+ *                   hooks go on the allowlist);
  *  - printf-family: raw stdio in src/ — report through
  *                   base/logging or format with base/str;
  *  - include-guard: headers must carry the canonical KLEBSIM_*

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <bit>
+
 #include "base/intmath.hh"
 #include "base/logging.hh"
 
@@ -8,7 +10,7 @@ namespace klebsim::hw
 
 Cache::Cache(std::string name, const CacheGeometry &geom, Random rng)
     : name_(std::move(name)), geom_(geom), numSets_(geom.sets()),
-      stampCounter_(0), rng_(rng)
+      rng_(rng)
 {
     fatal_if(geom.lineSize == 0 || !isPowerOf2(geom.lineSize),
              "cache ", name_, ": line size must be a power of two");
@@ -23,6 +25,37 @@ Cache::Cache(std::string name, const CacheGeometry &geom, Random rng)
         fatal_if(!isPowerOf2(geom.ways),
                  "cache ", name_, ": tree-PLRU needs pow2 ways");
         plru_.assign(numSets_ * geom.ways, 0);
+    }
+
+    // Valid bitmask: all lines start invalid (bit clear); padding
+    // bits past `ways` in each set's last word stay permanently set
+    // so the first-zero-bit search never wanders into them.
+    validWordsPerSet_ = (geom.ways + 63) / 64;
+    validBits_.assign(numSets_ * validWordsPerSet_, 0);
+    const std::uint32_t tailBits = geom.ways % 64;
+    if (tailBits != 0) {
+        const std::uint64_t padding = ~0ULL << tailBits;
+        for (std::uint64_t s = 0; s < numSets_; ++s)
+            validBits_[s * validWordsPerSet_ +
+                       (validWordsPerSet_ - 1)] = padding;
+    }
+
+    if (geom.policy == ReplPolicy::lru) {
+        // Initial order is irrelevant (the LRU victim path only
+        // runs once every way has been filled — and touched — at
+        // least once); it just has to be a well-formed list.
+        mruNext_.resize(numSets_ * geom.ways);
+        mruPrev_.resize(numSets_ * geom.ways);
+        mruHead_.assign(numSets_, 0);
+        mruTail_.assign(numSets_, geom.ways - 1);
+        for (std::uint64_t s = 0; s < numSets_; ++s) {
+            const std::uint64_t base = s * geom.ways;
+            for (std::uint32_t w = 0; w < geom.ways; ++w) {
+                mruPrev_[base + w] = (w == 0) ? wayNone : w - 1;
+                mruNext_[base + w] =
+                    (w == geom.ways - 1) ? wayNone : w + 1;
+            }
+        }
     }
 }
 
@@ -41,12 +74,55 @@ Cache::tagOf(Addr addr) const
 }
 
 void
+Cache::markValid(std::uint64_t set, std::uint32_t way)
+{
+    validBits_[set * validWordsPerSet_ + way / 64] |=
+        1ULL << (way % 64);
+}
+
+void
+Cache::markInvalid(std::uint64_t set, std::uint32_t way)
+{
+    validBits_[set * validWordsPerSet_ + way / 64] &=
+        ~(1ULL << (way % 64));
+}
+
+std::uint32_t
+Cache::firstInvalidWay(std::uint64_t set) const
+{
+    const std::uint64_t *words =
+        &validBits_[set * validWordsPerSet_];
+    for (std::uint32_t i = 0; i < validWordsPerSet_; ++i) {
+        if (words[i] != ~0ULL)
+            return i * 64 +
+                   static_cast<std::uint32_t>(
+                       std::countr_one(words[i]));
+    }
+    return wayNone;
+}
+
+void
 Cache::touch(std::uint64_t set, std::uint32_t way)
 {
-    Line &line = lines_[set * geom_.ways + way];
-    line.lruStamp = ++stampCounter_;
-
-    if (geom_.policy == ReplPolicy::treePlru) {
+    if (geom_.policy == ReplPolicy::lru) {
+        // Splice the way out of the recency list and relink it at
+        // the MRU head.
+        const std::uint64_t base = set * geom_.ways;
+        if (mruHead_[set] == way)
+            return; // already most recent
+        const std::uint32_t prev = mruPrev_[base + way];
+        const std::uint32_t next = mruNext_[base + way];
+        mruNext_[base + prev] = next; // prev != wayNone: not head
+        if (next != wayNone)
+            mruPrev_[base + next] = prev;
+        else
+            mruTail_[set] = prev;
+        const std::uint32_t oldHead = mruHead_[set];
+        mruPrev_[base + way] = wayNone;
+        mruNext_[base + way] = oldHead;
+        mruPrev_[base + oldHead] = way;
+        mruHead_[set] = way;
+    } else if (geom_.policy == ReplPolicy::treePlru) {
         // Walk the tree from root to the touched way, pointing each
         // node away from it.
         std::uint8_t *bits = &plru_[set * geom_.ways];
@@ -71,13 +147,6 @@ Cache::touch(std::uint64_t set, std::uint32_t way)
 std::uint32_t
 Cache::victimWay(std::uint64_t set)
 {
-    Line *set_lines = &lines_[set * geom_.ways];
-
-    // Invalid line first, regardless of policy.
-    for (std::uint32_t w = 0; w < geom_.ways; ++w)
-        if (!set_lines[w].valid)
-            return w;
-
     switch (geom_.policy) {
       case ReplPolicy::random:
         return rng_.below(geom_.ways);
@@ -99,17 +168,11 @@ Cache::victimWay(std::uint64_t set)
         return lo;
       }
       case ReplPolicy::lru:
-      default: {
-        std::uint32_t victim = 0;
-        std::uint64_t oldest = ~std::uint64_t(0);
-        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-            if (set_lines[w].lruStamp < oldest) {
-                oldest = set_lines[w].lruStamp;
-                victim = w;
-            }
-        }
-        return victim;
-      }
+      default:
+        // A full set's least-recently-touched way is the list tail;
+        // with unique touch order this is exactly the way the old
+        // stamp-minimum scan would have picked.
+        return mruTail_[set];
     }
 }
 
@@ -130,11 +193,14 @@ Cache::access(Addr addr, bool write)
     }
 
     ++stats_.misses;
-    std::uint32_t way = victimWay(set);
-    if (set_lines[way].valid)
+    std::uint32_t way = firstInvalidWay(set);
+    if (way == wayNone) {
+        way = victimWay(set);
         ++stats_.evictions;
+    }
     set_lines[way].valid = true;
     set_lines[way].tag = tag;
+    markValid(set, way);
     touch(set, way);
     return false;
 }
@@ -161,6 +227,7 @@ Cache::flushLine(Addr addr)
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
         if (set_lines[w].valid && set_lines[w].tag == tag) {
             set_lines[w].valid = false;
+            markInvalid(set, w);
             return true;
         }
     }
@@ -172,6 +239,9 @@ Cache::flushAll()
 {
     for (Line &line : lines_)
         line.valid = false;
+    for (std::uint64_t s = 0; s < numSets_; ++s)
+        for (std::uint32_t w = 0; w < geom_.ways; ++w)
+            markInvalid(s, w);
 }
 
 void

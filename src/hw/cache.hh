@@ -6,6 +6,12 @@
  * resident and reports hit/miss per access.  The Meltdown case study
  * depends on its exact semantics (CLFLUSH invalidation + reload
  * timing), so every line-granular operation is modeled explicitly.
+ *
+ * Victim selection never scans the set.  Invalid ways are found via
+ * a per-set valid bitmask (lowest invalid index first, matching the
+ * historical linear scan); exact LRU keeps a per-set doubly linked
+ * recency list of way indices so the victim is a single tail read
+ * instead of a stamp-minimum sweep.
  */
 
 #ifndef KLEBSIM_HW_CACHE_HH
@@ -113,24 +119,50 @@ class Cache
     {
         bool valid = false;
         Addr tag = 0;
-        std::uint64_t lruStamp = 0; //!< larger = more recent
     };
+
+    /** "No way" sentinel for the recency-list links. */
+    static constexpr std::uint32_t wayNone = ~std::uint32_t(0);
 
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
-    /** Way to evict in @p set (policy-dependent). */
+    /** Way to evict in @p set (policy-dependent; set must be full). */
     std::uint32_t victimWay(std::uint64_t set);
+
+    /**
+     * Lowest-index invalid way in @p set, or wayNone when full.
+     * Matches the historical invalid-first linear scan exactly.
+     */
+    std::uint32_t firstInvalidWay(std::uint64_t set) const;
 
     /** Update recency metadata on a hit/fill. */
     void touch(std::uint64_t set, std::uint32_t way);
 
+    /** @{ valid bitmask bookkeeping (padding bits are kept set). */
+    void markValid(std::uint64_t set, std::uint32_t way);
+    void markInvalid(std::uint64_t set, std::uint32_t way);
+    /** @} */
+
     std::string name_;
     CacheGeometry geom_;
     std::uint64_t numSets_;
-    std::vector<Line> lines_;       //!< numSets_ * ways
+    std::vector<Line> lines_;        //!< numSets_ * ways
     std::vector<std::uint8_t> plru_; //!< tree bits per set
-    std::uint64_t stampCounter_;
+
+    /**
+     * @{ Exact-LRU recency list (lru policy only): per-set doubly
+     * linked list over way indices, MRU at head, victim at tail.
+     */
+    std::vector<std::uint32_t> mruNext_; //!< numSets_ * ways
+    std::vector<std::uint32_t> mruPrev_; //!< numSets_ * ways
+    std::vector<std::uint32_t> mruHead_; //!< per set
+    std::vector<std::uint32_t> mruTail_; //!< per set
+    /** @} */
+
+    std::uint32_t validWordsPerSet_;
+    std::vector<std::uint64_t> validBits_; //!< numSets_ * wordsPerSet
+
     Random rng_;
     CacheStats stats_;
 };

@@ -126,6 +126,61 @@ class CpuCore
     Tick busyTime() const { return busyTime_; }
 
   private:
+    /**
+     * One-entry memo for streamless chunks.  A chunk that performs
+     * no memory accesses (no stream, or loads+stores == 0) is a pure
+     * function of its own fields — no cache state, no RNG — so
+     * workload phases that emit runs of identical compute chunks pay
+     * the cost model once per run instead of once per chunk.
+     */
+    struct ChunkMemo
+    {
+        bool valid = false;
+        std::uint64_t instructions = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t branches = 0;
+        std::uint64_t muls = 0;
+        std::uint64_t divs = 0;
+        std::uint64_t fpops = 0;
+        std::uint64_t fixedCycles = 0;
+        double mispredictRate = 0.0;
+        double baseIpc = 0.0;
+        double stallExposureScale = 0.0;
+        ExecContext::Prepared result;
+
+        bool
+        matches(const WorkChunk &c) const
+        {
+            return instructions == c.instructions &&
+                   loads == c.loads && stores == c.stores &&
+                   branches == c.branches && muls == c.muls &&
+                   divs == c.divs && fpops == c.fpops &&
+                   fixedCycles == c.fixedCycles &&
+                   mispredictRate == c.mispredictRate &&
+                   baseIpc == c.baseIpc &&
+                   stallExposureScale == c.stallExposureScale;
+        }
+
+        void
+        store(const WorkChunk &c, const ExecContext::Prepared &p)
+        {
+            valid = true;
+            instructions = c.instructions;
+            loads = c.loads;
+            stores = c.stores;
+            branches = c.branches;
+            muls = c.muls;
+            divs = c.divs;
+            fpops = c.fpops;
+            fixedCycles = c.fixedCycles;
+            mispredictRate = c.mispredictRate;
+            baseIpc = c.baseIpc;
+            stallExposureScale = c.stallExposureScale;
+            result = p;
+        }
+    };
+
     /** Run one chunk's accesses + cost model into a Prepared record. */
     ExecContext::Prepared executeChunk(const WorkChunk &chunk);
 
@@ -145,6 +200,7 @@ class CpuCore
     Tick attributedUpTo_;
     Tick busyTime_;
     Addr kernelScratchCursor_;
+    ChunkMemo memo_;
 };
 
 } // namespace klebsim::hw

@@ -9,8 +9,9 @@ namespace klebsim::hw
 
 TimerDevice::TimerDevice(std::string name, sim::EventQueue &eq,
                          Random rng, TimerJitterModel jitter)
-    : name_(std::move(name)), eq_(eq), rng_(rng), jitter_(jitter),
-      event_(nullptr), lastLateness_(0)
+    : name_(std::move(name)), expiryName_(name_ + "-expiry"),
+      eq_(eq), rng_(rng), jitter_(jitter), event_(nullptr),
+      lastLateness_(0)
 {
 }
 
@@ -44,13 +45,17 @@ TimerDevice::arm(Tick delay, Callback cb)
     if (faultHook_)
         lastLateness_ += faultHook_(delay);
     Tick when = eq_.curTick() + delay + lastLateness_;
+    cb_ = std::move(cb);
     event_ = eq_.scheduleLambda(
         when,
-        [this, cb = std::move(cb)]() {
+        [this]() {
             event_ = nullptr;
+            // Move out first so the callback may re-arm the timer
+            // (installing a fresh cb_) without clobbering itself.
+            Callback cb = std::move(cb_);
             cb();
         },
-        sim::Event::timerPriority, name_ + "-expiry");
+        sim::Event::timerPriority, expiryName_);
 }
 
 void
@@ -60,6 +65,7 @@ TimerDevice::cancel()
         return;
     eq_.cancelLambda(event_);
     event_ = nullptr;
+    cb_.reset(); // drop captures, as firing would have
 }
 
 } // namespace klebsim::hw

@@ -54,7 +54,12 @@ struct TimerJitterModel
 class TimerDevice
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Expiry callbacks ride in the event queue's small-buffer
+     * callable so a periodic re-arm (the kernel's 100 µs HRTimer
+     * tick) never touches the heap.
+     */
+    using Callback = sim::InlineCallable;
 
     /**
      * Fault-injection hook: called once per arm() with the
@@ -98,10 +103,13 @@ class TimerDevice
     Tick drawLateness();
 
     std::string name_;
+    std::string expiryName_; //!< precomputed "<name>-expiry"
     sim::EventQueue &eq_;
     Random rng_;
     TimerJitterModel jitter_;
     FaultHook faultHook_;
+    Callback cb_; //!< pending expiry callback (kept out of the
+                  //!< scheduled lambda so that captures only `this`)
     sim::Event *event_;
     Tick lastLateness_;
 };

@@ -15,7 +15,7 @@ Event::~Event()
              "event '", name(), "' destroyed while scheduled");
 }
 
-EventFunctionWrapper::EventFunctionWrapper(std::function<void()> fn,
+EventFunctionWrapper::EventFunctionWrapper(InlineCallable fn,
                                            std::string name,
                                            int priority)
     : Event(priority), fn_(std::move(fn)), name_(std::move(name))
@@ -28,8 +28,16 @@ EventFunctionWrapper::process()
     fn_();
 }
 
-EventQueue::EventQueue()
-    : events_(Compare{this}), curTick_(0), nextSeq_(0), processed_(0)
+void
+EventFunctionWrapper::rearm(InlineCallable fn, std::string_view name,
+                            int priority)
+{
+    fn_ = std::move(fn);
+    name_.assign(name); // reuses the retired wrapper's capacity
+    setPriority(priority);
+}
+
+EventQueue::EventQueue() : curTick_(0), nextSeq_(0), processed_(0)
 {
 }
 
@@ -37,12 +45,135 @@ EventQueue::~EventQueue()
 {
     // Drop any still-scheduled events so their destructors don't
     // panic; delete the ones we own.
-    for (Event *ev : events_) {
-        ev->queue_ = nullptr;
-        if (ev->autoDelete())
-            delete ev;
+    Event *bin = head_;
+    while (bin != nullptr) {
+        Event *nextBin = bin->nextBin_;
+        Event *ev = bin;
+        while (ev != nullptr) {
+            Event *next = ev->nextInBin_;
+            ev->queue_ = nullptr;
+            ev->nextBin_ = nullptr;
+            ev->nextInBin_ = nullptr;
+            ev->binTail_ = nullptr;
+            if (ev->autoDelete())
+                delete ev;
+            ev = next;
+        }
+        bin = nextBin;
     }
-    events_.clear();
+    head_ = nullptr;
+    size_ = 0;
+    while (freeWrappers_ != nullptr) {
+        EventFunctionWrapper *w = freeWrappers_;
+        freeWrappers_ = w->poolNext_;
+        delete w;
+    }
+}
+
+void
+EventQueue::insert(Event *ev)
+{
+    Event **link = &head_;
+    while (*link != nullptr && binBefore(*link, ev))
+        link = &(*link)->nextBin_;
+    Event *bin = *link;
+    if (bin != nullptr && bin->when_ == ev->when_ &&
+        bin->priority_ == ev->priority_) {
+        if (tieSalt_ == 0) {
+            // FIFO: the freshly stamped seq is the largest, so the
+            // chain tail is always the right spot — O(1).
+            bin->binTail_->nextInBin_ = ev;
+            bin->binTail_ = ev;
+        } else {
+            // Salted: keep the chain ordered by mixSeq so dispatch
+            // can keep popping from the front.
+            const std::uint64_t key = mixSeq(ev->seq_, tieSalt_);
+            if (key < mixSeq(bin->seq_, tieSalt_)) {
+                ev->nextInBin_ = bin;
+                ev->nextBin_ = bin->nextBin_;
+                ev->binTail_ = bin->binTail_;
+                bin->nextBin_ = nullptr;
+                bin->binTail_ = nullptr;
+                *link = ev;
+            } else {
+                Event *prev = bin;
+                while (prev->nextInBin_ != nullptr &&
+                       mixSeq(prev->nextInBin_->seq_, tieSalt_) < key)
+                    prev = prev->nextInBin_;
+                ev->nextInBin_ = prev->nextInBin_;
+                prev->nextInBin_ = ev;
+                if (ev->nextInBin_ == nullptr)
+                    bin->binTail_ = ev;
+            }
+        }
+    } else {
+        // First event of a new (tick, priority) bin.
+        ev->nextBin_ = bin;
+        ev->binTail_ = ev;
+        *link = ev;
+    }
+}
+
+Event *
+EventQueue::popHead()
+{
+    Event *ev = head_;
+    if (ev->nextInBin_ != nullptr) {
+        // Promote the chain successor to bin head.
+        Event *succ = ev->nextInBin_;
+        succ->nextBin_ = ev->nextBin_;
+        succ->binTail_ = ev->binTail_;
+        head_ = succ;
+    } else {
+        head_ = ev->nextBin_;
+    }
+    ev->nextBin_ = nullptr;
+    ev->nextInBin_ = nullptr;
+    ev->binTail_ = nullptr;
+    return ev;
+}
+
+void
+EventQueue::remove(Event *ev)
+{
+    Event **link = &head_;
+    while (*link != nullptr) {
+        Event *bin = *link;
+        if (bin == ev) {
+            if (ev->nextInBin_ != nullptr) {
+                Event *succ = ev->nextInBin_;
+                succ->nextBin_ = ev->nextBin_;
+                succ->binTail_ = ev->binTail_;
+                *link = succ;
+            } else {
+                *link = ev->nextBin_;
+            }
+            ev->nextBin_ = nullptr;
+            ev->nextInBin_ = nullptr;
+            ev->binTail_ = nullptr;
+            return;
+        }
+        if (bin->when_ == ev->when_ && bin->priority_ == ev->priority_) {
+            // Same key: ev must live in this bin's chain.
+            Event *prev = bin;
+            Event *cur = bin->nextInBin_;
+            while (cur != nullptr && cur != ev) {
+                prev = cur;
+                cur = cur->nextInBin_;
+            }
+            panic_if(cur == nullptr,
+                     "scheduled event missing from queue set");
+            prev->nextInBin_ = ev->nextInBin_;
+            if (bin->binTail_ == ev)
+                bin->binTail_ = prev;
+            ev->nextInBin_ = nullptr;
+            return;
+        }
+        if (binBefore(ev, bin))
+            break; // walked past where ev's bin would sit
+        link = &bin->nextBin_;
+    }
+    panic("scheduled event missing from queue set");
 }
 
 void
@@ -56,9 +187,12 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->queue_ = this;
-    events_.insert(ev);
-    for (EventQueueListener *l : listeners_)
-        l->onSchedule(*ev, curTick_);
+    insert(ev);
+    ++size_;
+    if (hasListeners()) {
+        for (EventQueueListener *l : listeners_)
+            l->onSchedule(*ev, curTick_);
+    }
 }
 
 void
@@ -67,11 +201,13 @@ EventQueue::deschedule(Event *ev)
     panic_if(ev == nullptr, "deschedule of null event");
     panic_if(ev->queue_ != this,
              "event '", ev->name(), "' not scheduled on this queue");
-    auto erased = events_.erase(ev);
-    panic_if(erased != 1, "scheduled event missing from queue set");
+    remove(ev);
+    --size_;
     ev->queue_ = nullptr;
-    for (EventQueueListener *l : listeners_)
-        l->onDeschedule(*ev, curTick_);
+    if (hasListeners()) {
+        for (EventQueueListener *l : listeners_)
+            l->onDeschedule(*ev, curTick_);
+    }
 }
 
 void
@@ -84,12 +220,21 @@ EventQueue::reschedule(Event *ev, Tick when)
 }
 
 Event *
-EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
-                           int priority, std::string name)
+EventQueue::scheduleLambda(Tick when, InlineCallable fn,
+                           int priority, std::string_view name)
 {
-    auto *ev = new EventFunctionWrapper(std::move(fn),
-                                        std::move(name), priority);
-    ev->setAutoDelete(true);
+    EventFunctionWrapper *ev;
+    if (freeWrappers_ != nullptr) {
+        ev = freeWrappers_;
+        freeWrappers_ = ev->poolNext_;
+        ev->poolNext_ = nullptr;
+        ev->rearm(std::move(fn), name, priority);
+    } else {
+        ev = new EventFunctionWrapper(std::move(fn),
+                                      std::string(name), priority);
+        ev->pooled_ = true;
+        ev->setAutoDelete(true);
+    }
     schedule(ev, when);
     return ev;
 }
@@ -101,41 +246,59 @@ EventQueue::cancelLambda(Event *ev)
     panic_if(!ev->autoDelete(),
              "cancelLambda on a caller-owned event");
     // A wrapper that rescheduled itself and was then descheduled (or
-    // never re-entered a queue) is still owed its deletion; only a
+    // never re-entered a queue) is still owed its reclamation; only a
     // still-scheduled one needs removing first.
     if (ev->scheduled())
         deschedule(ev);
-    delete ev;
+    releaseAuto(ev);
+}
+
+void
+EventQueue::releaseAuto(Event *ev)
+{
+    if (ev->pooled_) {
+        auto *w = static_cast<EventFunctionWrapper *>(ev);
+        // Drop the captures now — exactly when delete used to run —
+        // so RAII types in capture lists keep their release timing.
+        w->fn_.reset();
+        w->poolNext_ = freeWrappers_;
+        freeWrappers_ = w;
+    } else {
+        delete ev;
+    }
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    if (events_.empty())
+    if (head_ == nullptr)
         return maxTick;
-    return (*events_.begin())->when_;
+    return head_->when_;
 }
 
 void
 EventQueue::dispatch(Event *ev)
 {
-    events_.erase(events_.begin());
     ev->queue_ = nullptr;
     curTick_ = ev->when_;
     ++processed_;
-    for (EventQueueListener *l : listeners_)
-        l->onDispatch(*ev, curTick_);
+    if (hasListeners()) {
+        for (EventQueueListener *l : listeners_)
+            l->onDispatch(*ev, curTick_);
+    }
     ev->process();
     if (ev->autoDelete() && !ev->scheduled())
-        delete ev;
+        releaseAuto(ev);
 }
 
 bool
 EventQueue::runOne()
 {
-    if (events_.empty())
+    if (head_ == nullptr)
         return false;
-    dispatch(*events_.begin());
+    Event *ev = popHead();
+    --size_;
+    dispatch(ev);
     return true;
 }
 
@@ -143,8 +306,10 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!events_.empty() && (*events_.begin())->when_ <= limit) {
-        dispatch(*events_.begin());
+    while (head_ != nullptr && head_->when_ <= limit) {
+        Event *ev = popHead();
+        --size_;
+        dispatch(ev);
         ++n;
     }
     if (curTick_ < limit)
@@ -198,13 +363,38 @@ EventQueue::setTieBreakSalt(std::uint64_t salt)
 {
     if (salt == tieSalt_)
         return;
-    // The comparator reads tieSalt_, so pending events must be
-    // pulled out and re-inserted under the new ordering.
-    std::vector<Event *> pending(events_.begin(), events_.end());
-    events_.clear();
     tieSalt_ = salt;
-    for (Event *ev : pending)
-        events_.insert(ev);
+    // Bin membership depends only on (tick, priority), so the bin
+    // list stands; only each bin's chain order follows the salt.
+    // Re-link every chain in place by insertion sort on mixSeq —
+    // at salt 0 that sorts by seq, restoring FIFO exactly.
+    Event **link = &head_;
+    while (*link != nullptr) {
+        Event *oldHead = *link;
+        Event *nextBin = oldHead->nextBin_;
+        oldHead->nextBin_ = nullptr;
+        oldHead->binTail_ = nullptr;
+        Event *sorted = nullptr;
+        Event *cur = oldHead;
+        while (cur != nullptr) {
+            Event *next = cur->nextInBin_;
+            const std::uint64_t key = mixSeq(cur->seq_, salt);
+            Event **pos = &sorted;
+            while (*pos != nullptr &&
+                   mixSeq((*pos)->seq_, salt) < key)
+                pos = &(*pos)->nextInBin_;
+            cur->nextInBin_ = *pos;
+            *pos = cur;
+            cur = next;
+        }
+        Event *tail = sorted;
+        while (tail->nextInBin_ != nullptr)
+            tail = tail->nextInBin_;
+        sorted->nextBin_ = nextBin;
+        sorted->binTail_ = tail;
+        *link = sorted;
+        link = &sorted->nextBin_;
+    }
 }
 
 } // namespace klebsim::sim

@@ -6,18 +6,29 @@
  * Modeled on gem5's EventQueue: events are scheduled at absolute
  * Ticks; same-tick events are ordered by priority, then by schedule
  * order (FIFO), so simulation runs are fully deterministic.
+ *
+ * The pending set is a gem5-style two-level intrusive structure: a
+ * singly linked list of *bins*, one per distinct (tick, priority)
+ * pair in queue order, where each bin head chains its same-key
+ * events FIFO (or in tie-break-salt order when a salt is active).
+ * Schedule/deschedule of the dominant near-head timer events is
+ * O(1) amortized and allocation-free — no tree nodes, no
+ * rebalancing, no comparator indirection.  One-shot lambda events
+ * are recycled through a wrapper freelist, so the steady-state
+ * 100 µs timer tick performs zero heap allocations.
  */
 
 #ifndef KLEBSIM_SIM_EVENT_QUEUE_HH
 #define KLEBSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/types.hh"
+#include "inline_callable.hh"
 
 namespace klebsim::sim
 {
@@ -76,13 +87,14 @@ class Event
     std::uint64_t seq() const { return seq_; }
 
     /**
-     * If true, the queue deletes the event after process() returns
-     * (used by scheduleLambda's heap-allocated wrappers).
+     * If true, the queue deletes (or recycles) the event after
+     * process() returns (used by scheduleLambda's wrappers).
      */
     bool autoDelete() const { return autoDelete_; }
 
   protected:
     void setAutoDelete(bool v) { autoDelete_ = v; }
+    void setPriority(int p) { priority_ = p; }
 
   private:
     friend class EventQueue;
@@ -92,13 +104,25 @@ class Event
     std::uint64_t seq_ = 0;
     EventQueue *queue_ = nullptr;
     bool autoDelete_ = false;
+    bool pooled_ = false; //!< recyclable scheduleLambda wrapper
+
+    /**
+     * @{ Intrusive two-level queue links.  nextBin_ chains bin
+     * heads in (when, priority) order; nextInBin_ chains a bin's
+     * same-key events; binTail_ (bin heads only) caches the chain
+     * tail for O(1) FIFO append.  All null while unscheduled.
+     */
+    Event *nextBin_ = nullptr;
+    Event *nextInBin_ = nullptr;
+    Event *binTail_ = nullptr;
+    /** @} */
 };
 
 /** Event that invokes a stored callable. */
 class EventFunctionWrapper : public Event
 {
   public:
-    EventFunctionWrapper(std::function<void()> fn,
+    EventFunctionWrapper(InlineCallable fn,
                          std::string name = "lambda-event",
                          int priority = defaultPriority);
 
@@ -106,8 +130,15 @@ class EventFunctionWrapper : public Event
     std::string name() const override { return name_; }
 
   private:
-    std::function<void()> fn_;
+    friend class EventQueue;
+
+    /** Re-initialize a recycled wrapper (freelist reuse). */
+    void rearm(InlineCallable fn, std::string_view name,
+               int priority);
+
+    InlineCallable fn_;
     std::string name_;
+    EventFunctionWrapper *poolNext_ = nullptr; //!< freelist link
 };
 
 /**
@@ -117,7 +148,8 @@ class EventFunctionWrapper : public Event
  * happens.  They must not mutate the queue from inside a callback;
  * they exist so correctness tooling (event tracing, invariant
  * checking, the determinism harness) can watch the machine without
- * perturbing it.
+ * perturbing it.  With no listener attached the queue skips the
+ * notification paths entirely, so tracing costs nothing when off.
  */
 class EventQueueListener
 {
@@ -163,24 +195,26 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /**
-     * One-shot convenience: heap-allocate a wrapper around @p fn,
-     * schedule it, and let the queue delete it after it fires.
+     * One-shot convenience: wrap @p fn in a queue-owned event,
+     * schedule it, and let the queue reclaim it after it fires.
+     * Wrappers are recycled through an internal freelist, so the
+     * steady state allocates nothing.
      * @return the wrapper (so callers may deschedule early; doing so
-     *         transfers deletion responsibility back to the queue via
-     *         cancelLambda()).
+     *         transfers reclamation responsibility back to the queue
+     *         via cancelLambda()).
      */
-    Event *scheduleLambda(Tick when, std::function<void()> fn,
+    Event *scheduleLambda(Tick when, InlineCallable fn,
                           int priority = Event::defaultPriority,
-                          std::string name = "lambda-event");
+                          std::string_view name = "lambda-event");
 
-    /** Deschedule and delete a wrapper from scheduleLambda(). */
+    /** Deschedule and reclaim a wrapper from scheduleLambda(). */
     void cancelLambda(Event *ev);
 
     /** True if no events are pending. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return head_ == nullptr; }
 
     /** Number of pending events. */
-    std::size_t size() const { return events_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Tick of the next pending event (maxTick if none). */
     Tick nextTick() const;
@@ -216,7 +250,8 @@ class EventQueue
      * ties by a deterministic hash of (seq, salt) instead; the
      * determinism harness uses this to detect modules whose results
      * secretly depend on FIFO order between same-priority events.
-     * Pending events are re-ordered under the new salt.
+     * Pending events are re-linked in place under the new salt (the
+     * pending multiset is preserved; only same-bin order changes).
      */
     void setTieBreakSalt(std::uint64_t salt);
 
@@ -228,25 +263,34 @@ class EventQueue
     /** Tie-break mix: identity under salt 0, splitmix64 otherwise. */
     static std::uint64_t mixSeq(std::uint64_t seq, std::uint64_t salt);
 
-    struct Compare
+    /** True when @p a's bin sorts strictly before @p b's key. */
+    static bool
+    binBefore(const Event *a, const Event *b)
     {
-        const EventQueue *q = nullptr;
+        if (a->when_ != b->when_)
+            return a->when_ < b->when_;
+        return a->priority_ < b->priority_;
+    }
 
-        bool
-        operator()(const Event *a, const Event *b) const
-        {
-            if (a->when_ != b->when_)
-                return a->when_ < b->when_;
-            if (a->priority_ != b->priority_)
-                return a->priority_ < b->priority_;
-            return mixSeq(a->seq_, q->tieSalt_) <
-                   mixSeq(b->seq_, q->tieSalt_);
-        }
-    };
+    bool hasListeners() const { return !listeners_.empty(); }
+
+    /** Link @p ev into the two-level structure (stamps applied). */
+    void insert(Event *ev);
+
+    /** Unlink and return the front event (queue must not be empty). */
+    Event *popHead();
+
+    /** Unlink @p ev from wherever it sits (panics if absent). */
+    void remove(Event *ev);
+
+    /** Reclaim an auto-delete event (recycle pooled wrappers). */
+    void releaseAuto(Event *ev);
 
     void dispatch(Event *ev);
 
-    std::set<Event *, Compare> events_;
+    Event *head_ = nullptr;
+    std::size_t size_ = 0;
+    EventFunctionWrapper *freeWrappers_ = nullptr;
     Tick curTick_;
     std::uint64_t nextSeq_;
     std::uint64_t processed_;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Small-buffer callable for the simulator's hot event paths.
+ *
+ * The one-shot timer/IPI lambdas the kernel and the K-LEB module
+ * fire every 100 µs tick used to ride in a std::function, which
+ * heap-allocates for any capture list larger than its (tiny,
+ * implementation-defined) inline buffer.  InlineCallable stores the
+ * callable inline in a fixed 48-byte buffer instead, so scheduling
+ * a one-shot event allocates nothing.  Oversized callables still
+ * work — they fall back to a heap allocation — but the hot-path
+ * lambdas (a `this` pointer plus a word or two) always fit.
+ *
+ * Only the `void()` signature is provided; that is the only one the
+ * event queue dispatches.  The type is move-only: a scheduled
+ * callable has exactly one owner (the event wrapper), and moves are
+ * what the freelist recycling path needs.
+ */
+
+#ifndef KLEBSIM_SIM_INLINE_CALLABLE_HH
+#define KLEBSIM_SIM_INLINE_CALLABLE_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace klebsim::sim
+{
+
+class InlineCallable
+{
+  public:
+    /** Capture bytes stored without a heap allocation. */
+    static constexpr std::size_t inlineSize = 48;
+
+    InlineCallable() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                 std::is_invocable_r_v<void, std::decay_t<F> &>)
+    InlineCallable(F &&f) // NOLINT: implicit by design (lambda args)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_))
+                Fn(std::forward<F>(f));
+            ops_ = &opsFor<Fn, true>;
+        } else {
+            // Cold fallback for oversized captures; still correct,
+            // just not allocation-free.
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &opsFor<Fn, false>;
+        }
+    }
+
+    InlineCallable(InlineCallable &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineCallable &
+    operator=(InlineCallable &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallable(const InlineCallable &) = delete;
+    InlineCallable &operator=(const InlineCallable &) = delete;
+
+    ~InlineCallable() { reset(); }
+
+    /** True when a callable is stored. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable (must not be empty). */
+    void
+    operator()()
+    {
+        panic_if(ops_ == nullptr, "invoking empty InlineCallable");
+        ops_->invoke(buf_);
+    }
+
+    /** Destroy the stored callable (captures released now). */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *buf);
+        /** Move into @p dst's raw buffer, then destroy @p src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *buf) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn, bool Inline>
+    static constexpr Ops
+    makeOps()
+    {
+        if constexpr (Inline) {
+            return {
+                [](void *buf) { (*static_cast<Fn *>(buf))(); },
+                [](void *src, void *dst) noexcept {
+                    ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                    static_cast<Fn *>(src)->~Fn();
+                },
+                [](void *buf) noexcept {
+                    static_cast<Fn *>(buf)->~Fn();
+                },
+            };
+        } else {
+            return {
+                [](void *buf) { (**static_cast<Fn **>(buf))(); },
+                [](void *src, void *dst) noexcept {
+                    *static_cast<Fn **>(dst) =
+                        *static_cast<Fn **>(src);
+                },
+                [](void *buf) noexcept {
+                    delete *static_cast<Fn **>(buf);
+                },
+            };
+        }
+    }
+
+    template <typename Fn, bool Inline>
+    static constexpr Ops opsFor = makeOps<Fn, Inline>();
+
+    void
+    moveFrom(InlineCallable &other) noexcept
+    {
+        if (other.ops_ != nullptr) {
+            other.ops_->relocate(other.buf_, buf_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineSize];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace klebsim::sim
+
+#endif // KLEBSIM_SIM_INLINE_CALLABLE_HH

@@ -139,6 +139,63 @@ TEST(Lint, FlagsRawThreadConstruction)
     EXPECT_FALSE(flagged(vs, "raw-thread"));
 }
 
+TEST(Lint, HotStdFunctionRuleAppliesToSubstrateOnly)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/sim/foo.hh",
+        "std::function<void()> cb_;\n");
+    EXPECT_TRUE(flagged(vs, "hot-std-function"));
+
+    vs = linter.scanSource(
+        "src/hw/foo.cc",
+        "void arm(std::function <void()> cb);\n");
+    EXPECT_TRUE(flagged(vs, "hot-std-function"));
+
+    // Cold layers (kernel orchestration, stats, tools) may keep
+    // std::function.
+    vs = linter.scanSource(
+        "src/kernel/foo.cc",
+        "std::function<void()> onExit_;\n");
+    EXPECT_FALSE(flagged(vs, "hot-std-function"));
+    vs = linter.scanSource(
+        "src/stats/foo.hh",
+        "std::function<double()> probe_;\n");
+    EXPECT_FALSE(flagged(vs, "hot-std-function"));
+
+    // Comments and strings don't count (the InlineCallable header
+    // itself explains what it replaces).
+    vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "// drop-in for std::function<void()>\n"
+        "const char *s = \"std::function<void()>\";\n");
+    EXPECT_TRUE(vs.empty()) << vs[0].str();
+
+    // Allowlisted cold hooks are exempt.
+    Linter allowed;
+    allowed.allow("hot-std-function", "src/hw/pmu.hh");
+    vs = allowed.scanSource("src/hw/pmu.hh",
+                            "std::function<void()> hook_;\n");
+    EXPECT_FALSE(flagged(vs, "hot-std-function"));
+}
+
+TEST(Lint, HotStdFunctionCleanOnRealTree)
+{
+    // The substrate itself must pass its own rule (modulo the
+    // shipped allowlist's justified carve-outs) — this is what the
+    // `lint.sources` tier-1 test enforces repo-wide.
+    namespace fs = std::filesystem;
+    if (!fs::exists(fs::path("tools") / "lint_allowlist.txt"))
+        GTEST_SKIP() << "run from the repo root to check the tree";
+    Linter linter;
+    std::string err;
+    ASSERT_TRUE(linter.loadAllowlist("tools/lint_allowlist.txt",
+                                     &err))
+        << err;
+    for (const auto &v : linter.scanTree("."))
+        EXPECT_NE(v.rule, "hot-std-function") << v.str();
+}
+
 TEST(Lint, PrintfRuleAppliesToSrcOnly)
 {
     Linter linter;

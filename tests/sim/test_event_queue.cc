@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -246,6 +248,122 @@ TEST(EventQueue, TieBreakSaltRebuildsPendingOrder)
                           [&order2, i] { order2.push_back(i); });
     eq.runAll();
     EXPECT_EQ(order2, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SaltOnNonEmptyQueuePreservesPendingMultiset)
+{
+    // Pending events across several ticks and priorities: flipping
+    // the salt may reorder same-(tick, priority) ties, but must not
+    // lose, duplicate, or re-time any pending event.
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> expected;
+    int next_id = 0;
+    for (Tick when : {10u, 10u, 10u, 20u, 20u, 30u}) {
+        for (int prio :
+             {Event::timerPriority, Event::defaultPriority}) {
+            const int id = next_id++;
+            expected.emplace_back(when, id);
+            eq.scheduleLambda(when,
+                              [&fired, &eq, id] {
+                                  fired.emplace_back(eq.curTick(),
+                                                     id);
+                              },
+                              prio);
+        }
+    }
+    ASSERT_EQ(eq.size(), expected.size());
+
+    eq.setTieBreakSalt(0x5eedULL);
+    EXPECT_EQ(eq.size(), expected.size());
+    EXPECT_EQ(eq.nextTick(), 10u);
+
+    eq.runAll();
+    ASSERT_EQ(fired.size(), expected.size());
+    // Every event fired exactly once, at its original tick.
+    std::sort(fired.begin(), fired.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    std::sort(expected.begin(), expected.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, ListenerSeesActivityOnlyWhileAttached)
+{
+    struct CountingListener : sim::EventQueueListener
+    {
+        int schedules = 0, deschedules = 0, dispatches = 0;
+        void onSchedule(const Event &, Tick) override
+        { ++schedules; }
+        void onDeschedule(const Event &, Tick) override
+        { ++deschedules; }
+        void onDispatch(const Event &, Tick) override
+        { ++dispatches; }
+    };
+
+    EventQueue eq;
+    CountingListener listener;
+
+    // Activity before attach is invisible (the no-listener fast
+    // path must also be correct, not just fast).
+    eq.scheduleLambda(10, [] {});
+    eq.runAll();
+    EXPECT_EQ(listener.schedules, 0);
+
+    eq.addListener(&listener);
+    Event *ev = eq.scheduleLambda(20, [] {});
+    eq.cancelLambda(ev);
+    eq.scheduleLambda(30, [] {});
+    eq.runAll();
+    EXPECT_EQ(listener.schedules, 2);
+    EXPECT_EQ(listener.deschedules, 1);
+    EXPECT_EQ(listener.dispatches, 1);
+
+    // After detach the queue goes quiet again.
+    eq.removeListener(&listener);
+    eq.scheduleLambda(40, [] {});
+    eq.runAll();
+    EXPECT_EQ(listener.schedules, 2);
+    EXPECT_EQ(listener.dispatches, 1);
+}
+
+TEST(EventQueue, LambdaWrapperIsRecycled)
+{
+    // Steady-state one-shot scheduling must reuse the retired
+    // wrapper (the freelist) instead of allocating a fresh one.
+    EventQueue eq;
+    int fired = 0;
+    Event *first = eq.scheduleLambda(10, [&] { ++fired; });
+    eq.runAll();
+    Event *second = eq.scheduleLambda(20, [&] { ++fired; });
+    EXPECT_EQ(first, second)
+        << "retired wrapper was not recycled";
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.eventsProcessed(), 2u);
+}
+
+TEST(EventQueue, RecycledWrapperDropsCapturesAfterDispatch)
+{
+    // Pooled wrappers must release captured state when the event
+    // retires (exactly when `delete` used to run), not hold it
+    // until the wrapper is reused.
+    EventQueue eq;
+    auto state = std::make_shared<int>(7);
+    eq.scheduleLambda(10, [keep = state] { (void)keep; });
+    EXPECT_EQ(state.use_count(), 2);
+    eq.runAll();
+    EXPECT_EQ(state.use_count(), 1);
+
+    // cancelLambda must drop captures the same way.
+    Event *ev = eq.scheduleLambda(20, [keep = state] { (void)keep; });
+    EXPECT_EQ(state.use_count(), 2);
+    eq.cancelLambda(ev);
+    EXPECT_EQ(state.use_count(), 1);
 }
 
 TEST(EventQueueDeath, RescheduleNull)

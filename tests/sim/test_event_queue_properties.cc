@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Property test: the intrusive two-level event queue against a
+ * straightforward reference model (sorted by the documented total
+ * order: when, then priority, then salted seq) under randomized
+ * schedule / deschedule / reschedule / run / salt-change sequences.
+ * Any divergence in dispatch order, timing, or bookkeeping between
+ * the two implementations is a bug in the fast one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "sim/event_queue.hh"
+
+using namespace klebsim;
+
+namespace
+{
+
+/** Same splitmix64 tie-break the queue documents. */
+std::uint64_t
+mixSeq(std::uint64_t seq, std::uint64_t salt)
+{
+    if (salt == 0)
+        return seq;
+    std::uint64_t z = seq + salt * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+struct RecordingEvent : sim::Event
+{
+    RecordingEvent(int id, std::vector<int> *log)
+        : id_(id), log_(log)
+    {
+    }
+
+    void process() override { log_->push_back(id_); }
+
+    void setPrio(int p) { setPriority(p); }
+
+    int id_;
+    std::vector<int> *log_;
+};
+
+/** Reference implementation of the queue's ordering contract. */
+class ModelQueue
+{
+  public:
+    void
+    schedule(int id, Tick when, int prio)
+    {
+        pending_.push_back({when, prio, nextSeq_++, id});
+    }
+
+    void
+    deschedule(int id)
+    {
+        auto it = std::find_if(
+            pending_.begin(), pending_.end(),
+            [id](const Pending &p) { return p.id == id; });
+        ASSERT_NE(it, pending_.end());
+        pending_.erase(it);
+    }
+
+    void setSalt(std::uint64_t salt) { salt_ = salt; }
+
+    bool
+    scheduled(int id) const
+    {
+        return std::any_of(
+            pending_.begin(), pending_.end(),
+            [id](const Pending &p) { return p.id == id; });
+    }
+
+    Tick
+    nextTick() const
+    {
+        return pending_.empty() ? maxTick : front()->when;
+    }
+
+    bool
+    runOne()
+    {
+        if (pending_.empty())
+            return false;
+        auto it = front();
+        cur_ = it->when;
+        ++processed_;
+        log.push_back(it->id);
+        pending_.erase(it);
+        return true;
+    }
+
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t n = 0;
+        while (!pending_.empty() && front()->when <= limit) {
+            runOne();
+            ++n;
+        }
+        if (cur_ < limit)
+            cur_ = limit;
+        return n;
+    }
+
+    std::uint64_t
+    runAll()
+    {
+        std::uint64_t n = 0;
+        while (runOne())
+            ++n;
+        return n;
+    }
+
+    Tick curTick() const { return cur_; }
+    std::size_t size() const { return pending_.size(); }
+    std::uint64_t processed() const { return processed_; }
+
+    std::vector<int> log;
+
+  private:
+    struct Pending
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        int id;
+    };
+
+    std::vector<Pending>::const_iterator
+    front() const
+    {
+        return std::min_element(
+            pending_.begin(), pending_.end(),
+            [this](const Pending &a, const Pending &b) {
+                if (a.when != b.when)
+                    return a.when < b.when;
+                if (a.prio != b.prio)
+                    return a.prio < b.prio;
+                return mixSeq(a.seq, salt_) < mixSeq(b.seq, salt_);
+            });
+    }
+
+    std::vector<Pending>::iterator
+    front()
+    {
+        auto it = std::as_const(*this).front();
+        return pending_.begin() + (it - pending_.cbegin());
+    }
+
+    std::vector<Pending> pending_;
+    Tick cur_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t salt_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+constexpr int priorities[] = {
+    sim::Event::timerPriority, sim::Event::interruptPriority,
+    sim::Event::defaultPriority, sim::Event::schedulerPriority,
+    sim::Event::statsPriority,
+};
+
+void
+runScenario(std::uint64_t seed)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Random rng(seed);
+    sim::EventQueue eq;
+    ModelQueue model;
+
+    std::vector<int> realLog;
+    constexpr int population = 24;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    events.reserve(population);
+    for (int i = 0; i < population; ++i)
+        events.push_back(
+            std::make_unique<RecordingEvent>(i, &realLog));
+
+    for (int step = 0; step < 600; ++step) {
+        const int id = static_cast<int>(rng.below(population));
+        RecordingEvent &ev = *events[id];
+        const std::uint32_t op = rng.below(100);
+
+        if (op < 40) {
+            // (Re)schedule: small tick range forces same-tick bins.
+            const Tick when =
+                eq.curTick() + 1 + rng.below(40);
+            const int prio = priorities[rng.below(
+                static_cast<std::uint32_t>(std::size(priorities)))];
+            if (ev.scheduled()) {
+                eq.deschedule(&ev);
+                model.deschedule(id);
+            }
+            ev.setPrio(prio);
+            eq.schedule(&ev, when);
+            model.schedule(id, when, prio);
+        } else if (op < 55) {
+            if (ev.scheduled()) {
+                eq.deschedule(&ev);
+                model.deschedule(id);
+            }
+        } else if (op < 70) {
+            EXPECT_EQ(eq.runOne(), model.runOne());
+        } else if (op < 85) {
+            const Tick limit = eq.curTick() + rng.below(60);
+            EXPECT_EQ(eq.runUntil(limit), model.runUntil(limit));
+        } else {
+            const std::uint64_t salt =
+                rng.below(4) == 0 ? 0 : rng.next64();
+            eq.setTieBreakSalt(salt);
+            model.setSalt(salt);
+        }
+
+        ASSERT_EQ(eq.size(), model.size());
+        ASSERT_EQ(eq.curTick(), model.curTick());
+        ASSERT_EQ(eq.nextTick(), model.nextTick());
+        ASSERT_EQ(ev.scheduled(), model.scheduled(id));
+    }
+
+    EXPECT_EQ(eq.runAll(), model.runAll());
+    ASSERT_EQ(eq.eventsProcessed(), model.processed());
+    ASSERT_EQ(realLog, model.log)
+        << "dispatch order diverged from the reference model";
+}
+
+TEST(EventQueueProperties, MatchesReferenceModelAcrossSeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 16; ++seed)
+        runScenario(seed);
+}
+
+} // anonymous namespace

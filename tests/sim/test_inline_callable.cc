@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_callable.hh"
+
+using klebsim::sim::InlineCallable;
+
+TEST(InlineCallable, InvokesStoredLambda)
+{
+    int fired = 0;
+    InlineCallable cb([&fired] { ++fired; });
+    cb();
+    cb();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallable, DefaultIsEmpty)
+{
+    InlineCallable cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    InlineCallable stored([] {});
+    EXPECT_TRUE(static_cast<bool>(stored));
+}
+
+TEST(InlineCallable, StoresFunctionPointer)
+{
+    static int calls = 0;
+    calls = 0;
+    InlineCallable cb(+[] { ++calls; });
+    cb();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineCallable, MutableStatePersistsAcrossInvocations)
+{
+    int observed = 0;
+    InlineCallable cb([n = 0, &observed]() mutable {
+        observed = ++n;
+    });
+    cb();
+    cb();
+    cb();
+    EXPECT_EQ(observed, 3);
+}
+
+TEST(InlineCallable, MoveTransfersOwnership)
+{
+    int fired = 0;
+    InlineCallable a([&fired] { ++fired; });
+    InlineCallable b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(InlineCallable, MoveAssignReleasesPreviousTarget)
+{
+    auto old_state = std::make_shared<int>(1);
+    auto new_state = std::make_shared<int>(2);
+    InlineCallable target([keep = old_state] { (void)keep; });
+    EXPECT_EQ(old_state.use_count(), 2);
+
+    target = InlineCallable([keep = new_state] { (void)keep; });
+    EXPECT_EQ(old_state.use_count(), 1)
+        << "old captures must be destroyed on move-assign";
+    EXPECT_EQ(new_state.use_count(), 2);
+    target();
+}
+
+TEST(InlineCallable, ResetReleasesCaptures)
+{
+    auto state = std::make_shared<int>(42);
+    InlineCallable cb([keep = state] { (void)keep; });
+    EXPECT_EQ(state.use_count(), 2);
+    cb.reset();
+    EXPECT_EQ(state.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallable, DestructorReleasesCaptures)
+{
+    auto state = std::make_shared<int>(42);
+    {
+        InlineCallable cb([keep = state] { (void)keep; });
+        EXPECT_EQ(state.use_count(), 2);
+    }
+    EXPECT_EQ(state.use_count(), 1);
+}
+
+TEST(InlineCallable, HeapFallbackForOversizedCaptures)
+{
+    // A capture list larger than the inline buffer still works (it
+    // just isn't allocation-free).
+    std::array<std::uint64_t, 16> big{};
+    big.fill(7);
+    auto state = std::make_shared<int>(0);
+    static_assert(sizeof(big) + sizeof(state) >
+                  InlineCallable::inlineSize);
+
+    InlineCallable cb([big, keep = state] {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : big)
+            sum += v;
+        *keep = static_cast<int>(sum);
+    });
+    EXPECT_EQ(state.use_count(), 2);
+
+    InlineCallable moved(std::move(cb));
+    moved();
+    EXPECT_EQ(*state, 7 * 16);
+
+    moved.reset();
+    EXPECT_EQ(state.use_count(), 1);
+}
+
+TEST(InlineCallable, SmallCaptureFitsInline)
+{
+    // The hot-path shape — a `this`-like pointer plus a word — must
+    // be storable inline (compile-time guarantee the event queue's
+    // allocation-free claim rests on).
+    struct HotShape
+    {
+        void *self;
+        std::uint64_t arg;
+        void operator()() const {}
+    };
+    static_assert(sizeof(HotShape) <= InlineCallable::inlineSize);
+    InlineCallable cb(HotShape{nullptr, 0});
+    cb();
+}
+
+TEST(InlineCallableDeath, InvokingEmptyPanics)
+{
+    InlineCallable cb;
+    EXPECT_DEATH(cb(), "empty InlineCallable");
+}

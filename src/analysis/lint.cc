@@ -4,9 +4,12 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
+#include <set>
 #include <sstream>
 
 #include "base/str.hh"
+#include "token_lexer.hh"
 
 namespace klebsim::analysis
 {
@@ -98,6 +101,181 @@ stripCommentsAndStrings(const std::vector<std::string> &lines)
     return out;
 }
 
+/** Rule ids the token engine implements structurally. */
+bool
+tokenImplemented(const std::string &id)
+{
+    return id == "wall-clock" || id == "raw-random" ||
+           id == "event-new" || id == "raw-thread" ||
+           id == "hot-std-function" || id == "printf-family" ||
+           id == "mutex-raii" || id == "hot-alloc" ||
+           id == "detached-thread";
+}
+
+bool
+identIn(const Token &t,
+        std::initializer_list<std::string_view> names)
+{
+    if (t.kind != TokKind::identifier)
+        return false;
+    for (std::string_view n : names)
+        if (t.text == n)
+            return true;
+    return false;
+}
+
+/** (rule index, line) pair recorded by the token matchers. */
+struct TokenHit
+{
+    std::size_t rule;
+    std::size_t line;
+};
+
+/**
+ * Run every active built-in rule over the token stream in one
+ * pass.  @p active maps rule index -> enabled; matchers record one
+ * hit per match (the caller dedupes per line).
+ */
+void
+matchTokenRules(const std::vector<Token> &toks,
+                const std::vector<const LintRule *> &active,
+                std::vector<TokenHit> &hits)
+{
+    auto at = [&toks](std::size_t i) -> const Token * {
+        return i < toks.size() ? &toks[i] : nullptr;
+    };
+    auto enabled = [&active](std::size_t r) {
+        return active[r] != nullptr;
+    };
+    auto hit = [&hits](std::size_t r, std::size_t line) {
+        hits.push_back({r, line});
+    };
+
+    // hot-alloc scope state: brace depth, an "armed" flag set by a
+    // KLEB_HOT marker (cleared by a `;` before any body opens), and
+    // a stack of depths at which hot bodies started.
+    int depth = 0;
+    bool hotArmed = false;
+    std::vector<int> hotBodies;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        // Scope tracking (independent of any rule being enabled so
+        // the state machine stays consistent).
+        if (t.isPunct("{")) {
+            ++depth;
+            if (hotArmed) {
+                hotBodies.push_back(depth);
+                hotArmed = false;
+            }
+        } else if (t.isPunct("}")) {
+            if (!hotBodies.empty() && hotBodies.back() == depth)
+                hotBodies.pop_back();
+            --depth;
+        } else if (t.isPunct(";")) {
+            hotArmed = false; // declaration without a body
+        } else if (t.isIdent("KLEB_HOT")) {
+            hotArmed = true;
+        }
+
+        for (std::size_t r = 0; r < active.size(); ++r) {
+            if (!enabled(r))
+                continue;
+            const std::string &id = active[r]->id;
+
+            if (id == "wall-clock") {
+                if (t.isIdent("std") && at(i + 1) &&
+                    at(i + 1)->isPunct("::") && at(i + 2) &&
+                    at(i + 2)->isIdent("chrono") && at(i + 3) &&
+                    at(i + 3)->isPunct("::") && at(i + 4) &&
+                    identIn(*at(i + 4),
+                            {"system_clock", "steady_clock",
+                             "high_resolution_clock"}))
+                    hit(r, t.line);
+                if (identIn(t, {"gettimeofday", "clock_gettime",
+                                "localtime", "gmtime", "mktime",
+                                "asctime", "ctime", "time"}) &&
+                    at(i + 1) && at(i + 1)->isPunct("("))
+                    hit(r, t.line);
+            } else if (id == "raw-random") {
+                if (identIn(t, {"rand", "srand", "srandom",
+                                "drand48", "lrand48"}) &&
+                    at(i + 1) && at(i + 1)->isPunct("("))
+                    hit(r, t.line);
+                if (t.isIdent("std") && at(i + 1) &&
+                    at(i + 1)->isPunct("::") && at(i + 2) &&
+                    at(i + 2)->isIdent("random_device"))
+                    hit(r, t.line);
+                if (t.kind == TokKind::identifier &&
+                    t.text.starts_with("mt19937"))
+                    hit(r, t.line);
+            } else if (id == "event-new") {
+                if (t.isIdent("new")) {
+                    std::size_t j = i + 1;
+                    if (at(j) && at(j)->isIdent("klebsim") &&
+                        at(j + 1) && at(j + 1)->isPunct("::"))
+                        j += 2;
+                    if (at(j) && at(j)->isIdent("sim") &&
+                        at(j + 1) && at(j + 1)->isPunct("::"))
+                        j += 2;
+                    if (at(j) &&
+                        at(j)->isIdent("EventFunctionWrapper"))
+                        hit(r, t.line);
+                }
+            } else if (id == "raw-thread") {
+                if (t.isIdent("std") && at(i + 1) &&
+                    at(i + 1)->isPunct("::") && at(i + 2) &&
+                    identIn(*at(i + 2), {"thread", "jthread"}) &&
+                    !(at(i + 3) && at(i + 3)->isPunct("::")))
+                    hit(r, t.line);
+            } else if (id == "hot-std-function") {
+                if (t.isIdent("std") && at(i + 1) &&
+                    at(i + 1)->isPunct("::") && at(i + 2) &&
+                    at(i + 2)->isIdent("function") && at(i + 3) &&
+                    at(i + 3)->isPunct("<"))
+                    hit(r, t.line);
+            } else if (id == "printf-family") {
+                if (identIn(t, {"printf", "fprintf", "sprintf",
+                                "snprintf", "vsnprintf", "vsprintf",
+                                "vfprintf", "puts", "putchar",
+                                "fputs"}) &&
+                    at(i + 1) && at(i + 1)->isPunct("("))
+                    hit(r, t.line);
+                if (t.isIdent("std") && at(i + 1) &&
+                    at(i + 1)->isPunct("::") && at(i + 2) &&
+                    identIn(*at(i + 2), {"cout", "cerr"}))
+                    hit(r, t.line);
+            } else if (id == "mutex-raii") {
+                if ((t.isPunct(".") || t.isPunct("->")) &&
+                    at(i + 1) &&
+                    identIn(*at(i + 1), {"lock", "unlock"}) &&
+                    at(i + 2) && at(i + 2)->isPunct("("))
+                    hit(r, at(i + 1)->line);
+            } else if (id == "detached-thread") {
+                if ((t.isPunct(".") || t.isPunct("->")) &&
+                    at(i + 1) && at(i + 1)->isIdent("detach") &&
+                    at(i + 2) && at(i + 2)->isPunct("("))
+                    hit(r, at(i + 1)->line);
+            } else if (id == "hot-alloc") {
+                if (hotBodies.empty())
+                    continue;
+                if (t.isIdent("new"))
+                    hit(r, t.line);
+                if (identIn(t, {"make_unique", "make_shared"}))
+                    hit(r, t.line);
+                if ((t.isPunct(".") || t.isPunct("->")) &&
+                    at(i + 1) &&
+                    identIn(*at(i + 1),
+                            {"push_back", "emplace_back", "resize",
+                             "reserve"}) &&
+                    at(i + 2) && at(i + 2)->isPunct("("))
+                    hit(r, at(i + 1)->line);
+            }
+        }
+    }
+}
+
 } // anonymous namespace
 
 std::string
@@ -155,21 +333,47 @@ Linter::Linter()
              "base/logging or format with base/str",
              {"src"}});
 
+    addRule({"mutex-raii",
+             "", // token-structural: (.|->) lock/unlock (
+             "bare lock()/unlock() can leak the mutex on early "
+             "return or throw; hold it through TrackedLock "
+             "(base/thread_safety.hh) or std::lock_guard",
+             {"src", "bench", "examples"}});
+
+    addRule({"hot-alloc",
+             "", // token-structural: allocation inside a KLEB_HOT body
+             "KLEB_HOT functions are allocation-free by contract; "
+             "hoist the allocation out of the hot path or drop the "
+             "marker",
+             {"src", "bench", "examples"}});
+
+    addRule({"detached-thread",
+             "", // token-structural: (.|->) detach (
+             "a detached thread escapes every join/determinism "
+             "guarantee; fan work out through bench::TrialPool and "
+             "join it",
+             {"src", "bench", "examples"}});
+
     // Canonical carve-outs: the facilities the rules point at.
     allow("raw-random", "src/base/random");
     allow("printf-family", "src/base/logging.cc");
     allow("printf-family", "src/base/str.cc");
     allow("event-new", "src/sim/event_queue.cc");
     allow("raw-thread", "src/bench_support/trial_pool.cc");
+    allow("mutex-raii", "src/base/thread_safety");
 }
 
 void
 Linter::addRule(const LintRule &rule)
 {
     rules_.push_back(rule);
-    compiled_.emplace_back(rule.pattern,
-                           std::regex::ECMAScript |
-                               std::regex::optimize);
+    // Token-structural rules carry no regex; park an empty regex to
+    // keep the two vectors index-aligned.
+    compiled_.emplace_back(rule.pattern.empty()
+                               ? std::regex()
+                               : std::regex(rule.pattern,
+                                            std::regex::ECMAScript |
+                                                std::regex::optimize));
 }
 
 void
@@ -318,17 +522,69 @@ Linter::scanSource(const std::string &rel_path,
     if (headerExtension(rel_path))
         checkGuard(rel_path, lines, out);
 
-    const std::vector<std::string> code =
-        stripCommentsAndStrings(lines);
+    auto lineText = [&lines](std::size_t lineno) {
+        return lineno >= 1 && lineno <= lines.size()
+                   ? trimmed(lines[lineno - 1])
+                   : std::string();
+    };
+
+    // Token engine: every built-in rule matches structurally on one
+    // shared token stream.
+    std::vector<const LintRule *> active(rules_.size(), nullptr);
+    bool anyToken = false;
     for (std::size_t r = 0; r < rules_.size(); ++r) {
         const LintRule &rule = rules_[r];
-        if (!ruleApplies(rule, rel_path) ||
+        if (!tokenImplemented(rule.id) ||
+            !ruleApplies(rule, rel_path) ||
             allowed(rule.id, rel_path))
             continue;
-        for (std::size_t i = 0; i < code.size(); ++i) {
-            if (std::regex_search(code[i], compiled_[r]))
-                out.push_back({rule.id, rel_path, i + 1,
-                               trimmed(lines[i]), rule.message});
+        active[r] = &rule;
+        anyToken = true;
+    }
+    if (anyToken) {
+        const std::vector<Token> toks = lexTokens(content);
+        std::vector<TokenHit> hits;
+        matchTokenRules(toks, active, hits);
+        // Report per (rule, line) — a line that trips a rule twice
+        // is still one finding — ordered rule-major then by line,
+        // the order the line engine produced.
+        std::sort(hits.begin(), hits.end(),
+                  [](const TokenHit &a, const TokenHit &b) {
+                      return a.rule != b.rule ? a.rule < b.rule
+                                              : a.line < b.line;
+                  });
+        const TokenHit *last = nullptr;
+        for (const TokenHit &h : hits) {
+            if (last && last->rule == h.rule && last->line == h.line)
+                continue;
+            last = &h;
+            out.push_back({rules_[h.rule].id, rel_path, h.line,
+                           lineText(h.line),
+                           rules_[h.rule].message});
+        }
+    }
+
+    // Legacy line-regex engine for custom (non-built-in) rules.
+    bool anyRegex = false;
+    for (std::size_t r = 0; r < rules_.size(); ++r)
+        if (!rules_[r].pattern.empty() &&
+            !tokenImplemented(rules_[r].id))
+            anyRegex = true;
+    if (anyRegex) {
+        const std::vector<std::string> code =
+            stripCommentsAndStrings(lines);
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+            const LintRule &rule = rules_[r];
+            if (rule.pattern.empty() || tokenImplemented(rule.id) ||
+                !ruleApplies(rule, rel_path) ||
+                allowed(rule.id, rel_path))
+                continue;
+            for (std::size_t i = 0; i < code.size(); ++i) {
+                if (std::regex_search(code[i], compiled_[r]))
+                    out.push_back({rule.id, rel_path, i + 1,
+                                   trimmed(lines[i]),
+                                   rule.message});
+            }
         }
     }
     return out;
@@ -471,6 +727,14 @@ Linter::checkAllowlistEntries(
     static const std::string rule = "allowlist-dangling";
     std::vector<LintViolation> out;
     for (const AllowlistEntry &entry : loaded_) {
+        if (!knownRule(entry.rule)) {
+            out.push_back(
+                {rule, entry.origin, entry.line,
+                 entry.rule + " " + entry.prefix,
+                 "allowlist entry names unknown rule '" +
+                     entry.rule + "'; prune it"});
+            continue;
+        }
         bool matches = false;
         for (const std::string &rel : files) {
             if (rel.starts_with(entry.prefix)) {
@@ -486,6 +750,18 @@ Linter::checkAllowlistEntries(
                  "prune it"});
     }
     return out;
+}
+
+bool
+Linter::knownRule(const std::string &rule_id) const
+{
+    for (const LintRule &rule : rules_)
+        if (rule.id == rule_id)
+            return true;
+    return rule_id == "include-guard" ||
+           rule_id == "fault-hook-coverage" ||
+           rule_id == "heartbeat-coverage" ||
+           rule_id == "allowlist-dangling";
 }
 
 std::vector<LintViolation>

@@ -22,6 +22,18 @@
  *                   hooks go on the allowlist);
  *  - printf-family: raw stdio in src/ — report through
  *                   base/logging or format with base/str;
+ *  - mutex-raii:    bare .lock()/.unlock() calls — mutexes are held
+ *                   through RAII (TrackedLock, std::lock_guard,
+ *                   std::scoped_lock) so no exit path can leak a
+ *                   lock; base/thread_safety's own implementation
+ *                   is the canonical carve-out;
+ *  - hot-alloc:     new/make_unique/make_shared and vector-growth
+ *                   calls inside a function marked KLEB_HOT — the
+ *                   marked hot paths are allocation-free by
+ *                   contract (base/thread_safety.hh);
+ *  - detached-thread: .detach() — a detached thread outlives every
+ *                   determinism and shutdown guarantee the trial
+ *                   pool makes; join through bench::TrialPool;
  *  - include-guard: headers must carry the canonical KLEBSIM_*
  *                   guard derived from their path;
  *  - fault-hook-coverage: every fault point registered in the
@@ -36,12 +48,21 @@
  *                   fault nobody injects is untested recovery code;
  *  - allowlist-dangling: every allowlist entry loaded from a file
  *                   must still match at least one existing source
- *                   file, so stale carve-outs cannot silently
- *                   mask future violations.
+ *                   file AND name a rule that still exists, so
+ *                   stale carve-outs cannot silently mask future
+ *                   violations.
  *
  * Exceptions live in a per-rule allowlist ("rule-id path-prefix"
  * lines); the canonical carve-outs (base/random, base/logging, the
  * queue itself) are built in.
+ *
+ * Scanning is token-level (see token_lexer.hh): rules match
+ * identifier/punctuation sequences on a comment-, string- and
+ * raw-string-aware token stream, with brace tracking for the
+ * scope-sensitive rules.  Custom rules registered with a non-empty
+ * regex pattern still run line-wise over comment/string-stripped
+ * text (the pre-token engine), so downstream users can add ad-hoc
+ * bans without writing a token matcher.
  */
 
 #ifndef KLEBSIM_ANALYSIS_LINT_HH
@@ -56,7 +77,14 @@
 namespace klebsim::analysis
 {
 
-/** One pattern rule (the include-guard check is built in). */
+/**
+ * One rule (the include-guard check is built in).  Built-in rules
+ * are matched structurally on the token stream; @p pattern is kept
+ * as the executable reference semantics (the legacy line-regex
+ * engine, which custom rules still run on and the parity tests
+ * compare against).  Token-only structural rules (mutex-raii,
+ * hot-alloc, detached-thread) have an empty pattern.
+ */
 struct LintRule
 {
     std::string id;
@@ -149,12 +177,17 @@ class Linter
 
     /**
      * Verify every file-loaded allowlist entry still matches at
-     * least one path in @p files (repo-relative).  Dangling entries
-     * are reported against the allowlist file itself, so pruning a
-     * source file forces its carve-outs to be pruned too.
+     * least one path in @p files (repo-relative) AND names a rule
+     * this linter knows (pattern/token rules or one of the built-in
+     * checks).  Dangling entries are reported against the allowlist
+     * file itself, so pruning a source file — or retiring a rule —
+     * forces its carve-outs to be pruned too.
      */
     std::vector<LintViolation> checkAllowlistEntries(
         const std::vector<std::string> &files) const;
+
+    /** True if @p rule_id names a pattern/token or built-in rule. */
+    bool knownRule(const std::string &rule_id) const;
 
     /** Scan src/, bench/ and examples/ under @p root. */
     std::vector<LintViolation>

@@ -1,0 +1,155 @@
+#include "lockset.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace klebsim::analysis
+{
+
+namespace
+{
+
+/**
+ * Per-thread state lives outside the checker: onLock/onUnlock and
+ * onAccess are always invoked on the thread doing the locking or
+ * accessing, so its held-lock set and checker-assigned id need no
+ * synchronization at all.  One sink is installed at a time, so
+ * sharing these across checker instances is harmless.
+ */
+std::atomic<std::uint32_t> nextThreadId{0};
+
+thread_local std::uint32_t cachedThreadId = 0;
+
+/** Sorted ids of the TrackedMutexes this thread currently holds. */
+thread_local std::vector<std::uint32_t> heldLocks;
+
+} // anonymous namespace
+
+std::string
+LocksetReport::str() const
+{
+    std::string out(site);
+    out += write ? ": write" : ": read";
+    out += " with no consistent lock held (first seen at ";
+    out += firstSite;
+    out += ")";
+    return out;
+}
+
+LocksetChecker::~LocksetChecker()
+{
+    // A checker must never outlive its installation.
+    uninstall();
+}
+
+void
+LocksetChecker::uninstall()
+{
+    ThreadSafetySink *self = this;
+    detail::tsSink.compare_exchange_strong(
+        self, nullptr, std::memory_order_release,
+        std::memory_order_relaxed);
+}
+
+std::uint32_t
+LocksetChecker::threadId()
+{
+    if (cachedThreadId == 0)
+        cachedThreadId =
+            nextThreadId.fetch_add(1, std::memory_order_relaxed) + 1;
+    return cachedThreadId;
+}
+
+void
+LocksetChecker::onLock(std::uint32_t mutex_id, const char *name)
+{
+    (void)name;
+    auto at = std::lower_bound(heldLocks.begin(), heldLocks.end(),
+                               mutex_id);
+    if (at == heldLocks.end() || *at != mutex_id)
+        heldLocks.insert(at, mutex_id);
+}
+
+void
+LocksetChecker::onUnlock(std::uint32_t mutex_id, const char *name)
+{
+    (void)name;
+    auto at = std::lower_bound(heldLocks.begin(), heldLocks.end(),
+                               mutex_id);
+    if (at != heldLocks.end() && *at == mutex_id)
+        heldLocks.erase(at);
+}
+
+void
+LocksetChecker::onAccess(const void *addr, const char *site,
+                         bool write)
+{
+    const std::uint32_t tid = threadId();
+
+    std::lock_guard<std::mutex> hold(mutex_);
+    ++accesses_;
+
+    auto [it, fresh] = locations_.try_emplace(addr);
+    Location &loc = it->second;
+    if (fresh) {
+        loc.owner = tid;
+        loc.firstSite = site;
+        return;
+    }
+
+    if (loc.state == State::exclusive) {
+        if (loc.owner == tid)
+            return;
+        // Second thread: the location is shared from here on; its
+        // candidate lockset starts as whatever this thread holds.
+        loc.state = write ? State::sharedModified : State::shared;
+        loc.lockset = heldLocks;
+    } else {
+        std::vector<std::uint32_t> refined;
+        std::set_intersection(loc.lockset.begin(),
+                              loc.lockset.end(), heldLocks.begin(),
+                              heldLocks.end(),
+                              std::back_inserter(refined));
+        loc.lockset = std::move(refined);
+        if (write)
+            loc.state = State::sharedModified;
+    }
+
+    if (loc.state == State::sharedModified && loc.lockset.empty() &&
+        !loc.reported) {
+        loc.reported = true;
+        reports_.push_back({addr, site, loc.firstSite, write, tid});
+    }
+}
+
+std::vector<LocksetReport>
+LocksetChecker::reports() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return reports_;
+}
+
+std::uint64_t
+LocksetChecker::accessesObserved() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return accesses_;
+}
+
+void
+LocksetChecker::forget(const void *addr)
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    locations_.erase(addr);
+}
+
+void
+LocksetChecker::reset()
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    locations_.clear();
+    reports_.clear();
+    accesses_ = 0;
+}
+
+} // namespace klebsim::analysis

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Eraser-style runtime lockset checker.
+ *
+ * The annotations in base/thread_safety.hh give the code two
+ * channels into a registered ThreadSafetySink: TrackedMutex /
+ * TrackedLock report every lock acquire/release, and
+ * KLEB_ANNOTATE_ACCESS reports every instrumented access to a piece
+ * of shared state.  LocksetChecker is the sink that turns those two
+ * streams into race findings using the classic Eraser algorithm
+ * (Savage et al., SOSP '97):
+ *
+ *  - each instrumented location starts *virgin*, becomes *exclusive*
+ *    to the first thread that touches it (initialization needs no
+ *    locks), and graduates to *shared* (second thread reads) or
+ *    *shared-modified* (second thread writes, or any write while
+ *    shared);
+ *  - from the moment a second thread appears, the location carries a
+ *    candidate lockset — the intersection of the locks held at every
+ *    access so far;
+ *  - a shared-modified location whose candidate lockset goes empty
+ *    has no single mutex protecting it: that is reported as a
+ *    lockset violation, once per location.
+ *
+ * Like Eraser, the checker is discipline-based, not happens-before
+ * based: it flags *potential* races (no consistent lock) even when a
+ * particular interleaving happened to be safe, and it false-positives
+ * on fork/join hand-offs where ownership transfers without a common
+ * lock.  Call forget() at hand-off points, or only instrument the
+ * side of the hand-off that is supposed to hold the lock (the trial
+ * pool instruments worker-side slot writes for exactly this reason).
+ *
+ * Cost model matches the fault hooks: when no sink is installed,
+ * every KLEB_ANNOTATE_ACCESS is a single relaxed atomic load and a
+ * predicted-not-taken branch; TrackedMutex degrades to std::mutex
+ * plus the same check.  Nothing here is compiled out — the checker
+ * is enabled per-test via install().
+ */
+
+#ifndef KLEBSIM_ANALYSIS_LOCKSET_HH
+#define KLEBSIM_ANALYSIS_LOCKSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/thread_safety.hh"
+
+namespace klebsim::analysis
+{
+
+/** One potential race: an instrumented location whose candidate
+ * lockset went empty while shared-modified. */
+struct LocksetReport
+{
+    const void *addr;     //!< the instrumented location
+    std::string site;     //!< site label of the offending access
+    std::string firstSite; //!< site label of the first access seen
+    bool write;           //!< offending access was a write
+    std::uint32_t thread; //!< checker-assigned id of that thread
+
+    /** "site: no consistent lock (first seen at firstSite)" */
+    std::string str() const;
+};
+
+class LocksetChecker : public ThreadSafetySink
+{
+  public:
+    LocksetChecker() = default;
+    ~LocksetChecker() override;
+
+    /** Register as the global sink (replaces any previous one). */
+    void install() { setThreadSafetySink(this); }
+
+    /** Deregister iff this checker is the current sink. */
+    void uninstall();
+
+    // ThreadSafetySink
+    void onLock(std::uint32_t mutex_id, const char *name) override;
+    void onUnlock(std::uint32_t mutex_id, const char *name) override;
+    void onAccess(const void *addr, const char *site,
+                  bool write) override;
+
+    /** Findings so far (copy; safe to call while running). */
+    std::vector<LocksetReport> reports() const;
+
+    /** Instrumented accesses observed (hook-liveness check). */
+    std::uint64_t accessesObserved() const;
+
+    /**
+     * Drop all state for @p addr: next access re-enters the virgin
+     * state.  Use at fork/join ownership hand-offs the lockset
+     * discipline cannot express.
+     */
+    void forget(const void *addr);
+
+    /** Drop all location state and reports (held locks persist). */
+    void reset();
+
+  private:
+    enum class State : std::uint8_t
+    {
+        exclusive,      //!< one thread has ever touched it
+        shared,         //!< many threads, reads only since sharing
+        sharedModified, //!< many threads, written while shared
+    };
+
+    struct Location
+    {
+        State state = State::exclusive;
+        std::uint32_t owner = 0;       //!< exclusive-state thread
+        std::vector<std::uint32_t> lockset; //!< sorted mutex ids
+        std::string firstSite;
+        bool reported = false;
+    };
+
+    std::uint32_t threadId();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<const void *, Location> locations_;
+    std::vector<LocksetReport> reports_;
+    std::uint64_t accesses_ = 0;
+};
+
+/**
+ * RAII install/uninstall for tests: constructs a checker, installs
+ * it, and guarantees the global sink is cleared on scope exit even
+ * if the test throws.
+ */
+class ScopedLockset
+{
+  public:
+    ScopedLockset() { checker_.install(); }
+    ~ScopedLockset() { checker_.uninstall(); }
+
+    ScopedLockset(const ScopedLockset &) = delete;
+    ScopedLockset &operator=(const ScopedLockset &) = delete;
+
+    LocksetChecker &checker() { return checker_; }
+    LocksetChecker *operator->() { return &checker_; }
+
+  private:
+    LocksetChecker checker_;
+};
+
+} // namespace klebsim::analysis
+
+#endif // KLEBSIM_ANALYSIS_LOCKSET_HH

@@ -1,0 +1,211 @@
+#include "token_lexer.hh"
+
+#include <cctype>
+
+namespace klebsim::analysis
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Encoding prefixes that may precede an ordinary "..." or '...'. */
+bool
+stringPrefix(std::string_view ident)
+{
+    return ident == "L" || ident == "u" || ident == "U" ||
+           ident == "u8";
+}
+
+/** Prefixes that introduce a raw string when followed by '"'. */
+bool
+rawStringPrefix(std::string_view ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+           ident == "UR" || ident == "u8R";
+}
+
+} // anonymous namespace
+
+std::vector<Token>
+lexTokens(const std::string &src)
+{
+    std::vector<Token> out;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    std::size_t line = 1;
+
+    auto countLines = [&line](std::string_view body) {
+        for (char c : body)
+            if (c == '\n')
+                ++line;
+    };
+
+    // Consume an ordinary string/char literal starting at the
+    // opening quote; tolerant of an unterminated literal (stops at
+    // end of line).  Returns one past the closing quote.
+    auto scanQuoted = [&src, n](std::size_t at) {
+        const char quote = src[at];
+        std::size_t j = at + 1;
+        while (j < n && src[j] != quote && src[j] != '\n') {
+            if (src[j] == '\\' && j + 1 < n && src[j + 1] != '\n')
+                ++j; // skip the escaped character
+            ++j;
+        }
+        if (j < n && src[j] == quote)
+            ++j;
+        return j;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t end = src.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            countLines(std::string_view(src).substr(i, end - i));
+            i = end;
+            continue;
+        }
+
+        // Identifiers — possibly a string/char literal prefix.
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(src[j]))
+                ++j;
+            const std::string_view ident =
+                std::string_view(src).substr(i, j - i);
+
+            if (j < n && src[j] == '"' && rawStringPrefix(ident)) {
+                // R"delim( ... )delim"
+                std::size_t d = j + 1;
+                while (d < n && src[d] != '(' && src[d] != '\n')
+                    ++d;
+                std::string closer(1, ')');
+                closer.append(src, j + 1, d - (j + 1));
+                closer.push_back('"');
+                std::size_t end = d < n && src[d] == '('
+                                      ? src.find(closer, d + 1)
+                                      : std::string::npos;
+                end = end == std::string::npos
+                          ? n
+                          : end + closer.size();
+                const std::size_t start_line = line;
+                countLines(std::string_view(src).substr(i, end - i));
+                out.push_back({TokKind::stringLit,
+                               src.substr(i, end - i), start_line});
+                i = end;
+                continue;
+            }
+            if (j < n && src[j] == '"' && stringPrefix(ident)) {
+                std::size_t end = scanQuoted(j);
+                out.push_back({TokKind::stringLit,
+                               src.substr(i, end - i), line});
+                i = end;
+                continue;
+            }
+            if (j < n && src[j] == '\'' && stringPrefix(ident)) {
+                std::size_t end = scanQuoted(j);
+                out.push_back({TokKind::charLit,
+                               src.substr(i, end - i), line});
+                i = end;
+                continue;
+            }
+
+            out.push_back({TokKind::identifier,
+                           std::string(ident), line});
+            i = j;
+            continue;
+        }
+
+        // Numbers (pp-number: digits, letters, ', ., exponent sign).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t j = i;
+            while (j < n) {
+                const char d = src[j];
+                if (identChar(d) || d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && j > i) {
+                    const char e = src[j - 1];
+                    if (e == 'e' || e == 'E' || e == 'p' ||
+                        e == 'P') {
+                        ++j;
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.push_back({TokKind::number, src.substr(i, j - i),
+                           line});
+            i = j;
+            continue;
+        }
+
+        // Unprefixed string/char literals.
+        if (c == '"') {
+            std::size_t end = scanQuoted(i);
+            out.push_back({TokKind::stringLit,
+                           src.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        if (c == '\'') {
+            std::size_t end = scanQuoted(i);
+            out.push_back({TokKind::charLit, src.substr(i, end - i),
+                           line});
+            i = end;
+            continue;
+        }
+
+        // Punctuation: fuse only the pairs the rules match on.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.push_back({TokKind::punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.push_back({TokKind::punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({TokKind::punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace klebsim::analysis

@@ -1,0 +1,9 @@
+#include "thread_safety.hh"
+
+namespace klebsim
+{
+
+// Out-of-line key function so the sink's vtable lives in one TU.
+ThreadSafetySink::~ThreadSafetySink() = default;
+
+} // namespace klebsim

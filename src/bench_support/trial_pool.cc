@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 namespace klebsim::bench
@@ -39,9 +38,18 @@ TrialPool::runIndexed(std::size_t count,
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> failed{false};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    std::size_t first_error_trial = count;
+
+    // The failure slot is the only cross-worker shared state the
+    // pool itself owns; its lock discipline is machine-checked both
+    // statically (KLEB_GUARDED_BY under -Wthread-safety) and at
+    // runtime (TrackedMutex reports to the lockset checker).
+    struct FailureSlot
+    {
+        TrackedMutex mutex{"bench.TrialPool.error"};
+        std::exception_ptr first KLEB_GUARDED_BY(mutex);
+        std::size_t firstTrial KLEB_GUARDED_BY(mutex) =
+            ~std::size_t{0};
+    } failure;
 
     auto worker = [&] {
         while (!failed.load(std::memory_order_acquire)) {
@@ -52,12 +60,12 @@ TrialPool::runIndexed(std::size_t count,
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
+                TrackedLock lock(failure.mutex);
                 // Keep the lowest-indexed failure: that is the one
                 // a sequential run would have surfaced.
-                if (i < first_error_trial) {
-                    first_error_trial = i;
-                    first_error = std::current_exception();
+                if (i < failure.firstTrial) {
+                    failure.firstTrial = i;
+                    failure.first = std::current_exception();
                 }
                 failed.store(true, std::memory_order_release);
             }
@@ -71,6 +79,11 @@ TrialPool::runIndexed(std::size_t count,
     for (std::thread &t : threads)
         t.join();
 
+    std::exception_ptr first_error;
+    {
+        TrackedLock lock(failure.mutex);
+        first_error = failure.first;
+    }
     if (first_error)
         std::rethrow_exception(first_error);
 }

@@ -4,6 +4,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "base/thread_safety.hh"
 
 namespace klebsim::hw
 {
@@ -176,7 +177,7 @@ Cache::victimWay(std::uint64_t set)
     }
 }
 
-bool
+KLEB_HOT bool
 Cache::access(Addr addr, bool write)
 {
     (void)write; // no dirty-state modeling; writes allocate like reads

@@ -40,8 +40,9 @@ void
 ControllerBehavior::onSyscallOk(kernel::Kernel &kernel)
 {
     if (heartbeat_) {
-        heartbeat_->lastBeat = kernel.now();
-        ++heartbeat_->beats;
+        heartbeat_->lastBeat.store(kernel.now(),
+                                   std::memory_order_relaxed);
+        heartbeat_->beats.fetch_add(1, std::memory_order_relaxed);
     }
 }
 

@@ -138,7 +138,8 @@ Session::monitor(kernel::Process *target, bool start_target)
     sys_.kernel().startProcess(controller_);
 
     if (options_.supervise) {
-        heartbeat_.lastBeat = sys_.now();
+        heartbeat_.lastBeat.store(sys_.now(),
+                                  std::memory_order_relaxed);
         SupervisorBehavior::Ward ward;
         ward.controller = [this] { return controller_; };
         ward.finishedCleanly = [this] {
@@ -221,7 +222,7 @@ Session::restartController()
 
     // Fresh grace period: the replacement needs setup + attach
     // time before its first beat.
-    heartbeat_.lastBeat = sys_.now();
+    heartbeat_.lastBeat.store(sys_.now(), std::memory_order_relaxed);
 
     CoreId core = options_.controllerCore != invalidCore
                       ? options_.controllerCore

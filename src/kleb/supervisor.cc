@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/thread_safety.hh"
 #include "kernel/kernel.hh"
 #include "kernel/process.hh"
 
@@ -50,6 +51,8 @@ SupervisorBehavior::nextOp(kernel::Kernel &kernel,
         state_ = State::poll;
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &) {
+                KLEB_ANNOTATE_ACCESS(&stats_,
+                                     "kleb.Supervisor.stats");
                 ++stats_.polls;
                 if (ward_.finishedCleanly()) {
                     state_ = State::done;
@@ -59,10 +62,15 @@ SupervisorBehavior::nextOp(kernel::Kernel &kernel,
                 const bool dead =
                     c == nullptr ||
                     c->state() == kernel::ProcState::zombie;
+                // Snapshot the beat once: re-reading a concurrently
+                // stamped cell between the staleness comparisons
+                // could see two different beats and judge a live
+                // controller hung (or vice versa).
+                const Tick last = heartbeat_->lastBeat.load(
+                    std::memory_order_relaxed);
                 const bool stale =
-                    !dead && k.now() > heartbeat_->lastBeat &&
-                    k.now() - heartbeat_->lastBeat >
-                        tuning_.heartbeatTimeout;
+                    !dead && k.now() > last &&
+                    k.now() - last > tuning_.heartbeatTimeout;
                 if (!dead && !stale)
                     return;
                 if (!ward_.moduleLoaded()) {
@@ -98,6 +106,8 @@ SupervisorBehavior::nextOp(kernel::Kernel &kernel,
         state_ = State::poll;
         return Op::makeSyscall(
             [this](kernel::Kernel &k, kernel::Process &) {
+                KLEB_ANNOTATE_ACCESS(&stats_,
+                                     "kleb.Supervisor.stats");
                 kernel::Process *np = ward_.restart(deathTick_);
                 if (np == nullptr) {
                     state_ = State::done;

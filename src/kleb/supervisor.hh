@@ -21,6 +21,7 @@
 #ifndef KLEBSIM_KLEB_SUPERVISOR_HH
 #define KLEBSIM_KLEB_SUPERVISOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -32,12 +33,17 @@ namespace klebsim::kleb
 
 /**
  * Shared-memory heartbeat cell.  The controller stamps it; the
- * supervisor compares it against the timeout.
+ * supervisor compares it against the timeout.  The fields are
+ * atomics because the cell models a true shared-memory mailbox: writer
+ * and reader are different logical threads, and once sessions run on
+ * real host threads (ROADMAP: per-CPU sessions) a plain Tick would
+ * tear.  Relaxed ordering suffices — each field is an independent
+ * monotonic stamp, never a message that publishes other data.
  */
 struct Heartbeat
 {
-    Tick lastBeat = 0;
-    std::uint64_t beats = 0;
+    std::atomic<Tick> lastBeat{0};
+    std::atomic<std::uint64_t> beats{0};
 };
 
 /** Everything the supervisor did, for reports and invariants. */

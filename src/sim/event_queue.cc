@@ -1,6 +1,7 @@
 #include "event_queue.hh"
 
 #include "base/logging.hh"
+#include "base/thread_safety.hh"
 
 namespace klebsim::sim
 {
@@ -70,7 +71,7 @@ EventQueue::~EventQueue()
     }
 }
 
-void
+KLEB_HOT void
 EventQueue::insert(Event *ev)
 {
     Event **link = &head_;
@@ -114,7 +115,7 @@ EventQueue::insert(Event *ev)
     }
 }
 
-Event *
+KLEB_HOT Event *
 EventQueue::popHead()
 {
     Event *ev = head_;
@@ -133,7 +134,7 @@ EventQueue::popHead()
     return ev;
 }
 
-void
+KLEB_HOT void
 EventQueue::remove(Event *ev)
 {
     Event **link = &head_;
@@ -176,7 +177,7 @@ EventQueue::remove(Event *ev)
     panic("scheduled event missing from queue set");
 }
 
-void
+KLEB_HOT void
 EventQueue::schedule(Event *ev, Tick when)
 {
     panic_if(ev == nullptr, "schedule of null event");
@@ -184,6 +185,7 @@ EventQueue::schedule(Event *ev, Tick when)
              "event '", ev->name(), "' already scheduled");
     panic_if(when < curTick_, "event '", ev->name(),
              "' scheduled in the past (", when, " < ", curTick_, ")");
+    KLEB_ANNOTATE_ACCESS(&head_, "sim.EventQueue.pending");
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->queue_ = this;
@@ -195,12 +197,13 @@ EventQueue::schedule(Event *ev, Tick when)
     }
 }
 
-void
+KLEB_HOT void
 EventQueue::deschedule(Event *ev)
 {
     panic_if(ev == nullptr, "deschedule of null event");
     panic_if(ev->queue_ != this,
              "event '", ev->name(), "' not scheduled on this queue");
+    KLEB_ANNOTATE_ACCESS(&head_, "sim.EventQueue.pending");
     remove(ev);
     --size_;
     ev->queue_ = nullptr;
@@ -276,7 +279,7 @@ EventQueue::nextTick() const
     return head_->when_;
 }
 
-void
+KLEB_HOT void
 EventQueue::dispatch(Event *ev)
 {
     ev->queue_ = nullptr;
@@ -291,21 +294,23 @@ EventQueue::dispatch(Event *ev)
         releaseAuto(ev);
 }
 
-bool
+KLEB_HOT bool
 EventQueue::runOne()
 {
     if (head_ == nullptr)
         return false;
+    KLEB_ANNOTATE_ACCESS(&head_, "sim.EventQueue.pending");
     Event *ev = popHead();
     --size_;
     dispatch(ev);
     return true;
 }
 
-std::uint64_t
+KLEB_HOT std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
+    KLEB_ANNOTATE_ACCESS(&head_, "sim.EventQueue.pending");
     while (head_ != nullptr && head_->when_ <= limit) {
         Event *ev = popHead();
         --size_;
@@ -363,6 +368,7 @@ EventQueue::setTieBreakSalt(std::uint64_t salt)
 {
     if (salt == tieSalt_)
         return;
+    KLEB_ANNOTATE_ACCESS(&head_, "sim.EventQueue.pending");
     tieSalt_ = salt;
     // Bin membership depends only on (tick, priority), so the bin
     // list stands; only each bin's chain order follows the salt.

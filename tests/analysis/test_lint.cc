@@ -545,3 +545,133 @@ TEST(Lint, AllowlistCleanOnRealTree)
     for (const auto &v : linter.scanTree("."))
         EXPECT_NE(v.rule, "allowlist-dangling") << v.str();
 }
+
+TEST(Lint, FlagsBareMutexLocking)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/kleb/foo.cc",
+        "void f(std::mutex &m, std::mutex *p)\n"
+        "{\n"
+        "    m.lock();\n"
+        "    p->unlock();\n"
+        "}\n");
+    ASSERT_EQ(vs.size(), 2u);
+    EXPECT_EQ(vs[0].rule, "mutex-raii");
+    EXPECT_EQ(vs[0].line, 3u);
+    EXPECT_EQ(vs[1].line, 4u);
+
+    // RAII holders and lookalike identifiers stay legal.
+    vs = linter.scanSource(
+        "src/kleb/foo.cc",
+        "void g(std::mutex &m)\n"
+        "{\n"
+        "    std::lock_guard<std::mutex> hold(m);\n"
+        "    int lock = relock(unlock_count);\n"
+        "}\n");
+    EXPECT_TRUE(vs.empty());
+
+    // base/thread_safety's own implementation is carved out.
+    vs = linter.scanSource("src/base/thread_safety.hh",
+                           "#ifndef KLEBSIM_BASE_THREAD_SAFETY_HH\n"
+                           "#define KLEBSIM_BASE_THREAD_SAFETY_HH\n"
+                           "void lock() { m_.lock(); }\n"
+                           "#endif"
+                           " // KLEBSIM_BASE_THREAD_SAFETY_HH\n");
+    EXPECT_FALSE(flagged(vs, "mutex-raii"));
+}
+
+TEST(Lint, FlagsAllocationInHotFunctions)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "KLEB_HOT void f(std::vector<int> &v)\n"
+        "{\n"
+        "    v.push_back(1);\n"
+        "    auto p = std::make_unique<int>(2);\n"
+        "    int *q = new int(3);\n"
+        "}\n");
+    ASSERT_EQ(vs.size(), 3u);
+    for (const auto &v : vs)
+        EXPECT_EQ(v.rule, "hot-alloc");
+
+    // The same body without the marker is legal.
+    vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "void f(std::vector<int> &v)\n"
+        "{\n"
+        "    v.push_back(1);\n"
+        "    int *q = new int(3);\n"
+        "}\n");
+    EXPECT_TRUE(vs.empty());
+
+    // A KLEB_HOT declaration (no body) must not arm the scope.
+    vs = linter.scanSource(
+        "src/sim/foo.cc",
+        "KLEB_HOT void f(std::vector<int> &v);\n"
+        "void g(std::vector<int> &v) { v.reserve(4); }\n");
+    EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, FlagsDetachedThreads)
+{
+    Linter linter;
+    auto vs = linter.scanSource("src/kleb/foo.cc",
+                                "void f(std::thread *t)\n"
+                                "{\n"
+                                "    t->detach();\n"
+                                "}\n");
+    EXPECT_TRUE(flagged(vs, "detached-thread"));
+
+    // detach as a plain identifier is not a detach call.
+    vs = linter.scanSource("src/kleb/foo.cc",
+                           "int detach = 0; use(detach);\n");
+    EXPECT_FALSE(flagged(vs, "detached-thread"));
+}
+
+TEST(Lint, BannedSpellingsInLiteralsAndCommentsStayLegal)
+{
+    Linter linter;
+    auto vs = linter.scanSource(
+        "src/kleb/foo.cc",
+        "// gate.lock() and t.detach() in a comment\n"
+        "const char *s = \"m.lock() rand() new int\";\n"
+        "const char *r = R\"(v.push_back(1) t.detach())\";\n");
+    EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, KnownRuleCoversPatternTokenAndBuiltinRules)
+{
+    Linter linter;
+    EXPECT_TRUE(linter.knownRule("wall-clock"));
+    EXPECT_TRUE(linter.knownRule("mutex-raii"));
+    EXPECT_TRUE(linter.knownRule("include-guard"));
+    EXPECT_TRUE(linter.knownRule("fault-hook-coverage"));
+    EXPECT_TRUE(linter.knownRule("heartbeat-coverage"));
+    EXPECT_TRUE(linter.knownRule("allowlist-dangling"));
+    EXPECT_FALSE(linter.knownRule("phase-of-moon"));
+
+    linter.addRule({"custom-ban", "forbidden", "message", {"src"}});
+    EXPECT_TRUE(linter.knownRule("custom-ban"));
+}
+
+TEST(Lint, AllowlistEntryWithUnknownRuleFlagged)
+{
+    Linter linter;
+    std::string err;
+    ASSERT_TRUE(linter.loadAllowlistFromString(
+        "wall-clock src/kleb/a.cc\n"
+        "phase-of-moon src/kleb/a.cc\n",
+        "tools/lint_allowlist.txt", &err))
+        << err;
+
+    // The path exists in both entries; only the retired rule id
+    // dangles, and the message names it.
+    auto vs = linter.checkAllowlistEntries({"src/kleb/a.cc"});
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "allowlist-dangling");
+    EXPECT_EQ(vs[0].line, 2u);
+    EXPECT_NE(vs[0].message.find("phase-of-moon"),
+              std::string::npos);
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the Eraser-style runtime lockset checker.
+ *
+ * The deliberately-racy cases violate *lock discipline* on data that
+ * is physically std::atomic — the checker must fire (no consistent
+ * lock guards the location) while ThreadSanitizer stays silent (no
+ * actual data race), so the lockset-chaos CI job can run these under
+ * TSan with halt_on_error=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "analysis/lockset.hh"
+#include "base/thread_safety.hh"
+
+namespace
+{
+
+using klebsim::setThreadSafetySink;
+using klebsim::threadSafetySink;
+using klebsim::TrackedLock;
+using klebsim::TrackedMutex;
+using klebsim::analysis::LocksetChecker;
+using klebsim::analysis::ScopedLockset;
+
+/** Run @p fn on @p n fresh threads and join them all. */
+template <typename Fn>
+void
+onThreads(unsigned n, Fn fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads.emplace_back(fn);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+TEST(Lockset, SeededRaceIsCaught)
+{
+    ScopedLockset scoped;
+    std::atomic<std::uint64_t> counter{0};
+
+    // Two threads hammer the same location holding no lock at all:
+    // the classic discipline violation the checker exists for.
+    onThreads(2, [&] {
+        for (int i = 0; i < 100; ++i) {
+            KLEB_ANNOTATE_ACCESS(&counter, "test.racy.counter");
+            counter.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    auto reports = scoped->reports();
+    ASSERT_EQ(reports.size(), 1u) << "one report per location";
+    EXPECT_EQ(reports[0].addr, &counter);
+    EXPECT_EQ(reports[0].site, "test.racy.counter");
+    EXPECT_TRUE(reports[0].write);
+    EXPECT_GE(scoped->accessesObserved(), 200u);
+}
+
+TEST(Lockset, InconsistentLocksAreCaught)
+{
+    ScopedLockset scoped;
+    TrackedMutex a("test.mutex.a");
+    TrackedMutex b("test.mutex.b");
+    std::atomic<int> shared{0};
+
+    // Each thread *does* hold a lock — just never the same one, so
+    // the candidate lockset intersects to empty.  The ping-pong turn
+    // counter forces strict alternation: the lockset only refines on
+    // each access, so if one thread ran to completion before the
+    // other started, the survivor's lone lock would never be
+    // intersected away and the checker would (correctly, per Eraser)
+    // stay silent.
+    std::atomic<int> seq{0};
+    std::atomic<int> turn{0};
+    onThreads(2, [&] {
+        const int me = seq.fetch_add(1);
+        for (int i = 0; i < 8; ++i) {
+            while (turn.load(std::memory_order_acquire) % 2 != me)
+                std::this_thread::yield();
+            {
+                TrackedLock hold(me == 0 ? a : b);
+                KLEB_ANNOTATE_ACCESS(&shared,
+                                     "test.mismatched.locks");
+                shared.store(i, std::memory_order_relaxed);
+            }
+            turn.fetch_add(1, std::memory_order_release);
+        }
+    });
+
+    ASSERT_EQ(scoped->reports().size(), 1u);
+    EXPECT_EQ(scoped->reports()[0].site, "test.mismatched.locks");
+}
+
+TEST(Lockset, ConsistentLockingIsClean)
+{
+    ScopedLockset scoped;
+    TrackedMutex m("test.mutex.shared");
+    std::uint64_t value = 0; // genuinely guarded: plain data is fine
+
+    onThreads(4, [&] {
+        for (int i = 0; i < 50; ++i) {
+            TrackedLock hold(m);
+            KLEB_ANNOTATE_ACCESS(&value, "test.guarded.value");
+            ++value;
+        }
+    });
+
+    EXPECT_TRUE(scoped->reports().empty());
+    EXPECT_EQ(value, 200u);
+    EXPECT_GE(scoped->accessesObserved(), 200u);
+}
+
+TEST(Lockset, ExclusiveOwnerNeedsNoLocks)
+{
+    ScopedLockset scoped;
+    int local = 0;
+    // Initialization pattern: one thread, many unlocked writes.
+    for (int i = 0; i < 100; ++i) {
+        KLEB_ANNOTATE_ACCESS(&local, "test.exclusive");
+        ++local;
+    }
+    EXPECT_TRUE(scoped->reports().empty());
+}
+
+TEST(Lockset, ReadSharedDataNeverReports)
+{
+    ScopedLockset scoped;
+    const int table = 42;
+    // Writer initializes, then many threads only read: the location
+    // reaches the shared state but never shared-modified.
+    KLEB_ANNOTATE_ACCESS(&table, "test.readonly");
+    onThreads(3, [&] {
+        for (int i = 0; i < 20; ++i)
+            KLEB_ANNOTATE_READ(&table, "test.readonly");
+    });
+    EXPECT_TRUE(scoped->reports().empty());
+}
+
+TEST(Lockset, WriteAfterReadSharingIsCaught)
+{
+    ScopedLockset scoped;
+    std::atomic<int> cell{0};
+    KLEB_ANNOTATE_ACCESS(&cell, "test.read.then.write"); // owner
+    std::thread reader([&] {
+        KLEB_ANNOTATE_READ(&cell, "test.read.then.write");
+    });
+    reader.join();
+    // Back on the first thread: the location is shared now, and an
+    // unlocked write demotes it to shared-modified with an empty
+    // lockset.
+    KLEB_ANNOTATE_ACCESS(&cell, "test.read.then.write");
+    ASSERT_EQ(scoped->reports().size(), 1u);
+    EXPECT_TRUE(scoped->reports()[0].write);
+}
+
+TEST(Lockset, ForgetResetsALocationAtHandoff)
+{
+    ScopedLockset scoped;
+    std::atomic<int> slot{0};
+    std::thread producer([&] {
+        KLEB_ANNOTATE_ACCESS(&slot, "test.handoff");
+        slot.store(1, std::memory_order_release);
+    });
+    producer.join();
+    // Fork/join hand-off: ownership moved via join, not a lock.
+    // Without forget() the consumer write below would misfire.
+    scoped->forget(&slot);
+    KLEB_ANNOTATE_ACCESS(&slot, "test.handoff");
+    EXPECT_TRUE(scoped->reports().empty());
+}
+
+TEST(Lockset, ResetClearsEverything)
+{
+    ScopedLockset scoped;
+    std::atomic<int> x{0};
+    onThreads(2, [&] {
+        KLEB_ANNOTATE_ACCESS(&x, "test.reset");
+    });
+    EXPECT_FALSE(scoped->reports().empty());
+    scoped->reset();
+    EXPECT_TRUE(scoped->reports().empty());
+    EXPECT_EQ(scoped->accessesObserved(), 0u);
+}
+
+TEST(Lockset, DisabledHooksCostNothingAndRecordNothing)
+{
+    ASSERT_EQ(threadSafetySink(), nullptr)
+        << "a sink leaked from another test";
+    // With no sink installed the macros are a null check: nothing
+    // observable happens, and nothing crashes.
+    int value = 0;
+    KLEB_ANNOTATE_ACCESS(&value, "test.disabled");
+    KLEB_ANNOTATE_READ(&value, "test.disabled");
+    TrackedMutex m("test.disabled.mutex");
+    {
+        TrackedLock hold(m);
+        ++value;
+    }
+    EXPECT_EQ(value, 1);
+
+    // A checker that was never installed observes nothing.
+    LocksetChecker idle;
+    EXPECT_EQ(idle.accessesObserved(), 0u);
+}
+
+TEST(Lockset, UninstallOnlyRemovesItself)
+{
+    LocksetChecker first;
+    first.install();
+    LocksetChecker second;
+    second.install(); // replaces first as the global sink
+    first.uninstall();
+    EXPECT_EQ(threadSafetySink(), &second)
+        << "first's uninstall must not evict second";
+    second.uninstall();
+    EXPECT_EQ(threadSafetySink(), nullptr);
+}
+
+TEST(Lockset, TrackedMutexIdsAreUniqueAndNamed)
+{
+    TrackedMutex a("alpha");
+    TrackedMutex b("beta");
+    EXPECT_NE(a.id(), b.id());
+    EXPECT_NE(a.id(), 0u);
+    EXPECT_STREQ(a.name(), "alpha");
+}
+
+} // anonymous namespace

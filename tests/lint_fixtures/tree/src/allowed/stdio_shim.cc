@@ -1,0 +1,15 @@
+// Fixture: raw stdio excused by the fixture allowlist entry
+// "printf-family src/allowed/" — must produce zero findings.
+
+#include <cstdio>
+
+namespace fixture
+{
+
+void
+excused_stdio()
+{
+    printf("the allowlist carve-out covers this file\n");
+}
+
+} // namespace fixture

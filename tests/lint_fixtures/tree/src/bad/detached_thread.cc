@@ -1,0 +1,23 @@
+// Fixture: detach through value and pointer syntax.
+
+#include <thread>
+
+namespace fixture
+{
+
+void
+bad_detach(std::thread &t, std::thread *p)
+{
+    t.detach();
+    p->detach();
+}
+
+void
+good_identifiers()
+{
+    // detach as a plain identifier must NOT match.
+    int detach = 0;
+    (void)detach;
+}
+
+} // namespace fixture

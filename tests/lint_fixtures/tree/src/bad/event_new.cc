@@ -1,0 +1,17 @@
+// Fixture: raw EventFunctionWrapper allocation, qualified or not.
+
+namespace fixture
+{
+
+void
+bad_wrappers()
+{
+    auto *a = new EventFunctionWrapper([] {}, "a");
+    auto *b = new sim::EventFunctionWrapper([] {}, "b");
+    auto *c = new klebsim::sim::EventFunctionWrapper([] {}, "c");
+    (void)a;
+    (void)b;
+    (void)c;
+}
+
+} // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: allocation inside KLEB_HOT bodies; identical code in
+// unmarked functions stays legal.
+
+#include <memory>
+#include <vector>
+
+namespace fixture
+{
+
+KLEB_HOT void
+bad_hot_allocs(std::vector<int> &v)
+{
+    int *leak = new int(7);
+    auto owned = std::make_unique<int>(9);
+    auto shared = std::make_shared<int>(11);
+    v.push_back(1);
+    v.emplace_back(2);
+    v.resize(32);
+    v.reserve(64);
+    delete leak;
+    (void)owned;
+    (void)shared;
+}
+
+// A KLEB_HOT declaration with no body must not arm the scope.
+KLEB_HOT void declared_only(std::vector<int> &v);
+
+void
+good_cold_allocs(std::vector<int> &v)
+{
+    int *fine = new int(1);
+    v.push_back(3);
+    delete fine;
+}
+
+KLEB_HOT int
+good_hot_no_alloc(const std::vector<int> &v)
+{
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    return sum;
+}
+
+} // namespace fixture

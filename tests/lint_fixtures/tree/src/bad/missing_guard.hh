@@ -1,0 +1,11 @@
+// Fixture: header whose guard does not match its path.
+
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+namespace fixture
+{
+inline int answer() { return 42; }
+} // namespace fixture
+
+#endif // WRONG_GUARD_NAME_HH

@@ -1,0 +1,28 @@
+// Fixture: bare lock()/unlock() through value and pointer syntax.
+
+#include <mutex>
+
+namespace fixture
+{
+
+std::mutex gate;
+
+void
+bad_manual_locking(std::mutex *remote)
+{
+    gate.lock();
+    gate.unlock();
+    remote->lock();
+    remote->unlock();
+}
+
+void
+good_raii()
+{
+    std::lock_guard<std::mutex> hold(gate);
+    // Identifiers merely containing lock must NOT match.
+    int unlock_count = 0;
+    (void)unlock_count;
+}
+
+} // namespace fixture

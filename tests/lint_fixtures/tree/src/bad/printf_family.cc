@@ -1,0 +1,19 @@
+// Fixture: raw stdio forms the rule must catch.
+
+#include <cstdio>
+#include <iostream>
+
+namespace fixture
+{
+
+void
+bad_stdio(double overhead)
+{
+    printf("overhead %f\n", overhead);
+    fprintf(stderr, "warn\n");
+    puts("done");
+    std::cout << overhead;
+    std::cerr << "oops";
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: every raw-random form the rule must catch.
+
+#include <cstdlib>
+#include <random>
+
+namespace fixture
+{
+
+int
+bad_rand()
+{
+    srand(42);
+    return rand();
+}
+
+unsigned
+bad_device()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    std::mt19937_64 wide(1);
+    return gen() ^ static_cast<unsigned>(wide());
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: raw thread construction; std::thread:: statics stay legal.
+
+#include <thread>
+
+namespace fixture
+{
+
+void
+bad_threads()
+{
+    std::thread worker([] {});
+    std::jthread stoppable([] {});
+    worker.join();
+}
+
+unsigned
+good_static_query()
+{
+    // Nested-name uses are not construction; must NOT match.
+    return std::thread::hardware_concurrency();
+}
+
+} // namespace fixture

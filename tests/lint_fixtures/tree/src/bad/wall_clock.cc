@@ -1,0 +1,31 @@
+// Fixture: every wall-clock form the rule must catch.
+
+#include <chrono>
+#include <ctime>
+
+namespace fixture
+{
+
+void
+bad_clocks()
+{
+    auto a = std::chrono::system_clock::now();
+    auto b = std::chrono::steady_clock::now();
+    auto c = std::chrono::high_resolution_clock::now();
+    (void)a;
+    (void)b;
+    (void)c;
+}
+
+long
+bad_time_calls()
+{
+    long t = time(nullptr);
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    struct tm *lt = localtime(&t);
+    (void)lt;
+    return t;
+}
+
+} // namespace fixture

@@ -1,0 +1,55 @@
+// Fixture: every banned spelling below hides where the token
+// engine must not look — comments, strings, raw strings — or is a
+// lookalike identifier.  This file must produce ZERO findings.
+
+// Comment bait: rand() printf("x") std::chrono::system_clock t.detach()
+
+/* Block-comment bait spanning lines:
+   std::random_device rd;
+   gate.lock(); gate.unlock();
+   new EventFunctionWrapper
+*/
+
+#include <string>
+
+namespace fixture
+{
+
+const char *stringBait =
+    "rand() time(0) printf(fmt) std::cout .detach() mt19937";
+
+const char *rawBait = R"(std::random_device and gate.lock() and
+new sim::EventFunctionWrapper spanning
+multiple lines)";
+
+// Raw string with an embedded quote: a line scanner that treats the
+// first " as the end of the literal leaks `rand(` back into code.
+const char *embeddedQuote = R"re(he said "hi" then rand() ran)re";
+
+const char *prefixedBait = u8R"(std::cout << mt19937)";
+
+int
+lookalikes(int mytime, int detach_count)
+{
+    // time_limit( is not time(; strand( is not rand(.
+    auto time_limit = [](int v) { return v; };
+    auto strand = [](int v) { return v + 1; };
+    int grand = strand(time_limit(mytime));
+    // .lockable() and .relock() are not .lock().
+    struct S
+    {
+        int lockable() { return 1; }
+        int relock() { return 2; }
+        int detached() { return 3; }
+    } s;
+    return grand + s.lockable() + s.relock() + s.detached() +
+           detach_count;
+}
+
+char
+charBait()
+{
+    return '"'; // a quote as a char literal must not open a string
+}
+
+} // namespace fixture

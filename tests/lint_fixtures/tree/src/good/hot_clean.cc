@@ -1,0 +1,42 @@
+// Fixture: brace tracking around KLEB_HOT scopes.  The allocations
+// here all sit OUTSIDE hot bodies; zero findings expected.
+
+#include <vector>
+
+namespace fixture
+{
+
+KLEB_HOT int
+hot_sum(const std::vector<int> &v)
+{
+    int sum = 0;
+    for (int x : v) { // nested braces inside the hot body
+        sum += x;
+    }
+    return sum;
+}
+
+void
+cold_after_hot(std::vector<int> &v)
+{
+    // The hot body above closed; growth here is legal again.
+    v.push_back(hot_sum(v));
+    v.reserve(128);
+}
+
+struct Holder
+{
+    KLEB_HOT int
+    hot_method() const
+    {
+        return 5;
+    }
+
+    void
+    cold_method(std::vector<int> &v)
+    {
+        v.resize(9);
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: std::function inside src/sim trips hot-std-function.
+
+#ifndef KLEBSIM_SIM_HOT_CALLBACK_HH
+#define KLEBSIM_SIM_HOT_CALLBACK_HH
+
+#include <functional>
+
+namespace fixture
+{
+
+struct HotCallback
+{
+    std::function<void()> fn;
+};
+
+} // namespace fixture
+
+#endif // KLEBSIM_SIM_HOT_CALLBACK_HH

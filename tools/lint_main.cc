@@ -4,23 +4,159 @@
  *
  * Usage: kleb_lint --root <repo-root> [--allowlist <file>]
  *                  [--list-rules]
+ *        kleb_lint --fixtures <dir> [--fixtures-update]
  *
  * Registered by CMake as the tier-1 `lint.sources` test; exits 1
  * when any banned pattern survives outside the allowlist.
+ *
+ * --fixtures runs the linter's self-check: <dir>/tree/ is a corpus
+ * of known-good and known-bad snippets (scanned exactly like a repo
+ * root, with <dir>/allowlist.txt loaded when present), and the
+ * findings must match <dir>/expected.txt line for line.  The corpus
+ * pins the scanner's observable behavior, so an engine change that
+ * shifts any finding — a missed bad snippet or a new false positive
+ * on a good one — fails as a diff instead of slipping through.
+ * --fixtures-update rewrites expected.txt from the current scan for
+ * intentional changes (hand-review the diff before committing).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/lint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --root <dir> [--allowlist <file>] "
+                 "[--list-rules]\n"
+                 "       %s --fixtures <dir> [--fixtures-update]\n",
+                 argv0, argv0);
+    return 2;
+}
+
+/** Scan a fixture corpus and return the findings, one str() each. */
+bool
+scanFixtures(const std::string &dir, std::vector<std::string> *out,
+             std::string *error)
+{
+    namespace fs = std::filesystem;
+    const fs::path tree = fs::path(dir) / "tree";
+    if (!fs::is_directory(tree)) {
+        *error = "fixture dir has no tree/ subdirectory: " + dir;
+        return false;
+    }
+
+    klebsim::analysis::Linter linter;
+    const fs::path allow = fs::path(dir) / "allowlist.txt";
+    if (fs::exists(allow)) {
+        // Load under the bare name so dangling-entry findings carry
+        // a machine-independent origin in expected.txt.
+        std::ifstream in(allow, std::ios::in | std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!linter.loadAllowlistFromString(buf.str(),
+                                            "allowlist.txt", error))
+            return false;
+    }
+
+    for (const auto &v : linter.scanTree(tree.string()))
+        out->push_back(v.str());
+    return true;
+}
+
+int
+runFixtures(const std::string &dir, bool update)
+{
+    std::vector<std::string> actual;
+    std::string error;
+    if (!scanFixtures(dir, &actual, &error)) {
+        std::fprintf(stderr, "kleb_lint: %s\n", error.c_str());
+        return 2;
+    }
+
+    namespace fs = std::filesystem;
+    const fs::path expected_path = fs::path(dir) / "expected.txt";
+
+    if (update) {
+        std::ofstream out(expected_path);
+        for (const std::string &line : actual)
+            out << line << '\n';
+        if (!out) {
+            std::fprintf(stderr, "kleb_lint: cannot write %s\n",
+                         expected_path.string().c_str());
+            return 2;
+        }
+        std::printf("kleb_lint: wrote %zu finding(s) to %s\n",
+                    actual.size(),
+                    expected_path.string().c_str());
+        return 0;
+    }
+
+    std::vector<std::string> expected;
+    {
+        std::ifstream in(expected_path);
+        if (!in) {
+            std::fprintf(stderr, "kleb_lint: cannot read %s\n",
+                         expected_path.string().c_str());
+            return 2;
+        }
+        std::string line;
+        while (std::getline(in, line))
+            expected.push_back(line);
+    }
+
+    // Order is deterministic on both sides (files sorted, findings
+    // rule-major within a file), so a plain paired walk diffs them.
+    std::size_t mismatches = 0;
+    const std::size_t n =
+        std::max(expected.size(), actual.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string *want =
+            i < expected.size() ? &expected[i] : nullptr;
+        const std::string *got =
+            i < actual.size() ? &actual[i] : nullptr;
+        if (want && got && *want == *got)
+            continue;
+        ++mismatches;
+        if (want)
+            std::fprintf(stderr, "-%s\n", want->c_str());
+        if (got)
+            std::fprintf(stderr, "+%s\n", got->c_str());
+    }
+
+    if (mismatches) {
+        std::fprintf(stderr,
+                     "kleb_lint: fixture mismatch (%zu line(s); "
+                     "expected %zu finding(s), got %zu)\n",
+                     mismatches, expected.size(), actual.size());
+        return 1;
+    }
+    std::printf("kleb_lint: fixtures ok (%zu finding(s))\n",
+                actual.size());
+    return 0;
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
     std::string allowlist;
+    std::string fixtures;
     bool list_rules = false;
+    bool fixtures_update = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--root") && i + 1 < argc) {
@@ -28,16 +164,22 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--allowlist") &&
                    i + 1 < argc) {
             allowlist = argv[++i];
+        } else if (!std::strcmp(argv[i], "--fixtures") &&
+                   i + 1 < argc) {
+            fixtures = argv[++i];
+        } else if (!std::strcmp(argv[i], "--fixtures-update")) {
+            fixtures_update = true;
         } else if (!std::strcmp(argv[i], "--list-rules")) {
             list_rules = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s --root <dir> [--allowlist "
-                         "<file>] [--list-rules]\n",
-                         argv[0]);
-            return 2;
+            return usage(argv[0]);
         }
     }
+
+    if (fixtures_update && fixtures.empty())
+        return usage(argv[0]);
+    if (!fixtures.empty())
+        return runFixtures(fixtures, fixtures_update);
 
     klebsim::analysis::Linter linter;
 

@@ -271,6 +271,67 @@ InvariantChecker::checkSupervision(const kleb::SupervisorStats &stats,
 }
 
 void
+InvariantChecker::checkAdaptiveRecovery(
+    const kleb::RecoveredLog &recovered, const std::string &label)
+{
+    const kleb::RecoveryReport &rep = recovered.report;
+    ++checks_;
+    if (!rep.balanced())
+        violation(csprintf(
+            "%s: frame accounting does not balance "
+            "(%llu kept + %llu dropped + %llu vanished != %llu "
+            "emitted)",
+            label.c_str(), (unsigned long long)rep.framesKept,
+            (unsigned long long)rep.framesDropped,
+            (unsigned long long)rep.framesVanished,
+            (unsigned long long)rep.framesEmitted));
+
+    for (std::size_t i = 1; i < recovered.samples.size(); ++i) {
+        ++checks_;
+        if (recovered.samples[i].timestamp <
+            recovered.samples[i - 1].timestamp)
+            violation(csprintf(
+                "%s: recovered sample %zu timestamp moves backwards",
+                label.c_str(), i));
+    }
+
+    Tick last_change = 0;
+    for (std::size_t i = 0; i < recovered.rateChanges.size(); ++i) {
+        const kleb::RateChangeRecord &rc = recovered.rateChanges[i];
+        ++checks_;
+        if (rc.newPeriod == 0)
+            violation(csprintf(
+                "%s: rate change %zu to a zero period",
+                label.c_str(), i));
+        ++checks_;
+        if (rc.at < last_change)
+            violation(csprintf(
+                "%s: rate change %zu timestamp moves backwards",
+                label.c_str(), i));
+        last_change = rc.at;
+        // The chain proof only holds on a clean medium: a dropped
+        // or vanished frame may legitimately be a rateChange, and a
+        // crash between the ioctl landing and the journal append
+        // loses exactly the journal entry — recovery then sees a
+        // seam, not a lie.
+        if (i > 0 && rep.framesDropped == 0 &&
+            rep.framesVanished == 0) {
+            ++checks_;
+            if (rc.oldPeriod !=
+                recovered.rateChanges[i - 1].newPeriod)
+                violation(csprintf(
+                    "%s: rate change %zu claims old period %llu "
+                    "but the previous change set %llu — a reprogram "
+                    "was lost or double-applied",
+                    label.c_str(), i,
+                    (unsigned long long)rc.oldPeriod,
+                    (unsigned long long)
+                        recovered.rateChanges[i - 1].newPeriod));
+        }
+    }
+}
+
+void
 InvariantChecker::onPmuRead(int idx, bool fixed, bool programmed)
 {
     ++checks_;

@@ -32,6 +32,7 @@
 #include "base/types.hh"
 #include "hw/pmu.hh"
 #include "kernel/kernel.hh"
+#include "kleb/log_recovery.hh"
 #include "kleb/sample.hh"
 #include "kleb/supervisor.hh"
 #include "sim/event_queue.hh"
@@ -106,6 +107,20 @@ class InvariantChecker : public sim::EventQueueListener
      */
     void checkSupervision(const kleb::SupervisorStats &stats,
                           const std::string &label = "supervisor");
+
+    /**
+     * Post-hoc check of a recovered adaptive-sampling log: the
+     * frame accounting must balance, sample timestamps must be
+     * nondecreasing, every journaled rate change must carry a
+     * nonzero new period and a nondecreasing timestamp, and — when
+     * no frame was dropped from the medium — consecutive rate
+     * changes must chain (each change's old period equals the
+     * previous change's new period), proving no reprogram was lost
+     * or applied twice.
+     */
+    void checkAdaptiveRecovery(const kleb::RecoveredLog &recovered,
+                               const std::string &label =
+                                   "adaptive recovery");
 
     /** True when no invariant has been violated. */
     bool ok() const { return violations_.empty(); }

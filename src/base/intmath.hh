@@ -56,6 +56,24 @@ divCeil(std::uint64_t a, std::uint64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * Left-shift @p v by @p shift, saturating at the type maximum
+ * instead of wrapping (or hitting UB for shift >= 64).  Used by
+ * exponential-backoff computations where a large base or retry
+ * count must degrade to "sleep a very long time", never to a
+ * short wrapped sleep.
+ */
+constexpr std::uint64_t
+saturatingShl(std::uint64_t v, int shift)
+{
+    if (v == 0)
+        return 0;
+    if (shift >= 64 || shift < 0 ||
+        v > (~std::uint64_t(0) >> shift))
+        return ~std::uint64_t(0);
+    return v << shift;
+}
+
 } // namespace klebsim
 
 #endif // KLEBSIM_BASE_INTMATH_HH

@@ -54,32 +54,45 @@ constexpr Tick tickPerMs = 1000 * tickPerUs;
 constexpr Tick tickPerSec = 1000 * tickPerMs;
 /** @} */
 
-/** Convert nanoseconds to Ticks. */
+/**
+ * Round a real-valued tick count to the nearest Tick.  Bare
+ * `static_cast<Tick>` truncates toward zero, so a value like
+ * 0.29 us (290000 ticks exactly, but 289999.999... in binary
+ * floating point) would lose a whole tick; half-up rounding keeps
+ * unit conversions exact for every representable decimal.
+ */
+constexpr Tick
+roundToTick(double t)
+{
+    return static_cast<Tick>(t + 0.5);
+}
+
+/** Convert nanoseconds to Ticks (rounding to nearest). */
 constexpr Tick
 nsToTicks(double ns)
 {
-    return static_cast<Tick>(ns * tickPerNs);
+    return roundToTick(ns * tickPerNs);
 }
 
-/** Convert microseconds to Ticks. */
+/** Convert microseconds to Ticks (rounding to nearest). */
 constexpr Tick
 usToTicks(double us)
 {
-    return static_cast<Tick>(us * tickPerUs);
+    return roundToTick(us * tickPerUs);
 }
 
-/** Convert milliseconds to Ticks. */
+/** Convert milliseconds to Ticks (rounding to nearest). */
 constexpr Tick
 msToTicks(double ms)
 {
-    return static_cast<Tick>(ms * tickPerMs);
+    return roundToTick(ms * tickPerMs);
 }
 
-/** Convert seconds to Ticks. */
+/** Convert seconds to Ticks (rounding to nearest). */
 constexpr Tick
 secToTicks(double sec)
 {
-    return static_cast<Tick>(sec * tickPerSec);
+    return roundToTick(sec * tickPerSec);
 }
 
 /** Convert Ticks to seconds (lossy, for reporting). */

@@ -195,6 +195,47 @@ FaultInjector::controllerHangHook(kernel::System &sys)
     };
 }
 
+std::function<bool()>
+FaultInjector::setPeriodFailHook()
+{
+    if (plan_.setPeriodFailProb <= 0.0)
+        return nullptr;
+    return [this]() -> bool {
+        if (!stream(FaultPoint::setPeriodFail)
+                 .chance(plan_.setPeriodFailProb))
+            return false;
+        inject(FaultPoint::setPeriodFail);
+        return true;
+    };
+}
+
+std::function<void(kernel::Kernel &, kernel::Process &)>
+FaultInjector::reprogramCrashHook(kernel::System &sys)
+{
+    if (plan_.reprogramCrashNth <= 0)
+        return nullptr;
+    return [this, &sys](kernel::Kernel &k, kernel::Process &self) {
+        ++reprogramsSeen_;
+        if (reprogramsSeen_ != plan_.reprogramCrashNth)
+            return;
+        inject(FaultPoint::reprogramCrash);
+        kernel::Process *victim = &self;
+        // One tick later: the kill races the SET_PERIOD syscall
+        // itself, so (deterministically, per seed) the change may
+        // or may not have landed when the controller dies — exactly
+        // the seam recovery must balance.
+        sys.eq().scheduleLambda(
+            k.now() + 1,
+            [&k, victim] {
+                if (victim->state() == kernel::ProcState::zombie ||
+                    victim->state() == kernel::ProcState::created)
+                    return;
+                k.kill(victim);
+            },
+            sim::Event::defaultPriority, "fault-reprogram-crash");
+    };
+}
+
 void
 FaultInjector::corruptLog(std::vector<std::uint8_t> &bytes,
                           std::size_t protect_prefix)

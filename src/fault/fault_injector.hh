@@ -33,6 +33,7 @@
 
 namespace klebsim::kernel
 {
+class Kernel;
 class Process;
 class System;
 } // namespace klebsim::kernel
@@ -100,6 +101,27 @@ class FaultInjector
     std::function<Tick()> controllerHangHook(kernel::System &sys);
 
     /**
+     * SET_PERIOD failure hook (plan key module.set_period): true
+     * when the controller's next SET_PERIOD ioctl should fail
+     * EAGAIN before reaching the module.  Plug into
+     * ControllerBehavior::Tuning::setPeriodFaultHook.  Null when
+     * the plan does not fault reprograms.
+     */
+    std::function<bool()> setPeriodFailHook();
+
+    /**
+     * Reprogram-crash hook (plan key reprogram.crash): called each
+     * time the controller commits to issuing a SET_PERIOD; on the
+     * Nth (1-based, counted across incarnations) it schedules a
+     * kill of the calling controller one tick later — landing in
+     * the window where the period change may or may not have
+     * reached the module, the seam recovery must balance either
+     * way.  Null when the plan does not crash reprograms.
+     */
+    std::function<void(kernel::Kernel &, kernel::Process &)>
+    reprogramCrashHook(kernel::System &sys);
+
+    /**
      * Corrupt a captured durable-log image in place: truncate the
      * tail by plan key log.torn_tail bytes (never into the first
      * @p protect_prefix bytes — the header a real filesystem would
@@ -137,6 +159,7 @@ class FaultInjector
     std::array<std::uint64_t, numFaultPoints> injected_{};
     int loadsFailed_ = 0;
     bool hangFired_ = false;
+    int reprogramsSeen_ = 0;
 };
 
 } // namespace klebsim::fault

@@ -132,7 +132,8 @@ FaultPlan::active() const
            chardevFaultsActive() || readerStallActive() ||
            moduleInitFails > 0 || targetCrashAt != 0 ||
            controllerCrashAt != 0 || controllerHangAt != 0 ||
-           logTornTailBytes != 0 || logBitflips > 0;
+           logTornTailBytes != 0 || logBitflips > 0 ||
+           setPeriodFailProb > 0.0 || reprogramCrashNth > 0;
 }
 
 bool
@@ -193,6 +194,11 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
         } else if (key == faultPointKey(FaultPoint::logBitflip)) {
             ok = parseInt(value, &plan.logBitflips) &&
                  plan.logBitflips >= 0;
+        } else if (key == faultPointKey(FaultPoint::setPeriodFail)) {
+            ok = parseProb(value, &plan.setPeriodFailProb);
+        } else if (key == faultPointKey(FaultPoint::reprogramCrash)) {
+            ok = parseInt(value, &plan.reprogramCrashNth) &&
+                 plan.reprogramCrashNth >= 0;
         } else {
             return fail(error, csprintf("unknown fault spec key '%s'",
                                         key.c_str()));
@@ -260,6 +266,13 @@ FaultPlan::str() const
         parts.push_back(csprintf(
             "%s=%d", faultPointKey(FaultPoint::logBitflip),
             logBitflips));
+    if (setPeriodFailProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::setPeriodFail) +
+                        ("=" + probStr(setPeriodFailProb)));
+    if (reprogramCrashNth > 0)
+        parts.push_back(csprintf(
+            "%s=%d", faultPointKey(FaultPoint::reprogramCrash),
+            reprogramCrashNth));
     return join(parts, ";");
 }
 

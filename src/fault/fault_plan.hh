@@ -120,6 +120,18 @@ struct FaultPlan
     /** Flip N random bits in the durable log body after the run. */
     int logBitflips = 0;
 
+    /** Probability a SET_PERIOD ioctl transiently fails EAGAIN. */
+    double setPeriodFailProb = 0.0;
+
+    /**
+     * Crash the controller just after its Nth period reprogram
+     * lands (1-based); 0 = off.  Unlike controller.crash this aims
+     * the kill at the reprogram window specifically, so chaos tests
+     * can hit the pending-change seam without tuning absolute
+     * times.
+     */
+    int reprogramCrashNth = 0;
+
     /** True if any fault is enabled. */
     bool active() const;
 

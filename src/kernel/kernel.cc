@@ -812,6 +812,19 @@ HrTimer::cancel()
 }
 
 void
+HrTimer::setPeriod(Tick period)
+{
+    fatal_if(period == 0, "hrtimer '", name_, "': zero period");
+    fatal_if(!periodic_,
+             "hrtimer '", name_, "': setPeriod on one-shot timer");
+    // Deliberately leave nextDeadline_ (and the armed device event)
+    // alone: the sample in flight lands at its original deadline,
+    // and hrtimer_forward in expire() spaces everything after it at
+    // the new period.
+    period_ = period;
+}
+
+void
 HrTimer::expire()
 {
     ++expiries_;

@@ -446,6 +446,15 @@ class HrTimer
     /** Stop without firing. */
     void cancel();
 
+    /**
+     * Reprogram a running periodic timer's period without touching
+     * the armed deadline: the in-flight expiry still lands on the
+     * old grid, and only expiries after it space at the new period.
+     * This is how a SET_PERIOD ioctl retunes sampling mid-session
+     * without losing (or double-delivering) the pending sample.
+     */
+    void setPeriod(Tick period);
+
     bool active() const { return device_.armed(); }
     Tick period() const { return period_; }
 

@@ -125,4 +125,19 @@ DurableLog::append(const Sample &s)
     writeFrame(FrameKind::sample, s.timestamp, s);
 }
 
+void
+DurableLog::recordRateChange(Tick now, Tick old_period,
+                             Tick new_period)
+{
+    panic_if(epochsOpened_ == 0,
+             "DurableLog::recordRateChange before beginEpoch");
+    panic_if(new_period == 0,
+             "DurableLog::recordRateChange to zero period");
+    Sample s{};
+    s.counts[0] = old_period;
+    s.counts[1] = new_period;
+    ++rateChangesAppended_;
+    writeFrame(FrameKind::rateChange, now, s);
+}
+
 } // namespace klebsim::kleb

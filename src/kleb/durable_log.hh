@@ -49,6 +49,15 @@ enum class FrameKind : std::uint32_t
 {
     epochBegin = 0, //!< a controller incarnation armed monitoring
     sample = 1,     //!< one drained Sample
+
+    /**
+     * The sampling period changed (adaptive governor).  The frame
+     * reuses the sample payload slots: counts[0] = old period,
+     * counts[1] = new period, numEvents = 0.  Journaled in the same
+     * syscall as the SET_PERIOD ioctl so recovery can re-space a
+     * series whose period varied mid-run.
+     */
+    rateChange = 2,
 };
 
 /**
@@ -77,6 +86,14 @@ class DurableLog
     /** Append one sample frame (an epoch must be open). */
     void append(const Sample &s);
 
+    /**
+     * Append a rate-change frame (an epoch must be open): the
+     * HRTimer period moved from @p old_period to @p new_period at
+     * simulated time @p now.
+     */
+    void recordRateChange(Tick now, Tick old_period,
+                          Tick new_period);
+
     /** The raw medium: header followed by frames. */
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
 
@@ -89,6 +106,10 @@ class DurableLog
     /** Sample frames appended so far. */
     std::uint64_t samplesAppended() const { return samplesAppended_; }
 
+    /** Rate-change frames appended so far. */
+    std::uint64_t rateChangesAppended() const
+    { return rateChangesAppended_; }
+
   private:
     void writeFrame(FrameKind kind, Tick timestamp, const Sample &s);
     void updateHeader();
@@ -97,6 +118,7 @@ class DurableLog
     std::uint64_t framesAppended_ = 0;
     std::uint32_t epochsOpened_ = 0;
     std::uint64_t samplesAppended_ = 0;
+    std::uint64_t rateChangesAppended_ = 0;
 };
 
 } // namespace klebsim::kleb

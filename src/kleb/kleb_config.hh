@@ -37,6 +37,16 @@ constexpr std::uint32_t status = 0x4b04; //!< arg: KLebStatus*
  */
 constexpr std::uint32_t attach = 0x4b05;
 
+/**
+ * Reprogram the HRTimer period mid-session (arg: Tick*).  The armed
+ * timer keeps its in-flight deadline — the pending sample is neither
+ * lost nor double-delivered — and only subsequent expiries space at
+ * the new period.  This is the kernel half of the adaptive-sampling
+ * feedback loop; the controller's RateGovernor decides when to call
+ * it.
+ */
+constexpr std::uint32_t setPeriod = 0x4b06;
+
 } // namespace ioc
 
 /** Module configuration. */
@@ -83,6 +93,17 @@ struct KLebStatus
      * counter width is narrow enough to wrap between samples).
      */
     std::uint64_t counterWraps = 0;
+
+    /**
+     * The HRTimer period currently in force (configure-time value
+     * until the first SET_PERIOD lands).  A re-attaching controller
+     * adopts this so its rate-change journal stays consistent with
+     * what the module is actually doing.
+     */
+    Tick currentPeriod = 0;
+
+    /** SET_PERIOD ioctls accepted since CONFIG. */
+    std::uint64_t periodChanges = 0;
 };
 
 } // namespace klebsim::kleb

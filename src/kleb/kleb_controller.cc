@@ -1,9 +1,13 @@
 #include "kleb_controller.hh"
 
+#include <algorithm>
+
+#include "base/intmath.hh"
 #include "base/logging.hh"
 #include "durable_log.hh"
 #include "kernel/kernel.hh"
 #include "kernel/module.hh"
+#include "rate_governor.hh"
 
 namespace klebsim::kleb
 {
@@ -31,7 +35,8 @@ ControllerBehavior::ControllerBehavior(
     std::function<void()> on_started, Tuning tuning, Mode mode)
     : module_(module), devPath_(std::move(dev_path)),
       cfg_(std::move(cfg)), onStarted_(std::move(on_started)),
-      tuning_(tuning), mode_(mode)
+      tuning_(tuning), mode_(mode),
+      currentPeriod_(cfg_.timerPeriod)
 {
     panic_if(module_ == nullptr, "controller without module");
 }
@@ -53,6 +58,12 @@ ControllerBehavior::armed(kernel::Kernel &kernel)
     // epoch, so recovery can splice around the outage between them.
     if (durableLog_)
         durableLog_->beginEpoch(kernel.now());
+    // Re-sync the (session-lived) governor to the period actually
+    // in force: after a re-attach this is whatever the predecessor
+    // last managed to program, and any proposal that died with the
+    // predecessor is flushed.
+    if (governor_)
+        governor_->adopt(currentPeriod_);
     started_ = true;
     if (onStarted_)
         onStarted_();
@@ -99,8 +110,12 @@ ControllerBehavior::handleRc(long rc, State retry_state,
         attempts_ < tuning_.maxRetries) {
         ++attempts_;
         ++retries_;
-        retrySleep_ = tuning_.retryBackoff
-                      << (attempts_ - 1);
+        // Clamp the exponent and saturate the shift: a generous
+        // maxRetries tuning must degrade to "sleep a long time",
+        // never shift past the Tick width (UB) or wrap to a short
+        // sleep.
+        const int shift = std::min(attempts_ - 1, 10);
+        retrySleep_ = saturatingShl(tuning_.retryBackoff, shift);
         retryPending_ = true;
         state_ = retry_state;
         return false;
@@ -109,8 +124,12 @@ ControllerBehavior::handleRc(long rc, State retry_state,
         rc == kernel::err::eagain) {
         // Device gone, hard I/O error, or transient failures past
         // the retry budget: abort the session but keep (and flush)
-        // everything logged so far.
+        // everything logged so far.  Retry state is cleared so a
+        // later incarnation (or any state reached after the abort)
+        // never inherits a stale pending sleep.
         attempts_ = 0;
+        retrySleep_ = 0;
+        retryPending_ = false;
         aborted_ = true;
         state_ = State::abortFlush;
         return false;
@@ -122,8 +141,6 @@ kernel::ServiceOp
 ControllerBehavior::nextOp(kernel::Kernel &kernel,
                            kernel::Process &self)
 {
-    (void)kernel;
-    (void)self;
     using Op = kernel::ServiceOp;
 
     switch (state_) {
@@ -185,6 +202,14 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                     state_ = State::configure;
                     return;
                 }
+                // Adopt the module's actual period: a predecessor's
+                // SET_PERIOD may or may not have landed before it
+                // died, and the rate-change journal must continue
+                // from the truth, not from our configure-time copy.
+                if (st.currentPeriod != 0) {
+                    currentPeriod_ = st.currentPeriod;
+                    cfg_.timerPeriod = st.currentPeriod;
+                }
                 armed(k);
             });
 
@@ -223,6 +248,14 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                          ++i)
                         durableLog_->append(log_[i]);
                 }
+                // Adaptive sampling: feed the governor one drain
+                // cycle; a proposal becomes a pending SET_PERIOD
+                // that logWrite routes through State::setPeriod.
+                if (governor_ && !moduleFinished_) {
+                    if (auto p = governor_->observe(k.now(),
+                                                    lastDrained_))
+                        pendingPeriod_ = *p;
+                }
             });
 
       case State::logWrite:
@@ -236,7 +269,8 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                     (void)doIoctl(k, me, ioc::status, &st);
                 });
         }
-        state_ = State::sleep;
+        state_ = pendingPeriod_ != 0 ? State::setPeriod
+                                     : State::sleep;
         if (lastDrained_ == 0)
             return Op::makeCompute(usToTicks(2), 4096);
         return Op::makeCompute(
@@ -244,6 +278,58 @@ ControllerBehavior::nextOp(kernel::Kernel &kernel,
                 tuning_.logPerSample *
                     static_cast<Tick>(lastDrained_),
             tuning_.logFootprint);
+
+      case State::setPeriod:
+        if (retryPending_) {
+            retryPending_ = false;
+            return Op::makeSleep(retrySleep_);
+        }
+        // The reprogram is now committed; the fault hook may aim a
+        // crash into the window where the change races the syscall.
+        if (tuning_.reprogramHook)
+            tuning_.reprogramHook(kernel, self);
+        state_ = State::sleep;
+        return Op::makeSyscall(
+            [this](kernel::Kernel &k, kernel::Process &me) {
+                long rc;
+                if (tuning_.setPeriodFaultHook &&
+                    tuning_.setPeriodFaultHook())
+                    rc = kernel::err::eagain;
+                else
+                    rc = doIoctl(k, me, ioc::setPeriod,
+                                 &pendingPeriod_);
+                if (rc == kernel::err::eagain &&
+                    attempts_ >= tuning_.maxRetries) {
+                    // A rate retune is best-effort: exhausting the
+                    // retry budget drops the proposal and keeps
+                    // monitoring alive at the old period, instead
+                    // of aborting the whole session.
+                    attempts_ = 0;
+                    retrySleep_ = 0;
+                    retryPending_ = false;
+                    pendingPeriod_ = 0;
+                    if (governor_)
+                        governor_->rejected();
+                    return;
+                }
+                if (!handleRc(rc, State::setPeriod,
+                              "SET_PERIOD ioctl"))
+                    return;
+                onSyscallOk(k);
+                const Tick old = currentPeriod_;
+                currentPeriod_ = pendingPeriod_;
+                cfg_.timerPeriod = pendingPeriod_;
+                ++periodChanges_;
+                // Journaled in the same syscall as the ioctl, so
+                // the durable log and the module can never disagree
+                // about a change that landed.
+                if (durableLog_)
+                    durableLog_->recordRateChange(
+                        k.now(), old, currentPeriod_);
+                if (governor_)
+                    governor_->applied(currentPeriod_);
+                pendingPeriod_ = 0;
+            });
 
       case State::finalStatus:
         state_ = State::done;

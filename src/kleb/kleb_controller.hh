@@ -27,6 +27,7 @@ namespace klebsim::kleb
 {
 
 class DurableLog;
+class RateGovernor;
 
 /**
  * Scripted behaviour of the controller process.
@@ -83,6 +84,22 @@ class ControllerBehavior : public kernel::ServiceBehavior
 
         /** Device re-open + ATTACH prep (reattach mode setup). */
         Tick attachCost = usToTicks(180);
+
+        /**
+         * Fault-injection hook: force the next SET_PERIOD ioctl to
+         * fail EAGAIN before it reaches the module (plan key
+         * module.set_period).  Null costs nothing.
+         */
+        std::function<bool()> setPeriodFaultHook;
+
+        /**
+         * Fault-injection hook: observes each commitment to a
+         * period reprogram, before the SET_PERIOD syscall issues
+         * (plan key reprogram.crash schedules a kill through it).
+         * Null costs nothing.
+         */
+        std::function<void(kernel::Kernel &, kernel::Process &)>
+            reprogramHook;
     };
 
     /**
@@ -125,6 +142,18 @@ class ControllerBehavior : public kernel::ServiceBehavior
     void setOnAborted(std::function<void(bool armed)> fn)
     { onAborted_ = std::move(fn); }
 
+    /**
+     * Drive adaptive sampling: the governor is fed every drain
+     * cycle and its proposals are issued as SET_PERIOD ioctls
+     * (journaled as rateChange frames when a durable log is
+     * attached).  The governor outlives controller incarnations —
+     * the session owns it; a re-attaching incarnation re-syncs it
+     * to the module's actual period.  Null (the default) keeps the
+     * fixed-rate behaviour byte-identical.
+     */
+    void setGovernor(RateGovernor *governor)
+    { governor_ = governor; }
+
     /** Samples logged so far (the "log file" contents). */
     const std::vector<Sample> &log() const { return log_; }
 
@@ -144,6 +173,12 @@ class ControllerBehavior : public kernel::ServiceBehavior
     /** Transient-failure retries performed across all syscalls. */
     std::uint64_t retries() const { return retries_; }
 
+    /** The period this incarnation believes the module runs at. */
+    Tick currentPeriod() const { return currentPeriod_; }
+
+    /** SET_PERIOD ioctls this incarnation landed. */
+    std::uint64_t periodChanges() const { return periodChanges_; }
+
   private:
     enum class State
     {
@@ -154,6 +189,7 @@ class ControllerBehavior : public kernel::ServiceBehavior
         sleep,
         drain,
         logWrite,
+        setPeriod,
         finalStatus,
         abortFlush,
         done,
@@ -189,6 +225,7 @@ class ControllerBehavior : public kernel::ServiceBehavior
     Mode mode_ = Mode::fresh;
     DurableLog *durableLog_ = nullptr;
     Heartbeat *heartbeat_ = nullptr;
+    RateGovernor *governor_ = nullptr;
     std::function<void(bool)> onAborted_;
 
     State state_ = State::setup;
@@ -205,6 +242,11 @@ class ControllerBehavior : public kernel::ServiceBehavior
     std::uint64_t retries_ = 0;
     Tick retrySleep_ = 0;
     bool retryPending_ = false;
+
+    /** Adaptive sampling (only live when a governor is set). */
+    Tick currentPeriod_ = 0;
+    Tick pendingPeriod_ = 0; //!< nonzero = SET_PERIOD in flight
+    std::uint64_t periodChanges_ = 0;
 };
 
 } // namespace klebsim::kleb

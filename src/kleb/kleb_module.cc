@@ -108,6 +108,7 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
         buf_ = std::make_unique<RingBuffer<Sample>>(
             cfg_.bufferCapacity);
         configured_ = true;
+        periodChanges_ = 0;
         return 0;
       }
       case ioc::start: {
@@ -164,6 +165,24 @@ KLebModule::ioctl(kernel::Kernel &kernel, kernel::Process &caller,
         if (st == nullptr)
             return kernel::err::einval;
         *st = status();
+        return 0;
+      }
+      case ioc::setPeriod: {
+        // Retune the sampling rate mid-session (adaptive
+        // monitoring).  The armed HRTimer keeps its in-flight
+        // deadline, so the pending sample still lands exactly once;
+        // only expiries after it space at the new period.
+        auto *period = static_cast<Tick *>(arg);
+        if (period == nullptr || *period == 0)
+            return kernel::err::einval;
+        if (!configured_)
+            return kernel::err::einval;
+        kernel.chargeKernelWork(caller.affinity(),
+                                tuning_.setPeriodCost, 256);
+        cfg_.timerPeriod = *period;
+        if (timer_ && timerStarted_)
+            timer_->setPeriod(*period);
+        ++periodChanges_;
         return 0;
       }
       case ioc::attach: {
@@ -358,6 +377,8 @@ KLebModule::status() const
     st.samplesDropped = samplesDropped_;
     st.pauseEpisodes = pauseEpisodes_;
     st.counterWraps = counterWraps_;
+    st.currentPeriod = configured_ ? cfg_.timerPeriod : 0;
+    st.periodChanges = periodChanges_;
     return st;
 }
 

@@ -65,6 +65,9 @@ class KLebModule : public kernel::KernelModule
         /** CONFIG ioctl parse/allocate cost. */
         Tick configCost = usToTicks(120);
 
+        /** SET_PERIOD ioctl cost (validate + reprogram timer). */
+        Tick setPeriodCost = usToTicks(1);
+
         /** Resume threshold: continue once fill <= capacity/N. */
         std::size_t resumeDivisor = 2;
     };
@@ -139,6 +142,7 @@ class KLebModule : public kernel::KernelModule
     std::uint64_t samplesRecorded_ = 0;
     std::uint64_t samplesDropped_ = 0;
     std::uint64_t pauseEpisodes_ = 0;
+    std::uint64_t periodChanges_ = 0;
 
     /**
      * Overflow-aware delta state: samples report wrapBase + raw so

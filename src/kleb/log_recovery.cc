@@ -99,10 +99,18 @@ LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
         }
         ++expected_seq;
 
-        if (kind > static_cast<std::uint32_t>(FrameKind::sample) ||
-            num_events > maxSampleEvents) {
+        const bool rate_kind =
+            kind ==
+            static_cast<std::uint32_t>(FrameKind::rateChange);
+        if (kind >
+                static_cast<std::uint32_t>(FrameKind::rateChange) ||
+            num_events > maxSampleEvents ||
+            (rate_kind && (num_events != 0 ||
+                           get64(bytes, at + 48) == 0))) {
             // Structurally impossible despite an intact CRC: treat
-            // it as corrupt rather than trusting it.
+            // it as corrupt rather than trusting it.  A rateChange
+            // frame must carry no counter payload and a nonzero new
+            // period.
             rep.violations.push_back(csprintf(
                 "frame slot %zu: invalid kind/arity", slot));
             ++rep.framesDropped;
@@ -119,6 +127,24 @@ LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
             current_epoch = epoch;
             epoch_open = true;
             ++rep.epochs;
+            continue;
+        }
+
+        if (rate_kind) {
+            // Adaptive-sampling journal entry: record it for series
+            // re-spacing, but keep it out of the sample chain so it
+            // neither triggers gaps nor counts as a sample.
+            if (!epoch_open)
+                rep.violations.push_back(csprintf(
+                    "frame slot %zu: rate change outside any epoch",
+                    slot));
+            RateChangeRecord rc;
+            rc.epoch = epoch;
+            rc.at = ts;
+            rc.oldPeriod = get64(bytes, at + 40);
+            rc.newPeriod = get64(bytes, at + 48);
+            ++rep.rateChanges;
+            out.rateChanges.push_back(rc);
             continue;
         }
 

@@ -50,6 +50,15 @@ struct GapRecord
     Tick to = 0;                 //!< first durable post-outage sample
 };
 
+/** One intact rateChange frame (adaptive sampling journal). */
+struct RateChangeRecord
+{
+    std::uint32_t epoch = 0; //!< epoch the change landed in
+    Tick at = 0;             //!< simulated time of the SET_PERIOD
+    Tick oldPeriod = 0;
+    Tick newPeriod = 0;
+};
+
 /** What a recovery scan found. */
 struct RecoveryReport
 {
@@ -76,6 +85,9 @@ struct RecoveryReport
 
     /** Intact sample frames. */
     std::uint64_t samplesRecovered = 0;
+
+    /** Intact rate-change frames. */
+    std::uint64_t rateChanges = 0;
 
     /** Outages between consecutive kept-sample epochs. */
     std::vector<GapRecord> gaps;
@@ -108,6 +120,14 @@ struct RecoveredLog
     RecoveryReport report;
     std::vector<Sample> samples;
     std::vector<std::uint32_t> sampleEpochs; //!< parallel to samples
+
+    /**
+     * Intact rate-change frames in medium order.  Kept out of
+     * `samples` — they carry periods, not counter readings — so the
+     * spliced series and sample-count accounting are unaffected by
+     * how often the governor retuned.
+     */
+    std::vector<RateChangeRecord> rateChanges;
 };
 
 class LogRecovery

@@ -1,0 +1,128 @@
+#include "rate_governor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace klebsim::kleb
+{
+
+RateGovernor::RateGovernor(Config config, Tick initial_period)
+    : config_(config), period_(initial_period)
+{
+    panic_if(config_.budget <= 0.0, "rate governor: budget <= 0");
+    panic_if(config_.minPeriod == 0,
+             "rate governor: zero minPeriod");
+    panic_if(config_.minPeriod > config_.maxPeriod,
+             "rate governor: minPeriod > maxPeriod");
+    panic_if(config_.growFactor <= 1.0,
+             "rate governor: growFactor must be > 1");
+    panic_if(config_.shrinkFactor <= 0.0 ||
+                 config_.shrinkFactor >= 1.0,
+             "rate governor: shrinkFactor must be in (0, 1)");
+    panic_if(config_.lowWater <= 0.0 ||
+                 config_.lowWater >= config_.highWater,
+             "rate governor: need 0 < lowWater < highWater");
+    panic_if(config_.alpha <= 0.0 || config_.alpha > 1.0,
+             "rate governor: alpha must be in (0, 1]");
+    panic_if(initial_period == 0,
+             "rate governor: zero initial period");
+}
+
+Tick
+RateGovernor::clamp(Tick period) const
+{
+    return std::min(std::max(period, config_.minPeriod),
+                    config_.maxPeriod);
+}
+
+std::optional<Tick>
+RateGovernor::observe(Tick now, std::size_t drained)
+{
+    ++stats_.observations;
+
+    // The first observation (and the first after an adopt) only
+    // anchors the interval clock; there is no elapsed window to
+    // attribute cost to yet.
+    if (!haveLastObserve_) {
+        haveLastObserve_ = true;
+        lastObserve_ = now;
+        return std::nullopt;
+    }
+    const Tick elapsed = now > lastObserve_ ? now - lastObserve_ : 0;
+    lastObserve_ = now;
+    if (elapsed == 0)
+        return std::nullopt;
+
+    const double spent = static_cast<double>(
+        config_.costPerDrain +
+        config_.costPerSample * static_cast<Tick>(drained));
+    const double inst = spent / static_cast<double>(elapsed);
+    estimate_ = haveEstimate_
+                    ? config_.alpha * inst +
+                          (1.0 - config_.alpha) * estimate_
+                    : inst;
+    haveEstimate_ = true;
+
+    // While a proposal is in flight (the controller may be in its
+    // EAGAIN retry loop) or the estimate is still settling after a
+    // change, keep observing but do not pile on new proposals.
+    if (proposalPending_ || settleLeft_ > 0) {
+        if (settleLeft_ > 0)
+            --settleLeft_;
+        ++stats_.holds;
+        return std::nullopt;
+    }
+
+    Tick proposed = period_;
+    if (estimate_ > config_.budget * config_.highWater) {
+        proposed = clamp(static_cast<Tick>(
+            static_cast<double>(period_) * config_.growFactor +
+            0.5));
+    } else if (estimate_ < config_.budget * config_.lowWater) {
+        proposed = clamp(static_cast<Tick>(
+            static_cast<double>(period_) * config_.shrinkFactor +
+            0.5));
+    }
+    if (proposed == period_) {
+        ++stats_.holds;
+        return std::nullopt;
+    }
+    ++stats_.proposals;
+    proposalPending_ = true;
+    return proposed;
+}
+
+void
+RateGovernor::applied(Tick period)
+{
+    proposalPending_ = false;
+    settleLeft_ = config_.settleObservations;
+    if (period > period_)
+        ++stats_.backOffs;
+    else if (period < period_)
+        ++stats_.speedUps;
+    period_ = period;
+}
+
+void
+RateGovernor::rejected()
+{
+    proposalPending_ = false;
+    settleLeft_ = config_.settleObservations;
+    ++stats_.rejected;
+}
+
+void
+RateGovernor::adopt(Tick period)
+{
+    panic_if(period == 0, "rate governor: adopting zero period");
+    period_ = period;
+    proposalPending_ = false;
+    settleLeft_ = config_.settleObservations;
+    // The outage between incarnations is not a monitoring interval;
+    // re-anchor the clock so it never dilutes the estimate.
+    haveLastObserve_ = false;
+}
+
+} // namespace klebsim::kleb

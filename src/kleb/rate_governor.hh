@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Controller-side overhead-budget feedback loop (the ScALPEL-style
+ * adaptive direction from ROADMAP item 4).
+ *
+ * The controller already knows its own calibrated per-drain costs;
+ * the governor divides those by the wall-clock the drain interval
+ * covered to get an instantaneous overhead fraction, smooths it with
+ * an EWMA, and proposes a new HRTimer period whenever the estimate
+ * leaves the hysteresis band around the configured budget:
+ *
+ *     est > budget * highWater  ->  back off (grow the period)
+ *     est < budget * lowWater   ->  speed up (shrink the period)
+ *     otherwise                 ->  hold
+ *
+ * Proposals are clamped to [minPeriod, maxPeriod]; minPeriod
+ * defaults to the paper's recommended 100 us floor.  The governor
+ * never issues ioctls itself: the controller owns the SET_PERIOD
+ * syscall (and its retry/fault handling) and reports back via
+ * applied()/rejected(), after which a settle window suppresses
+ * further proposals while the estimate re-converges at the new
+ * rate.  The whole loop is deterministic — no RNG, no wall clock.
+ */
+
+#ifndef KLEBSIM_KLEB_RATE_GOVERNOR_HH
+#define KLEBSIM_KLEB_RATE_GOVERNOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "base/types.hh"
+
+namespace klebsim::kleb
+{
+
+/** Adaptive-sampling period governor. */
+class RateGovernor
+{
+  public:
+    struct Config
+    {
+        /** Target monitoring overhead as a fraction (1% = 0.01). */
+        double budget = 0.01;
+
+        /** Speed up only below budget * lowWater (hysteresis). */
+        double lowWater = 0.45;
+
+        /** Back off only above budget * highWater (hysteresis). */
+        double highWater = 1.0;
+
+        /** Fastest allowed period (paper: >= 100 us). */
+        Tick minPeriod = usToTicks(100);
+
+        /** Slowest allowed period. */
+        Tick maxPeriod = msToTicks(50);
+
+        /** Period multiplier when backing off. */
+        double growFactor = 2.0;
+
+        /** Period multiplier when speeding up (< 1). */
+        double shrinkFactor = 0.5;
+
+        /** EWMA smoothing weight for the newest observation. */
+        double alpha = 0.3;
+
+        /**
+         * Observations to skip after a change is applied or
+         * rejected, letting the estimate re-converge before the
+         * next proposal (and rate-limiting retries of a rejected
+         * one).
+         */
+        int settleObservations = 2;
+
+        /** Controller cost attributed to each drained sample. */
+        Tick costPerSample = 0;
+
+        /** Fixed controller cost per drain cycle. */
+        Tick costPerDrain = 0;
+    };
+
+    struct Stats
+    {
+        std::uint64_t observations = 0;
+        std::uint64_t holds = 0;
+        std::uint64_t proposals = 0;
+        std::uint64_t backOffs = 0;   //!< applied period increases
+        std::uint64_t speedUps = 0;   //!< applied period decreases
+        std::uint64_t rejected = 0;   //!< proposals that never landed
+    };
+
+    RateGovernor(Config config, Tick initial_period);
+
+    /**
+     * Feed one drain cycle: @p drained samples landed and the
+     * governor's share of the interval ending @p now was spent on
+     * them.  Returns the period the controller should reprogram to,
+     * or nullopt to stay at the current rate.  The governor does
+     * not adopt a proposal until applied() confirms it landed.
+     */
+    std::optional<Tick> observe(Tick now, std::size_t drained);
+
+    /** The SET_PERIOD for @p period succeeded. */
+    void applied(Tick period);
+
+    /**
+     * The in-flight proposal was dropped (ioctl failed past the
+     * retry budget, or a restart flushed it).  The governor keeps
+     * its old period and re-evaluates after the settle window.
+     */
+    void rejected();
+
+    /**
+     * A re-attach discovered the module is actually running at
+     * @p period (a predecessor's change may or may not have
+     * landed); adopt it without counting a speed-up/back-off.
+     */
+    void adopt(Tick period);
+
+    Tick period() const { return period_; }
+    double overheadEstimate() const { return estimate_; }
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return config_; }
+
+  private:
+    Tick clamp(Tick period) const;
+
+    Config config_;
+    Tick period_;
+    Tick lastObserve_ = 0;
+    bool haveLastObserve_ = false;
+    double estimate_ = 0.0;
+    bool haveEstimate_ = false;
+    int settleLeft_ = 0;
+    bool proposalPending_ = false;
+    Stats stats_;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_RATE_GOVERNOR_HH

@@ -122,6 +122,22 @@ Session::monitor(kernel::Process *target, bool start_target)
     if (options_.supervise || options_.durableLog)
         durableLog_ = std::make_unique<DurableLog>();
 
+    if (options_.adaptive) {
+        RateGovernor::Config gc = options_.governor;
+        // Derive the cost model from the same calibrated tunings
+        // the simulation charges, so the governor's estimate tracks
+        // the overhead the machine actually experiences.
+        if (gc.costPerSample == 0)
+            gc.costPerSample =
+                options_.controllerTuning.logPerSample +
+                options_.moduleTuning.handlerCost +
+                options_.moduleTuning.readPerSample;
+        if (gc.costPerDrain == 0)
+            gc.costPerDrain = options_.controllerTuning.logBase;
+        governor_ =
+            std::make_unique<RateGovernor>(gc, cfg_.timerPeriod);
+    }
+
     // The ideal-timer override must also apply to a timer created
     // after START; install via the behavior's start hook above and
     // again below in case of re-arm.
@@ -185,6 +201,8 @@ Session::plumbBehavior(ControllerBehavior &b)
         b.setDurableLog(durableLog_.get());
     if (options_.supervise)
         b.setHeartbeat(&heartbeat_);
+    if (governor_)
+        b.setGovernor(governor_.get());
 }
 
 kernel::Process *

@@ -27,6 +27,7 @@
 #include "kleb_config.hh"
 #include "kleb_controller.hh"
 #include "kleb_module.hh"
+#include "rate_governor.hh"
 #include "stats/summary.hh"
 #include "stats/time_series.hh"
 #include "supervisor.hh"
@@ -89,6 +90,22 @@ class Session
         bool supervise = false;
 
         SupervisorBehavior::Tuning supervisorTuning{};
+
+        /**
+         * Adaptive sampling: create a RateGovernor that retunes
+         * the HRTimer period per drain cycle to hit the configured
+         * overhead budget (SET_PERIOD ioctls, journaled as
+         * rateChange frames when a durable log is on).  Off by
+         * default: fixed-rate runs stay byte-identical.
+         */
+        bool adaptive = false;
+
+        /**
+         * Governor tuning (used when adaptive is set).  Leaving
+         * costPerSample / costPerDrain at 0 derives them from the
+         * calibrated module/controller costs.
+         */
+        RateGovernor::Config governor{};
     };
 
     Session(kernel::System &sys, Options options);
@@ -189,6 +206,14 @@ class Session
     /** Durable sample journal (null unless enabled). */
     const DurableLog *durableLog() const { return durableLog_.get(); }
 
+    /**
+     * The adaptive-sampling governor (null unless Options::adaptive
+     * was set).  Session-lived: it survives controller restarts so
+     * the overhead estimate and change statistics span the whole
+     * run.
+     */
+    const RateGovernor *governor() const { return governor_.get(); }
+
     /** Supervision outcome (all-zero when unsupervised). */
     SupervisorStats supervisorStats() const
     {
@@ -226,6 +251,7 @@ class Session
     KLebConfig cfg_{};
     Heartbeat heartbeat_;
     std::unique_ptr<DurableLog> durableLog_;
+    std::unique_ptr<RateGovernor> governor_;
     std::unique_ptr<SupervisorBehavior> supervisorBehavior_;
     kernel::Process *supervisor_ = nullptr;
 

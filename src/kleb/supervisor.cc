@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/intmath.hh"
 #include "base/logging.hh"
 #include "base/thread_safety.hh"
 #include "kernel/kernel.hh"
@@ -97,9 +98,12 @@ SupervisorBehavior::nextOp(kernel::Kernel &kernel,
 
       case State::backoff: {
         state_ = State::restart;
+        // The exponent is clamped, but a large restartBackoff
+        // tuning could still overflow the shift; saturate instead.
         const int shift = std::min<int>(
             static_cast<int>(stats_.restarts), 10);
-        return Op::makeSleep(tuning_.restartBackoff << shift);
+        return Op::makeSleep(
+            saturatingShl(tuning_.restartBackoff, shift));
       }
 
       case State::restart:

@@ -141,7 +141,18 @@ runOnce(const RunConfig &cfg)
         if (cfg.restartBackoff > 0)
             opts.supervisorTuning.restartBackoff =
                 cfg.restartBackoff;
+        opts.adaptive = cfg.adaptive;
+        if (cfg.overheadBudget > 0)
+            opts.governor.budget = cfg.overheadBudget;
+        if (cfg.minPeriod > 0)
+            opts.governor.minPeriod = cfg.minPeriod;
+        if (cfg.maxPeriod > 0)
+            opts.governor.maxPeriod = cfg.maxPeriod;
         if (injector) {
+            opts.controllerTuning.setPeriodFaultHook =
+                injector->setPeriodFailHook();
+            opts.controllerTuning.reprogramHook =
+                injector->reprogramCrashHook(sys);
             // A hang and a stall can both stretch the drain sleep;
             // compose the hooks so either plan key works alone.
             auto stall = injector->readerStallHook();
@@ -222,6 +233,9 @@ runOnce(const RunConfig &cfg)
         result.klebRetries = kleb_session->retries();
         result.klebLoadAttempts = kleb_session->loadAttempts();
         result.supervisor = kleb_session->supervisorStats();
+        if (const kleb::RateGovernor *gov =
+                kleb_session->governor())
+            result.governor = gov->stats();
         if (const kleb::DurableLog *dlog =
                 kleb_session->durableLog()) {
             // Crash recovery runs over a copy of the medium so the
@@ -233,6 +247,7 @@ runOnce(const RunConfig &cfg)
                                      kleb::DurableLog::headerSize);
             kleb::RecoveredLog rec = kleb::LogRecovery::scan(medium);
             result.recovery = rec.report;
+            result.rateChanges = rec.rateChanges;
             std::vector<std::string> names;
             names.reserve(cfg.events.size());
             for (hw::HwEvent ev : cfg.events)

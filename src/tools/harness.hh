@@ -22,6 +22,7 @@
 #include "kernel/cost_model.hh"
 #include "kleb/kleb_config.hh"
 #include "kleb/log_recovery.hh"
+#include "kleb/rate_governor.hh"
 #include "kleb/supervisor.hh"
 #include "stats/time_series.hh"
 
@@ -123,6 +124,26 @@ struct RunConfig
 
     /** @} */
 
+    /**
+     * @{ Adaptive sampling (tool == kleb only).  Off by default:
+     * fixed-rate runs stay byte-identical to builds without the
+     * governor.
+     */
+
+    /** Drive the period with a RateGovernor. */
+    bool adaptive = false;
+
+    /** Overhead budget as a fraction (0.01 = 1%); 0 = default. */
+    double overheadBudget = 0.0;
+
+    /** Fastest allowed adaptive period; 0 keeps the 100 us floor. */
+    Tick minPeriod = 0;
+
+    /** Slowest allowed adaptive period; 0 keeps the default. */
+    Tick maxPeriod = 0;
+
+    /** @} */
+
     /** Hard cap on simulated time (safety against hangs). */
     Tick simLimit = secToTicks(120.0);
 };
@@ -181,6 +202,12 @@ struct RunResult
     kleb::SupervisorStats supervisor{};
 
     /** @} */
+
+    /** Governor bookkeeping (zero unless RunConfig::adaptive). */
+    kleb::RateGovernor::Stats governor{};
+
+    /** Rate changes recovered from the durable log. */
+    std::vector<kleb::RateChangeRecord> rateChanges;
 
     /** Context switches the kernel performed during the run. */
     std::uint64_t contextSwitches = 0;

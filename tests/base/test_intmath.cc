@@ -51,3 +51,19 @@ TEST(IntMath, DivCeil)
     EXPECT_EQ(divCeil(4, 4), 1u);
     EXPECT_EQ(divCeil(5, 4), 2u);
 }
+
+TEST(IntMath, SaturatingShl)
+{
+    EXPECT_EQ(saturatingShl(0, 63), 0u);
+    EXPECT_EQ(saturatingShl(1, 0), 1u);
+    EXPECT_EQ(saturatingShl(3, 4), 48u);
+    EXPECT_EQ(saturatingShl(1, 63), 1ULL << 63);
+    // One past the representable range saturates instead of
+    // wrapping or shifting by >= the type width (UB).
+    EXPECT_EQ(saturatingShl(2, 63), ~std::uint64_t(0));
+    EXPECT_EQ(saturatingShl(1, 64), ~std::uint64_t(0));
+    EXPECT_EQ(saturatingShl(5, 1000), ~std::uint64_t(0));
+    EXPECT_EQ(saturatingShl(~std::uint64_t(0), 1),
+              ~std::uint64_t(0));
+    EXPECT_EQ(saturatingShl(7, -1), ~std::uint64_t(0));
+}

@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "base/types.hh"
+
+using namespace klebsim;
+
+// The double-argument conversions round to the nearest tick.  A
+// truncating cast turned 0.29 us into 289999 ticks (0.29 * 1e6 is
+// not representable in binary), which then mis-parsed user-facing
+// period arguments; these pins keep the round-to-nearest fix honest.
+TEST(Types, DoubleConversionsRoundToNearest)
+{
+    EXPECT_EQ(usToTicks(0.29), 290000u);
+    EXPECT_EQ(usToTicks(1.5), 1500000u);
+    EXPECT_EQ(nsToTicks(0.4), 400u);
+    EXPECT_EQ(msToTicks(0.1), 100000000u);
+    EXPECT_EQ(secToTicks(0.3), 300000000000u);
+}
+
+TEST(Types, DoubleConversionsExactOnIntegralValues)
+{
+    EXPECT_EQ(usToTicks(100.0), 100 * tickPerUs);
+    EXPECT_EQ(msToTicks(10.0), 10 * tickPerMs);
+    EXPECT_EQ(secToTicks(2.0), 2 * tickPerSec);
+}
+
+TEST(Types, RoundToTick)
+{
+    EXPECT_EQ(roundToTick(0.0), 0u);
+    EXPECT_EQ(roundToTick(0.49), 0u);
+    EXPECT_EQ(roundToTick(0.5), 1u);
+    EXPECT_EQ(roundToTick(12345.7), 12346u);
+}

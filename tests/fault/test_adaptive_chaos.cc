@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hh"
+#include "fault/fault_injector.hh"
+#include "kernel/system.hh"
+#include "kleb/durable_log.hh"
+#include "kleb/log_recovery.hh"
+#include "kleb/rate_governor.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+/** Fast supervision + adaptive sampling (same shape as the
+ *  recovery-chaos suite, plus a governor driving SET_PERIOD). */
+void
+fastAdaptive(kleb::Session::Options &o)
+{
+    o.supervise = true;
+    o.adaptive = true;
+    o.controllerCore = 1;
+    o.controllerTuning.drainInterval = usToTicks(500);
+    o.supervisorTuning.pollInterval = usToTicks(500);
+    o.supervisorTuning.heartbeatTimeout = msToTicks(2);
+    o.supervisorTuning.restartBackoff = usToTicks(100);
+    // No settle window and a tight budget: the governor reprograms
+    // on nearly every drain cycle, maximizing the crash surface
+    // these tests aim faults at.
+    o.governor.settleObservations = 0;
+}
+
+/** Everything an adaptive-chaos scenario is asserted on. */
+struct AdaptiveOutcome
+{
+    std::vector<kleb::Sample> samples;
+    std::vector<std::uint8_t> medium;   //!< post-corruption image
+    kleb::RecoveredLog rec;             //!< scan of `medium`
+    kleb::KLebStatus status{};
+    kleb::RateGovernor::Stats governor{};
+    kleb::SupervisorStats sup{};
+    std::size_t incarnations = 0;
+    bool finished = false;
+    bool aborted = false;
+    bool targetDone = false;
+    Tick finalTick = 0;
+    std::string injections;
+    std::vector<std::string> violations;
+};
+
+/**
+ * One *adaptive, supervised* session under the given fault spec:
+ * run, capture + corrupt the journal, scan it back, and put the
+ * whole outcome (including the rate-change chain) through the
+ * invariant checker.
+ */
+AdaptiveOutcome
+runAdaptive(const std::string &spec, std::uint64_t seed,
+            const std::function<void(kleb::Session::Options &)>
+                &mutate = nullptr,
+            int mega_instructions = 40)
+{
+    System sys(hw::MachineConfig::corei7_920(), seed, quietCosts());
+    analysis::InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    fault::FaultPlan plan;
+    std::string err;
+    EXPECT_TRUE(fault::FaultPlan::parse(spec, &plan, &err)) << err;
+    fault::FaultInjector injector(plan, seed);
+    injector.attach(sys);
+
+    FixedWorkSource src =
+        computeSource(mega_instructions, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired};
+    opts.period = 100_us;
+    fastAdaptive(opts);
+    if (mutate)
+        mutate(opts);
+    opts.controllerTuning.setPeriodFaultHook =
+        injector.setPeriodFailHook();
+    opts.controllerTuning.reprogramHook =
+        injector.reprogramCrashHook(sys);
+    if (auto stall = injector.readerStallHook())
+        opts.controllerTuning.drainStallHook = stall;
+
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    injector.scheduleControllerCrash(sys,
+                                     session.controllerProcess());
+    injector.scheduleTargetCrash(sys, target);
+
+    sys.run(secToTicks(10.0));
+
+    AdaptiveOutcome out;
+    out.samples = session.samples();
+    out.finished = session.finished();
+    out.aborted = session.aborted();
+    out.status = session.status();
+    if (session.governor())
+        out.governor = session.governor()->stats();
+    out.sup = session.supervisorStats();
+    out.incarnations = session.incarnations();
+    out.targetDone = target->state() == ProcState::zombie;
+    out.finalTick = sys.now();
+
+    EXPECT_NE(session.durableLog(), nullptr);
+    out.medium = session.durableLog()->bytes();
+    injector.corruptLog(out.medium, kleb::DurableLog::headerSize);
+    out.injections = injector.injectionSummary();
+    out.rec = kleb::LogRecovery::scan(out.medium);
+
+    checker.checkSampleLog(out.samples);
+    checker.checkSupervision(out.sup);
+    checker.checkAdaptiveRecovery(out.rec);
+    out.violations = checker.violations();
+    return out;
+}
+
+} // namespace
+
+/**
+ * Fault-free shakeout: with drains every 500 us the fixed drain
+ * cost alone dwarfs a 1% budget, so the governor must walk the
+ * period up, journaling one rateChange frame per landed SET_PERIOD,
+ * and the recovered chain must agree with the module's own count.
+ */
+TEST(AdaptiveChaos, GovernorWalksPeriodUpAndJournalsEveryChange)
+{
+    AdaptiveOutcome out = runAdaptive("", 5);
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_GE(out.status.periodChanges, 1u);
+    EXPECT_GT(out.status.currentPeriod, usToTicks(100));
+    EXPECT_GE(out.governor.backOffs, out.status.periodChanges);
+    // Every landed change is journaled exactly once.
+    EXPECT_EQ(out.rec.report.rateChanges, out.status.periodChanges);
+    ASSERT_EQ(out.rec.rateChanges.size(), out.status.periodChanges);
+    EXPECT_EQ(out.rec.rateChanges.front().oldPeriod, usToTicks(100));
+    EXPECT_EQ(out.rec.rateChanges.back().newPeriod,
+              out.status.currentPeriod);
+    EXPECT_TRUE(out.rec.report.balanced());
+    EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
+/**
+ * The tentpole crash window: the fault plan kills the controller
+ * in the instant between committing to a reprogram and the
+ * SET_PERIOD syscall landing.  Whichever side of the race the seed
+ * resolves, recovery must neither lose nor double-count a sample
+ * or a rate change: the journal balances, the chain is consistent,
+ * and the re-attached incarnation adopted the module's true period.
+ */
+TEST(AdaptiveChaos, CrashDuringPendingPeriodChange)
+{
+    AdaptiveOutcome out = runAdaptive("reprogram.crash=1", 17);
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_NE(out.injections.find("reprogram.crash=1"),
+              std::string::npos);
+    EXPECT_GE(out.sup.restarts, 1u);
+    EXPECT_GE(out.incarnations, 2u);
+    EXPECT_TRUE(out.rec.report.balanced());
+    // The journal may or may not hold the racing change, but what
+    // it holds must chain: every oldPeriod is the previous
+    // newPeriod, and the final entry matches the module.
+    if (!out.rec.rateChanges.empty()) {
+        EXPECT_EQ(out.rec.rateChanges.back().newPeriod,
+                  out.status.currentPeriod);
+    }
+    EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
+/**
+ * Rate retune is best-effort: when every SET_PERIOD ioctl fails
+ * past the retry budget the session must degrade to its fixed
+ * rate — monitoring continues, nothing aborts, the journal holds
+ * zero rateChange frames, and the governor records the rejection.
+ */
+TEST(AdaptiveChaos, SetPeriodFailuresDegradeToFixedRate)
+{
+    // Short retry backoff so the full retry budget exhausts inside
+    // the heartbeat window: with the default 50 us backoff the
+    // later (multi-ms) retry sleeps starve the heartbeat and the
+    // supervisor kills the proposal along with the controller
+    // before it can be rejected.
+    AdaptiveOutcome out = runAdaptive(
+        "module.set_period=1.0", 29,
+        [](kleb::Session::Options &o) {
+            o.controllerTuning.retryBackoff = usToTicks(1);
+        });
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_EQ(out.status.periodChanges, 0u);
+    EXPECT_EQ(out.status.currentPeriod, usToTicks(100));
+    EXPECT_TRUE(out.rec.rateChanges.empty());
+    EXPECT_GE(out.governor.rejected, 1u);
+    EXPECT_FALSE(out.samples.empty());
+    EXPECT_TRUE(out.rec.report.balanced());
+    EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
+/**
+ * CI sweep: 16 seeds across the adaptive fault surface — crashes
+ * aimed at the reprogram window, transient SET_PERIOD failures,
+ * and journal corruption on top.  Every run must balance, pass the
+ * adaptive invariants, finish its workload, and replay
+ * bit-for-bit.
+ */
+TEST(AdaptiveChaos, SixteenSeedSweepBalancesAndReplays)
+{
+    const std::vector<std::string> specs = {
+        "reprogram.crash=1",
+        "reprogram.crash=2;log.torn_tail=96",
+        "controller.crash=5ms;module.set_period=0.5",
+        "module.set_period=0.3;log.bitflip=2",
+    };
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const std::string &spec = specs[seed % specs.size()];
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " spec=" + spec);
+        AdaptiveOutcome a = runAdaptive(spec, seed, nullptr, 20);
+
+        EXPECT_TRUE(a.targetDone);
+        EXPECT_TRUE(a.rec.report.valid);
+        EXPECT_TRUE(a.rec.report.balanced())
+            << "kept=" << a.rec.report.framesKept
+            << " dropped=" << a.rec.report.framesDropped
+            << " vanished=" << a.rec.report.framesVanished
+            << " emitted=" << a.rec.report.framesEmitted;
+        EXPECT_TRUE(a.violations.empty()) << a.violations.front();
+
+        AdaptiveOutcome b = runAdaptive(spec, seed, nullptr, 20);
+        EXPECT_EQ(a.medium, b.medium);
+        EXPECT_EQ(a.rec.report.rateChanges, b.rec.report.rateChanges);
+        EXPECT_EQ(a.status.periodChanges, b.status.periodChanges);
+        EXPECT_EQ(a.sup.restarts, b.sup.restarts);
+        EXPECT_EQ(a.finalTick, b.finalTick);
+        EXPECT_EQ(a.injections, b.injections);
+    }
+}

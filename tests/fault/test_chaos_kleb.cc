@@ -236,6 +236,30 @@ TEST(ChaosKLeb, ExhaustedRetriesAbortWithDropsAccounted)
         << out.invariantViolations.front();
 }
 
+TEST(ChaosKLeb, GenerousRetryBudgetSaturatesBackoff)
+{
+    // A maxRetries tuning past the shift width used to left-shift
+    // the backoff by up to maxRetries - 1 (UB at 64, and a wrap to
+    // comically short sleeps before that).  The clamped, saturating
+    // backoff must instead walk all 80 attempts with bounded sleeps
+    // and reach the abort path with clean retry state: the
+    // controller still flushes and finishes, and the retry counter
+    // records every attempt exactly once.
+    auto generous = [](kleb::Session::Options &o) {
+        o.bufferCapacity = 32;
+        o.controllerTuning.maxRetries = 80;
+        o.controllerTuning.retryBackoff = usToTicks(1);
+    };
+    ChaosOutcome out = runChaos("read.fail=1.0", 33, generous);
+
+    EXPECT_TRUE(out.aborted);
+    EXPECT_TRUE(out.finished);
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_EQ(out.retries, 80u);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
 TEST(ChaosKLeb, ReaderStallDropsFinalSnapshot)
 {
     // Probe run: a hard reader stall keeps the controller from ever

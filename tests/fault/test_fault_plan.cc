@@ -52,6 +52,25 @@ TEST(FaultPlan, ParsesEveryKey)
     EXPECT_TRUE(plan.active());
 }
 
+TEST(FaultPlan, AdaptiveKeysParseAndRoundTrip)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "module.set_period=0.4;reprogram.crash=2", &plan));
+    EXPECT_DOUBLE_EQ(plan.setPeriodFailProb, 0.4);
+    EXPECT_EQ(plan.reprogramCrashNth, 2);
+    EXPECT_TRUE(plan.active());
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.str(), &again));
+    EXPECT_EQ(again.str(), plan.str());
+
+    std::string err;
+    EXPECT_FALSE(
+        FaultPlan::parse("module.set_period=1.5", &plan, &err));
+    EXPECT_FALSE(
+        FaultPlan::parse("reprogram.crash=-1", &plan, &err));
+}
+
 TEST(FaultPlan, WhitespaceTolerant)
 {
     FaultPlan plan;

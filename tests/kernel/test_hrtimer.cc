@@ -142,6 +142,48 @@ TEST(HrTimer, HwInterruptsCounted)
     EXPECT_EQ(pmu.counterValue(0), 5u);
 }
 
+TEST(HrTimer, SetPeriodPreservesArmedDeadline)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    std::vector<Tick> fired;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { fired.push_back(sys.now()); }, 0, 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(100_us);
+    sys.run(250_us); // expiries at 100 us and 200 us
+    // Reprogram mid-flight: the sample armed for 300 us must still
+    // land at 300 us (the in-flight deadline is never moved), and
+    // only expiries after it space out at the new period.
+    timer->setPeriod(400_us);
+    sys.run(1250_us);
+    timer->cancel();
+    ASSERT_EQ(fired.size(), 5u);
+    EXPECT_EQ(fired[0], 100_us);
+    EXPECT_EQ(fired[1], 200_us);
+    EXPECT_EQ(fired[2], 300_us);
+    EXPECT_EQ(fired[3], 700_us);
+    EXPECT_EQ(fired[4], 1100_us);
+}
+
+TEST(HrTimer, SetPeriodSpeedUp)
+{
+    System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());
+    std::vector<Tick> fired;
+    HrTimer *timer = sys.kernel().createHrTimer(
+        "t", 0, [&] { fired.push_back(sys.now()); }, 0, 0);
+    timer->setJitterModel(hw::TimerJitterModel::ideal());
+    timer->startPeriodic(1_ms);
+    sys.run(1500_us); // one expiry at 1 ms, next armed for 2 ms
+    timer->setPeriod(100_us);
+    sys.run(2550_us);
+    timer->cancel();
+    ASSERT_EQ(fired.size(), 7u);
+    EXPECT_EQ(fired[0], 1_ms);
+    EXPECT_EQ(fired[1], 2_ms);
+    for (std::size_t i = 2; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], 2_ms + (i - 1) * 100_us);
+}
+
 TEST(HrTimer, OverrunStillFires)
 {
     System sys(hw::MachineConfig::corei7_920(), 1, quietCosts());

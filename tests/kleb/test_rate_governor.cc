@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "kleb/rate_governor.hh"
+
+using namespace klebsim;
+using namespace klebsim::kleb;
+using namespace klebsim::ticks_literals;
+
+namespace
+{
+
+/**
+ * Governor with a transparent cost model: each drained sample is
+ * charged 1 us, nothing per drain, no smoothing (alpha = 1) and no
+ * settle window, so every expectation below is a one-step
+ * computation on paper.
+ */
+RateGovernor::Config
+plainConfig()
+{
+    RateGovernor::Config cfg;
+    cfg.budget = 0.01;
+    cfg.costPerSample = usToTicks(1);
+    cfg.costPerDrain = 0;
+    cfg.alpha = 1.0;
+    cfg.settleObservations = 0;
+    return cfg;
+}
+
+/**
+ * Drive one drain cycle of @p interval with @p drained samples and
+ * return the proposal.  Keeps the test's clock in one place.
+ */
+std::optional<Tick>
+cycle(RateGovernor &gov, Tick &now, Tick interval,
+      std::size_t drained)
+{
+    now += interval;
+    return gov.observe(now, drained);
+}
+
+} // namespace
+
+TEST(RateGovernor, FirstObservationOnlyAnchorsTheClock)
+{
+    RateGovernor gov(plainConfig(), 100_us);
+    // However lopsided the first batch looks, there is no elapsed
+    // interval to divide by yet.
+    EXPECT_FALSE(gov.observe(10_ms, 5000).has_value());
+    EXPECT_EQ(gov.stats().observations, 1u);
+    EXPECT_EQ(gov.stats().proposals, 0u);
+    EXPECT_EQ(gov.overheadEstimate(), 0.0);
+}
+
+TEST(RateGovernor, BacksOffAboveBudget)
+{
+    RateGovernor gov(plainConfig(), 100_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    // 250 us spent over 10 ms = 2.5% against a 1% budget.
+    auto p = cycle(gov, now, 10_ms, 250);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 200_us);
+    // The governor holds its period until the controller confirms.
+    EXPECT_EQ(gov.period(), 100_us);
+    gov.applied(*p);
+    EXPECT_EQ(gov.period(), 200_us);
+    EXPECT_EQ(gov.stats().backOffs, 1u);
+    EXPECT_EQ(gov.stats().proposals, 1u);
+}
+
+TEST(RateGovernor, SpeedsUpWellBelowBudget)
+{
+    RateGovernor gov(plainConfig(), 1_ms);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    // 10 us over 10 ms = 0.1%, under budget * lowWater = 0.45%.
+    auto p = cycle(gov, now, 10_ms, 10);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 500_us);
+    gov.applied(*p);
+    EXPECT_EQ(gov.stats().speedUps, 1u);
+}
+
+TEST(RateGovernor, HoldsInsideTheHysteresisBand)
+{
+    RateGovernor gov(plainConfig(), 200_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    // 80 us over 10 ms = 0.8%: between 0.45% and 1%, so hold.
+    EXPECT_FALSE(cycle(gov, now, 10_ms, 80).has_value());
+    EXPECT_EQ(gov.stats().holds, 1u);
+    EXPECT_EQ(gov.stats().proposals, 0u);
+}
+
+TEST(RateGovernor, ClampsToTheConfiguredFloorAndCeiling)
+{
+    RateGovernor::Config cfg = plainConfig();
+    RateGovernor gov(cfg, cfg.minPeriod);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    // Far under budget at the floor: shrinking is clamped to the
+    // floor itself, which is a no-op proposal, so the governor
+    // holds instead of churning SET_PERIOD ioctls.
+    EXPECT_FALSE(cycle(gov, now, 10_ms, 1).has_value());
+    EXPECT_EQ(gov.stats().proposals, 0u);
+
+    RateGovernor ceil(cfg, cfg.maxPeriod);
+    Tick cnow = 0;
+    cycle(ceil, cnow, 10_ms, 0);
+    // Hopelessly over budget at the ceiling: same story backing off.
+    EXPECT_FALSE(cycle(ceil, cnow, 10_ms, 5000).has_value());
+}
+
+TEST(RateGovernor, SettleWindowSuppressesProposals)
+{
+    RateGovernor::Config cfg = plainConfig();
+    cfg.settleObservations = 2;
+    RateGovernor gov(cfg, 100_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    auto p = cycle(gov, now, 10_ms, 250);
+    ASSERT_TRUE(p.has_value());
+    gov.applied(*p);
+    // Still over budget, but the next two observations fall inside
+    // the settle window and must not propose.
+    EXPECT_FALSE(cycle(gov, now, 10_ms, 250).has_value());
+    EXPECT_FALSE(cycle(gov, now, 10_ms, 250).has_value());
+    EXPECT_TRUE(cycle(gov, now, 10_ms, 250).has_value());
+}
+
+TEST(RateGovernor, PendingProposalGatesFurtherOnes)
+{
+    RateGovernor gov(plainConfig(), 100_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    ASSERT_TRUE(cycle(gov, now, 10_ms, 250).has_value());
+    // The controller has not reported back yet: no second proposal.
+    EXPECT_FALSE(cycle(gov, now, 10_ms, 250).has_value());
+    gov.rejected();
+    EXPECT_EQ(gov.stats().rejected, 1u);
+    // After rejection (settle = 0 here) proposing resumes at the
+    // old period.
+    auto again = cycle(gov, now, 10_ms, 250);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, 200_us);
+}
+
+TEST(RateGovernor, AdoptResetsTheObservationClock)
+{
+    RateGovernor gov(plainConfig(), 100_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    ASSERT_TRUE(cycle(gov, now, 10_ms, 250).has_value());
+    // A re-attach adopts the module's actual period mid-proposal:
+    // the pending flag is flushed, no back-off/speed-up is counted,
+    // and the next observation only re-anchors the clock (the
+    // outage between incarnations must not dilute the estimate).
+    gov.adopt(400_us);
+    EXPECT_EQ(gov.period(), 400_us);
+    EXPECT_EQ(gov.stats().backOffs, 0u);
+    EXPECT_EQ(gov.stats().speedUps, 0u);
+    // A huge gap and a huge batch: only re-anchors, never divides
+    // the outage into the estimate.
+    double est = gov.overheadEstimate();
+    EXPECT_FALSE(gov.observe(now + 5 * secToTicks(1.0), 9999)
+                     .has_value());
+    EXPECT_EQ(gov.overheadEstimate(), est);
+    // The cycle after the anchor proposes again.
+    EXPECT_TRUE(
+        gov.observe(now + 5 * secToTicks(1.0) + 10_ms, 250)
+            .has_value());
+}
+
+TEST(RateGovernor, EwmaSmoothsASpike)
+{
+    RateGovernor::Config cfg = plainConfig();
+    cfg.alpha = 0.3;
+    RateGovernor gov(cfg, 200_us);
+    Tick now = 0;
+    cycle(gov, now, 10_ms, 0);
+    // Converge inside the band at 0.8%...
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(cycle(gov, now, 10_ms, 80).has_value());
+    // ...then one 3% spike: the smoothed estimate (0.3 * 3 + 0.7 *
+    // 0.8 = 1.46%) exceeds the band, so one spike IS allowed to
+    // trigger a back-off — but the estimate reflects history, not
+    // just the spike.
+    auto p = cycle(gov, now, 10_ms, 300);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(gov.overheadEstimate(), 0.0146, 1e-6);
+}

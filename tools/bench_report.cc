@@ -8,6 +8,7 @@
  *   bench_report --from-gbench <gbench.json> --out <report.json>
  *   bench_report --compare <baseline.json> <current.json>
  *                [--threshold <x>]
+ *   bench_report --check-budget <pareto.csv> [--slack <pct>]
  *   bench_report --self-test
  *
  * Report format (one ns/op number per benchmark):
@@ -27,6 +28,19 @@
  * only one file are reported but never fail the gate, so adding or
  * retiring benchmarks doesn't break CI.
  *
+ * --check-budget gates the adaptive-sampling Pareto CSV emitted by
+ * `abl_adaptive_budget --csv`: every adaptive row of the long-form
+ * matmul workload must measure overhead_pct <= budget_pct + slack
+ * (default 0.75 — the fixed session costs put a floor under
+ * reachable overhead, so an aggressive budget legitimately lands a
+ * fraction above it with the governor pegged at its period
+ * ceiling), and its count accuracy must sit within 2 percentage
+ * points of the best fixed-rate row for the same workload.  Short
+ * workloads (table III's sub-100 ms dgemm) finish before the
+ * governor's estimate converges; their adaptive rows are reported
+ * but never gate.  Exit 1 on violation or when no adaptive matmul
+ * row exists.
+ *
  * Both parsers are deliberately minimal: they handle the JSON these
  * two producers emit (string keys, numbers, flat-ish structure), not
  * arbitrary JSON.
@@ -40,6 +54,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace
 {
@@ -292,6 +307,129 @@ compare(const BenchMap &baseline, const BenchMap &current,
     return 0;
 }
 
+/** One parsed row of the adaptive-budget Pareto CSV. */
+struct ParetoRow
+{
+    std::string workload;
+    std::string mode;
+    std::string config;
+    double budgetPct = 0.0;
+    double overheadPct = 0.0;
+    double accuracyErrPct = 0.0;
+};
+
+/** The machine-readable contract abl_adaptive_budget emits. */
+constexpr const char *paretoHeader =
+    "workload,mode,config,budget_pct,overhead_pct,"
+    "accuracy_err_pct,samples,period_changes,final_period_us,"
+    "mean_s";
+
+/**
+ * Pull the Pareto rows out of @p text (which may contain banner /
+ * table noise around the CSV block).  Baseline rows carry "-" in
+ * the numeric columns and are skipped.
+ */
+bool
+parseParetoCsv(const std::string &text,
+               std::vector<ParetoRow> *out, std::string *error)
+{
+    std::size_t hdr = text.find(paretoHeader);
+    if (hdr == std::string::npos) {
+        *error = "no adaptive-budget CSV header";
+        return false;
+    }
+    std::istringstream lines(text.substr(hdr));
+    std::string line;
+    std::getline(lines, line); // header itself
+    while (std::getline(lines, line)) {
+        std::vector<std::string> cells;
+        std::istringstream cs(line);
+        std::string cell;
+        while (std::getline(cs, cell, ','))
+            cells.push_back(cell);
+        if (cells.size() != 10)
+            break; // end of the CSV block
+        if (cells[3] == "-")
+            continue; // baseline row
+        ParetoRow row;
+        row.workload = cells[0];
+        row.mode = cells[1];
+        row.config = cells[2];
+        row.budgetPct = std::strtod(cells[3].c_str(), nullptr);
+        row.overheadPct = std::strtod(cells[4].c_str(), nullptr);
+        row.accuracyErrPct =
+            std::strtod(cells[5].c_str(), nullptr);
+        out->push_back(std::move(row));
+    }
+    if (out->empty()) {
+        *error = "no data rows under the CSV header";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * @return process exit code: 0 when every gated adaptive row holds
+ * its budget and accuracy bound, 1 otherwise.
+ */
+int
+checkBudget(const std::vector<ParetoRow> &rows, double slack)
+{
+    // Accuracy reference: the best fixed-rate row per workload.
+    std::map<std::string, double> best_fixed;
+    for (const ParetoRow &r : rows) {
+        if (r.mode != "fixed")
+            continue;
+        auto it = best_fixed.find(r.workload);
+        if (it == best_fixed.end() ||
+            r.accuracyErrPct < it->second)
+            best_fixed[r.workload] = r.accuracyErrPct;
+    }
+
+    int failures = 0;
+    int gated = 0;
+    for (const ParetoRow &r : rows) {
+        if (r.mode != "adaptive")
+            continue;
+        // Only the long-form matmul gates: the governor needs a
+        // few drain cycles to converge, which sub-100 ms programs
+        // don't grant (that is the table III story, not a bug).
+        const bool gates = r.workload == "matmul";
+        if (gates)
+            ++gated;
+        const char *tag = gates ? "ok" : "info";
+        bool over = r.overheadPct > r.budgetPct + slack;
+        auto fixed_it = best_fixed.find(r.workload);
+        bool inaccurate =
+            fixed_it != best_fixed.end() &&
+            r.accuracyErrPct > fixed_it->second + 2.0;
+        if (gates && (over || inaccurate)) {
+            tag = over ? "OVERBUDGET" : "INACCURATE";
+            ++failures;
+        }
+        std::printf("  %-10s %-8s %-6s budget %5.2f%%  "
+                    "overhead %6.3f%%  accuracy-err %6.4f%%\n",
+                    tag, r.workload.c_str(), r.config.c_str(),
+                    r.budgetPct, r.overheadPct,
+                    r.accuracyErrPct);
+    }
+    if (gated == 0) {
+        std::printf("bench_report: no gated adaptive rows in "
+                    "the CSV\n");
+        return 1;
+    }
+    if (failures > 0) {
+        std::printf("bench_report: %d adaptive row(s) broke the "
+                    "budget (slack %.2f%%) or accuracy bound\n",
+                    failures, slack);
+        return 1;
+    }
+    std::printf("bench_report: %d adaptive row(s) within budget "
+                "(slack %.2f%%) and accuracy bound\n",
+                gated, slack);
+    return 0;
+}
+
 int
 selfTest()
 {
@@ -356,6 +494,31 @@ selfTest()
     check(!parseGbench("{}", &empty, &error), "gbench parse error");
     check(!parseReport("{}", &empty, &error), "report parse error");
 
+    const std::string pareto =
+        "=== banner noise ===\n" + std::string(paretoHeader) +
+        "\n"
+        "matmul,baseline,-,-,-,-,0,0,0.0,0.6366\n"
+        "matmul,fixed,10ms,0.00,0.623,0.0000,64,0,10000.0,0.64\n"
+        "matmul,adaptive,b1.0,1.00,1.160,0.0000,983,4,1600.0,"
+        "0.6439\n"
+        "mkl,adaptive,b1.0,1.00,6.566,0.0000,325,0,100.0,0.0337\n"
+        "trailing non-csv line\n";
+    std::vector<ParetoRow> rows;
+    check(parseParetoCsv(pareto, &rows, &error), "pareto parse");
+    check(rows.size() == 3, "pareto row count (baseline skipped)");
+    check(checkBudget(rows, 0.75) == 0, "budget holds at slack");
+    check(checkBudget(rows, 0.10) == 1, "budget breaks w/o slack");
+    std::vector<ParetoRow> sloppy = rows;
+    sloppy[1].accuracyErrPct = 5.0; // the matmul adaptive row
+    check(checkBudget(sloppy, 0.75) == 1,
+          "accuracy bound vs best fixed row");
+    std::vector<ParetoRow> mkl_only{rows[2]};
+    check(checkBudget(mkl_only, 0.75) == 1,
+          "no gated rows fails");
+    std::vector<ParetoRow> none;
+    check(!parseParetoCsv("{}", &none, &error),
+          "pareto parse error");
+
     if (failed == 0)
         std::printf("bench_report: self-test passed\n");
     return failed == 0 ? 0 : 1;
@@ -369,8 +532,9 @@ usage(const char *argv0)
         "usage: %s --from-gbench <gbench.json> --out <report.json>\n"
         "       %s --compare <baseline.json> <current.json>"
         " [--threshold <x>]\n"
+        "       %s --check-budget <pareto.csv> [--slack <pct>]\n"
         "       %s --self-test\n",
-        argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -379,8 +543,9 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string from_gbench, out, base_path, cur_path;
+    std::string from_gbench, out, base_path, cur_path, budget_path;
     double threshold = 3.0;
+    double slack = 0.75;
     bool do_compare = false, self_test = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -393,6 +558,18 @@ main(int argc, char **argv)
             do_compare = true;
             base_path = argv[++i];
             cur_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--check-budget") &&
+                   i + 1 < argc) {
+            budget_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--slack") &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            slack = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || slack < 0.0) {
+                std::fprintf(stderr,
+                             "bench_report: bad --slack\n");
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--threshold") &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -436,6 +613,22 @@ main(int argc, char **argv)
         std::printf("bench_report: wrote %zu benchmark(s) to %s\n",
                     benches.size(), out.c_str());
         return 0;
+    }
+
+    if (!budget_path.empty()) {
+        std::string text, error;
+        if (!readFile(budget_path, &text)) {
+            std::fprintf(stderr, "bench_report: cannot read %s\n",
+                         budget_path.c_str());
+            return 2;
+        }
+        std::vector<ParetoRow> rows;
+        if (!parseParetoCsv(text, &rows, &error)) {
+            std::fprintf(stderr, "bench_report: %s: %s\n",
+                         budget_path.c_str(), error.c_str());
+            return 2;
+        }
+        return checkBudget(rows, slack);
     }
 
     if (do_compare) {

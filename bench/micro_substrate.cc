@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_support/trial_pool.hh"
+#include "fleet/collector.hh"
 #include "hw/cpu_core.hh"
 #include "kernel/system.hh"
 #include "sim/event_queue.hh"
@@ -220,6 +221,42 @@ BM_RandomStream(benchmark::State &state)
         benchmark::DoNotOptimize(rng.next64());
 }
 BENCHMARK(BM_RandomStream);
+
+void
+BM_FleetCollectorIngest(benchmark::State &state)
+{
+    // Per-record cost of the fleet collector's merge path: journal
+    // append + liveness bookkeeping + four-level tree fan-out.
+    // Bounds the fleet bench's "millions of samples per second"
+    // claim from below.
+    const std::uint32_t machines = 16;
+    constexpr std::uint64_t rounds = 64;
+    std::vector<fleet::Delivery> stream;
+    stream.reserve(rounds * machines);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        for (std::uint32_t m = 0; m < machines; ++m) {
+            fleet::Delivery d;
+            d.arrival = usToTicks(100) * (i + 1);
+            d.rec.machine = m;
+            d.rec.seq = i;
+            d.rec.ts = d.arrival;
+            d.rec.counts = {2000 * (i + 1), 1000 * (i + 1),
+                            10 * (i + 1)};
+            stream.push_back(d);
+        }
+    }
+    for (auto _ : state) {
+        fleet::CollectorConfig cfg;
+        cfg.machines = machines;
+        cfg.coresPerMachine = 1;
+        cfg.heartbeatTimeout = secToTicks(1);
+        fleet::Collector collector(cfg);
+        collector.ingest(stream);
+        benchmark::DoNotOptimize(collector.stats().accepted);
+    }
+    state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_FleetCollectorIngest);
 
 void
 BM_TrialPoolMap(benchmark::State &state)

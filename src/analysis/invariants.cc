@@ -332,6 +332,143 @@ InvariantChecker::checkAdaptiveRecovery(
 }
 
 void
+InvariantChecker::checkFleetBalance(const fleet::FleetResult &result,
+                                    const std::string &label)
+{
+    std::uint64_t produced = 0, accounted = 0, kept = 0,
+                  reordered = 0, quarantined_records = 0;
+    std::uint32_t quarantined_machines = 0;
+
+    std::vector<std::uint32_t> holes_per_machine(
+        result.accounts.size(), 0);
+    for (const fleet::FleetHole &h : result.holes) {
+        ++checks_;
+        if (h.machine >= result.accounts.size()) {
+            violation(csprintf(
+                "%s: hole names machine %u outside the fleet",
+                label.c_str(), h.machine));
+            continue;
+        }
+        ++holes_per_machine[h.machine];
+        ++checks_;
+        if (h.to < h.from)
+            violation(csprintf(
+                "%s: machine %u hole runs backwards", label.c_str(),
+                h.machine));
+    }
+
+    for (const fleet::MachineAccount &a : result.accounts) {
+        ++checks_;
+        const std::uint64_t sum =
+            a.kept + a.dropped + a.vanished + a.quarantined;
+        if (sum != a.produced)
+            violation(csprintf(
+                "%s: machine %u ledger does not partition: %llu "
+                "kept + %llu dropped + %llu vanished + %llu "
+                "quarantined != %llu produced",
+                label.c_str(), a.machine,
+                (unsigned long long)a.kept,
+                (unsigned long long)a.dropped,
+                (unsigned long long)a.vanished,
+                (unsigned long long)a.quarantined,
+                (unsigned long long)a.produced));
+        produced += a.produced;
+        accounted += sum;
+        kept += a.kept;
+
+        ++checks_;
+        if (a.simFailed && a.produced != 0)
+            violation(csprintf(
+                "%s: machine %u claims %llu produced samples but "
+                "its simulation died",
+                label.c_str(), a.machine,
+                (unsigned long long)a.produced));
+
+        // Absence must be explicit: a machine the collector gave up
+        // on carries at least one hole; a machine it didn't has
+        // none.
+        ++checks_;
+        if (a.isQuarantined) {
+            ++quarantined_machines;
+            if (holes_per_machine[a.machine] == 0)
+                violation(csprintf(
+                    "%s: machine %u is quarantined without an "
+                    "explicit hole (its absence became silent "
+                    "zeros)",
+                    label.c_str(), a.machine));
+        } else if (holes_per_machine[a.machine] != 0) {
+            violation(csprintf(
+                "%s: machine %u has a hole but was never "
+                "quarantined",
+                label.c_str(), a.machine));
+        }
+
+        ++checks_;
+        if (a.quarantined != 0 && !a.isQuarantined)
+            violation(csprintf(
+                "%s: machine %u had %llu records quarantined but "
+                "is not marked quarantined",
+                label.c_str(), a.machine,
+                (unsigned long long)a.quarantined));
+        quarantined_records += a.quarantined;
+    }
+
+    ++checks_;
+    if (accounted != produced)
+        violation(csprintf(
+            "%s: fleet accounting does not balance: %llu accounted "
+            "!= %llu produced",
+            label.c_str(), (unsigned long long)accounted,
+            (unsigned long long)produced));
+
+    ++checks_;
+    if (result.aggregateAccounted != accounted)
+        violation(csprintf(
+            "%s: aggregateAccounted %llu disagrees with the ledger "
+            "sum %llu",
+            label.c_str(),
+            (unsigned long long)result.aggregateAccounted,
+            (unsigned long long)accounted));
+
+    // Cross-check the ledgers against the collector's own view.
+    const fleet::CollectorStats &cs = result.collector;
+    ++checks_;
+    if (cs.accepted != kept)
+        violation(csprintf(
+            "%s: collector accepted %llu records but the ledgers "
+            "kept %llu",
+            label.c_str(), (unsigned long long)cs.accepted,
+            (unsigned long long)kept));
+    ++checks_;
+    if (cs.quarantinedRecords != quarantined_records)
+        violation(csprintf(
+            "%s: collector discarded %llu quarantined records but "
+            "the ledgers hold %llu",
+            label.c_str(),
+            (unsigned long long)cs.quarantinedRecords,
+            (unsigned long long)quarantined_records));
+    ++checks_;
+    if (cs.quarantinedMachines != quarantined_machines)
+        violation(csprintf(
+            "%s: collector quarantined %u machines but the ledgers "
+            "mark %u",
+            label.c_str(), cs.quarantinedMachines,
+            quarantined_machines));
+    (void)reordered;
+
+    // Every tree observation is a kept record's delta (first-sample
+    // and zero-cycle records merge without an observation).
+    ++checks_;
+    if (result.tree.observations() > kept)
+        violation(csprintf(
+            "%s: tree holds %llu observations from only %llu kept "
+            "records",
+            label.c_str(),
+            (unsigned long long)result.tree.observations(),
+            (unsigned long long)kept));
+}
+
+void
 InvariantChecker::onPmuRead(int idx, bool fixed, bool programmed)
 {
     ++checks_;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "fleet/fleet.hh"
 #include "hw/pmu.hh"
 #include "kernel/kernel.hh"
 #include "kleb/log_recovery.hh"
@@ -121,6 +122,20 @@ class InvariantChecker : public sim::EventQueueListener
     void checkAdaptiveRecovery(const kleb::RecoveredLog &recovered,
                                const std::string &label =
                                    "adaptive recovery");
+
+    /**
+     * Post-hoc check of a fleet run's accounting (DESIGN.md section
+     * 15): every machine's ledger must partition exactly —
+     * produced == kept + dropped + vanished + quarantined — and the
+     * ledger sums must equal the aggregate's accounted samples; the
+     * collector's per-peer totals must agree with the ledgers; the
+     * monitor tree can hold at most one observation per kept
+     * record; and every quarantined machine must have at least one
+     * explicit hole (absence is data, never silent zeros) while
+     * healthy machines have none.
+     */
+    void checkFleetBalance(const fleet::FleetResult &result,
+                           const std::string &label = "fleet");
 
     /** True when no invariant has been violated. */
     bool ok() const { return violations_.empty(); }

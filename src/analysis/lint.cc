@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -635,16 +636,52 @@ Linter::checkFaultHookCoverage(
         while (std::getline(in, line))
             lines.push_back(line);
     }
+    // The spec key lives inside a string literal (which the stripper
+    // blanks), so key extraction matches the raw line — but only on
+    // lines that survive comment stripping, so the table's own
+    // documentation does not register entries.
+    static const std::regex keyed(
+        R"re(KLEB_FAULT_POINT\(\s*([A-Za-z_]\w*)\s*,\s*"([^"]*)")re",
+        std::regex::ECMAScript | std::regex::optimize);
+
     // Strip comments so the table's own documentation (which shows
     // the macro form) is not mistaken for an entry.
     const std::vector<std::string> code =
         stripCommentsAndStrings(lines);
+    std::map<std::string, std::size_t> seen_names;
+    std::map<std::string, std::size_t> seen_keys;
     for (std::size_t i = 0; i < code.size(); ++i) {
         const std::size_t lineno = i + 1;
         std::smatch m;
         if (!std::regex_search(code[i], m, entry))
             continue;
         const std::string name = m[1].str();
+
+        // Registering the same enumerator or the same spec key twice
+        // would make the later entry shadow the earlier one in the
+        // parser's if/else chain — one of the two faults becomes
+        // unreachable from any spec string.
+        auto [name_it, name_fresh] =
+            seen_names.emplace(name, lineno);
+        if (!name_fresh)
+            out.push_back(
+                {rule, def_rel_path, lineno, trimmed(lines[i]),
+                 csprintf("fault point '%s' is registered twice "
+                          "(first registered on line %zu)",
+                          name.c_str(), name_it->second)});
+        std::smatch km;
+        if (std::regex_search(lines[i], km, keyed)) {
+            const std::string key = km[2].str();
+            auto [key_it, key_fresh] =
+                seen_keys.emplace(key, lineno);
+            if (!key_fresh)
+                out.push_back(
+                    {rule, def_rel_path, lineno, trimmed(lines[i]),
+                     csprintf("fault spec key '%s' is registered "
+                              "twice (first registered on line %zu)",
+                              key.c_str(), key_it->second)});
+        }
+
         bool hooked = false;
         for (const auto &[rel, content] : sources) {
             if (isRegistryFile(rel))

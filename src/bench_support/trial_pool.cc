@@ -1,5 +1,6 @@
 #include "trial_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <thread>
@@ -86,6 +87,91 @@ TrialPool::runIndexed(std::size_t count,
     }
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+namespace
+{
+
+/** Render the in-flight exception as a one-line message. */
+std::string
+describeCurrentException()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "non-std::exception thrown";
+    }
+}
+
+} // anonymous namespace
+
+void
+TrialPool::runIndexedCatching(
+    std::size_t count, const std::function<void(std::size_t)> &fn,
+    std::vector<TrialFailure> *failures)
+{
+    if (count == 0)
+        return;
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs_, count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (failures)
+                    failures->push_back(
+                        {i, describeCurrentException()});
+            }
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+
+    struct FailureLog
+    {
+        TrackedMutex mutex{"bench.TrialPool.failures"};
+        std::vector<TrialFailure> entries KLEB_GUARDED_BY(mutex);
+    } log;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                TrackedLock lock(log.mutex);
+                log.entries.push_back(
+                    {i, describeCurrentException()});
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (failures) {
+        TrackedLock lock(log.mutex);
+        // Completion order is scheduling noise; report failures in
+        // trial order so the caller's view is jobs-invariant.
+        std::sort(log.entries.begin(), log.entries.end(),
+                  [](const TrialFailure &a, const TrialFailure &b) {
+                      return a.trial < b.trial;
+                  });
+        failures->insert(failures->end(), log.entries.begin(),
+                         log.entries.end());
+    }
 }
 
 } // namespace klebsim::bench

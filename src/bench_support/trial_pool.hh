@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -59,6 +60,17 @@ trialSeed(std::uint64_t base, std::uint64_t stream,
 }
 
 /**
+ * One trial that died: its index and the exception text.  Returned
+ * by the crash-tolerant tryMap()/runIndexedCatching() entry points
+ * in ascending trial order.
+ */
+struct TrialFailure
+{
+    std::size_t trial = 0;
+    std::string message;
+};
+
+/**
  * A worker-thread pool that runs independent trials.
  *
  * Trials are dispatched to workers in index order from a shared
@@ -67,6 +79,14 @@ trialSeed(std::uint64_t base, std::uint64_t stream,
  * An exception thrown by a trial stops the dispatch of further
  * trials and is rethrown to the caller (the lowest-indexed failure
  * wins, matching what a sequential run would have hit first).
+ *
+ * The tryMap()/runIndexedCatching() variants instead survive worker
+ * death: a trial that throws is recorded as a TrialFailure and every
+ * other trial still runs to completion.  Because a trial's result
+ * may depend only on its index, a dead shard can never perturb the
+ * results of the surviving shards — fleet-scale callers rely on
+ * this to turn a crashed machine into an explicit hole instead of a
+ * lost run.
  */
 class TrialPool
 {
@@ -106,9 +126,41 @@ class TrialPool
         return results;
     }
 
+    /**
+     * Crash-tolerant map: invoke @p fn(i) for every i in
+     * [0, count).  A trial that throws leaves its slot empty and is
+     * reported in @p failures (ascending trial order) instead of
+     * aborting the dispatch; all surviving slots hold exactly the
+     * value a fully healthy run would have produced.
+     */
+    template <typename Fn>
+    auto
+    tryMap(std::size_t count, Fn &&fn,
+           std::vector<TrialFailure> *failures)
+        -> std::vector<
+            std::optional<std::invoke_result_t<Fn &, std::size_t>>>
+    {
+        using T = std::invoke_result_t<Fn &, std::size_t>;
+        std::vector<std::optional<T>> slots(count);
+        runIndexedCatching(count, [&](std::size_t i) {
+            KLEB_ANNOTATE_ACCESS(&slots[i], "bench.TrialPool.slot");
+            slots[i].emplace(fn(i));
+        }, failures);
+        return slots;
+    }
+
     /** Invoke @p fn(i) for every i in [0, count), no results. */
     void runIndexed(std::size_t count,
                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Like runIndexed(), but a throwing trial is captured into
+     * @p failures and the remaining trials still run.
+     */
+    void runIndexedCatching(
+        std::size_t count,
+        const std::function<void(std::size_t)> &fn,
+        std::vector<TrialFailure> *failures);
 
   private:
     unsigned jobs_;

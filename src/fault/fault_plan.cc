@@ -1,5 +1,6 @@
 #include "fault_plan.hh"
 
+#include <algorithm>
 #include <charconv>
 #include <vector>
 
@@ -111,6 +112,53 @@ fail(std::string *error, const std::string &message)
     return false;
 }
 
+/** Classic O(a*b) Levenshtein edit distance (keys are short). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t up = row[j];
+            std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + cost});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/**
+ * The valid spec key closest (by edit distance) to @p key, for the
+ * unknown-key diagnostic.  Covers every fault_points.def key plus
+ * the auxiliary keys parse() accepts alongside them.
+ */
+std::string
+nearestSpecKey(const std::string &key)
+{
+    static const char *const auxKeys[] = {
+        "seed", "timer.spike.us", "reader.stall.p", "link.delay.by"};
+    std::string best;
+    std::size_t best_dist = ~std::size_t{0};
+    auto consider = [&](const char *candidate) {
+        std::size_t d = editDistance(key, candidate);
+        if (d < best_dist) {
+            best_dist = d;
+            best = candidate;
+        }
+    };
+    for (const char *k : pointKeys)
+        consider(k);
+    for (const char *k : auxKeys)
+        consider(k);
+    return best;
+}
+
 } // anonymous namespace
 
 const char *
@@ -133,7 +181,9 @@ FaultPlan::active() const
            moduleInitFails > 0 || targetCrashAt != 0 ||
            controllerCrashAt != 0 || controllerHangAt != 0 ||
            logTornTailBytes != 0 || logBitflips > 0 ||
-           setPeriodFailProb > 0.0 || reprogramCrashNth > 0;
+           setPeriodFailProb > 0.0 || reprogramCrashNth > 0 ||
+           machineCrashProb > 0.0 || linkFaultsActive() ||
+           collectorCrashAt != 0;
 }
 
 bool
@@ -199,9 +249,23 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
         } else if (key == faultPointKey(FaultPoint::reprogramCrash)) {
             ok = parseInt(value, &plan.reprogramCrashNth) &&
                  plan.reprogramCrashNth >= 0;
+        } else if (key == faultPointKey(FaultPoint::machineCrash)) {
+            ok = parseProb(value, &plan.machineCrashProb);
+        } else if (key == faultPointKey(FaultPoint::linkDrop)) {
+            ok = parseProb(value, &plan.linkDropProb);
+        } else if (key == faultPointKey(FaultPoint::linkDelay)) {
+            ok = parseProb(value, &plan.linkDelayProb);
+        } else if (key == "link.delay.by") {
+            ok = parseDuration(value, &plan.linkDelayBy) &&
+                 plan.linkDelayBy > 0;
+        } else if (key == faultPointKey(FaultPoint::collectorCrash)) {
+            ok = parseDuration(value, &plan.collectorCrashAt);
         } else {
-            return fail(error, csprintf("unknown fault spec key '%s'",
-                                        key.c_str()));
+            return fail(error,
+                        csprintf("unknown fault spec key '%s' "
+                                 "(nearest valid key: '%s')",
+                                 key.c_str(),
+                                 nearestSpecKey(key).c_str()));
         }
         if (!ok)
             return fail(error, csprintf("bad value '%s' for fault spec "
@@ -273,6 +337,21 @@ FaultPlan::str() const
         parts.push_back(csprintf(
             "%s=%d", faultPointKey(FaultPoint::reprogramCrash),
             reprogramCrashNth));
+    if (machineCrashProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::machineCrash) +
+                        ("=" + probStr(machineCrashProb)));
+    if (linkDropProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::linkDrop) +
+                        ("=" + probStr(linkDropProb)));
+    if (linkDelayProb > 0.0) {
+        parts.push_back(faultPointKey(FaultPoint::linkDelay) +
+                        ("=" + probStr(linkDelayProb)));
+        parts.push_back("link.delay.by=" +
+                        durationStr(linkDelayBy));
+    }
+    if (collectorCrashAt != 0)
+        parts.push_back(faultPointKey(FaultPoint::collectorCrash) +
+                        ("=" + durationStr(collectorCrashAt)));
     return join(parts, ";");
 }
 

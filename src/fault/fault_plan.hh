@@ -132,6 +132,39 @@ struct FaultPlan
      */
     int reprogramCrashNth = 0;
 
+    /**
+     * @{ Fleet faults (src/fleet, DESIGN.md section 15).  These act
+     * above the single-machine simulation: on whole machines, on the
+     * lossy uplink each machine streams its durable log over, and on
+     * the central collector.
+     */
+
+    /**
+     * Probability a fleet machine crashes mid-run ("machine.crash").
+     * A crashed machine stops emitting mid-epoch with no final
+     * sample and no farewell — the collector must notice the
+     * silence, probe, and quarantine it.
+     */
+    double machineCrashProb = 0.0;
+
+    /** Probability the uplink drops a record ("link.drop"). */
+    double linkDropProb = 0.0;
+
+    /** Probability the uplink delays a record ("link.delay"). */
+    double linkDelayProb = 0.0;
+
+    /** Extra latency a delayed record suffers ("link.delay.by"). */
+    Tick linkDelayBy = msToTicks(2);
+
+    /**
+     * Collector drain-clock time at which the collector crashes and
+     * restarts from its last checkpoint + journal replay
+     * ("collector.crash"); 0 = off.
+     */
+    Tick collectorCrashAt = 0;
+
+    /** @} */
+
     /** True if any fault is enabled. */
     bool active() const;
 
@@ -147,14 +180,19 @@ struct FaultPlan
     bool readerStallActive() const
     { return readerStall > 0 && readerStallProb > 0.0; }
 
+    /** True if the uplink hook needs installing. */
+    bool linkFaultsActive() const
+    { return linkDropProb > 0.0 || linkDelayProb > 0.0; }
+
     /**
      * Parse a spec string: ';'-separated key=value pairs using the
-     * keys from fault_points.def plus "seed", "timer.spike.us" and
-     * "reader.stall.p".  Durations accept a unit suffix (ns, us,
-     * ms, s); bare numbers are ticks.  Empty specs parse to the
-     * inert plan.
+     * keys from fault_points.def plus "seed", "timer.spike.us",
+     * "reader.stall.p" and "link.delay.by".  Durations accept a
+     * unit suffix (ns, us, ms, s); bare numbers are ticks.  Empty
+     * specs parse to the inert plan.
      * @return false (with @p error set) on unknown keys or
-     *         malformed/out-of-range values; @p out is untouched.
+     *         malformed/out-of-range values (an unknown key names
+     *         the nearest valid key); @p out is untouched.
      */
     static bool parse(const std::string &spec, FaultPlan *out,
                       std::string *error = nullptr);

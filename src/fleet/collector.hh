@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The central fleet collector: one crash-survivable monitor tree.
+ *
+ * The collector drains the globally ordered delivery stream on a
+ * simulated drain clock, merges every accepted record into the
+ * MonitorTree, and keeps itself restartable at all times:
+ *
+ *  - every accepted record is journaled (write-ahead) to a
+ *    kleb::DurableLog before it touches the tree;
+ *  - every `checkpointEvery` accepted records the full tree +
+ *    per-machine peer state is serialized to a checkpoint;
+ *  - a crash (fault collector.crash) throws away all in-memory
+ *    state; restart loads the last checkpoint and replays the
+ *    journal tail through LogRecovery::scan, converging to the same
+ *    aggregate bit-for-bit.
+ *
+ * Liveness is evaluated lazily as pure functions of the arrival
+ * stream — a machine's quarantine deadline is its last arrival plus
+ * the heartbeat timeout plus a bounded doubling probe backoff — so
+ * dead-machine decisions are identical across jobs values and
+ * across collector crashes.  A quarantined machine's contribution
+ * becomes an explicit FleetHole, never silent zeros.  Backpressure
+ * is modeled on the drain clock: when arrivals outrun the drain
+ * rate past a lag high-water mark, the overrun is counted and the
+ * excess lag recorded.
+ */
+
+#ifndef KLEBSIM_FLEET_COLLECTOR_HH
+#define KLEBSIM_FLEET_COLLECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kleb/durable_log.hh"
+#include "monitor_tree.hh"
+#include "wire.hh"
+
+namespace klebsim::fleet
+{
+
+/** Collector tuning. */
+struct CollectorConfig
+{
+    /** @{ Tree topology (must match the fleet). */
+    std::uint32_t machines = 1;
+    std::uint32_t coresPerMachine = 1;
+    std::uint32_t rackSize = 32;
+    /** @} */
+
+    /** Silence past this (on the arrival clock) triggers probing. */
+    Tick heartbeatTimeout = msToTicks(1);
+
+    /** Probes sent (with doubling backoff) before quarantining. */
+    int probeBudget = 3;
+
+    /** Drain-clock cost of processing one record. */
+    Tick drainCost = 50 * tickPerNs;
+
+    /** Service lag past this counts as backpressure. */
+    Tick backpressureLag = usToTicks(100);
+
+    /** Accepted records between checkpoints; 0 = auto-scale. */
+    std::uint64_t checkpointEvery = 0;
+
+    /** Drain-clock time to crash + restart (collector.crash). */
+    Tick crashAt = 0;
+};
+
+/** Per-machine collector-side state (exposed for accounting). */
+struct PeerState
+{
+    bool seen = false;
+    Tick firstArrival = 0;
+    Tick lastArrival = 0;
+    bool quarantined = false;
+    int probes = 0;
+
+    /** Clean-shutdown `final` markers received (one per core). */
+    std::uint32_t finals = 0;
+
+    /** @{ Accounting buckets. */
+    std::uint64_t kept = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t lateDiscarded = 0;
+    /** @} */
+
+    /** Arrivals that came in past the heartbeat timeout. */
+    std::uint64_t stragglers = 0;
+
+    /** @{ Per-core merge state (indexed by core). */
+    std::vector<Tick> lastTs;
+    std::vector<std::array<std::uint64_t, numWireEvents>>
+        lastCounts;
+    /** @} */
+};
+
+/** Operational counters (not part of the deterministic aggregate). */
+struct CollectorStats
+{
+    std::uint64_t accepted = 0;       //!< journaled + merged
+    std::uint64_t reordered = 0;
+    std::uint64_t quarantinedRecords = 0;
+    std::uint64_t probesSent = 0;
+    std::uint64_t stragglerEvents = 0;
+    std::uint64_t backpressureEvents = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t replayedRecords = 0;
+    std::uint32_t quarantinedMachines = 0;
+    Tick maxLag = 0;
+    Tick drainClock = 0;
+};
+
+class Collector
+{
+  public:
+    explicit Collector(const CollectorConfig &cfg);
+
+    /**
+     * Drain a batch of deliveries (must be sorted by
+     * deliveryBefore, and batches must not interleave arrivals).
+     */
+    void ingest(const std::vector<Delivery> &deliveries);
+
+    /**
+     * End of stream at @p end_of_stream on the arrival clock: run
+     * the final liveness sweep, quarantining every machine that
+     * neither finished cleanly nor spoke within its probe window.
+     */
+    void finish(Tick end_of_stream);
+
+    const MonitorTree &tree() const { return tree_; }
+    CollectorStats stats() const;
+    const std::vector<FleetHole> &holes() const { return holes_; }
+    const PeerState &peer(MachineId m) const { return peers_[m]; }
+
+    /** The write-ahead journal (for recovery-path tests). */
+    const kleb::DurableLog &journal() const { return journal_; }
+
+    /** Total silence allowance before quarantine (pure of config). */
+    Tick quarantineAfter() const;
+
+  private:
+    void service(const Delivery &d);
+    void apply(const WireRecord &rec, Tick arrival, bool replaying);
+    void journalRecord(const WireRecord &rec, Tick arrival);
+    void quarantine(MachineId m, Tick until, const char *cause);
+    void checkpoint();
+    void crashAndRestart();
+    void encodePeers(std::vector<std::uint8_t> *out) const;
+    bool decodePeers(const std::vector<std::uint8_t> &bytes,
+                     std::size_t *at);
+
+    CollectorConfig cfg_;
+    MonitorTree tree_;
+    std::vector<PeerState> peers_;
+    std::vector<FleetHole> holes_;
+    kleb::DurableLog journal_;
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t checkpointEvery_ = 0;
+
+    /** Last checkpoint (empty = none): peers + tree + cut marker. */
+    std::vector<std::uint8_t> checkpointBytes_;
+    std::uint64_t checkpointCut_ = 0;
+
+    CollectorStats ops_;
+    bool crashed_ = false;
+};
+
+} // namespace klebsim::fleet
+
+#endif // KLEBSIM_FLEET_COLLECTOR_HH

@@ -1,0 +1,52 @@
+#include "link.hh"
+
+#include "base/random.hh"
+#include "bench_support/trial_pool.hh"
+#include "fault/fault_plan.hh"
+
+namespace klebsim::fleet
+{
+
+LinkStats
+transmit(const MachineOutput &machine, const LinkParams &params,
+         std::uint64_t fault_seed, std::vector<Delivery> *deliveries)
+{
+    LinkStats stats;
+
+    // One parent stream per machine, one fork per fault point: the
+    // same layout the FaultInjector uses, so enabling link.delay
+    // cannot perturb the link.drop schedule and vice versa.
+    Random parent(bench::trialSeed(fault_seed, 0xF1EE7u,
+                                   machine.id));
+    Random drop_rng = parent.fork(static_cast<std::uint64_t>(
+        fault::FaultPoint::linkDrop));
+    Random delay_rng = parent.fork(static_cast<std::uint64_t>(
+        fault::FaultPoint::linkDelay));
+    Random jitter_rng = parent.fork(0x117u);
+
+    for (const WireRecord &rec : machine.records) {
+        const Tick jitter =
+            params.jitterMax > 0
+                ? static_cast<Tick>(jitter_rng.below(
+                      static_cast<std::uint32_t>(params.jitterMax)))
+                : 0;
+        const bool dropped = drop_rng.chance(params.dropProb);
+        const bool delayed = delay_rng.chance(params.delayProb);
+        if (dropped) {
+            ++stats.dropped;
+            continue;
+        }
+        Delivery d;
+        d.rec = rec;
+        d.arrival = rec.ts + params.baseLatency + jitter;
+        if (delayed) {
+            d.arrival += params.delayBy;
+            ++stats.delayed;
+        }
+        deliveries->push_back(d);
+        ++stats.delivered;
+    }
+    return stats;
+}
+
+} // namespace klebsim::fleet

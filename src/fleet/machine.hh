@@ -1,0 +1,80 @@
+/**
+ * @file
+ * One fleet machine: a full simulated kernel + K-LEB session per
+ * core over a workload from the fleet mix, whose durable-log sample
+ * frames become the WireRecords the machine streams to the
+ * collector.
+ *
+ * Machines are completely independent — each core runs its own
+ * kernel::System seeded from (fleet seed, machine id, core) through
+ * the shared splitmix64 mixer — so the Fleet can shard them across
+ * bench::TrialPool workers with byte-identical results at any
+ * --jobs value.
+ */
+
+#ifndef KLEBSIM_FLEET_MACHINE_HH
+#define KLEBSIM_FLEET_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "wire.hh"
+
+namespace klebsim::fleet
+{
+
+/** Parameters of one machine's simulation. */
+struct MachineParams
+{
+    MachineId id = 0;
+
+    /** Fleet base seed (per-core seeds derive from it). */
+    std::uint64_t seed = 1;
+
+    /** Monitored cores (each a full kernel + session sim). */
+    std::uint32_t cores = 1;
+
+    /** K-LEB sampling period. */
+    Tick period = usToTicks(100);
+
+    /**
+     * Machine-side crash time (fault machine.crash); 0 runs the
+     * machine healthy.  A crashed machine's records at or after the
+     * crash — and its clean-shutdown `final` markers — never reach
+     * the wire: they are accounted as the vanished unsent tail.
+     */
+    Tick crashAt = 0;
+};
+
+/** What one machine hands to the uplink. */
+struct MachineOutput
+{
+    MachineId id = 0;
+
+    /** Records put on the wire, ordered by (core, seq). */
+    std::vector<WireRecord> records;
+
+    /** Sample frames the machine's sessions journaled. */
+    std::uint64_t produced = 0;
+
+    /** Lost before the wire: log losses + crashed unsent tail. */
+    std::uint64_t vanishedLocal = 0;
+
+    /** The machine crashed mid-run. */
+    bool crashed = false;
+};
+
+/**
+ * Run machine @p p to completion (or its crash) and return its wire
+ * stream.  Pure function of @p p — safe to call concurrently from
+ * TrialPool workers.
+ */
+MachineOutput runMachine(const MachineParams &p);
+
+/** Nominal (order-of-magnitude) lifetime of a fleet workload. */
+constexpr Tick nominalMachineLifetime = msToTicks(2);
+
+} // namespace klebsim::fleet
+
+#endif // KLEBSIM_FLEET_MACHINE_HH

@@ -1,0 +1,269 @@
+#include "monitor_tree.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "kleb/durable_log.hh"
+
+namespace klebsim::fleet
+{
+
+void
+Reduction::add(double x)
+{
+    life_.add(x);
+    ring_[pushed_ % window] = x;
+    ++pushed_;
+}
+
+std::size_t
+Reduction::windowCount() const
+{
+    return pushed_ < window ? static_cast<std::size_t>(pushed_)
+                            : window;
+}
+
+namespace
+{
+
+/** The window's values, sorted ascending (small fixed copy). */
+std::array<double, Reduction::window>
+sortedWindow(const std::array<double, Reduction::window> &ring,
+             std::size_t n)
+{
+    std::array<double, Reduction::window> v = ring;
+    std::sort(v.begin(), v.begin() + n);
+    return v;
+}
+
+} // anonymous namespace
+
+double
+Reduction::windowMin() const
+{
+    const std::size_t n = windowCount();
+    if (n == 0)
+        return 0.0;
+    return *std::min_element(ring_.begin(), ring_.begin() + n);
+}
+
+double
+Reduction::windowMax() const
+{
+    const std::size_t n = windowCount();
+    if (n == 0)
+        return 0.0;
+    return *std::max_element(ring_.begin(), ring_.begin() + n);
+}
+
+double
+Reduction::windowPercentile(double p) const
+{
+    const std::size_t n = windowCount();
+    if (n == 0)
+        return 0.0;
+    const auto v = sortedWindow(ring_, n);
+    if (n == 1)
+        return v[0];
+    const double rank =
+        p / 100.0 * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+void
+Reduction::encode(std::vector<std::uint64_t> *out) const
+{
+    const stats::RunningStats::RawState raw = life_.rawState();
+    out->insert(out->end(), raw.begin(), raw.end());
+    out->push_back(pushed_);
+    for (double x : ring_)
+        out->push_back(std::bit_cast<std::uint64_t>(x));
+}
+
+bool
+Reduction::decode(const std::uint64_t **cursor,
+                  const std::uint64_t *end)
+{
+    constexpr std::size_t need =
+        stats::RunningStats::rawWords + 1 + window;
+    if (static_cast<std::size_t>(end - *cursor) < need)
+        return false;
+    const std::uint64_t *at = *cursor;
+    stats::RunningStats::RawState raw;
+    for (std::size_t i = 0; i < stats::RunningStats::rawWords; ++i)
+        raw[i] = at[i];
+    life_ = stats::RunningStats::fromRawState(raw);
+    at += stats::RunningStats::rawWords;
+    pushed_ = *at++;
+    for (std::size_t i = 0; i < window; ++i)
+        ring_[i] = std::bit_cast<double>(at[i]);
+    *cursor = at + window;
+    return true;
+}
+
+MonitorTree::MonitorTree(std::uint32_t machines,
+                         std::uint32_t cores_per_machine,
+                         std::uint32_t rack_size)
+    : machines_(machines), coresPer_(cores_per_machine),
+      rackSize_(rack_size)
+{
+    panic_if(machines == 0 || cores_per_machine == 0 ||
+                 rack_size == 0,
+             "MonitorTree with an empty topology");
+    cores_.resize(static_cast<std::size_t>(machines) *
+                  cores_per_machine);
+    machineNodes_.resize(machines);
+    rackNodes_.resize(racks());
+}
+
+std::uint32_t
+MonitorTree::racks() const
+{
+    return (machines_ + rackSize_ - 1) / rackSize_;
+}
+
+void
+MonitorTree::observe(MachineId machine, std::uint32_t core,
+                     double ipc, double mpki)
+{
+    panic_if(machine >= machines_ || core >= coresPer_,
+             "observation outside the fleet topology");
+    NodeStats &c =
+        cores_[static_cast<std::size_t>(machine) * coresPer_ + core];
+    NodeStats &m = machineNodes_[machine];
+    NodeStats &r = rackNodes_[machine / rackSize_];
+    for (NodeStats *node : {&c, &m, &r, &fleet_}) {
+        node->ipc.add(ipc);
+        node->mpki.add(mpki);
+    }
+    ++observations_;
+}
+
+const NodeStats &
+MonitorTree::core(MachineId m, std::uint32_t c) const
+{
+    panic_if(m >= machines_ || c >= coresPer_,
+             "core node outside the fleet topology");
+    return cores_[static_cast<std::size_t>(m) * coresPer_ + c];
+}
+
+const NodeStats &
+MonitorTree::machine(MachineId m) const
+{
+    panic_if(m >= machines_, "machine node outside the topology");
+    return machineNodes_[m];
+}
+
+const NodeStats &
+MonitorTree::rack(std::uint32_t r) const
+{
+    panic_if(r >= racks(), "rack node outside the topology");
+    return rackNodes_[r];
+}
+
+namespace
+{
+
+constexpr std::uint64_t treeMagic = 0x3145455254464c4bULL; // KLFTREE1
+
+void
+encodeNode(const NodeStats &node, std::vector<std::uint64_t> *out)
+{
+    node.ipc.encode(out);
+    node.mpki.encode(out);
+}
+
+bool
+decodeNode(NodeStats *node, const std::uint64_t **cursor,
+           const std::uint64_t *end)
+{
+    return node->ipc.decode(cursor, end) &&
+           node->mpki.decode(cursor, end);
+}
+
+} // anonymous namespace
+
+void
+MonitorTree::encode(std::vector<std::uint8_t> *out) const
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(5 + (cores_.size() + machineNodes_.size() +
+                       rackNodes_.size() + 1) *
+                          2 * (stats::RunningStats::rawWords + 1 +
+                               Reduction::window));
+    words.push_back(treeMagic);
+    words.push_back((static_cast<std::uint64_t>(machines_) << 32) |
+                    coresPer_);
+    words.push_back(rackSize_);
+    words.push_back(observations_);
+    for (const NodeStats &n : cores_)
+        encodeNode(n, &words);
+    for (const NodeStats &n : machineNodes_)
+        encodeNode(n, &words);
+    for (const NodeStats &n : rackNodes_)
+        encodeNode(n, &words);
+    encodeNode(fleet_, &words);
+
+    out->reserve(out->size() + words.size() * 8);
+    for (std::uint64_t w : words)
+        for (int b = 0; b < 8; ++b)
+            out->push_back(
+                static_cast<std::uint8_t>(w >> (8 * b)));
+}
+
+bool
+MonitorTree::decode(const std::vector<std::uint8_t> &bytes,
+                    std::size_t at)
+{
+    if (bytes.size() < at || (bytes.size() - at) % 8 != 0)
+        return false;
+    std::vector<std::uint64_t> words;
+    words.reserve((bytes.size() - at) / 8);
+    for (std::size_t i = at; i + 8 <= bytes.size(); i += 8) {
+        std::uint64_t w = 0;
+        for (int b = 0; b < 8; ++b)
+            w |= static_cast<std::uint64_t>(bytes[i + b])
+                 << (8 * b);
+        words.push_back(w);
+    }
+    if (words.size() < 4 || words[0] != treeMagic)
+        return false;
+    const std::uint32_t machines =
+        static_cast<std::uint32_t>(words[1] >> 32);
+    const std::uint32_t cores_per =
+        static_cast<std::uint32_t>(words[1]);
+    const std::uint32_t rack_size =
+        static_cast<std::uint32_t>(words[2]);
+    if (machines != machines_ || cores_per != coresPer_ ||
+        rack_size != rackSize_)
+        return false;
+    observations_ = words[3];
+
+    const std::uint64_t *cursor = words.data() + 4;
+    const std::uint64_t *end = words.data() + words.size();
+    for (NodeStats &n : cores_)
+        if (!decodeNode(&n, &cursor, end))
+            return false;
+    for (NodeStats &n : machineNodes_)
+        if (!decodeNode(&n, &cursor, end))
+            return false;
+    for (NodeStats &n : rackNodes_)
+        if (!decodeNode(&n, &cursor, end))
+            return false;
+    return decodeNode(&fleet_, &cursor, end) && cursor == end;
+}
+
+std::uint32_t
+MonitorTree::digest() const
+{
+    std::vector<std::uint8_t> bytes;
+    encode(&bytes);
+    return kleb::crc32c(bytes.data(), bytes.size());
+}
+
+} // namespace klebsim::fleet

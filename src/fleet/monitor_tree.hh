@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The hmon-style hierarchical monitor tree: per-core → per-machine
+ * → per-rack → fleet online reductions of derived metrics (IPC and
+ * MPKI), each kept both as lifetime running statistics and as a
+ * small sliding window for windowed min/max/p50/p99.
+ *
+ * The tree is strictly deterministic: observations are applied in
+ * the collector's merge order, reductions use no floating-point
+ * reassociation beyond Welford's update, and the whole state
+ * round-trips bit-exactly through encode()/decode() — that is what
+ * lets a crashed collector restore a checkpoint and replay its
+ * journal tail to a bit-for-bit identical aggregate.
+ */
+
+#ifndef KLEBSIM_FLEET_MONITOR_TREE_HH
+#define KLEBSIM_FLEET_MONITOR_TREE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hh"
+#include "wire.hh"
+
+namespace klebsim::fleet
+{
+
+/**
+ * One online reduction: lifetime RunningStats plus a sliding window
+ * of the most recent values for windowed order statistics.
+ */
+class Reduction
+{
+  public:
+    /** Sliding-window length (most recent observations). */
+    static constexpr std::size_t window = 32;
+
+    void add(double x);
+
+    /** Lifetime statistics (mean/min/max/stddev over everything). */
+    const stats::RunningStats &lifetime() const { return life_; }
+
+    /** Observations currently in the window (<= window). */
+    std::size_t windowCount() const;
+
+    double windowMin() const;
+    double windowMax() const;
+
+    /**
+     * Windowed percentile in [0, 100], linear interpolation between
+     * closest ranks (numpy's default); 0 when the window is empty.
+     */
+    double windowPercentile(double p) const;
+
+    /** @{ Bit-exact checkpoint round-trip (64-bit word stream). */
+    void encode(std::vector<std::uint64_t> *out) const;
+    bool decode(const std::uint64_t **cursor,
+                const std::uint64_t *end);
+    /** @} */
+
+  private:
+    stats::RunningStats life_;
+    std::array<double, window> ring_{};
+    std::uint64_t pushed_ = 0;
+};
+
+/** The reductions one tree node maintains. */
+struct NodeStats
+{
+    Reduction ipc;
+    Reduction mpki;
+};
+
+/**
+ * The aggregation tree.  Topology is fixed at construction:
+ * `machines` machines of `coresPerMachine` cores each, grouped into
+ * racks of `rackSize` machines (the last rack may be partial).
+ * observe() fans one per-core observation up all four levels.
+ */
+class MonitorTree
+{
+  public:
+    MonitorTree(std::uint32_t machines,
+                std::uint32_t cores_per_machine,
+                std::uint32_t rack_size);
+
+    void observe(MachineId machine, std::uint32_t core, double ipc,
+                 double mpki);
+
+    std::uint32_t machines() const { return machines_; }
+    std::uint32_t coresPerMachine() const { return coresPer_; }
+    std::uint32_t rackSize() const { return rackSize_; }
+    std::uint32_t racks() const;
+
+    /** Total per-core observations merged. */
+    std::uint64_t observations() const { return observations_; }
+
+    const NodeStats &core(MachineId m, std::uint32_t c) const;
+    const NodeStats &machine(MachineId m) const;
+    const NodeStats &rack(std::uint32_t r) const;
+    const NodeStats &fleet() const { return fleet_; }
+
+    /**
+     * @{ Checkpointing.  encode() serializes the full tree state to
+     * little-endian bytes; decode() rebuilds it bit-exactly (false
+     * on malformed or topology-mismatched input).  digest() is a
+     * CRC32C over the encoding — two trees with equal digests hold
+     * bit-identical reductions.
+     */
+    void encode(std::vector<std::uint8_t> *out) const;
+    bool decode(const std::vector<std::uint8_t> &bytes,
+                std::size_t at = 0);
+    std::uint32_t digest() const;
+    /** @} */
+
+  private:
+    std::uint32_t machines_;
+    std::uint32_t coresPer_;
+    std::uint32_t rackSize_;
+    std::uint64_t observations_ = 0;
+    std::vector<NodeStats> cores_;
+    std::vector<NodeStats> machineNodes_;
+    std::vector<NodeStats> rackNodes_;
+    NodeStats fleet_;
+};
+
+} // namespace klebsim::fleet
+
+#endif // KLEBSIM_FLEET_MONITOR_TREE_HH

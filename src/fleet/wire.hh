@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The fleet wire format: what one monitored machine streams to the
+ * central collector, and the per-machine accounting ledger every
+ * layer of the pipeline contributes to.
+ *
+ * A machine's uplink carries its K-LEB durable-log sample frames
+ * re-framed as WireRecords: cumulative counter snapshots tagged with
+ * the machine, core, machine-side epoch, and a per-core sequence
+ * number.  The collector never sees ring buffers or sessions — the
+ * wire is the trust boundary, and everything above it is accounted
+ * explicitly: a record is eventually *kept* (merged into the monitor
+ * tree), *dropped* (lost on the link), *vanished* (lost before the
+ * wire: machine-side log losses, a crashed machine's unsent tail, or
+ * a reordering discard), or *quarantined* (arrived after the
+ * collector gave up on its machine).  checkFleetBalance
+ * (src/analysis/invariants.hh) enforces that those four buckets sum
+ * back to everything the machines produced — no sample is ever
+ * silently zeroed.
+ */
+
+#ifndef KLEBSIM_FLEET_WIRE_HH
+#define KLEBSIM_FLEET_WIRE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace klebsim::fleet
+{
+
+using MachineId = std::uint32_t;
+
+/** Counter channels every fleet machine monitors, in wire order. */
+constexpr std::size_t numWireEvents = 3; // inst, cycles, LLC misses
+
+/** One durable-log sample re-framed for the uplink. */
+struct WireRecord
+{
+    MachineId machine = 0;
+    std::uint16_t core = 0;
+
+    /** Machine-side durable-log epoch the sample belongs to. */
+    std::uint32_t epoch = 0;
+
+    /** Per-(machine, core) sequence number, dense from 0. */
+    std::uint64_t seq = 0;
+
+    /** Machine-side sample time. */
+    Tick ts = 0;
+
+    /** Last record of this core's run (clean shutdown marker). */
+    bool final = false;
+
+    /** Cumulative counter readings (inst, cycles, LLC misses). */
+    std::array<std::uint64_t, numWireEvents> counts{};
+};
+
+/** A WireRecord after the link: stamped with its collector arrival. */
+struct Delivery
+{
+    /** Arrival time on the collector's drain clock. */
+    Tick arrival = 0;
+
+    WireRecord rec;
+};
+
+/**
+ * Deterministic delivery order: the collector merges strictly by
+ * (arrival, machine, core, seq), so the aggregate is independent of
+ * how machine simulations were sharded across workers.
+ */
+inline bool
+deliveryBefore(const Delivery &a, const Delivery &b)
+{
+    if (a.arrival != b.arrival)
+        return a.arrival < b.arrival;
+    if (a.rec.machine != b.rec.machine)
+        return a.rec.machine < b.rec.machine;
+    if (a.rec.core != b.rec.core)
+        return a.rec.core < b.rec.core;
+    return a.rec.seq < b.rec.seq;
+}
+
+/**
+ * One machine's full ledger.  `produced` counts everything its
+ * monitoring sessions put into their durable logs; the four
+ * accounting buckets partition it exactly:
+ *
+ *   produced == kept + dropped + vanished + quarantined
+ */
+struct MachineAccount
+{
+    MachineId machine = 0;
+
+    /** Sample frames the machine's sessions journaled. */
+    std::uint64_t produced = 0;
+
+    /** Records that actually went onto the uplink. */
+    std::uint64_t sent = 0;
+
+    /** Records merged into the monitor tree. */
+    std::uint64_t kept = 0;
+
+    /** Records the lossy link dropped. */
+    std::uint64_t dropped = 0;
+
+    /**
+     * Records lost before or despite the wire: machine-side log
+     * losses, a crashed machine's unsent tail, and collector-side
+     * reordering discards.
+     */
+    std::uint64_t vanished = 0;
+
+    /** Records discarded because the machine was quarantined. */
+    std::uint64_t quarantined = 0;
+
+    /** Records the link delayed (stat only; they still arrive). */
+    std::uint64_t delayed = 0;
+
+    /** The machine crashed mid-run (fault machine.crash). */
+    bool crashed = false;
+
+    /** The machine's simulation itself died (worker fault). */
+    bool simFailed = false;
+
+    /** The collector quarantined this machine. */
+    bool isQuarantined = false;
+};
+
+/**
+ * An explicit hole in the monitor tree: the span over which a
+ * quarantined machine's contribution is *missing*, recorded so the
+ * absence is first-class data (never silent zeros).  Spans are on
+ * the collector's arrival clock.
+ */
+struct FleetHole
+{
+    MachineId machine = 0;
+    Tick from = 0;
+    Tick to = 0;
+
+    /** Probes the collector sent before giving up. */
+    int probes = 0;
+
+    /** Why the hole exists (a fault spec key or "silence"). */
+    std::string cause;
+};
+
+} // namespace klebsim::fleet
+
+#endif // KLEBSIM_FLEET_WIRE_HH

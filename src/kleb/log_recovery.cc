@@ -42,6 +42,17 @@ LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
     RecoveredLog out;
     RecoveryReport &rep = out.report;
 
+    if (bytes.empty()) {
+        // A zero-length journal is a log that was never created
+        // (the writer died before its first durable byte reached
+        // the medium).  Nothing was emitted and nothing was lost:
+        // report a clean, balanced, empty recovery rather than a
+        // spurious header violation — fleet machines that crash
+        // pre-arm hit this on every run.
+        rep.valid = true;
+        return out;
+    }
+
     if (bytes.size() < DurableLog::headerSize ||
         get32(bytes, 0) != DurableLog::logMagic ||
         get32(bytes, 4) != DurableLog::version) {

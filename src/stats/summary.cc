@@ -1,6 +1,7 @@
 #include "summary.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -71,6 +72,30 @@ RunningStats::add(double x)
     m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+}
+
+RunningStats::RawState
+RunningStats::rawState() const
+{
+    return {static_cast<std::uint64_t>(n_),
+            std::bit_cast<std::uint64_t>(mean_),
+            std::bit_cast<std::uint64_t>(m2_),
+            std::bit_cast<std::uint64_t>(min_),
+            std::bit_cast<std::uint64_t>(max_),
+            std::bit_cast<std::uint64_t>(sum_)};
+}
+
+RunningStats
+RunningStats::fromRawState(const RawState &raw)
+{
+    RunningStats s;
+    s.n_ = static_cast<std::size_t>(raw[0]);
+    s.mean_ = std::bit_cast<double>(raw[1]);
+    s.m2_ = std::bit_cast<double>(raw[2]);
+    s.min_ = std::bit_cast<double>(raw[3]);
+    s.max_ = std::bit_cast<double>(raw[4]);
+    s.sum_ = std::bit_cast<double>(raw[5]);
+    return s;
 }
 
 void

@@ -8,6 +8,7 @@
 #ifndef KLEBSIM_STATS_SUMMARY_HH
 #define KLEBSIM_STATS_SUMMARY_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -59,6 +60,17 @@ struct LossCounts
 class RunningStats
 {
   public:
+    /**
+     * The accumulator's exact internal state as raw 64-bit words
+     * (count plus the bit patterns of mean/m2/min/max/sum).  Used by
+     * crash-survivable collectors that checkpoint their reductions:
+     * round-tripping through rawState()/fromRawState() restores the
+     * accumulator bit-for-bit, which the derived getters (variance()
+     * reconstruction and the like) cannot guarantee.
+     */
+    static constexpr std::size_t rawWords = 6;
+    using RawState = std::array<std::uint64_t, rawWords>;
+
     RunningStats();
 
     /** Add one sample. */
@@ -78,6 +90,12 @@ class RunningStats
     double min() const;
     double max() const;
     double sum() const { return sum_; }
+
+    /** Exact internal state (see RawState). */
+    RawState rawState() const;
+
+    /** Rebuild an accumulator from rawState() output, bit-exact. */
+    static RunningStats fromRawState(const RawState &raw);
 
   private:
     std::size_t n_;

@@ -254,6 +254,8 @@ runOnce(const RunConfig &cfg)
                 names.emplace_back(hw::eventName(ev));
             result.recoveredSeries =
                 kleb::LogRecovery::splice(rec, names);
+            if (cfg.keepDurableBytes)
+                result.durableBytes = std::move(medium);
         }
         break;
       }

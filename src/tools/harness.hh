@@ -122,6 +122,14 @@ struct RunConfig
     /** First restart backoff; 0 keeps the default. */
     Tick restartBackoff = 0;
 
+    /**
+     * Keep a copy of the raw durable-log medium (post fault
+     * corruption) in RunResult::durableBytes.  The fleet collector
+     * streams those epoch-framed records off the machine; plain
+     * benches leave this off to avoid the copy.
+     */
+    bool keepDurableBytes = false;
+
     /** @} */
 
     /**
@@ -197,6 +205,9 @@ struct RunResult
 
     /** Recovered, gap-annotated series spliced from the log. */
     std::optional<stats::TimeSeries> recoveredSeries;
+
+    /** Raw durable-log medium (RunConfig::keepDurableBytes only). */
+    std::vector<std::uint8_t> durableBytes;
 
     /** Supervisor bookkeeping (zero when unsupervised). */
     kleb::SupervisorStats supervisor{};

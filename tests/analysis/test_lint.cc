@@ -675,3 +675,56 @@ TEST(Lint, AllowlistEntryWithUnknownRuleFlagged)
     EXPECT_NE(vs[0].message.find("phase-of-moon"),
               std::string::npos);
 }
+
+TEST(Lint, FaultHookCoverageFlagsDuplicateEnumerator)
+{
+    Linter linter;
+    const std::string def =
+        "KLEB_FAULT_POINT(timerMiss, \"timer.miss\")\n"
+        "KLEB_FAULT_POINT(timerMiss, \"timer.late\")\n";
+    std::vector<std::pair<std::string, std::string>> sources = {
+        {"src/fault/fault_injector.cc",
+         "inject(FaultPoint::timerMiss);\n"}};
+
+    auto vs = linter.checkFaultHookCoverage(
+        "src/fault/fault_points.def", def, sources);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "fault-hook-coverage");
+    EXPECT_EQ(vs[0].line, 2u);
+    EXPECT_NE(vs[0].message.find("timerMiss"), std::string::npos);
+    EXPECT_NE(vs[0].message.find("registered twice"),
+              std::string::npos);
+    EXPECT_NE(vs[0].message.find("line 1"), std::string::npos);
+}
+
+TEST(Lint, FaultHookCoverageFlagsDuplicateSpecKey)
+{
+    Linter linter;
+    // Distinct enumerators, same spec key: the parser would route
+    // both to whichever branch matches first, silently shadowing
+    // the other point.
+    const std::string def =
+        "KLEB_FAULT_POINT(timerMiss, \"timer.miss\")\n"
+        "KLEB_FAULT_POINT(timerSkip, \"timer.miss\")\n";
+    std::vector<std::pair<std::string, std::string>> sources = {
+        {"src/fault/fault_injector.cc",
+         "inject(FaultPoint::timerMiss);\n"
+         "inject(FaultPoint::timerSkip);\n"}};
+
+    auto vs = linter.checkFaultHookCoverage(
+        "src/fault/fault_points.def", def, sources);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].line, 2u);
+    EXPECT_NE(vs[0].message.find("timer.miss"), std::string::npos);
+    EXPECT_NE(vs[0].message.find("registered twice"),
+              std::string::npos);
+
+    // Unique keys stay clean.
+    const std::string ok =
+        "KLEB_FAULT_POINT(timerMiss, \"timer.miss\")\n"
+        "KLEB_FAULT_POINT(timerSkip, \"timer.skip\")\n";
+    EXPECT_TRUE(linter
+                    .checkFaultHookCoverage(
+                        "src/fault/fault_points.def", ok, sources)
+                    .empty());
+}

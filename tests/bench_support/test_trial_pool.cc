@@ -192,3 +192,87 @@ TEST(TrialPool, LocksetSeesFailureSlotLocking)
     for (const auto &r : scoped->reports())
         ADD_FAILURE() << r.str();
 }
+
+TEST(TrialPool, TryMapRecordsFailuresInAscendingOrder)
+{
+    TrialPool pool(4);
+    std::vector<bench::TrialFailure> failures;
+    auto slots = pool.tryMap(
+        12,
+        [](std::size_t i) -> std::size_t {
+            if (i % 3 == 1)
+                throw std::runtime_error("died on trial " +
+                                         std::to_string(i));
+            return i * i;
+        },
+        &failures);
+
+    ASSERT_EQ(slots.size(), 12u);
+    ASSERT_EQ(failures.size(), 4u); // trials 1, 4, 7, 10
+    for (std::size_t f = 0; f + 1 < failures.size(); ++f)
+        EXPECT_LT(failures[f].trial, failures[f + 1].trial);
+    for (const auto &f : failures) {
+        EXPECT_EQ(f.trial % 3, 1u);
+        EXPECT_FALSE(slots[f.trial].has_value());
+        EXPECT_NE(f.message.find(std::to_string(f.trial)),
+                  std::string::npos);
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (i % 3 == 1)
+            continue;
+        ASSERT_TRUE(slots[i].has_value());
+        EXPECT_EQ(*slots[i], i * i);
+    }
+}
+
+TEST(TrialPool, ShardDeterminismSurvivesWorkerDeath)
+{
+    // The fleet contract: a shard whose trial dies must never
+    // perturb any surviving shard's result.  Sweep 16 base seeds;
+    // for each, compare a healthy full-sim run against a run where
+    // some trials throw mid-pool, at different jobs values.
+    constexpr std::size_t trials = 6;
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        TrialPool healthy_pool(1);
+        auto healthy = healthy_pool.map(trials, [&](std::size_t i) {
+            return traceFingerprint(trialSeed(seed, 0xdead, i));
+        });
+
+        // Seed-dependent casualty pattern so the sweep covers
+        // first/middle/last-trial death.
+        auto dies = [&](std::size_t i) {
+            return splitmix64(seed ^ i) % 3 == 0;
+        };
+
+        TrialPool pool(4);
+        std::vector<bench::TrialFailure> failures;
+        auto slots = pool.tryMap(
+            trials,
+            [&](std::size_t i) {
+                if (dies(i))
+                    throw std::runtime_error("worker death");
+                return traceFingerprint(trialSeed(seed, 0xdead, i));
+            },
+            &failures);
+
+        std::size_t expected_dead = 0;
+        for (std::size_t i = 0; i < trials; ++i)
+            if (dies(i))
+                ++expected_dead;
+        EXPECT_EQ(failures.size(), expected_dead)
+            << "seed " << seed;
+
+        for (std::size_t i = 0; i < trials; ++i) {
+            if (dies(i)) {
+                EXPECT_FALSE(slots[i].has_value())
+                    << "seed " << seed << " trial " << i;
+            } else {
+                ASSERT_TRUE(slots[i].has_value())
+                    << "seed " << seed << " trial " << i;
+                EXPECT_EQ(*slots[i], healthy[i])
+                    << "seed " << seed << " trial " << i
+                    << ": surviving shard diverged";
+            }
+        }
+    }
+}

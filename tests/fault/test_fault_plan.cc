@@ -160,3 +160,66 @@ TEST(FaultPlan, PointTableIsComplete)
     EXPECT_STREQ(fault::faultPointName(FaultPoint::counterWidth),
                  "counterWidth");
 }
+
+TEST(FaultPlan, FleetKeysParseAndRoundTrip)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "machine.crash=0.3;link.drop=0.1;link.delay=0.2;"
+        "link.delay.by=500us;collector.crash=2ms",
+        &plan));
+    EXPECT_DOUBLE_EQ(plan.machineCrashProb, 0.3);
+    EXPECT_DOUBLE_EQ(plan.linkDropProb, 0.1);
+    EXPECT_DOUBLE_EQ(plan.linkDelayProb, 0.2);
+    EXPECT_EQ(plan.linkDelayBy, 500_us);
+    EXPECT_EQ(plan.collectorCrashAt, 2_ms);
+    EXPECT_TRUE(plan.active());
+    EXPECT_TRUE(plan.linkFaultsActive());
+
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.str(), &again));
+    EXPECT_EQ(again.str(), plan.str());
+    EXPECT_EQ(again.linkDelayBy, plan.linkDelayBy);
+    EXPECT_EQ(again.collectorCrashAt, plan.collectorCrashAt);
+
+    // Each fleet key alone activates the plan.
+    FaultPlan solo;
+    ASSERT_TRUE(FaultPlan::parse("machine.crash=0.5", &solo));
+    EXPECT_TRUE(solo.active());
+    EXPECT_FALSE(solo.linkFaultsActive());
+    ASSERT_TRUE(FaultPlan::parse("collector.crash=1ms", &solo));
+    EXPECT_TRUE(solo.active());
+}
+
+TEST(FaultPlan, FleetKeysRejectBadValues)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(FaultPlan::parse("machine.crash=1.5", &plan));
+    EXPECT_FALSE(FaultPlan::parse("link.drop=-0.1", &plan));
+    EXPECT_FALSE(FaultPlan::parse("link.delay.by=0", &plan));
+    EXPECT_FALSE(FaultPlan::parse("link.delay.by=oops", &plan));
+    EXPECT_FALSE(FaultPlan::parse("collector.crash=2parsecs",
+                                  &plan));
+}
+
+TEST(FaultPlan, UnknownKeyErrorNamesNearestValidKey)
+{
+    FaultPlan plan;
+    std::string err;
+
+    ASSERT_FALSE(FaultPlan::parse("machine.crsh=0.3", &plan, &err));
+    EXPECT_NE(err.find("machine.crsh"), std::string::npos);
+    EXPECT_NE(err.find("nearest valid key"), std::string::npos);
+    EXPECT_NE(err.find("'machine.crash'"), std::string::npos);
+
+    ASSERT_FALSE(FaultPlan::parse("timer.mis=0.1", &plan, &err));
+    EXPECT_NE(err.find("'timer.miss'"), std::string::npos);
+
+    ASSERT_FALSE(FaultPlan::parse("link.delay.bye=2ms", &plan,
+                                  &err));
+    EXPECT_NE(err.find("'link.delay.by'"), std::string::npos);
+
+    ASSERT_FALSE(FaultPlan::parse("reader.stall.q=0.5", &plan,
+                                  &err));
+    EXPECT_NE(err.find("'reader.stall.p'"), std::string::npos);
+}

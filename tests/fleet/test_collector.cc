@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/collector.hh"
+#include "fleet/wire.hh"
+
+using namespace klebsim;
+using namespace klebsim::ticks_literals;
+using fleet::Collector;
+using fleet::CollectorConfig;
+using fleet::Delivery;
+using fleet::WireRecord;
+
+namespace
+{
+
+Delivery
+mkDelivery(Tick arrival, fleet::MachineId m, std::uint16_t core,
+           std::uint64_t seq, Tick ts, std::uint64_t inst,
+           std::uint64_t cycles, std::uint64_t llc,
+           bool final = false)
+{
+    Delivery d;
+    d.arrival = arrival;
+    d.rec.machine = m;
+    d.rec.core = core;
+    d.rec.epoch = 0;
+    d.rec.seq = seq;
+    d.rec.ts = ts;
+    d.rec.final = final;
+    d.rec.counts = {inst, cycles, llc};
+    return d;
+}
+
+/**
+ * A healthy periodic stream: @p n records per core for @p machines
+ * machines, cumulative counts growing linearly, arrivals spaced by
+ * @p spacing.
+ */
+std::vector<Delivery>
+healthyStream(std::uint32_t machines, std::uint32_t cores, int n,
+              Tick spacing)
+{
+    std::vector<Delivery> out;
+    for (int i = 0; i < n; ++i) {
+        for (std::uint32_t m = 0; m < machines; ++m) {
+            for (std::uint32_t c = 0; c < cores; ++c) {
+                Tick at = spacing * (i + 1);
+                std::uint64_t k = i + 1;
+                out.push_back(mkDelivery(
+                    at, m, c, i, at, 2000 * k, 1000 * k, 10 * k,
+                    i == n - 1));
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(), fleet::deliveryBefore);
+    return out;
+}
+
+CollectorConfig
+smallConfig(std::uint32_t machines = 2, std::uint32_t cores = 1)
+{
+    CollectorConfig cfg;
+    cfg.machines = machines;
+    cfg.coresPerMachine = cores;
+    cfg.rackSize = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Collector, QuarantineAllowanceIsPureOfConfig)
+{
+    CollectorConfig cfg = smallConfig();
+    cfg.heartbeatTimeout = 1_ms;
+    cfg.probeBudget = 3;
+    Collector col(cfg);
+    // H * (2^(budget+1) - 1): 1ms * 15.
+    EXPECT_EQ(col.quarantineAfter(), 15_ms);
+
+    cfg.probeBudget = 0;
+    Collector tight(cfg);
+    EXPECT_EQ(tight.quarantineAfter(), 1_ms);
+}
+
+TEST(Collector, MergesHealthyStreamAndDerivesMetrics)
+{
+    Collector col(smallConfig(2, 2));
+    auto stream = healthyStream(2, 2, 10, 20_us);
+    col.ingest(stream);
+    col.finish(stream.back().arrival + 1);
+
+    auto st = col.stats();
+    EXPECT_EQ(st.accepted, stream.size());
+    EXPECT_EQ(st.reordered, 0u);
+    EXPECT_EQ(st.quarantinedMachines, 0u);
+    EXPECT_TRUE(col.holes().empty());
+
+    const auto &tree = col.tree();
+    EXPECT_EQ(tree.observations(), stream.size());
+    // Each delta is 2000 inst / 1000 cycles / 10 misses: IPC 2.0,
+    // MPKI 5.0, on every node of the tree.
+    EXPECT_DOUBLE_EQ(tree.fleet().ipc.lifetime().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(tree.fleet().mpki.lifetime().mean(), 5.0);
+    EXPECT_DOUBLE_EQ(tree.core(1, 1).ipc.windowPercentile(99.0),
+                     2.0);
+
+    // Clean shutdown: both machines sent finals on every core, so
+    // the end-of-stream sweep quarantined nobody.
+    EXPECT_EQ(col.peer(0).finals, 2u);
+    EXPECT_FALSE(col.peer(0).quarantined);
+}
+
+TEST(Collector, DiscardsReorderedRecords)
+{
+    Collector col(smallConfig(1, 1));
+    std::vector<Delivery> stream = {
+        mkDelivery(10_us, 0, 0, 0, 10_us, 2000, 1000, 10),
+        mkDelivery(20_us, 0, 0, 1, 30_us, 6000, 3000, 30),
+        // Arrives later but carries an older machine timestamp and
+        // smaller cumulative counts: must be discarded, not merged
+        // as a negative delta.
+        mkDelivery(25_us, 0, 0, 2, 20_us, 4000, 2000, 20),
+    };
+    col.ingest(stream);
+    col.finish(30_us);
+
+    auto st = col.stats();
+    EXPECT_EQ(st.accepted, 2u);
+    EXPECT_EQ(st.reordered, 1u);
+    EXPECT_EQ(col.peer(0).reordered, 1u);
+    EXPECT_EQ(col.tree().observations(), 2u);
+    EXPECT_DOUBLE_EQ(col.tree().fleet().ipc.lifetime().mean(), 2.0);
+}
+
+TEST(Collector, StragglersAreProbedThenQuarantined)
+{
+    CollectorConfig cfg = smallConfig(1, 1);
+    cfg.heartbeatTimeout = 100_us;
+    cfg.probeBudget = 2;
+    Collector col(cfg);
+    const Tick allowance = col.quarantineAfter(); // 700us
+
+    std::vector<Delivery> stream = {
+        mkDelivery(10_us, 0, 0, 0, 10_us, 2000, 1000, 10),
+        // Silent past one heartbeat but within the allowance: a
+        // straggler that gets probed, then readmitted.
+        mkDelivery(10_us + 250_us, 0, 0, 1, 260_us, 4000, 2000, 20),
+        // Silent past the full allowance: quarantined, and the late
+        // record is discarded into the quarantine bucket.
+        mkDelivery(260_us + allowance + 1, 0, 0, 2, 1_ms, 6000,
+                   3000, 30),
+    };
+    col.ingest(stream);
+
+    const auto &p = col.peer(0);
+    EXPECT_TRUE(p.quarantined);
+    EXPECT_EQ(p.kept, 2u);
+    EXPECT_EQ(p.lateDiscarded, 1u);
+    EXPECT_EQ(p.stragglers, 1u);
+    // The straggler silence (250us) covered probes at 100us and
+    // 300us-deadline... only the first backoff step (>= 1H) fired.
+    EXPECT_GE(col.stats().probesSent, 1u);
+    EXPECT_EQ(col.stats().quarantinedMachines, 1u);
+
+    ASSERT_EQ(col.holes().size(), 1u);
+    EXPECT_EQ(col.holes()[0].machine, 0u);
+    EXPECT_LT(col.holes()[0].from, col.holes()[0].to);
+
+    // Once quarantined, everything else from the machine is late.
+    col.ingest({mkDelivery(2 * (260_us + allowance), 0, 0, 3, 2_ms,
+                           8000, 4000, 40)});
+    EXPECT_EQ(col.peer(0).lateDiscarded, 2u);
+    EXPECT_EQ(col.tree().observations(), 2u);
+}
+
+TEST(Collector, FinishSweepQuarantinesSilentMachines)
+{
+    CollectorConfig cfg = smallConfig(3, 1);
+    cfg.heartbeatTimeout = 100_us;
+    cfg.probeBudget = 1;
+    Collector col(cfg);
+
+    // Machine 0 finishes cleanly; machine 1 speaks once then goes
+    // silent; machine 2 never speaks at all.
+    std::vector<Delivery> stream = {
+        mkDelivery(10_us, 0, 0, 0, 10_us, 2000, 1000, 10, true),
+        mkDelivery(12_us, 1, 0, 0, 12_us, 2000, 1000, 10),
+    };
+    col.ingest(stream);
+    col.finish(10_ms);
+
+    EXPECT_FALSE(col.peer(0).quarantined);
+    EXPECT_TRUE(col.peer(1).quarantined);
+    EXPECT_TRUE(col.peer(2).quarantined);
+    EXPECT_EQ(col.stats().quarantinedMachines, 2u);
+    ASSERT_EQ(col.holes().size(), 2u);
+    EXPECT_EQ(col.holes()[0].machine, 1u);
+    EXPECT_EQ(col.holes()[1].machine, 2u);
+    EXPECT_EQ(col.holes()[1].cause, "silence");
+    EXPECT_EQ(col.holes()[1].from, 0u); // never seen: hole from 0
+}
+
+TEST(Collector, BackpressureIsCountedWhenArrivalsOutrunDrain)
+{
+    CollectorConfig cfg = smallConfig(1, 1);
+    cfg.drainCost = 10_us;       // absurdly slow collector
+    cfg.backpressureLag = 20_us;
+    Collector col(cfg);
+
+    // 16 records arriving nearly at once: the drain clock falls
+    // behind by ~10us per record, blowing the 20us lag budget.
+    std::vector<Delivery> stream;
+    for (int i = 0; i < 16; ++i) {
+        std::uint64_t k = i + 1;
+        stream.push_back(mkDelivery(1_us + i, 0, 0, i, 1_us + i,
+                                    2000 * k, 1000 * k, 10 * k));
+    }
+    col.ingest(stream);
+
+    auto st = col.stats();
+    EXPECT_GT(st.backpressureEvents, 0u);
+    EXPECT_GT(st.maxLag, cfg.backpressureLag);
+    EXPECT_EQ(st.accepted, 16u); // lag never loses records
+}
+
+TEST(Collector, CrashRestartReplaysToIdenticalTree)
+{
+    auto stream = healthyStream(2, 2, 40, 20_us);
+
+    // Deliberately coprime with the crash point so the crash lands
+    // between checkpoints and there is a journal tail to replay.
+    CollectorConfig cfg = smallConfig(2, 2);
+    cfg.checkpointEvery = 13;
+
+    Collector healthy(cfg);
+    healthy.ingest(stream);
+    healthy.finish(stream.back().arrival + 1);
+
+    // Crash roughly mid-stream on the drain clock.
+    CollectorConfig crashy = cfg;
+    crashy.crashAt = stream[stream.size() / 2].arrival;
+    Collector crashed(crashy);
+    crashed.ingest(stream);
+    crashed.finish(stream.back().arrival + 1);
+
+    EXPECT_EQ(crashed.stats().restarts, 1u);
+    EXPECT_GT(crashed.stats().replayedRecords, 0u);
+    EXPECT_GT(crashed.stats().checkpoints, 0u);
+
+    // The restored + replayed tree is bit-for-bit the healthy one.
+    EXPECT_EQ(crashed.tree().digest(), healthy.tree().digest());
+    EXPECT_EQ(crashed.tree().observations(),
+              healthy.tree().observations());
+    EXPECT_EQ(crashed.stats().accepted, healthy.stats().accepted);
+    EXPECT_EQ(crashed.peer(1).kept, healthy.peer(1).kept);
+    EXPECT_EQ(crashed.peer(1).finals, healthy.peer(1).finals);
+}
+
+TEST(Collector, CrashBeforeFirstCheckpointReplaysFromScratch)
+{
+    auto stream = healthyStream(1, 1, 10, 20_us);
+
+    CollectorConfig cfg = smallConfig(1, 1);
+    cfg.checkpointEvery = 1000; // never reached before the crash
+
+    Collector healthy(cfg);
+    healthy.ingest(stream);
+    healthy.finish(stream.back().arrival + 1);
+
+    CollectorConfig crashy = cfg;
+    crashy.crashAt = stream[4].arrival;
+    Collector crashed(crashy);
+    crashed.ingest(stream);
+    crashed.finish(stream.back().arrival + 1);
+
+    EXPECT_EQ(crashed.stats().restarts, 1u);
+    // No checkpoint existed: the whole journal prefix is replayed.
+    EXPECT_GE(crashed.stats().replayedRecords, 4u);
+    EXPECT_EQ(crashed.tree().digest(), healthy.tree().digest());
+}
+
+TEST(Collector, JournalIsWrittenAheadOfDecisions)
+{
+    Collector col(smallConfig(1, 1));
+    std::vector<Delivery> stream = {
+        mkDelivery(10_us, 0, 0, 0, 10_us, 2000, 1000, 10),
+        // A reordered record is journaled too: replay must be able
+        // to re-decide the discard, so the journal sees every
+        // delivery, not just the accepted ones.
+        mkDelivery(20_us, 0, 0, 1, 5_us, 1000, 500, 5),
+    };
+    col.ingest(stream);
+    EXPECT_EQ(col.stats().accepted, 1u);
+    EXPECT_EQ(col.stats().reordered, 1u);
+    EXPECT_EQ(col.journal().samplesAppended(), 2u);
+}

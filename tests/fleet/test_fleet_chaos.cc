@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/invariants.hh"
+#include "fleet/fleet.hh"
+
+using namespace klebsim;
+using namespace klebsim::ticks_literals;
+using analysis::InvariantChecker;
+using fleet::FleetConfig;
+using fleet::FleetResult;
+using fleet::runFleet;
+
+namespace
+{
+
+/** Run checkFleetBalance and assert it came back clean. */
+void
+expectBalanced(const FleetResult &r, const std::string &label)
+{
+    InvariantChecker checker;
+    checker.checkFleetBalance(r, label);
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GT(checker.checksPerformed(), 0u);
+}
+
+FleetConfig
+smallFleet(std::uint64_t seed)
+{
+    FleetConfig cfg;
+    cfg.machines = 6;
+    cfg.coresPerMachine = 2;
+    cfg.rackSize = 4;
+    cfg.seed = seed;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+/** The chaos mix every robustness sweep injects. */
+const char *const chaosSpec =
+    "machine.crash=0.4;link.drop=0.08;link.delay=0.15;"
+    "link.delay.by=500us";
+
+} // namespace
+
+TEST(FleetChaos, FaultFreeRunBalancesAndFillsTheTree)
+{
+    FleetResult r = runFleet(smallFleet(1));
+    expectBalanced(r, "fault-free");
+
+    EXPECT_TRUE(r.simFailures.empty());
+    EXPECT_TRUE(r.holes.empty());
+    EXPECT_EQ(r.collector.restarts, 0u);
+    EXPECT_GT(r.collector.accepted, 0u);
+    EXPECT_GT(r.tree.observations(), 0u);
+    EXPECT_GT(r.aggregateAccounted, 0u);
+
+    // Healthy machines keep everything they produce.
+    for (const auto &a : r.accounts) {
+        EXPECT_FALSE(a.isQuarantined);
+        EXPECT_EQ(a.dropped, 0u);
+        EXPECT_GT(a.kept, 0u);
+    }
+
+    // The aggregate CSV leads with the pinned header and carries
+    // one row per rack plus the fleet row.
+    ASSERT_NE(r.csv.find(fleet::fleetCsvHeader), std::string::npos);
+    EXPECT_EQ(r.csv.find(fleet::fleetCsvHeader), 0u);
+    EXPECT_NE(r.csv.find("\nfleet,"), std::string::npos);
+    EXPECT_NE(r.csv.find("\nrack0,"), std::string::npos);
+}
+
+TEST(FleetChaos, AggregateIsJobsInvariant)
+{
+    FleetConfig one = smallFleet(7);
+    FleetConfig four = one;
+    four.jobs = 4;
+
+    FleetResult a = runFleet(one);
+    FleetResult b = runFleet(four);
+
+    EXPECT_EQ(a.csvDigest, b.csvDigest);
+    EXPECT_EQ(a.treeDigest, b.treeDigest);
+    EXPECT_EQ(a.csv, b.csv);
+    EXPECT_EQ(a.aggregateAccounted, b.aggregateAccounted);
+}
+
+TEST(FleetChaos, JobsInvariantUnderFullChaos)
+{
+    FleetConfig one = smallFleet(11);
+    one.faultSpec = chaosSpec;
+    FleetConfig four = one;
+    four.jobs = 4;
+
+    FleetResult a = runFleet(one);
+    FleetResult b = runFleet(four);
+    expectBalanced(a, "chaos-jobs1");
+    expectBalanced(b, "chaos-jobs4");
+
+    EXPECT_EQ(a.csvDigest, b.csvDigest);
+    EXPECT_EQ(a.treeDigest, b.treeDigest);
+    EXPECT_EQ(a.csv, b.csv);
+}
+
+TEST(FleetChaos, SixteenSeedChaosSweepStaysBalanced)
+{
+    std::uint64_t crashed_fleets = 0;
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        FleetConfig cfg = smallFleet(seed);
+        cfg.machines = 4;
+        cfg.coresPerMachine = 1;
+        cfg.faultSpec = chaosSpec;
+        FleetResult r = runFleet(cfg);
+        expectBalanced(r, "sweep seed " + std::to_string(seed));
+        for (const auto &a : r.accounts)
+            if (a.crashed)
+                ++crashed_fleets;
+    }
+    // With machine.crash=0.4 over 64 machine draws the sweep must
+    // actually have exercised the crash path.
+    EXPECT_GT(crashed_fleets, 0u);
+}
+
+TEST(FleetChaos, MachineCrashBecomesExplicitHolesNeverSilentZeros)
+{
+    FleetConfig cfg = smallFleet(3);
+    cfg.faultSpec = "machine.crash=1.0"; // every machine dies
+    FleetResult r = runFleet(cfg);
+    expectBalanced(r, "all-crash");
+
+    EXPECT_FALSE(r.holes.empty());
+    std::uint64_t vanished = 0;
+    for (const auto &a : r.accounts) {
+        EXPECT_TRUE(a.crashed);
+        EXPECT_TRUE(a.isQuarantined);
+        vanished += a.vanished;
+    }
+    // A crashed machine's unsent tail is vanished, not zeroed.
+    EXPECT_GT(vanished, 0u);
+    EXPECT_EQ(r.collector.quarantinedMachines, cfg.machines);
+}
+
+TEST(FleetChaos, LinkDropIsAccountedPerMachine)
+{
+    FleetConfig cfg = smallFleet(5);
+    cfg.faultSpec = "link.drop=0.5";
+    FleetResult r = runFleet(cfg);
+    expectBalanced(r, "droppy-link");
+
+    std::uint64_t dropped = 0, sent = 0;
+    for (const auto &a : r.accounts) {
+        dropped += a.dropped;
+        sent += a.sent;
+    }
+    EXPECT_GT(dropped, 0u);
+    EXPECT_LT(dropped, sent); // some records always get through
+}
+
+TEST(FleetChaos, CollectorCrashConvergesBitForBit)
+{
+    FleetConfig plain = smallFleet(9);
+    FleetConfig crashy = plain;
+    crashy.faultSpec = "collector.crash=1ms";
+
+    FleetResult a = runFleet(plain);
+    FleetResult b = runFleet(crashy);
+    expectBalanced(b, "collector-crash");
+
+    EXPECT_EQ(a.collector.restarts, 0u);
+    EXPECT_EQ(b.collector.restarts, 1u);
+    EXPECT_GT(b.collector.replayedRecords, 0u);
+
+    // Restart + journal replay converges to the exact aggregate
+    // the uncrashed collector computed.
+    EXPECT_EQ(b.treeDigest, a.treeDigest);
+    EXPECT_EQ(b.csvDigest, a.csvDigest);
+    EXPECT_EQ(b.csv, a.csv);
+}
+
+TEST(FleetChaos, CollectorCrashUnderChaosStaysDeterministic)
+{
+    FleetConfig cfg = smallFleet(13);
+    cfg.faultSpec = std::string(chaosSpec) + ";collector.crash=1ms";
+    FleetConfig again = cfg;
+    again.jobs = 4;
+
+    FleetResult a = runFleet(cfg);
+    FleetResult b = runFleet(again);
+    expectBalanced(a, "chaos-crash");
+
+    EXPECT_EQ(a.collector.restarts, 1u);
+    EXPECT_EQ(a.treeDigest, b.treeDigest);
+    EXPECT_EQ(a.csvDigest, b.csvDigest);
+}

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/monitor_tree.hh"
+
+using namespace klebsim;
+using fleet::MonitorTree;
+using fleet::Reduction;
+
+TEST(Reduction, LifetimeStatsMatchInputs)
+{
+    Reduction r;
+    for (int i = 1; i <= 100; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.lifetime().count(), 100u);
+    EXPECT_DOUBLE_EQ(r.lifetime().mean(), 50.5);
+    EXPECT_DOUBLE_EQ(r.lifetime().min(), 1.0);
+    EXPECT_DOUBLE_EQ(r.lifetime().max(), 100.0);
+}
+
+TEST(Reduction, WindowTracksOnlyRecentValues)
+{
+    Reduction r;
+    // Push more than one window's worth; the window must only see
+    // the most recent Reduction::window values.
+    const int total = static_cast<int>(Reduction::window) + 20;
+    for (int i = 1; i <= total; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.windowCount(), Reduction::window);
+    EXPECT_DOUBLE_EQ(r.windowMin(),
+                     static_cast<double>(total -
+                                         Reduction::window + 1));
+    EXPECT_DOUBLE_EQ(r.windowMax(), static_cast<double>(total));
+    // Lifetime still remembers everything.
+    EXPECT_DOUBLE_EQ(r.lifetime().min(), 1.0);
+}
+
+TEST(Reduction, WindowedPercentiles)
+{
+    Reduction r;
+    EXPECT_DOUBLE_EQ(r.windowPercentile(50.0), 0.0); // empty
+    for (int i = 1; i <= 5; ++i)
+        r.add(static_cast<double>(i)); // {1,2,3,4,5}
+    EXPECT_DOUBLE_EQ(r.windowPercentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(r.windowPercentile(50.0), 3.0);
+    EXPECT_DOUBLE_EQ(r.windowPercentile(100.0), 5.0);
+    // Linear interpolation between closest ranks (numpy default):
+    // p25 of {1..5} sits at rank 1.0 exactly -> 2.0; p90 at rank
+    // 3.6 -> 4.6.
+    EXPECT_DOUBLE_EQ(r.windowPercentile(25.0), 2.0);
+    EXPECT_NEAR(r.windowPercentile(90.0), 4.6, 1e-12);
+}
+
+TEST(Reduction, EncodeDecodeRoundTripsBitExactly)
+{
+    Reduction r;
+    for (int i = 0; i < 41; ++i)
+        r.add(0.1 * i - 1.7);
+
+    std::vector<std::uint64_t> words;
+    r.encode(&words);
+
+    Reduction back;
+    const std::uint64_t *cur = words.data();
+    const std::uint64_t *end = words.data() + words.size();
+    ASSERT_TRUE(back.decode(&cur, end));
+    EXPECT_EQ(cur, end);
+
+    // Bit-exact: continue both reductions identically and compare.
+    r.add(3.25);
+    back.add(3.25);
+    EXPECT_EQ(r.lifetime().count(), back.lifetime().count());
+    EXPECT_EQ(r.lifetime().mean(), back.lifetime().mean());
+    EXPECT_EQ(r.lifetime().variance(), back.lifetime().variance());
+    EXPECT_EQ(r.windowPercentile(99.0), back.windowPercentile(99.0));
+
+    // Truncated input is rejected, not misread.
+    Reduction trunc;
+    cur = words.data();
+    EXPECT_FALSE(trunc.decode(&cur, words.data() + 2));
+}
+
+TEST(MonitorTree, TopologyAndFanOut)
+{
+    MonitorTree tree(5, 2, 2); // 5 machines, 2 cores, racks of 2
+    EXPECT_EQ(tree.racks(), 3u); // last rack partial
+
+    tree.observe(0, 0, 2.0, 1.0);
+    tree.observe(0, 1, 1.0, 3.0);
+    tree.observe(4, 0, 0.5, 9.0);
+
+    EXPECT_EQ(tree.observations(), 3u);
+    EXPECT_EQ(tree.core(0, 0).ipc.lifetime().count(), 1u);
+    EXPECT_EQ(tree.core(0, 1).ipc.lifetime().count(), 1u);
+    EXPECT_EQ(tree.machine(0).ipc.lifetime().count(), 2u);
+    EXPECT_DOUBLE_EQ(tree.machine(0).ipc.lifetime().mean(), 1.5);
+    EXPECT_EQ(tree.rack(0).ipc.lifetime().count(), 2u);
+    EXPECT_EQ(tree.rack(1).ipc.lifetime().count(), 0u);
+    EXPECT_EQ(tree.rack(2).ipc.lifetime().count(), 1u);
+    EXPECT_EQ(tree.fleet().ipc.lifetime().count(), 3u);
+    EXPECT_DOUBLE_EQ(tree.fleet().mpki.lifetime().max(), 9.0);
+}
+
+TEST(MonitorTree, EncodeDecodeRoundTripsAndDigestsAgree)
+{
+    MonitorTree tree(4, 2, 4);
+    for (int i = 0; i < 100; ++i)
+        tree.observe(i % 4, i % 2, 1.0 + 0.01 * i, 0.5 * (i % 7));
+
+    std::vector<std::uint8_t> bytes;
+    tree.encode(&bytes);
+
+    MonitorTree back(4, 2, 4);
+    ASSERT_TRUE(back.decode(bytes));
+    EXPECT_EQ(back.observations(), tree.observations());
+    EXPECT_EQ(back.digest(), tree.digest());
+
+    // The restored tree must continue bit-identically.
+    tree.observe(3, 1, 1.875, 2.0);
+    back.observe(3, 1, 1.875, 2.0);
+    EXPECT_EQ(back.digest(), tree.digest());
+    EXPECT_EQ(back.fleet().ipc.lifetime().variance(),
+              tree.fleet().ipc.lifetime().variance());
+}
+
+TEST(MonitorTree, DecodeRejectsMalformedInput)
+{
+    MonitorTree tree(2, 1, 2);
+    tree.observe(0, 0, 1.0, 1.0);
+    std::vector<std::uint8_t> bytes;
+    tree.encode(&bytes);
+
+    // Topology mismatch.
+    MonitorTree other(3, 1, 2);
+    EXPECT_FALSE(other.decode(bytes));
+
+    // Truncation.
+    MonitorTree same(2, 1, 2);
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.end() - 8);
+    EXPECT_FALSE(same.decode(cut));
+
+    // Corrupt magic.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(same.decode(bad));
+
+    // Trailing garbage (length must match exactly).
+    std::vector<std::uint8_t> extra = bytes;
+    extra.insert(extra.end(), 8, 0);
+    EXPECT_FALSE(same.decode(extra));
+
+    // The original still decodes after all the failed attempts.
+    EXPECT_TRUE(same.decode(bytes));
+    EXPECT_EQ(same.digest(), tree.digest());
+}
+
+TEST(MonitorTree, DigestDetectsSingleObservationDifference)
+{
+    MonitorTree a(2, 2, 2);
+    MonitorTree b(2, 2, 2);
+    for (int i = 0; i < 50; ++i) {
+        a.observe(i % 2, i % 2, 1.0 + i, 2.0);
+        b.observe(i % 2, i % 2, 1.0 + i, 2.0);
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+    b.observe(0, 0, 1.0, 2.0);
+    EXPECT_NE(a.digest(), b.digest());
+}

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kleb/durable_log.hh"
+#include "kleb/log_recovery.hh"
+
+using namespace klebsim;
+using namespace klebsim::kleb;
+
+namespace
+{
+
+Sample
+sampleAt(std::uint64_t i)
+{
+    Sample s;
+    s.timestamp = 1000 + i * 250;
+    s.cause = SampleCause::timer;
+    s.numEvents = 3;
+    s.counts = {};
+    for (std::size_t c = 0; c < 3; ++c)
+        s.counts[c] = i * 100 + c * 7;
+    return s;
+}
+
+} // namespace
+
+// Regression: scanning a zero-length medium used to fall through to
+// the header check and report an *invalid* log; a journal that was
+// never created must recover as a clean empty report instead.
+TEST(LogRecoveryEdges, ZeroLengthJournalIsValidAndEmpty)
+{
+    RecoveredLog out = LogRecovery::scan({});
+
+    EXPECT_TRUE(out.report.valid);
+    EXPECT_EQ(out.report.framesEmitted, 0u);
+    EXPECT_EQ(out.report.framesKept, 0u);
+    EXPECT_EQ(out.report.framesDropped, 0u);
+    EXPECT_EQ(out.report.framesVanished, 0u);
+    EXPECT_FALSE(out.report.tornTail);
+    EXPECT_EQ(out.report.epochs, 0u);
+    EXPECT_EQ(out.report.samplesRecovered, 0u);
+    EXPECT_TRUE(out.report.gaps.empty());
+    EXPECT_TRUE(out.samples.empty());
+    EXPECT_TRUE(out.rateChanges.empty());
+
+    // The accounting identity holds trivially on the empty log.
+    EXPECT_EQ(out.report.framesKept + out.report.framesDropped +
+                  out.report.framesVanished,
+              out.report.framesEmitted);
+}
+
+// A header with no frames behind it (a log that was opened but
+// never wrote an epoch) is also a clean empty recovery.
+TEST(LogRecoveryEdges, HeaderOnlyJournalIsValidAndEmpty)
+{
+    DurableLog log;
+    ASSERT_EQ(log.bytes().size(), DurableLog::headerSize);
+
+    RecoveredLog out = LogRecovery::scan(log.bytes());
+    EXPECT_TRUE(out.report.valid);
+    EXPECT_EQ(out.report.framesEmitted, 0u);
+    EXPECT_FALSE(out.report.tornTail);
+    EXPECT_TRUE(out.samples.empty());
+}
+
+// Regression: a journal whose medium ends exactly on an epoch
+// boundary — the last intact frame is an epoch-begin with no sample
+// after it — must come back complete: no torn tail, no spurious
+// drop or gap for the trailing epoch.
+TEST(LogRecoveryEdges, JournalEndingOnEpochBoundaryIsComplete)
+{
+    DurableLog log;
+    log.beginEpoch(500);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        log.append(sampleAt(i));
+    // A fresh epoch opened right before the writer stopped: the
+    // boundary frame is the very last thing on the medium.
+    log.beginEpoch(sampleAt(4).timestamp - 50);
+
+    RecoveredLog out = LogRecovery::scan(log.bytes());
+
+    EXPECT_TRUE(out.report.valid);
+    EXPECT_FALSE(out.report.tornTail);
+    EXPECT_EQ(out.report.framesEmitted, 6u); // 2 epochs + 4 samples
+    EXPECT_EQ(out.report.framesKept, 6u);
+    EXPECT_EQ(out.report.framesDropped, 0u);
+    EXPECT_EQ(out.report.framesVanished, 0u);
+    EXPECT_EQ(out.report.epochs, 2u);
+    EXPECT_EQ(out.report.samplesRecovered, 4u);
+    // No sample ever landed in the trailing epoch, so no outage
+    // gap may be synthesized for it.
+    EXPECT_TRUE(out.report.gaps.empty());
+    ASSERT_EQ(out.samples.size(), 4u);
+    ASSERT_EQ(out.sampleEpochs.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out.sampleEpochs[i], 0u);
+}
+
+// Truncation that removes whole trailing frames (a medium cut on an
+// exact slot boundary) loses those frames as *vanished*, without
+// inventing a torn tail, and still balances the accounting.
+TEST(LogRecoveryEdges, ExactFrameTruncationVanishesCleanly)
+{
+    DurableLog log;
+    log.beginEpoch(500);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        log.append(sampleAt(i));
+    std::vector<std::uint8_t> bytes = log.bytes();
+
+    // Chop the last two sample frames off exactly.
+    bytes.resize(bytes.size() - 2 * DurableLog::frameSize);
+
+    RecoveredLog out = LogRecovery::scan(bytes);
+    EXPECT_TRUE(out.report.valid);
+    EXPECT_FALSE(out.report.tornTail);
+    EXPECT_EQ(out.report.framesEmitted, 6u);
+    EXPECT_EQ(out.report.framesKept, 4u);
+    EXPECT_EQ(out.report.framesDropped, 0u);
+    EXPECT_EQ(out.report.framesVanished, 2u);
+    EXPECT_EQ(out.report.samplesRecovered, 3u);
+    EXPECT_EQ(out.report.framesKept + out.report.framesDropped +
+                  out.report.framesVanished,
+              out.report.framesEmitted);
+}
+
+// The epoch-boundary case composed with a torn tail: an epoch frame
+// followed by a half-written sample recovers the boundary intact
+// and accounts the partial slot as a dropped torn tail.
+TEST(LogRecoveryEdges, TornSampleAfterEpochBoundary)
+{
+    DurableLog log;
+    log.beginEpoch(500);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        log.append(sampleAt(i));
+    log.beginEpoch(sampleAt(3).timestamp - 50);
+    log.append(sampleAt(3));
+    std::vector<std::uint8_t> bytes = log.bytes();
+
+    // Tear the final sample in half.
+    bytes.resize(bytes.size() - DurableLog::frameSize / 2);
+
+    RecoveredLog out = LogRecovery::scan(bytes);
+    EXPECT_TRUE(out.report.valid);
+    EXPECT_TRUE(out.report.tornTail);
+    EXPECT_EQ(out.report.epochs, 2u);
+    EXPECT_EQ(out.report.samplesRecovered, 3u);
+    EXPECT_EQ(out.report.framesDropped, 1u);
+    EXPECT_EQ(out.report.framesKept + out.report.framesDropped +
+                  out.report.framesVanished,
+              out.report.framesEmitted);
+}

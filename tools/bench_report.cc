@@ -9,6 +9,7 @@
  *   bench_report --compare <baseline.json> <current.json>
  *                [--threshold <x>]
  *   bench_report --check-budget <pareto.csv> [--slack <pct>]
+ *   bench_report --check-fleet <fleet.csv>
  *   bench_report --self-test
  *
  * Report format (one ns/op number per benchmark):
@@ -40,6 +41,15 @@
  * governor's estimate converges; their adaptive rows are reported
  * but never gate.  Exit 1 on violation or when no adaptive matmul
  * row exists.
+ *
+ * --check-fleet gates the fleet smoke CSV emitted by
+ * `abl_fleet_scale`: every row's accounting partition must balance
+ * (kept + dropped + vanished + quarantined == produced), every
+ * scenario must carry one digest pair across all jobs values (with
+ * at least two distinct jobs values present), and every crash row
+ * must have restarted at least once while still matching its
+ * crash-free scenario's digests byte for byte.  Exit 1 on any
+ * violation.
  *
  * Both parsers are deliberately minimal: they handle the JSON these
  * two producers emit (string keys, numbers, flat-ish structure), not
@@ -430,6 +440,139 @@ checkBudget(const std::vector<ParetoRow> &rows, double slack)
     return 0;
 }
 
+/** One parsed row of the fleet smoke CSV (abl_fleet_scale). */
+struct FleetRow
+{
+    std::string scenario;
+    unsigned jobs = 0;
+    std::uint64_t machines = 0;
+    std::uint64_t produced = 0;
+    std::uint64_t kept = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t vanished = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t restarts = 0;
+    bool balanced = false;
+    std::string matches;
+    std::string csvDigest;
+    std::string treeDigest;
+};
+
+/** The machine-readable contract abl_fleet_scale emits. */
+constexpr const char *fleetHeader =
+    "scenario,jobs,machines,produced,kept,dropped,vanished,"
+    "quarantined,accepted,holes,restarts,balanced,matches,"
+    "csv_digest,tree_digest";
+
+/** Pull the fleet smoke rows out of @p text (banner noise ok). */
+bool
+parseFleetCsv(const std::string &text, std::vector<FleetRow> *out,
+              std::string *error)
+{
+    std::size_t hdr = text.find(fleetHeader);
+    if (hdr == std::string::npos) {
+        *error = "no fleet smoke CSV header";
+        return false;
+    }
+    std::istringstream lines(text.substr(hdr));
+    std::string line;
+    std::getline(lines, line); // header itself
+    while (std::getline(lines, line)) {
+        std::vector<std::string> cells;
+        std::istringstream cs(line);
+        std::string cell;
+        while (std::getline(cs, cell, ','))
+            cells.push_back(cell);
+        if (cells.size() != 15)
+            break; // end of the CSV block
+        FleetRow row;
+        row.scenario = cells[0];
+        row.jobs = static_cast<unsigned>(
+            std::strtoul(cells[1].c_str(), nullptr, 10));
+        row.machines = std::strtoull(cells[2].c_str(), nullptr, 10);
+        row.produced = std::strtoull(cells[3].c_str(), nullptr, 10);
+        row.kept = std::strtoull(cells[4].c_str(), nullptr, 10);
+        row.dropped = std::strtoull(cells[5].c_str(), nullptr, 10);
+        row.vanished = std::strtoull(cells[6].c_str(), nullptr, 10);
+        row.quarantined =
+            std::strtoull(cells[7].c_str(), nullptr, 10);
+        row.restarts = std::strtoull(cells[10].c_str(), nullptr, 10);
+        row.balanced = cells[11] == "yes";
+        row.matches = cells[12];
+        row.csvDigest = cells[13];
+        row.treeDigest = cells[14];
+        out->push_back(std::move(row));
+    }
+    if (out->empty()) {
+        *error = "no data rows under the fleet CSV header";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Gate the fleet smoke CSV: every row must balance its accounting
+ * partition, every scenario's digest pair must be identical across
+ * jobs values (at least two distinct jobs values must appear), and
+ * every crash row must both have restarted and match its crash-free
+ * scenario's digests byte for byte.
+ * @return process exit code (0 = all gates hold).
+ */
+int
+checkFleet(const std::vector<FleetRow> &rows)
+{
+    int failures = 0;
+    auto fail = [&failures](const std::string &msg) {
+        std::printf("  FAIL %s\n", msg.c_str());
+        ++failures;
+    };
+
+    std::map<std::string, const FleetRow *> first_of;
+    std::map<unsigned, int> jobs_seen;
+    for (const FleetRow &r : rows) {
+        ++jobs_seen[r.jobs];
+        const std::string tag =
+            r.scenario + " (jobs " + std::to_string(r.jobs) + ")";
+
+        if (!r.balanced)
+            fail(tag + ": accounting did not balance");
+        if (r.kept + r.dropped + r.vanished + r.quarantined !=
+            r.produced)
+            fail(tag + ": partition sum != produced");
+
+        // All rows of one scenario share one digest pair.
+        auto [it, fresh] = first_of.try_emplace(r.scenario, &r);
+        if (!fresh && (it->second->csvDigest != r.csvDigest ||
+                       it->second->treeDigest != r.treeDigest))
+            fail(tag + ": digests differ across jobs values");
+    }
+
+    if (jobs_seen.size() < 2)
+        fail("need rows at two or more jobs values to prove "
+             "jobs-invariance");
+
+    for (const FleetRow &r : rows) {
+        if (r.matches == "-")
+            continue;
+        auto it = first_of.find(r.matches);
+        if (it == first_of.end()) {
+            fail(r.scenario + ": matches unknown scenario '" +
+                 r.matches + "'");
+            continue;
+        }
+        if (r.csvDigest != it->second->csvDigest ||
+            r.treeDigest != it->second->treeDigest)
+            fail(r.scenario + ": digests diverge from scenario '" +
+                 r.matches + "'");
+        if (r.restarts == 0)
+            fail(r.scenario + ": crash scenario never restarted");
+    }
+
+    std::printf("bench_report: %zu fleet row(s), %d failure(s)\n",
+                rows.size(), failures);
+    return failures > 0 ? 1 : 0;
+}
+
 int
 selfTest()
 {
@@ -519,6 +662,53 @@ selfTest()
     check(!parseParetoCsv("{}", &none, &error),
           "pareto parse error");
 
+    const std::string fleet =
+        "=== banner noise ===\nfleet smoke CSV\n" +
+        std::string(fleetHeader) +
+        "\n"
+        "baseline,1,256,5120,5120,0,0,0,5120,0,0,yes,-,"
+        "aabbccdd,11223344\n"
+        "baseline,4,256,5120,5120,0,0,0,5120,0,0,yes,-,"
+        "aabbccdd,11223344\n"
+        "chaos,1,256,5120,4000,600,420,100,4000,3,0,yes,-,"
+        "deadbeef,55667788\n"
+        "chaos,4,256,5120,4000,600,420,100,4000,3,0,yes,-,"
+        "deadbeef,55667788\n"
+        "collector-crash,4,256,5120,5120,0,0,0,5120,0,1,yes,"
+        "baseline,aabbccdd,11223344\n"
+        "trailing non-csv line\n";
+    std::vector<FleetRow> frows;
+    check(parseFleetCsv(fleet, &frows, &error), "fleet parse");
+    check(frows.size() == 5, "fleet row count");
+    check(checkFleet(frows) == 0, "fleet gates hold");
+
+    std::vector<FleetRow> unbalanced = frows;
+    unbalanced[2].balanced = false;
+    check(checkFleet(unbalanced) == 1, "unbalanced row fails");
+
+    std::vector<FleetRow> skewed = frows;
+    skewed[1].treeDigest = "ffffffff";
+    check(checkFleet(skewed) == 1, "jobs digest skew fails");
+
+    std::vector<FleetRow> diverged = frows;
+    diverged[4].csvDigest = "ffffffff";
+    check(checkFleet(diverged) == 1, "crash divergence fails");
+
+    std::vector<FleetRow> norestart = frows;
+    norestart[4].restarts = 0;
+    check(checkFleet(norestart) == 1, "crash w/o restart fails");
+
+    std::vector<FleetRow> lopsided = frows;
+    lopsided[3].produced = 9999;
+    check(checkFleet(lopsided) == 1, "partition sum fails");
+
+    std::vector<FleetRow> onejob{frows[0], frows[2]};
+    check(checkFleet(onejob) == 1, "single jobs value fails");
+
+    std::vector<FleetRow> nofleet;
+    check(!parseFleetCsv("{}", &nofleet, &error),
+          "fleet parse error");
+
     if (failed == 0)
         std::printf("bench_report: self-test passed\n");
     return failed == 0 ? 0 : 1;
@@ -533,8 +723,9 @@ usage(const char *argv0)
         "       %s --compare <baseline.json> <current.json>"
         " [--threshold <x>]\n"
         "       %s --check-budget <pareto.csv> [--slack <pct>]\n"
+        "       %s --check-fleet <fleet.csv>\n"
         "       %s --self-test\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -544,6 +735,7 @@ int
 main(int argc, char **argv)
 {
     std::string from_gbench, out, base_path, cur_path, budget_path;
+    std::string fleet_path;
     double threshold = 3.0;
     double slack = 0.75;
     bool do_compare = false, self_test = false;
@@ -561,6 +753,9 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--check-budget") &&
                    i + 1 < argc) {
             budget_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--check-fleet") &&
+                   i + 1 < argc) {
+            fleet_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--slack") &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -629,6 +824,22 @@ main(int argc, char **argv)
             return 2;
         }
         return checkBudget(rows, slack);
+    }
+
+    if (!fleet_path.empty()) {
+        std::string text, error;
+        if (!readFile(fleet_path, &text)) {
+            std::fprintf(stderr, "bench_report: cannot read %s\n",
+                         fleet_path.c_str());
+            return 2;
+        }
+        std::vector<FleetRow> rows;
+        if (!parseFleetCsv(text, &rows, &error)) {
+            std::fprintf(stderr, "bench_report: %s: %s\n",
+                         fleet_path.c_str(), error.c_str());
+            return 2;
+        }
+        return checkFleet(rows);
     }
 
     if (do_compare) {

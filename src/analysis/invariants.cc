@@ -250,6 +250,81 @@ InvariantChecker::checkRecoveredSeries(const stats::TimeSeries &series,
 }
 
 void
+InvariantChecker::checkSmpSampleLog(
+    const std::vector<kleb::Sample> &log, const std::string &label)
+{
+    // Last data sample seen per core, and which cores are inside a
+    // coreOffline..coreOnline window right now.
+    std::map<std::uint16_t, const kleb::Sample *> last;
+    std::map<std::uint16_t, bool> offline;
+
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const kleb::Sample &s = log[i];
+        if (kleb::isCoreMarker(s.cause)) {
+            offline[s.core] =
+                s.cause == kleb::SampleCause::coreOffline;
+            continue;
+        }
+
+        ++checks_;
+        auto off = offline.find(s.core);
+        if (off != offline.end() && off->second)
+            violation(csprintf(
+                "%s: sample %zu at %llu attributed to core %u "
+                "while that core is offline",
+                label.c_str(), i,
+                (unsigned long long)s.timestamp, (unsigned)s.core));
+
+        auto it = last.find(s.core);
+        if (it != last.end()) {
+            const kleb::Sample &prev = *it->second;
+            ++checks_;
+            if (s.timestamp < prev.timestamp)
+                violation(csprintf(
+                    "%s: core %u sample %zu timestamp %llu before "
+                    "that core's previous sample at %llu",
+                    label.c_str(), (unsigned)s.core, i,
+                    (unsigned long long)s.timestamp,
+                    (unsigned long long)prev.timestamp));
+            for (std::size_t c = 0; c < s.numEvents; ++c) {
+                if (s.counts[c] < prev.counts[c])
+                    violation(csprintf(
+                        "%s: core %u counter %zu moved backwards "
+                        "at sample %zu (%llu -> %llu)",
+                        label.c_str(), (unsigned)s.core, c, i,
+                        (unsigned long long)prev.counts[c],
+                        (unsigned long long)s.counts[c]));
+            }
+        }
+        last[s.core] = &s;
+    }
+}
+
+void
+InvariantChecker::checkMigrationLedger(const kleb::KLebStatus &st,
+                                       const std::string &label)
+{
+    ++checks_;
+    if (st.samplesKept + st.samplesMigrated + st.samplesDropped !=
+        st.samplesEmitted)
+        violation(csprintf(
+            "%s: ledger does not partition: %llu kept + %llu "
+            "migrated + %llu dropped != %llu emitted",
+            label.c_str(), (unsigned long long)st.samplesKept,
+            (unsigned long long)st.samplesMigrated,
+            (unsigned long long)st.samplesDropped,
+            (unsigned long long)st.samplesEmitted));
+    ++checks_;
+    if (st.samplesRecorded != st.samplesKept + st.samplesMigrated)
+        violation(csprintf(
+            "%s: %llu recorded but %llu kept + %llu migrated — "
+            "relocation minted or destroyed samples",
+            label.c_str(), (unsigned long long)st.samplesRecorded,
+            (unsigned long long)st.samplesKept,
+            (unsigned long long)st.samplesMigrated));
+}
+
+void
 InvariantChecker::checkSupervision(const kleb::SupervisorStats &stats,
                                    const std::string &label)
 {

@@ -33,6 +33,7 @@
 #include "fleet/fleet.hh"
 #include "hw/pmu.hh"
 #include "kernel/kernel.hh"
+#include "kleb/kleb_config.hh"
 #include "kleb/log_recovery.hh"
 #include "kleb/sample.hh"
 #include "kleb/supervisor.hh"
@@ -100,6 +101,34 @@ class InvariantChecker : public sim::EventQueueListener
     void checkRecoveredSeries(const stats::TimeSeries &series,
                               const std::string &label =
                                   "recovered series");
+
+    /**
+     * Post-hoc SMP checks over a raw sample log (hotplug markers
+     * included, i.e. Session::samples(), not series()):
+     *
+     *  - per-core sample monotonicity: among the samples attributed
+     *    to any one core, timestamps and cumulative counts must be
+     *    nondecreasing — migration must never interleave a core's
+     *    attributed samples out of order;
+     *  - no sample on an offline core: between a coreOffline marker
+     *    and the matching coreOnline, no data sample may be
+     *    attributed to that core (its ring was quiesced; a sample
+     *    there means the timer survived the hotplug).
+     */
+    void checkSmpSampleLog(const std::vector<kleb::Sample> &log,
+                           const std::string &label =
+                               "smp sample log");
+
+    /**
+     * Post-hoc check of the module's migration ledger (DESIGN.md
+     * section 16): every emitted data sample must be accounted for
+     * exactly once — kept + migrated + dropped == emitted — and
+     * samplesRecorded must equal kept + migrated (relocation moves
+     * attribution, it never mints or destroys samples).
+     */
+    void checkMigrationLedger(const kleb::KLebStatus &status,
+                              const std::string &label =
+                                  "migration ledger");
 
     /**
      * Post-hoc check of a supervisor's bookkeeping: every restart

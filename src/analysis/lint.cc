@@ -110,7 +110,34 @@ tokenImplemented(const std::string &id)
            id == "event-new" || id == "raw-thread" ||
            id == "hot-std-function" || id == "printf-family" ||
            id == "mutex-raii" || id == "hot-alloc" ||
-           id == "detached-thread";
+           id == "detached-thread" || id == "percpu-access";
+}
+
+bool
+nameContains(std::string_view name, std::string_view needle)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return lower.find(needle) != std::string::npos;
+}
+
+/** Identifier naming per-CPU state (perCpu_, per_cpu_rings, ...). */
+bool
+isPerCpuName(std::string_view name)
+{
+    return nameContains(name, "percpu") ||
+           nameContains(name, "per_cpu");
+}
+
+/** Identifier that is legibly a core index (core, cpu, src_core). */
+bool
+isCoreishName(std::string_view name)
+{
+    return name == "CoreId" || nameContains(name, "core") ||
+           nameContains(name, "cpu");
 }
 
 bool
@@ -258,6 +285,31 @@ matchTokenRules(const std::vector<Token> &toks,
                     at(i + 1) && at(i + 1)->isIdent("detach") &&
                     at(i + 2) && at(i + 2)->isPunct("("))
                     hit(r, at(i + 1)->line);
+            } else if (id == "percpu-access") {
+                if (t.kind == TokKind::identifier &&
+                    isPerCpuName(t.text) && at(i + 1) &&
+                    at(i + 1)->isPunct("[")) {
+                    // Walk the index expression (respecting nested
+                    // brackets): an identifier that legibly names a
+                    // core — including the CoreId inside a cast —
+                    // makes the access auditable; anything else
+                    // (loop counters, pids, literals) is flagged.
+                    bool coreish = false;
+                    int brackets = 1;
+                    for (std::size_t j = i + 2;
+                         at(j) && brackets > 0; ++j) {
+                        const Token &u = *at(j);
+                        if (u.isPunct("["))
+                            ++brackets;
+                        else if (u.isPunct("]"))
+                            --brackets;
+                        else if (u.kind == TokKind::identifier &&
+                                 isCoreishName(u.text))
+                            coreish = true;
+                    }
+                    if (!coreish)
+                        hit(r, t.line);
+                }
             } else if (id == "hot-alloc") {
                 if (hotBodies.empty())
                     continue;
@@ -353,6 +405,15 @@ Linter::Linter()
              "a detached thread escapes every join/determinism "
              "guarantee; fan work out through bench::TrialPool and "
              "join it",
+             {"src", "bench", "examples"}});
+
+    addRule({"percpu-access",
+             "", // token-structural: perCpu container indexed by a
+                 // non-core expression
+             "per-CPU state indexed by something that is not "
+             "legibly a core id; index with the CoreId (or a "
+             "core/cpu-named variable) so cross-core aliasing is "
+             "auditable",
              {"src", "bench", "examples"}});
 
     // Canonical carve-outs: the facilities the rules point at.

@@ -66,6 +66,14 @@ class RingBuffer
         return true;
     }
 
+    /** Oldest element (undefined when empty; check first). */
+    const T &
+    front() const
+    {
+        panic_if(empty(), "RingBuffer::front on empty buffer");
+        return buf_[head_];
+    }
+
     /**
      * Remove the oldest element into @p out.
      * @return false if the buffer was empty.

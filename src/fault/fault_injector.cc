@@ -109,6 +109,17 @@ FaultInjector::attach(kernel::System &sys)
             });
     }
 
+    if (plan_.pmuContendProb > 0.0) {
+        k.setPmuContendFaultHook([this](CoreId core) -> bool {
+            (void)core;
+            if (!stream(FaultPoint::pmuContend)
+                     .chance(plan_.pmuContendProb))
+                return false;
+            inject(FaultPoint::pmuContend);
+            return true;
+        });
+    }
+
     if (plan_.moduleInitFails > 0) {
         k.setModuleLoadFaultHook(
             [this](const std::string &dev_path) {
@@ -177,6 +188,80 @@ FaultInjector::scheduleControllerCrash(kernel::System &sys,
             k.kill(controller);
         },
         sim::Event::defaultPriority, "fault-controller-crash");
+}
+
+void
+FaultInjector::scheduleCpuHotplug(kernel::System &sys)
+{
+    if (!plan_.hotplugActive())
+        return;
+    kernel::Kernel &k = sys.kernel();
+    CoreId core = static_cast<CoreId>(plan_.cpuOfflineCore);
+    if (core < 0 || core >= k.numCores())
+        return;
+    if (plan_.cpuOfflineAt != 0) {
+        Tick when = std::max(sys.now() + 1, plan_.cpuOfflineAt);
+        sys.eq().scheduleLambda(
+            when,
+            [this, &k, core] {
+                if (k.coreOnline(core) && k.offlineCore(core))
+                    inject(FaultPoint::cpuOffline);
+            },
+            sim::Event::defaultPriority, "fault-cpu-offline");
+    }
+    if (plan_.cpuOnlineAt != 0) {
+        Tick when = std::max(sys.now() + 1, plan_.cpuOnlineAt);
+        sys.eq().scheduleLambda(
+            when,
+            [this, &k, core] {
+                if (!k.coreOnline(core)) {
+                    k.onlineCore(core);
+                    inject(FaultPoint::cpuOnline);
+                }
+            },
+            sim::Event::defaultPriority, "fault-cpu-online");
+    }
+}
+
+void
+FaultInjector::migrateTick(kernel::System &sys,
+                           kernel::Process *target)
+{
+    // The run is over once the target exits: stop rescheduling.
+    if (target->state() == kernel::ProcState::zombie)
+        return;
+    kernel::Kernel &k = sys.kernel();
+    CoreId from = target->affinity();
+    CoreId to = invalidCore;
+    int n = k.numCores();
+    for (int step = 1; step < n; ++step) {
+        CoreId c = static_cast<CoreId>(
+            (from + static_cast<CoreId>(step)) % n);
+        if (k.coreOnline(c)) {
+            to = c;
+            break;
+        }
+    }
+    if (to != invalidCore) {
+        inject(FaultPoint::taskMigrate);
+        k.migrate(target, to);
+    }
+    sys.eq().scheduleLambda(
+        sys.now() + plan_.taskMigrateEvery,
+        [this, &sys, target] { migrateTick(sys, target); },
+        sim::Event::defaultPriority, "fault-task-migrate");
+}
+
+void
+FaultInjector::scheduleTaskMigration(kernel::System &sys,
+                                     kernel::Process *target)
+{
+    if (plan_.taskMigrateEvery == 0 || target == nullptr)
+        return;
+    sys.eq().scheduleLambda(
+        std::max(sys.now() + 1, sys.now() + plan_.taskMigrateEvery),
+        [this, &sys, target] { migrateTick(sys, target); },
+        sim::Event::defaultPriority, "fault-task-migrate");
 }
 
 std::function<Tick()>

@@ -91,6 +91,26 @@ class FaultInjector
                                  kernel::Process *controller);
 
     /**
+     * Schedule the CPU hotplug cycle (plan keys cpu.offline /
+     * cpu.online, aux cpu.offline.core): hot-unplug the named core
+     * at the offline tick — the scheduler evacuates it and per-CPU
+     * monitors quiesce — and bring it back at the online tick.
+     * No-op when neither key is set or the core id is out of range;
+     * the kernel itself refuses to offline the last online core.
+     */
+    void scheduleCpuHotplug(kernel::System &sys);
+
+    /**
+     * Schedule recurring forced migrations (plan key task.migrate):
+     * every interval, @p target hops to the next online core,
+     * producing the migration-heavy schedules the per-CPU
+     * attribution ledger must balance.  Stops when the target
+     * exits; no-op when the plan does not migrate.
+     */
+    void scheduleTaskMigration(kernel::System &sys,
+                               kernel::Process *target);
+
+    /**
      * Drain-stall hook implementing controller.hang: starting at
      * the planned tick, the controller's next drain sleep is
      * stretched by ~30 simulated seconds — a wedged reader only a
@@ -153,6 +173,9 @@ class FaultInjector
 
     void inject(FaultPoint point)
     { ++injected_[static_cast<int>(point)]; }
+
+    /** One forced-migration hop; reschedules itself. */
+    void migrateTick(kernel::System &sys, kernel::Process *target);
 
     FaultPlan plan_;
     std::array<Random, numFaultPoints> streams_;

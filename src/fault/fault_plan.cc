@@ -142,7 +142,8 @@ std::string
 nearestSpecKey(const std::string &key)
 {
     static const char *const auxKeys[] = {
-        "seed", "timer.spike.us", "reader.stall.p", "link.delay.by"};
+        "seed", "timer.spike.us", "reader.stall.p", "link.delay.by",
+        "cpu.offline.core"};
     std::string best;
     std::size_t best_dist = ~std::size_t{0};
     auto consider = [&](const char *candidate) {
@@ -182,6 +183,8 @@ FaultPlan::active() const
            controllerCrashAt != 0 || controllerHangAt != 0 ||
            logTornTailBytes != 0 || logBitflips > 0 ||
            setPeriodFailProb > 0.0 || reprogramCrashNth > 0 ||
+           hotplugActive() || taskMigrateEvery != 0 ||
+           pmuContendProb > 0.0 ||
            machineCrashProb > 0.0 || linkFaultsActive() ||
            collectorCrashAt != 0;
 }
@@ -249,6 +252,17 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
         } else if (key == faultPointKey(FaultPoint::reprogramCrash)) {
             ok = parseInt(value, &plan.reprogramCrashNth) &&
                  plan.reprogramCrashNth >= 0;
+        } else if (key == faultPointKey(FaultPoint::cpuOffline)) {
+            ok = parseDuration(value, &plan.cpuOfflineAt);
+        } else if (key == "cpu.offline.core") {
+            ok = parseInt(value, &plan.cpuOfflineCore) &&
+                 plan.cpuOfflineCore >= 0;
+        } else if (key == faultPointKey(FaultPoint::cpuOnline)) {
+            ok = parseDuration(value, &plan.cpuOnlineAt);
+        } else if (key == faultPointKey(FaultPoint::taskMigrate)) {
+            ok = parseDuration(value, &plan.taskMigrateEvery);
+        } else if (key == faultPointKey(FaultPoint::pmuContend)) {
+            ok = parseProb(value, &plan.pmuContendProb);
         } else if (key == faultPointKey(FaultPoint::machineCrash)) {
             ok = parseProb(value, &plan.machineCrashProb);
         } else if (key == faultPointKey(FaultPoint::linkDrop)) {
@@ -337,6 +351,22 @@ FaultPlan::str() const
         parts.push_back(csprintf(
             "%s=%d", faultPointKey(FaultPoint::reprogramCrash),
             reprogramCrashNth));
+    if (cpuOfflineAt != 0) {
+        parts.push_back(faultPointKey(FaultPoint::cpuOffline) +
+                        ("=" + durationStr(cpuOfflineAt)));
+        if (cpuOfflineCore != 0)
+            parts.push_back(csprintf("cpu.offline.core=%d",
+                                     cpuOfflineCore));
+    }
+    if (cpuOnlineAt != 0)
+        parts.push_back(faultPointKey(FaultPoint::cpuOnline) +
+                        ("=" + durationStr(cpuOnlineAt)));
+    if (taskMigrateEvery != 0)
+        parts.push_back(faultPointKey(FaultPoint::taskMigrate) +
+                        ("=" + durationStr(taskMigrateEvery)));
+    if (pmuContendProb > 0.0)
+        parts.push_back(faultPointKey(FaultPoint::pmuContend) +
+                        ("=" + probStr(pmuContendProb)));
     if (machineCrashProb > 0.0)
         parts.push_back(faultPointKey(FaultPoint::machineCrash) +
                         ("=" + probStr(machineCrashProb)));

@@ -133,6 +133,44 @@ struct FaultPlan
     int reprogramCrashNth = 0;
 
     /**
+     * @{ SMP faults (DESIGN.md section 16): CPU hotplug, forced
+     * task migration, and PMU ownership contention.
+     */
+
+    /**
+     * Absolute sim time to hot-unplug a core ("cpu.offline");
+     * 0 = off.  The scheduler evacuates it and per-CPU users
+     * (K-LEB sessions) quiesce their state on that core.
+     */
+    Tick cpuOfflineAt = 0;
+
+    /** Which core cpu.offline removes ("cpu.offline.core"). */
+    int cpuOfflineCore = 0;
+
+    /**
+     * Absolute sim time to bring the offlined core back
+     * ("cpu.online"); 0 = off.  Pairs with cpu.offline to exercise
+     * the full outage/return cycle.
+     */
+    Tick cpuOnlineAt = 0;
+
+    /**
+     * Migrate the monitored target to the next online core every N
+     * ("task.migrate"); 0 = off.  Produces the migration-heavy
+     * schedules the per-CPU attribution ledger must balance.
+     */
+    Tick taskMigrateEvery = 0;
+
+    /**
+     * Probability a PMU ownership claim is refused EBUSY by a
+     * phantom contending tool ("pmu.contend").  The module retries
+     * with backoff and degrades the losing core to unmonitored.
+     */
+    double pmuContendProb = 0.0;
+
+    /** @} */
+
+    /**
      * @{ Fleet faults (src/fleet, DESIGN.md section 15).  These act
      * above the single-machine simulation: on whole machines, on the
      * lossy uplink each machine streams its durable log over, and on
@@ -183,6 +221,10 @@ struct FaultPlan
     /** True if the uplink hook needs installing. */
     bool linkFaultsActive() const
     { return linkDropProb > 0.0 || linkDelayProb > 0.0; }
+
+    /** True if CPU hotplug events need scheduling. */
+    bool hotplugActive() const
+    { return cpuOfflineAt != 0 || cpuOnlineAt != 0; }
 
     /**
      * Parse a spec string: ';'-separated key=value pairs using the

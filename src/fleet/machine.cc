@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "base/logging.hh"
 #include "base/random.hh"
 #include "base/str.hh"
 #include "bench_support/trial_pool.hh"
@@ -109,6 +110,11 @@ runMachine(const MachineParams &p)
                 "%s=%llu",
                 fault::faultPointKey(fault::FaultPoint::targetCrash),
                 (unsigned long long)p.crashAt);
+        if (!p.smpFaultSpec.empty())
+            cfg.faultSpec = cfg.faultSpec.empty()
+                                ? p.smpFaultSpec
+                                : cfg.faultSpec + ";" +
+                                      p.smpFaultSpec;
 
         tools::RunResult r = tools::runOnce(cfg);
 
@@ -135,6 +141,12 @@ runMachine(const MachineParams &p)
                 ++out.vanishedLocal;
                 continue;
             }
+            // Hotplug markers never cross the wire: scan() already
+            // routes them to coreEvents, so one showing up here
+            // means the recovery contract broke — refuse to ship it
+            // as a measurement.
+            panic_if(kleb::isCoreMarker(s.cause),
+                     "core marker leaked into recovered samples");
             WireRecord w;
             w.machine = p.id;
             w.core = static_cast<std::uint16_t>(core);

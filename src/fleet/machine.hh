@@ -45,6 +45,14 @@ struct MachineParams
      * the wire: they are accounted as the vanished unsent tail.
      */
     Tick crashAt = 0;
+
+    /**
+     * Extra fault-plan clauses injected into every core's run
+     * (SMP chaos: "cpu.offline=...;cpu.online=...;task.migrate=...;
+     * pmu.contend=...").  Empty (the default) leaves existing fleet
+     * digests byte-identical.
+     */
+    std::string smpFaultSpec;
 };
 
 /** What one machine hands to the uplink. */

@@ -163,6 +163,43 @@ class Pmu : public MsrDevice
 
     /** @} */
 
+    /** @{ Advisory ownership (perf_event-style counter claiming).
+     *
+     * Hardware does not arbitrate the PMU; software conventions do.
+     * A driver claims a core's counters before programming them and
+     * releases them when it stops; a second claimant gets EBUSY
+     * instead of silently clobbering live selectors.  Purely
+     * advisory: programming without a claim still works (legacy
+     * tools), it just forfeits the protection.
+     */
+
+    /**
+     * Claim the PMU for @p owner (a nonzero cookie).  Returns true
+     * on success or when @p owner already holds it; false when a
+     * different owner does.
+     */
+    bool
+    tryAcquire(std::uint64_t owner)
+    {
+        if (owner_ != 0 && owner_ != owner)
+            return false;
+        owner_ = owner;
+        return true;
+    }
+
+    /** Release the claim held by @p owner (no-op for others). */
+    void
+    release(std::uint64_t owner)
+    {
+        if (owner_ == owner)
+            owner_ = 0;
+    }
+
+    /** Current owner cookie (0 = unclaimed). */
+    std::uint64_t owner() const { return owner_; }
+
+    /** @} */
+
   private:
     struct ProgCounter
     {
@@ -188,6 +225,7 @@ class Pmu : public MsrDevice
     std::uint64_t fixedCtrl_;
     std::uint64_t globalCtrl_;
     std::uint64_t globalStatus_;
+    std::uint64_t owner_ = 0;
     OverflowCallback overflow_;
     ReadHook readHook_;
 };

@@ -35,6 +35,13 @@ struct CostModel
     /** Cost added to a context switch per attached kprobe. */
     Tick kprobe = nsToTicks(300);
 
+    /**
+     * Inter-processor interrupt: send + remote entry/EOI.  Charged
+     * to the destination core when a migration or hotplug
+     * evacuation kicks it.
+     */
+    Tick ipi = nsToTicks(900);
+
     /** Round-robin scheduler timeslice. */
     Tick timeslice = msToTicks(4);
 

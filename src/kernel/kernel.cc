@@ -131,11 +131,39 @@ Kernel::onExit(Pid pid, std::function<void()> fn)
 void
 Kernel::enqueue(Process *proc, bool front)
 {
-    auto &rq = coreState_[proc->affinity()].runQueue;
+    auto &rq = coreState_[redirectIfOffline(proc)].runQueue;
     if (front)
         rq.push_front(proc);
     else
         rq.push_back(proc);
+}
+
+CoreId
+Kernel::redirectIfOffline(Process *proc)
+{
+    CoreId home = proc->affinity();
+    if (coreState_[home].online)
+        return home;
+    CoreId to = fallbackCore(home);
+    for (auto &[id, hook] : migrateHooks_)
+        hook(*proc, home, to);
+    proc->affinity_ = to;
+    ++migrations_;
+    return to;
+}
+
+CoreId
+Kernel::deliveryCore(CoreId core_id) const
+{
+    return coreState_[core_id].online ? core_id
+                                      : fallbackCore(core_id);
+}
+
+void
+Kernel::fireCpuHooks(CoreId core_id, CpuEvent event)
+{
+    for (auto &[id, hook] : cpuHooks_)
+        hook(core_id, event);
 }
 
 void
@@ -216,7 +244,7 @@ void
 Kernel::dispatch(CoreId core_id)
 {
     CoreState &cs = coreState_[core_id];
-    if (cs.current != nullptr || cs.runQueue.empty())
+    if (!cs.online || cs.current != nullptr || cs.runQueue.empty())
         return;
     Process *next = cs.runQueue.front();
     cs.runQueue.pop_front();
@@ -462,7 +490,7 @@ Kernel::wake(Process *proc)
     setState(proc, ProcState::ready);
     proc->blockedOn_ = nullptr;
 
-    CoreId core_id = proc->affinity();
+    CoreId core_id = redirectIfOffline(proc);
     CoreState &cs = coreState_[core_id];
 
     bool preempt = costs_.wakeupPreempts && cs.current != nullptr &&
@@ -530,6 +558,151 @@ Kernel::wakeAll(WaitChannel &channel)
 }
 
 int
+Kernel::numOnlineCores() const
+{
+    int n = 0;
+    for (const CoreState &cs : coreState_)
+        if (cs.online)
+            ++n;
+    return n;
+}
+
+CoreId
+Kernel::fallbackCore(CoreId avoid) const
+{
+    for (std::size_t i = 0; i < coreState_.size(); ++i)
+        if (coreState_[i].online && static_cast<CoreId>(i) != avoid)
+            return static_cast<CoreId>(i);
+    panic("no online core to fall back to");
+    return invalidCore;
+}
+
+void
+Kernel::sendIpi(CoreId core_id)
+{
+    ++ipis_;
+    hw::CpuCore &c = core(core_id);
+    c.syncTo(now());
+    c.countEvent(hw::HwEvent::hwInterrupts, 1,
+                 hw::PrivLevel::kernel);
+    Tick before = c.attributedUpTo();
+    hw::ChargeSpec spec;
+    spec.duration = drawCost(costs_.ipi);
+    spec.priv = hw::PrivLevel::kernel;
+    c.charge(spec);
+    extendPendingEnd(core_id, c.attributedUpTo() - before);
+}
+
+void
+Kernel::migrate(Process *proc, CoreId to)
+{
+    panic_if(proc == nullptr, "migrate of null process");
+    panic_if(to < 0 ||
+                 static_cast<std::size_t>(to) >= coreState_.size(),
+             "migrate to bad core ", to);
+    panic_if(!coreState_[to].online, "migrate to offline core ", to);
+    CoreId from = proc->affinity();
+    if (from == to)
+        return;
+
+    switch (proc->state()) {
+      case ProcState::zombie:
+        return;
+      case ProcState::created:
+      case ProcState::sleeping:
+      case ProcState::blocked:
+        // Not on any runqueue; it lands on the new core when it
+        // next becomes runnable.
+        break;
+      case ProcState::ready: {
+        auto &rq = coreState_[from].runQueue;
+        rq.erase(std::remove(rq.begin(), rq.end(), proc), rq.end());
+        break;
+      }
+      case ProcState::running: {
+        // Switch the task out on the source core first: the switch
+        // tracepoint fires with next == null there, so per-CPU
+        // monitors snapshot counters while they are still live.
+        CoreState &cs = coreState_[from];
+        panic_if(cs.current != proc,
+                 "running process not current on its core");
+        cancelEnd(from);
+        hw::CpuCore &c = core(from);
+        c.syncTo(now());
+        if (proc->isWorkload())
+            c.detachContext();
+        setState(proc, ProcState::ready);
+        cs.current = nullptr;
+        performSwitch(from, proc, nullptr);
+        break;
+      }
+    }
+
+    for (auto &[id, hook] : migrateHooks_)
+        hook(*proc, from, to);
+    proc->affinity_ = to;
+    ++migrations_;
+
+    if (proc->state() == ProcState::ready) {
+        coreState_[to].runQueue.push_back(proc);
+        sendIpi(to);
+        scheduleResched(to);
+    }
+    if (proc->state() == ProcState::ready &&
+        coreState_[from].online)
+        scheduleResched(from);
+}
+
+bool
+Kernel::offlineCore(CoreId core_id)
+{
+    panic_if(core_id < 0 ||
+                 static_cast<std::size_t>(core_id) >=
+                     coreState_.size(),
+             "offline of bad core ", core_id);
+    CoreState &cs = coreState_[core_id];
+    if (!cs.online)
+        return true;
+    if (numOnlineCores() <= 1)
+        return false; // never kill the last core
+
+    // Teardown notifiers run while the core still works: per-CPU
+    // users drain rings, journal their coreOffline markers and
+    // cancel timers here.
+    fireCpuHooks(core_id, CpuEvent::goingOffline);
+
+    // Evacuate: current task first (switch-out fires on this core),
+    // then the runqueue, all to the surviving fallback core.
+    CoreId target = fallbackCore(core_id);
+    if (cs.current != nullptr)
+        migrate(cs.current, target);
+    while (!cs.runQueue.empty())
+        migrate(cs.runQueue.front(), target);
+
+    cs.online = false;
+    cs.needResched = false;
+    ++coreOfflines_;
+    fireCpuHooks(core_id, CpuEvent::offline);
+    return true;
+}
+
+void
+Kernel::onlineCore(CoreId core_id)
+{
+    panic_if(core_id < 0 ||
+                 static_cast<std::size_t>(core_id) >=
+                     coreState_.size(),
+             "online of bad core ", core_id);
+    CoreState &cs = coreState_[core_id];
+    if (cs.online)
+        return;
+    cs.online = true;
+    ++coreOnlines_;
+    fireCpuHooks(core_id, CpuEvent::online);
+    scheduleResched(core_id);
+}
+
+int
 Kernel::registerSwitchHook(SwitchHook hook)
 {
     int id = nextHookId_++;
@@ -583,6 +756,34 @@ void
 Kernel::unregisterModuleHook(int id)
 {
     moduleHooks_.erase(id);
+}
+
+int
+Kernel::registerCpuHook(CpuHook hook)
+{
+    int id = nextHookId_++;
+    cpuHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterCpuHook(int id)
+{
+    cpuHooks_.erase(id);
+}
+
+int
+Kernel::registerMigrateHook(MigrateHook hook)
+{
+    int id = nextHookId_++;
+    migrateHooks_[id] = std::move(hook);
+    return id;
+}
+
+void
+Kernel::unregisterMigrateHook(int id)
+{
+    migrateHooks_.erase(id);
 }
 
 void
@@ -707,6 +908,9 @@ Kernel::runInInterrupt(CoreId core_id, Tick cost,
                        std::uint64_t footprint,
                        const std::function<void()> &body)
 {
+    // Interrupts bound to an offlined core are delivered on the
+    // fallback core instead (hrtimer/irq migration semantics).
+    core_id = deliveryCore(core_id);
     hw::CpuCore &c = core(core_id);
     c.syncTo(now());
     Tick before = c.attributedUpTo();

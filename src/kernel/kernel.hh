@@ -69,6 +69,33 @@ using ModuleHook = std::function<void(
     KernelModule &mod, const std::string &dev_path, bool loaded)>;
 
 /**
+ * CPU hotplug phases, modeled on the kernel's cpuhp state machine.
+ * `goingOffline` fires while the core is still online (the analogue
+ * of a CPUHP teardown callback: per-CPU users quiesce — drain rings,
+ * cancel timers — before the scheduler evacuates the core);
+ * `offline`/`online` fire after the transition committed.
+ */
+enum class CpuEvent
+{
+    goingOffline,
+    offline,
+    online,
+};
+
+/** CPU hotplug notifier (cpuhp callback analogue). */
+using CpuHook = std::function<void(CoreId core, CpuEvent event)>;
+
+/**
+ * Task-migration tracepoint (sched:sched_migrate_task analogue).
+ * Fired after the task has been detached from @p from and before it
+ * is enqueued on @p to — per-CPU monitors snapshot counter state in
+ * their switch hook (which runs first for a running task) and use
+ * this to attribute the move itself.
+ */
+using MigrateHook =
+    std::function<void(Process &proc, CoreId from, CoreId to)>;
+
+/**
  * @{ Fault-injection hooks (src/fault/).  All default to null, in
  * which case the corresponding code paths are byte-identical to a
  * fault-free kernel: no calls, no RNG draws, no extra charges.
@@ -98,6 +125,14 @@ using TimerFaultFactory = std::function<hw::TimerDevice::FaultHook(
  */
 using ModuleLoadFaultHook =
     std::function<bool(const std::string &dev_path)>;
+
+/**
+ * Consulted when a PMU client tries to claim a core's counters
+ * (fault point pmu.contend).  Returning true simulates a second
+ * claimant already owning the programmed counters: the claim fails
+ * with EBUSY and the client must retry or degrade on that core.
+ */
+using PmuContendFaultHook = std::function<bool(CoreId core)>;
 
 /** @} */
 
@@ -175,6 +210,67 @@ class Kernel
     int registerModuleHook(ModuleHook hook);
     void unregisterModuleHook(int id);
 
+    int registerCpuHook(CpuHook hook);
+    void unregisterCpuHook(int id);
+
+    int registerMigrateHook(MigrateHook hook);
+    void unregisterMigrateHook(int id);
+
+    /** @} */
+
+    /** @{ SMP: task migration and CPU hotplug. */
+
+    /**
+     * Move @p proc to core @p to.  A running task is switched out
+     * first (the switch tracepoint fires with next == null on the
+     * source core, so per-CPU monitors snapshot their counters
+     * there), the migrate tracepoint fires, and the task is enqueued
+     * on the destination — which is kicked with an IPI.  Sleeping,
+     * blocked and created tasks just have their affinity moved; they
+     * land on the new core when they next become runnable.
+     */
+    void migrate(Process *proc, CoreId to);
+
+    /**
+     * Take core @p core out of service (cpu.offline).  Fires the
+     * goingOffline notifiers while the core still runs (per-CPU
+     * users quiesce), evacuates the current task and the runqueue to
+     * the lowest-id surviving core via migrate(), then commits and
+     * fires the offline notifiers.  Refuses (returns false) to
+     * offline the last online core.
+     */
+    bool offlineCore(CoreId core);
+
+    /**
+     * Bring an offlined core back (cpu.online).  The core returns
+     * with an empty runqueue; notifiers re-arm their per-CPU state.
+     * Tasks do not migrate back automatically.
+     */
+    void onlineCore(CoreId core);
+
+    /** True when @p core is accepting work. */
+    bool
+    coreOnline(CoreId core) const
+    {
+        return coreState_[static_cast<std::size_t>(core)].online;
+    }
+
+    int numOnlineCores() const;
+
+    /**
+     * Lowest-id online core other than @p avoid (the evacuation and
+     * redirection target).  Panics when none exists — impossible
+     * through offlineCore(), which refuses to kill the last core.
+     */
+    CoreId fallbackCore(CoreId avoid) const;
+
+    /** @{ Counters for reports and invariants. */
+    std::uint64_t migrations() const { return migrations_; }
+    std::uint64_t coreOfflines() const { return coreOfflines_; }
+    std::uint64_t coreOnlines() const { return coreOnlines_; }
+    std::uint64_t ipisSent() const { return ipis_; }
+    /** @} */
+
     /** @} */
 
     /** @{ Modules and character devices. */
@@ -239,6 +335,22 @@ class Kernel
     /** Install (or clear) the module-load failure hook. */
     void setModuleLoadFaultHook(ModuleLoadFaultHook hook)
     { moduleLoadFault_ = std::move(hook); }
+
+    /** Install (or clear) the PMU-contention hook (pmu.contend). */
+    void setPmuContendFaultHook(PmuContendFaultHook hook)
+    { pmuContendFault_ = std::move(hook); }
+
+    /**
+     * Draw one contention decision for a PMU claim on @p core: true
+     * means a second claimant holds the counters and the claim must
+     * fail with EBUSY.  Free (no call, no draw) when no hook is
+     * installed.
+     */
+    bool
+    drawPmuContendFault(CoreId core)
+    {
+        return pmuContendFault_ ? pmuContendFault_(core) : false;
+    }
 
     /** @} */
 
@@ -338,6 +450,9 @@ class Kernel
 
         /** A deferred reschedule event is already queued. */
         bool reschedPending = false;
+
+        /** The core is accepting work (CPU hotplug state). */
+        bool online = true;
     };
 
     Process *allocProcess(const std::string &name, CoreId affinity,
@@ -378,6 +493,25 @@ class Kernel
     void processExit(Process *proc);
     void enqueue(Process *proc, bool front);
 
+    /**
+     * Re-affine @p proc off an offline core (lazy migration at the
+     * enqueue boundary, firing the migrate tracepoint).  Returns the
+     * possibly-updated affinity.
+     */
+    CoreId redirectIfOffline(Process *proc);
+
+    /**
+     * Interrupt-delivery core for @p core: itself while online, the
+     * fallback core after hotplug (hrtimer migration semantics).
+     */
+    CoreId deliveryCore(CoreId core) const;
+
+    /** Fire the CPU notifier chain. */
+    void fireCpuHooks(CoreId core, CpuEvent event);
+
+    /** Kick @p core with an inter-processor interrupt. */
+    void sendIpi(CoreId core);
+
     /** Extend a pending end deadline after interrupt-time charges. */
     void extendPendingEnd(CoreId core, Tick delta);
 
@@ -392,12 +526,18 @@ class Kernel
 
     std::vector<CoreState> coreState_;
     std::uint64_t ctxSwitches_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t coreOfflines_ = 0;
+    std::uint64_t coreOnlines_ = 0;
+    std::uint64_t ipis_ = 0;
     double runFactor_ = 1.0;
 
     std::map<int, SwitchHook> switchHooks_;
     std::map<int, ExitHook> exitHooks_;
     std::map<int, StateHook> stateHooks_;
     std::map<int, ModuleHook> moduleHooks_;
+    std::map<int, CpuHook> cpuHooks_;
+    std::map<int, MigrateHook> migrateHooks_;
     int nextHookId_ = 1;
 
     /** Shared load path behind loadModule()/tryLoadModule(). */
@@ -410,6 +550,7 @@ class Kernel
     ChardevFaultHook chardevFault_;
     TimerFaultFactory timerFaultFactory_;
     ModuleLoadFaultHook moduleLoadFault_;
+    PmuContendFaultHook pmuContendFault_;
 
     std::multimap<Pid, std::function<void()>> exitWaiters_;
 };

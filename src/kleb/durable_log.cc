@@ -96,6 +96,10 @@ DurableLog::writeFrame(FrameKind kind, Tick timestamp,
     put64(bytes_, at + 24, timestamp);
     bytes_[at + 32] = static_cast<std::uint8_t>(s.cause);
     bytes_[at + 33] = s.numEvents;
+    // Core id in two of the frame's reserved bytes: core 0 writes
+    // zeros, so pre-SMP media stay bit-for-bit identical.
+    bytes_[at + 34] = static_cast<std::uint8_t>(s.core);
+    bytes_[at + 35] = static_cast<std::uint8_t>(s.core >> 8);
     for (std::size_t i = 0; i < maxSampleEvents; ++i)
         put64(bytes_, at + 40 + 8 * i, s.counts[i]);
 

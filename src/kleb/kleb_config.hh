@@ -104,6 +104,50 @@ struct KLebStatus
 
     /** SET_PERIOD ioctls accepted since CONFIG. */
     std::uint64_t periodChanges = 0;
+
+    /** @{ Per-CPU session accounting (SMP hardening).
+     *
+     * The migration ledger partitions every emitted data sample:
+     *   samplesKept + samplesMigrated + samplesDropped
+     *       == samplesEmitted
+     * at all times.  `samplesRecorded` above equals kept + migrated
+     * (everything that landed in a ring); `samplesMigrated` counts
+     * the ones later relocated off an offlined core's ring into the
+     * spill queue — relocated, never silently dropped.
+     */
+
+    /** Data samples produced (excludes hotplug markers). */
+    std::uint64_t samplesEmitted = 0;
+
+    /** Samples still attributed to the ring they landed in. */
+    std::uint64_t samplesKept = 0;
+
+    /** Samples relocated from an offlined core's ring. */
+    std::uint64_t samplesMigrated = 0;
+
+    /** coreOffline/coreOnline marker records journaled. */
+    std::uint64_t coreMarkers = 0;
+
+    /** Times the monitored task moved between cores. */
+    std::uint64_t targetMigrations = 0;
+
+    /** PMU claim attempts refused with EBUSY (pmu.contend). */
+    std::uint64_t contentionEvents = 0;
+
+    /** Cores degraded to unmonitored after losing the PMU. */
+    std::uint64_t degradedCores = 0;
+
+    /**
+     * Monitoring windows forfeited on degraded cores: switch-ins of
+     * the target on a core whose PMU could not be claimed.  Feeds
+     * stats::LossCounts::gaps so contention losses are first-class.
+     */
+    std::uint64_t lostToContention = 0;
+
+    /** Core the target is (or was last) monitored on. */
+    CoreId activeCore = invalidCore;
+
+    /** @} */
 };
 
 } // namespace klebsim::kleb

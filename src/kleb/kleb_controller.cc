@@ -106,7 +106,7 @@ ControllerBehavior::handleRc(long rc, State retry_state,
         attempts_ = 0;
         return true;
     }
-    if (rc == kernel::err::eagain &&
+    if ((rc == kernel::err::eagain || rc == kernel::err::ebusy) &&
         attempts_ < tuning_.maxRetries) {
         ++attempts_;
         ++retries_;
@@ -121,9 +121,10 @@ ControllerBehavior::handleRc(long rc, State retry_state,
         return false;
     }
     if (rc == kernel::err::enxio || rc == kernel::err::eio ||
-        rc == kernel::err::eagain) {
+        rc == kernel::err::eagain || rc == kernel::err::ebusy) {
         // Device gone, hard I/O error, or transient failures past
-        // the retry budget: abort the session but keep (and flush)
+        // the retry budget (EAGAIN from fault injection, EBUSY from
+        // PMU contention): abort the session but keep (and flush)
         // everything logged so far.  Retry state is cleared so a
         // later incarnation (or any state reached after the abort)
         // never inherits a stale pending sleep.

@@ -1,5 +1,7 @@
 #include "log_recovery.hh"
 
+#include <algorithm>
+
 #include "base/str.hh"
 
 namespace klebsim::kleb
@@ -181,8 +183,25 @@ LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
         s.timestamp = ts;
         s.cause = static_cast<SampleCause>(bytes[at + 32]);
         s.numEvents = num_events;
+        s.core = static_cast<std::uint16_t>(
+            bytes[at + 34] |
+            static_cast<std::uint16_t>(bytes[at + 35]) << 8);
         for (std::size_t i = 0; i < maxSampleEvents; ++i)
             s.counts[i] = get64(bytes, at + 40 + 8 * i);
+
+        // Hotplug markers bound a per-core outage; they ride in
+        // sample frames but are control records, so route them to
+        // the core-event journal instead of the sample chain.
+        if (isCoreMarker(s.cause)) {
+            CoreEventRecord ev;
+            ev.core = s.core;
+            ev.epoch = epoch;
+            ev.at = ts;
+            ev.offline = s.cause == SampleCause::coreOffline;
+            ++rep.coreMarkers;
+            out.coreEvents.push_back(ev);
+            continue;
+        }
 
         // Crossing an epoch boundary between kept samples is a
         // monitoring outage: record the explicit gap.
@@ -202,6 +221,30 @@ LogRecovery::scan(const std::vector<std::uint8_t> &bytes)
         ++rep.samplesRecovered;
         out.samples.push_back(s);
         out.sampleEpochs.push_back(epoch);
+    }
+
+    // Pair the hotplug markers into per-core outages.  Markers are
+    // in journal (time) order, so an online closes the most recent
+    // still-open outage for its core; an online with no matching
+    // offline (the core was never seen going down inside this
+    // journal) bounds nothing and is skipped.
+    for (const CoreEventRecord &ev : out.coreEvents) {
+        if (ev.offline) {
+            CoreOutageRecord o;
+            o.core = ev.core;
+            o.from = ev.at;
+            rep.coreOutages.push_back(o);
+            continue;
+        }
+        for (auto it = rep.coreOutages.rbegin();
+             it != rep.coreOutages.rend(); ++it) {
+            if (it->core == ev.core && !it->closed) {
+                it->closed = true;
+                it->to = ev.at;
+                rep.coreOutageTicks += it->to - it->from;
+                break;
+            }
+        }
     }
 
     const std::uint64_t present =
@@ -224,7 +267,28 @@ LogRecovery::splice(const RecoveredLog &recovered,
 {
     std::vector<std::string> names = channel_names;
     names.emplace_back("gap_ticks");
+
+    // The hotplug channel exists only when the journal actually
+    // holds markers, so pre-SMP media splice to the exact same
+    // series as before.
+    const bool hotplug = !recovered.coreEvents.empty();
+    if (hotplug)
+        names.emplace_back("core_outage_ticks");
     stats::TimeSeries ts(names);
+
+    // Closed core outages charged to the first sample at or after
+    // each outage's end, in end-time order.
+    std::vector<CoreOutageRecord> closed;
+    for (const CoreOutageRecord &o :
+         recovered.report.coreOutages)
+        if (o.closed)
+            closed.push_back(o);
+    std::sort(closed.begin(), closed.end(),
+              [](const CoreOutageRecord &a,
+                 const CoreOutageRecord &b) {
+                  return a.to < b.to;
+              });
+    std::size_t next_outage = 0;
 
     for (std::size_t i = 0; i < recovered.samples.size(); ++i) {
         const Sample &s = recovered.samples[i];
@@ -241,6 +305,17 @@ LogRecovery::splice(const RecoveredLog &recovered,
                 s.timestamp -
                 recovered.samples[i - 1].timestamp);
         row.push_back(gap);
+        if (hotplug) {
+            double core_gap = 0.0;
+            while (next_outage < closed.size() &&
+                   closed[next_outage].to <= s.timestamp) {
+                core_gap += static_cast<double>(
+                    closed[next_outage].to -
+                    closed[next_outage].from);
+                ++next_outage;
+            }
+            row.push_back(core_gap);
+        }
         ts.append(s.timestamp, row);
     }
     return ts;

@@ -50,6 +50,28 @@ struct GapRecord
     Tick to = 0;                 //!< first durable post-outage sample
 };
 
+/** One intact hotplug marker frame (coreOffline / coreOnline). */
+struct CoreEventRecord
+{
+    std::uint16_t core = 0;  //!< core the marker is about
+    std::uint32_t epoch = 0; //!< epoch the marker landed in
+    Tick at = 0;             //!< simulated time of the event
+    bool offline = false;    //!< coreOffline (else coreOnline)
+};
+
+/**
+ * One core outage reconstructed from a coreOffline marker and (when
+ * the core returned inside the journal) its matching coreOnline.
+ * An unclosed outage means the run ended with the core still down.
+ */
+struct CoreOutageRecord
+{
+    std::uint16_t core = 0;
+    Tick from = 0;       //!< coreOffline marker time
+    Tick to = 0;         //!< coreOnline marker time (0 if unclosed)
+    bool closed = false; //!< the core came back inside the journal
+};
+
 /** One intact rateChange frame (adaptive sampling journal). */
 struct RateChangeRecord
 {
@@ -95,6 +117,15 @@ struct RecoveryReport
     /** Total simulated time covered by the gaps. */
     Tick gapTicks = 0;
 
+    /** Intact hotplug marker frames (coreOffline + coreOnline). */
+    std::uint64_t coreMarkers = 0;
+
+    /** Core outages paired up from the markers, in journal order. */
+    std::vector<CoreOutageRecord> coreOutages;
+
+    /** Total simulated time covered by *closed* core outages. */
+    Tick coreOutageTicks = 0;
+
     /** Sequence/ordering/structure anomalies (diagnostics). */
     std::vector<std::string> violations;
 
@@ -122,6 +153,15 @@ struct RecoveredLog
     std::vector<std::uint32_t> sampleEpochs; //!< parallel to samples
 
     /**
+     * Intact hotplug marker frames in medium order.  Like rate
+     * changes they are kept out of `samples`: they bound a per-core
+     * outage (with the cumulative counts at the boundary) but are
+     * not measurements, so sample-count accounting and the spliced
+     * series see only real snapshots.
+     */
+    std::vector<CoreEventRecord> coreEvents;
+
+    /**
      * Intact rate-change frames in medium order.  Kept out of
      * `samples` — they carry periods, not counter readings — so the
      * spliced series and sample-count accounting are unaffected by
@@ -141,7 +181,13 @@ class LogRecovery
      * Channels are @p channel_names (one per configured event, in
      * sample-column order) plus a final "gap_ticks" channel that is
      * nonzero exactly on the first sample after each outage,
-     * carrying the outage length.
+     * carrying the outage length.  When the journal holds hotplug
+     * markers, a "core_outage_ticks" channel is appended as well:
+     * nonzero on the first sample at or after each closed core
+     * outage's end, carrying that outage's length — the coreOffline
+     * gap is spliced explicitly, never silently absorbed.  Media
+     * without markers (every pre-SMP log) get the exact same
+     * channels as before.
      */
     static stats::TimeSeries
     splice(const RecoveredLog &recovered,

@@ -114,6 +114,29 @@ RateGovernor::rejected()
 }
 
 void
+RateGovernor::noteCoreOffline(CoreId core)
+{
+    (void)core;
+    outagePending_ = true;
+}
+
+void
+RateGovernor::noteCoreOnline(CoreId core)
+{
+    (void)core;
+    if (!outagePending_)
+        return;
+    outagePending_ = false;
+    ++stats_.hotplugResets;
+    estimate_ = 0.0;
+    haveEstimate_ = false;
+    settleLeft_ = 0;
+    proposalPending_ = false;
+    haveLastObserve_ = false;
+    lastObserve_ = 0;
+}
+
+void
 RateGovernor::adopt(Tick period)
 {
     panic_if(period == 0, "rate governor: adopting zero period");

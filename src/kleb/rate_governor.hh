@@ -87,6 +87,7 @@ class RateGovernor
         std::uint64_t backOffs = 0;   //!< applied period increases
         std::uint64_t speedUps = 0;   //!< applied period decreases
         std::uint64_t rejected = 0;   //!< proposals that never landed
+        std::uint64_t hotplugResets = 0; //!< offline->online resets
     };
 
     RateGovernor(Config config, Tick initial_period);
@@ -117,6 +118,24 @@ class RateGovernor
      */
     void adopt(Tick period);
 
+    /**
+     * @{ Hotplug hysteresis (DESIGN.md section 16).  A monitored
+     * core going away leaves the next drain interval covering a
+     * quiesce/spill/re-arm transient whose cost says nothing about
+     * steady state.  noteCoreOffline() remembers the outage;
+     * noteCoreOnline() then discards the estimator wholesale —
+     * EWMA, settle window, in-flight proposal, interval anchor —
+     * so a stale pre-outage estimate never drives a post-online
+     * proposal.  The period itself is kept: it is what the module
+     * re-arms with.  The paper's 100 us floor stays per-CPU by
+     * construction — clamp() bounds every proposal, and the period
+     * is the one any core's timer is armed with, so no core is
+     * ever asked to fire faster than minPeriod.
+     */
+    void noteCoreOffline(CoreId core);
+    void noteCoreOnline(CoreId core);
+    /** @} */
+
     Tick period() const { return period_; }
     double overheadEstimate() const { return estimate_; }
     const Stats &stats() const { return stats_; }
@@ -133,6 +152,7 @@ class RateGovernor
     bool haveEstimate_ = false;
     int settleLeft_ = 0;
     bool proposalPending_ = false;
+    bool outagePending_ = false;
     Stats stats_;
 };
 

@@ -22,20 +22,40 @@ constexpr std::size_t maxSampleEvents = 7;
 /** Why a sample was recorded. */
 enum class SampleCause : std::uint8_t
 {
-    timer,      //!< periodic HRTimer expiry
-    switchOut,  //!< monitored process scheduled out
-    final,      //!< monitoring stop / process exit
+    timer,       //!< periodic HRTimer expiry
+    switchOut,   //!< monitored process scheduled out
+    final,       //!< monitoring stop / process exit
+    coreOffline, //!< marker: a monitored core was quiesced (hotplug)
+    coreOnline,  //!< marker: an offlined core came back
 };
 
 /**
+ * True for the hotplug marker records the module journals around a
+ * core outage.  Markers carry the cumulative counts at the event
+ * (so the outage is bounded exactly) but are control records, not
+ * measurements: they stay out of the migration ledger, the
+ * user-visible time series and the fleet wire.
+ */
+constexpr bool
+isCoreMarker(SampleCause cause)
+{
+    return cause == SampleCause::coreOffline ||
+           cause == SampleCause::coreOnline;
+}
+
+/**
  * One counter snapshot.  Values are cumulative counter readings;
- * per-interval deltas are computed in user space.
+ * per-interval deltas are computed in user space.  @p core is the
+ * CPU the snapshot was taken on (the core a marker is about) —
+ * per-CPU sessions attribute every sample to the core that
+ * produced it.
  */
 struct Sample
 {
     Tick timestamp = 0;
     SampleCause cause = SampleCause::timer;
     std::uint8_t numEvents = 0;
+    std::uint16_t core = 0;
     std::array<std::uint64_t, maxSampleEvents> counts{};
 };
 

@@ -77,6 +77,8 @@ Session::~Session()
         sys_.kernel().unloadModule(devPath_);
     if (moduleHookId_ != -1)
         sys_.kernel().unregisterModuleHook(moduleHookId_);
+    if (cpuHookId_ != -1)
+        sys_.kernel().unregisterCpuHook(cpuHookId_);
 }
 
 KLebStatus
@@ -110,8 +112,8 @@ Session::monitor(kernel::Process *target, bool start_target)
     cfg_.countKernel = options_.countKernel;
 
     auto on_started = [this, target, start_target] {
-        if (options_.idealTimer && module_ && module_->timer()) {
-            module_->timer()->setJitterModel(
+        if (options_.idealTimer && module_) {
+            module_->setTimerJitterModel(
                 hw::TimerJitterModel::ideal());
         }
         if (start_target && target->state() ==
@@ -136,6 +138,16 @@ Session::monitor(kernel::Process *target, bool start_target)
             gc.costPerDrain = options_.controllerTuning.logBase;
         governor_ =
             std::make_unique<RateGovernor>(gc, cfg_.timerPeriod);
+        // Hotplug hysteresis: an offline->online cycle of any core
+        // resets the governor's estimator so the quiesce/re-arm
+        // transient never drives a proposal.
+        cpuHookId_ = sys_.kernel().registerCpuHook(
+            [this](CoreId c, kernel::CpuEvent ev) {
+                if (ev == kernel::CpuEvent::goingOffline)
+                    governor_->noteCoreOffline(c);
+                else if (ev == kernel::CpuEvent::online)
+                    governor_->noteCoreOnline(c);
+            });
     }
 
     // The ideal-timer override must also apply to a timer created
@@ -182,11 +194,20 @@ Session::monitor(kernel::Process *target, bool start_target)
         // The watchdog must not share a CPU with its ward: a hung
         // controller wedges inside a syscall that monopolizes its
         // core, and a same-core supervisor would be starved of the
-        // very poll that is meant to detect the hang.
+        // very poll that is meant to detect the hang.  An explicit
+        // pin onto the ward's core is refused, not quietly moved.
         CoreId sup_core = core;
-        if (sys_.kernel().numCores() > 1)
+        if (options_.supervisorCore != invalidCore) {
+            fatal_if(options_.supervisorCore == core,
+                     "supervisor pinned to core ",
+                     options_.supervisorCore,
+                     ", the same core as its ward controller; a "
+                     "same-core watchdog cannot detect a hang");
+            sup_core = options_.supervisorCore;
+        } else if (sys_.kernel().numCores() > 1) {
             sup_core = static_cast<CoreId>(
                 (core + 1) % sys_.kernel().numCores());
+        }
         supervisor_ = sys_.kernel().createService(
             "kleb-supervisor", supervisorBehavior_.get(),
             sup_core);
@@ -214,8 +235,8 @@ Session::restartController()
     retired_.push_back(std::move(behavior_));
 
     auto on_attached = [this] {
-        if (options_.idealTimer && module_ && module_->timer()) {
-            module_->timer()->setJitterModel(
+        if (options_.idealTimer && module_) {
+            module_->setTimerJitterModel(
                 hw::TimerJitterModel::ideal());
         }
         // The predecessor may have died before ever starting the
@@ -299,6 +320,11 @@ Session::series() const
         names.emplace_back(hw::eventName(ev));
     stats::TimeSeries ts(names);
     for (const Sample &s : samples()) {
+        // Hotplug markers are control records bounding a core
+        // outage, not measurements; they live in the raw sample
+        // log and the durable journal but not the series.
+        if (isCoreMarker(s.cause))
+            continue;
         std::vector<double> row;
         row.reserve(names.size());
         for (std::size_t i = 0; i < names.size(); ++i)
@@ -334,11 +360,15 @@ Session::finalTotals() const
 {
     hw::EventVector totals = hw::zeroEvents();
     const auto &log = samples();
-    if (log.empty())
-        return totals;
-    const Sample &last = log.back();
-    for (std::size_t i = 0; i < options_.events.size(); ++i)
-        at(totals, options_.events[i]) = last.counts[i];
+    // The newest *measurement*: hotplug markers at the tail (a core
+    // cycling after the final snapshot) are control records.
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        if (isCoreMarker(it->cause))
+            continue;
+        for (std::size_t i = 0; i < options_.events.size(); ++i)
+            at(totals, options_.events[i]) = it->counts[i];
+        break;
+    }
     return totals;
 }
 

@@ -58,6 +58,16 @@ class Session
         /** Controller core (-1 = same core as the target). */
         CoreId controllerCore = invalidCore;
 
+        /**
+         * Supervisor core pin (-1 = auto-place on the core after
+         * the controller's).  Pinning the supervisor to its ward's
+         * own core is refused outright: a hung controller wedges
+         * inside a syscall that monopolizes its core, and a
+         * same-core watchdog would be starved of the very poll
+         * that detects the hang.
+         */
+        CoreId supervisorCore = invalidCore;
+
         KLebModule::Tuning moduleTuning{};
         ControllerBehavior::Tuning controllerTuning{};
 
@@ -194,6 +204,9 @@ class Session
         stats::LossCounts lc;
         lc.accepted = st.samplesRecorded;
         lc.dropped = st.samplesDropped;
+        // Windows forfeited to PMU contention are gaps in the
+        // series, not drops: the ring never saw them.
+        lc.gaps = st.lostToContention;
         return lc;
     }
 
@@ -260,6 +273,9 @@ class Session
 
     /** Watches for our module being unloaded out from under us. */
     int moduleHookId_ = -1;
+
+    /** Hotplug notifier feeding the governor (adaptive only). */
+    int cpuHookId_ = -1;
 
     /** Status captured the moment the module went away. */
     KLebStatus lastStatus_;

@@ -201,8 +201,11 @@ runOnce(const RunConfig &cfg)
         break;
     }
 
-    if (injector)
+    if (injector) {
         injector->scheduleTargetCrash(sys, target);
+        injector->scheduleCpuHotplug(sys);
+        injector->scheduleTaskMigration(sys, target);
+    }
 
     sys.run(cfg.simLimit);
     fatal_if(target->state() != kernel::ProcState::zombie,

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * SMP chaos: per-CPU K-LEB sessions under CPU hotplug, task
+ * migration, and PMU contention (DESIGN.md section 16).
+ *
+ * The scenarios here are the acceptance gates for the SMP
+ * hardening: a session must survive an offline -> online cycle of
+ * the very core it is monitoring with its migration ledger
+ * balanced, the durable journal must splice the coreOffline gap
+ * explicitly on recovery, and a supervisor may never share a core
+ * with its ward.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hh"
+#include "fault/fault_injector.hh"
+#include "kernel/system.hh"
+#include "kleb/log_recovery.hh"
+#include "kleb/session.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::kernel;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeSource;
+
+namespace
+{
+
+CostModel
+quietCosts()
+{
+    CostModel c;
+    c.costSigma = 0.0;
+    c.runSigma = 0.0;
+    return c;
+}
+
+/** Everything an SMP chaos scenario can be asserted on. */
+struct SmpOutcome
+{
+    std::vector<kleb::Sample> samples;
+    kleb::KLebStatus status{};
+    stats::LossCounts losses{};
+    bool finished = false;
+    bool aborted = false;
+    bool targetDone = false;
+    std::uint64_t kernelMigrations = 0;
+    std::uint64_t hotplugOfflines = 0;
+    std::vector<std::uint8_t> durableBytes;
+    std::string injections;
+    std::vector<std::string> invariantViolations;
+};
+
+/**
+ * Run one workload under a K-LEB session with the given SMP fault
+ * spec, invariant-checked (including the per-core monotonicity,
+ * no-sample-on-offline-core, and migration-ledger checks), and
+ * return the full outcome.
+ */
+SmpOutcome
+runSmpChaos(const std::string &spec, std::uint64_t seed,
+            const std::function<void(kleb::Session::Options &)>
+                &mutate = nullptr,
+            int mega_instructions = 40)
+{
+    System sys(hw::MachineConfig::corei7_920(), seed, quietCosts());
+    analysis::InvariantChecker checker;
+    checker.attachQueue(sys.eq());
+    checker.attachKernel(sys.kernel());
+
+    fault::FaultPlan plan;
+    std::string err;
+    EXPECT_TRUE(fault::FaultPlan::parse(spec, &plan, &err)) << err;
+    fault::FaultInjector injector(plan, seed);
+    injector.attach(sys);
+
+    FixedWorkSource src =
+        computeSource(mega_instructions, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 0);
+
+    kleb::Session::Options opts;
+    opts.events = {hw::HwEvent::instRetired,
+                   hw::HwEvent::branchRetired};
+    opts.period = 100_us;
+    if (mutate)
+        mutate(opts);
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    injector.scheduleCpuHotplug(sys);
+    injector.scheduleTaskMigration(sys, target);
+
+    sys.run(secToTicks(5.0));
+
+    SmpOutcome out;
+    out.samples = session.samples();
+    out.status = session.status();
+    out.losses = session.losses();
+    out.finished = session.finished();
+    out.aborted = session.aborted();
+    out.targetDone = target->state() == ProcState::zombie;
+    out.kernelMigrations = sys.kernel().migrations();
+    out.hotplugOfflines = sys.kernel().coreOfflines();
+    if (const kleb::DurableLog *dlog = session.durableLog())
+        out.durableBytes = dlog->bytes();
+    out.injections = injector.injectionSummary();
+    checker.checkSmpSampleLog(out.samples);
+    checker.checkMigrationLedger(out.status);
+    out.invariantViolations = checker.violations();
+    return out;
+}
+
+std::set<std::uint16_t>
+coresSeen(const std::vector<kleb::Sample> &log)
+{
+    std::set<std::uint16_t> cores;
+    for (const kleb::Sample &s : log)
+        if (!kleb::isCoreMarker(s.cause))
+            cores.insert(s.core);
+    return cores;
+}
+
+} // namespace
+
+TEST(SmpChaos, OfflineOnlineOfMonitoredCoreSurvives)
+{
+    // Take the monitored core down mid-run and bring it back: the
+    // session must keep monitoring (the task migrates away), the
+    // ledger must balance, and both hotplug markers must be
+    // journaled.
+    SmpOutcome out = runSmpChaos(
+        "cpu.offline=2ms;cpu.offline.core=0;cpu.online=6ms", 11,
+        [](kleb::Session::Options &o) { o.durableLog = true; });
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_EQ(out.hotplugOfflines, 1u);
+    EXPECT_GE(out.kernelMigrations, 1u);
+    EXPECT_GE(out.status.targetMigrations, 1u);
+    EXPECT_GE(out.status.coreMarkers, 2u);
+    EXPECT_GE(out.status.samplesMigrated, 1u);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+    // Samples landed on both the original and the fallback core.
+    EXPECT_GE(coresSeen(out.samples).size(), 2u);
+}
+
+TEST(SmpChaos, RecoverySplicesCoreOutageExplicitly)
+{
+    SmpOutcome out = runSmpChaos(
+        "cpu.offline=2ms;cpu.offline.core=0;cpu.online=6ms", 11,
+        [](kleb::Session::Options &o) { o.durableLog = true; });
+    ASSERT_FALSE(out.durableBytes.empty());
+
+    kleb::RecoveredLog rec =
+        kleb::LogRecovery::scan(out.durableBytes);
+    EXPECT_TRUE(rec.report.balanced());
+    EXPECT_TRUE(rec.report.violations.empty())
+        << rec.report.violations.front();
+    EXPECT_EQ(rec.report.coreMarkers, 2u);
+    ASSERT_EQ(rec.report.coreOutages.size(), 1u);
+    const kleb::CoreOutageRecord &outage =
+        rec.report.coreOutages.front();
+    EXPECT_EQ(outage.core, 0u);
+    EXPECT_TRUE(outage.closed);
+    EXPECT_GT(outage.to, outage.from);
+    EXPECT_EQ(rec.report.coreOutageTicks, outage.to - outage.from);
+
+    // Markers are control records: none of them may surface as a
+    // recovered sample.
+    for (const kleb::Sample &s : rec.samples)
+        EXPECT_FALSE(kleb::isCoreMarker(s.cause));
+
+    // The spliced series grows an explicit core_outage_ticks
+    // channel whose one nonzero entry carries the outage length.
+    stats::TimeSeries spliced = kleb::LogRecovery::splice(
+        rec, {"inst_retired", "branch_retired"});
+    const auto &names = spliced.channelNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names.back(), "core_outage_ticks");
+    double total = 0.0;
+    std::size_t nonzero = 0;
+    for (std::size_t r = 0; r < spliced.size(); ++r) {
+        const double v = spliced.valueAt(r, 3);
+        total += v;
+        if (v != 0.0)
+            ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 1u);
+    EXPECT_EQ(total,
+              static_cast<double>(rec.report.coreOutageTicks));
+}
+
+TEST(SmpChaos, RecoveryWithoutMarkersKeepsLegacyChannels)
+{
+    // A journal with no hotplug markers must splice to the exact
+    // pre-SMP channel set: no conditional channel, no churn in
+    // byte-identical baselines.
+    SmpOutcome out = runSmpChaos(
+        "task.migrate=700us", 13,
+        [](kleb::Session::Options &o) { o.durableLog = true; });
+    ASSERT_FALSE(out.durableBytes.empty());
+    kleb::RecoveredLog rec =
+        kleb::LogRecovery::scan(out.durableBytes);
+    EXPECT_EQ(rec.report.coreMarkers, 0u);
+    EXPECT_TRUE(rec.report.coreOutages.empty());
+    stats::TimeSeries spliced = kleb::LogRecovery::splice(
+        rec, {"inst_retired", "branch_retired"});
+    ASSERT_EQ(spliced.channelNames().size(), 3u);
+    EXPECT_EQ(spliced.channelNames().back(), "gap_ticks");
+}
+
+TEST(SmpChaos, MigrationHeavyScheduleKeepsLedgerBalanced)
+{
+    // Bounce the target across cores every 700 us: samples must be
+    // attributed to each core they were taken on, stay per-core
+    // monotone, and the ledger must partition exactly.
+    SmpOutcome out = runSmpChaos("task.migrate=700us", 17);
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_TRUE(out.finished);
+    EXPECT_FALSE(out.aborted);
+    EXPECT_GE(out.status.targetMigrations, 3u);
+    EXPECT_GE(coresSeen(out.samples).size(), 2u);
+    EXPECT_EQ(out.status.samplesEmitted,
+              out.status.samplesKept + out.status.samplesMigrated +
+                  out.status.samplesDropped);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(SmpChaos, MigrationPreservesExactTotals)
+{
+    // Counter attribution across migrations telescopes (snapshot at
+    // migrate-out, re-base at migrate-in): the final cumulative
+    // counts must equal an unmigrated run's to the last count.
+    SmpOutcome still = runSmpChaos("", 19);
+    SmpOutcome moved = runSmpChaos("task.migrate=900us", 19);
+    ASSERT_FALSE(still.samples.empty());
+    ASSERT_FALSE(moved.samples.empty());
+    EXPECT_GE(moved.status.targetMigrations, 1u);
+    // Same workload, same seed: identical retirement totals even
+    // though the moved run crossed cores mid-flight.
+    EXPECT_EQ(still.samples.back().counts[0],
+              moved.samples.back().counts[0]);
+}
+
+TEST(SmpChaos, PmuContentionIsRetriedAndCounted)
+{
+    // A flaky PMU owner refuses about half the claim attempts: the
+    // controller's EBUSY backoff and the per-switch-in retries must
+    // ride it out, and every refusal must be counted.
+    SmpOutcome out =
+        runSmpChaos("task.migrate=700us;pmu.contend=0.5", 23);
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_GT(out.status.contentionEvents, 0u);
+    // Forfeited windows are gaps, not drops.
+    EXPECT_EQ(out.losses.gaps, out.status.lostToContention);
+    EXPECT_EQ(out.status.samplesEmitted,
+              out.status.samplesKept + out.status.samplesMigrated +
+                  out.status.samplesDropped);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+}
+
+TEST(SmpChaos, HotplugPlusMigrationPlusContention)
+{
+    // The full storm.  Whatever the interleaving, the run must end
+    // with the target done, the ledger partitioned, and no
+    // invariant (per-core monotonicity, offline-core silence)
+    // violated.
+    SmpOutcome out = runSmpChaos(
+        "cpu.offline=3ms;cpu.offline.core=0;cpu.online=9ms;"
+        "task.migrate=1ms;pmu.contend=0.3",
+        29, [](kleb::Session::Options &o) { o.durableLog = true; });
+
+    EXPECT_TRUE(out.targetDone);
+    EXPECT_EQ(out.status.samplesEmitted,
+              out.status.samplesKept + out.status.samplesMigrated +
+                  out.status.samplesDropped);
+    EXPECT_TRUE(out.invariantViolations.empty())
+        << out.invariantViolations.front();
+
+    kleb::RecoveredLog rec =
+        kleb::LogRecovery::scan(out.durableBytes);
+    EXPECT_TRUE(rec.report.balanced());
+}
+
+TEST(SmpChaos, SupervisorRefusesToShareCoreWithWard)
+{
+    // Pinning the watchdog onto its ward's own core is refused
+    // outright — a hung controller monopolizes its core and would
+    // starve the very poll that detects the hang.
+    System sys(hw::MachineConfig::corei7_920(), 31, quietCosts());
+    FixedWorkSource src = computeSource(1, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 2);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    opts.supervise = true;
+    opts.controllerCore = 2;
+    opts.supervisorCore = 2; // same core as the controller
+    kleb::Session session(sys, opts);
+    EXPECT_DEATH(session.monitor(target), "same core");
+}
+
+TEST(SmpChaos, SupervisorHonorsDistinctPin)
+{
+    System sys(hw::MachineConfig::corei7_920(), 31, quietCosts());
+    FixedWorkSource src = computeSource(4, 1000000, 2.0);
+    Process *target = sys.kernel().createWorkload("t", &src, 2);
+
+    kleb::Session::Options opts;
+    opts.period = 100_us;
+    opts.supervise = true;
+    opts.controllerCore = 2;
+    opts.supervisorCore = 3;
+    kleb::Session session(sys, opts);
+    session.monitor(target);
+    sys.run(secToTicks(5.0));
+    EXPECT_TRUE(session.finished());
+    EXPECT_EQ(target->state(), ProcState::zombie);
+}
+
+TEST(SmpChaos, GovernorResetsHysteresisAcrossOutage)
+{
+    kleb::RateGovernor::Config gc;
+    gc.costPerSample = usToTicks(1);
+    gc.costPerDrain = usToTicks(5);
+    kleb::RateGovernor gov(gc, usToTicks(100));
+
+    // Build up an estimate.
+    gov.observe(msToTicks(1), 10);
+    gov.observe(msToTicks(2), 10);
+    EXPECT_GT(gov.overheadEstimate(), 0.0);
+
+    // An offline with no online yet changes nothing.
+    gov.noteCoreOffline(0);
+    EXPECT_GT(gov.overheadEstimate(), 0.0);
+
+    // The online completes the cycle: estimator discarded, period
+    // kept, reset counted.
+    gov.noteCoreOnline(0);
+    EXPECT_EQ(gov.overheadEstimate(), 0.0);
+    EXPECT_EQ(gov.period(), usToTicks(100));
+    EXPECT_EQ(gov.stats().hotplugResets, 1u);
+
+    // A second online without a preceding offline is a no-op.
+    gov.noteCoreOnline(0);
+    EXPECT_EQ(gov.stats().hotplugResets, 1u);
+
+    // The first post-reset observation only re-anchors the clock —
+    // the quiesce/re-arm transient never feeds the EWMA.
+    EXPECT_EQ(gov.observe(msToTicks(10), 50), std::nullopt);
+    EXPECT_EQ(gov.overheadEstimate(), 0.0);
+}

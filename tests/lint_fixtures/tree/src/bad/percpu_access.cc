@@ -1,0 +1,42 @@
+// Fixture: per-CPU state indexed by things that are not core ids.
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture
+{
+
+struct PerCpuState
+{
+    int claims;
+};
+
+using CoreId = int;
+
+std::vector<PerCpuState> perCpu_;
+std::vector<int> per_cpu_rings;
+
+int
+bad_indexing(int pid, std::size_t i)
+{
+    int sum = perCpu_[0].claims;
+    sum += perCpu_[pid].claims;
+    sum += per_cpu_rings[i];
+    for (std::size_t c = 0; c < perCpu_.size(); ++c)
+        sum += perCpu_[c].claims;
+    return sum;
+}
+
+int
+good_indexing(CoreId core, std::size_t src_core)
+{
+    int sum = perCpu_[static_cast<std::size_t>(core)].claims;
+    sum += per_cpu_rings[src_core];
+    for (std::size_t cpu = 0; cpu < perCpu_.size(); ++cpu)
+        sum += perCpu_[cpu].claims;
+    // A non-per-CPU container indexed arbitrarily must NOT match.
+    std::vector<int> totals(4, 0);
+    return sum + totals[src_core % 4];
+}
+
+} // namespace fixture

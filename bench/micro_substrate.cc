@@ -10,10 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_support/trial_pool.hh"
+#include "fault/fault_plan.hh"
 #include "fleet/collector.hh"
+#include "fleet/fleet.hh"
 #include "hw/cpu_core.hh"
 #include "kernel/system.hh"
 #include "sim/event_queue.hh"
+#include "workload/address_streams.hh"
 #include "workload/microbench.hh"
 
 using namespace klebsim;
@@ -212,6 +215,78 @@ BM_ChunkExecution(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ChunkExecution)->Arg(16)->Arg(256);
+
+void
+BM_ChunkBatched(benchmark::State &state)
+{
+    // Streamed (memory-sampling) chunk through the chunk engine:
+    // Arg 1 = batched SoA fill path (one virtual fillBatch call per
+    // chunk), Arg 0 = the retained reference interpreter (one
+    // virtual next() per sampled access).  The pair quantifies the
+    // dispatch cost the SoA lanes remove; both produce bit-identical
+    // counts (ChunkEngineEquivalence pins that).
+    hw::MachineConfig cfg = hw::MachineConfig::corei7_920();
+    cfg.batchedChunkEngine = state.range(0) != 0;
+    workload::MemPatternSpec pat =
+        workload::MemPatternSpec::randomUniform(64 * 1024 * 1024);
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::EventQueue eq;
+        hw::Cache llc("LLC", cfg.llc, Random(2));
+        hw::CpuCore core(0, cfg, eq, &llc, Random(3));
+        auto stream =
+            workload::makeAddressStream(pat, 0x10000000, Random(5));
+        hw::WorkChunk chunk;
+        chunk.instructions = 100000;
+        chunk.loads = 30000;
+        chunk.stores = 10000;
+        chunk.baseIpc = 2.0;
+        chunk.stream = stream.get();
+        workload::FixedWorkSource src(
+            std::vector<hw::WorkChunk>(64, chunk));
+        hw::ExecContext ctx(&src);
+        state.ResumeTiming();
+        core.attachContext(&ctx);
+        Tick total = 0;
+        while (true) {
+            hw::PrepareResult res = core.prepare(secToTicks(10));
+            total += res.available;
+            eq.runUntil(total);
+            core.syncTo(total);
+            if (res.completes)
+                break;
+        }
+        ticks += total;
+        core.detachContext();
+    }
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChunkBatched)->Arg(0)->Arg(1);
+
+void
+BM_FleetParallelPhase1(benchmark::State &state)
+{
+    // Fleet Phases 1+2 (per-machine simulation + uplink transmit)
+    // through the work-stealing pool at Arg jobs.  On a multi-core
+    // host the jobs=8 row divides the jobs=1 wall clock by the
+    // worker count; outputs are byte-identical either way (the
+    // jobs-invariance CI gate).
+    fleet::FleetConfig cfg;
+    cfg.machines = 32;
+    cfg.coresPerMachine = 1;
+    cfg.jobs = static_cast<unsigned>(state.range(0));
+    fault::FaultPlan plan;
+    bench::TrialPool pool(cfg.jobs);
+    for (auto _ : state) {
+        auto shards =
+            fleet::simulateMachines(cfg, plan, pool, nullptr);
+        benchmark::DoNotOptimize(shards.size());
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.machines);
+}
+BENCHMARK(BM_FleetParallelPhase1)->Arg(1)->Arg(8);
 
 void
 BM_RandomStream(benchmark::State &state)

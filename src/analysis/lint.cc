@@ -421,7 +421,7 @@ Linter::Linter()
     allow("printf-family", "src/base/logging.cc");
     allow("printf-family", "src/base/str.cc");
     allow("event-new", "src/sim/event_queue.cc");
-    allow("raw-thread", "src/bench_support/trial_pool.cc");
+    allow("raw-thread", "src/bench_support/trial_pool");
     allow("mutex-raii", "src/base/thread_safety");
 }
 

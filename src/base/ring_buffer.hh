@@ -12,10 +12,12 @@
 #ifndef KLEBSIM_BASE_RING_BUFFER_HH
 #define KLEBSIM_BASE_RING_BUFFER_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
 #include "logging.hh"
+#include "thread_safety.hh"
 
 namespace klebsim
 {
@@ -90,6 +92,49 @@ class RingBuffer
     }
 
     /**
+     * Append @p n elements from @p src in order, stopping at
+     * capacity.  Allocation-free: the two wrapped segments are
+     * copied with std::copy into the preallocated store, the bulk
+     * analogue of the per-sample push() the timer handler uses.
+     * @return how many elements were accepted (< n when full).
+     */
+    KLEB_HOT std::size_t
+    pushBulk(const T *src, std::size_t n)
+    {
+        std::size_t accepted = std::min(n, freeSlots());
+        std::size_t first =
+            std::min(accepted, buf_.size() - tail_);
+        std::copy(src, src + first, buf_.begin() + tail_);
+        std::copy(src + first, src + accepted, buf_.begin());
+        tail_ = wrap(tail_ + accepted);
+        size_ += accepted;
+        return accepted;
+    }
+
+    /**
+     * Remove up to @p max oldest elements (all if max == 0) into
+     * the caller's array, preserving FIFO order.  Allocation-free
+     * bulk analogue of pop(): @p out must have room for
+     * min(max ? max : size(), size()) elements.
+     * @return how many elements were written.
+     */
+    KLEB_HOT std::size_t
+    drainInto(T *out, std::size_t max = 0)
+    {
+        std::size_t n = size_;
+        if (max != 0 && max < n)
+            n = max;
+        std::size_t first = std::min(n, buf_.size() - head_);
+        std::copy(buf_.begin() + head_, buf_.begin() + head_ + first,
+                  out);
+        std::copy(buf_.begin(), buf_.begin() + (n - first),
+                  out + first);
+        head_ = wrap(head_ + n);
+        size_ -= n;
+        return n;
+    }
+
+    /**
      * Drain up to @p max elements (all if max == 0) into a vector,
      * preserving FIFO order.
      */
@@ -99,13 +144,8 @@ class RingBuffer
         std::size_t n = size_;
         if (max != 0 && max < n)
             n = max;
-        std::vector<T> out;
-        out.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            out.push_back(buf_[head_]);
-            head_ = advance(head_);
-        }
-        size_ -= n;
+        std::vector<T> out(n);
+        drainInto(out.data(), n);
         return out;
     }
 
@@ -123,6 +163,13 @@ class RingBuffer
     {
         ++idx;
         return idx == buf_.size() ? 0 : idx;
+    }
+
+    /** Wrap an index that advanced by at most capacity() slots. */
+    std::size_t
+    wrap(std::size_t idx) const
+    {
+        return idx >= buf_.size() ? idx - buf_.size() : idx;
     }
 
     std::vector<T> buf_;

@@ -70,6 +70,59 @@ csvRow(const char *scope, std::uint64_t machines,
 
 } // anonymous namespace
 
+std::vector<MachineShardResult>
+simulateMachines(const FleetConfig &cfg,
+                 const fault::FaultPlan &plan,
+                 bench::TrialPool &pool,
+                 std::vector<bench::TrialFailure> *simFailures)
+{
+    LinkParams link;
+    link.baseLatency = cfg.linkLatency;
+    link.jitterMax = cfg.linkJitter;
+    link.dropProb = plan.linkDropProb;
+    link.delayProb = plan.linkDelayProb;
+    link.delayBy = plan.linkDelayBy;
+
+    // Simulate the machine AND cross its uplink inside the worker:
+    // transmit() draws only from a per-machine forked stream, so
+    // the phase-2 work parallelizes with the phase-1 work it feeds.
+    auto slots = pool.tryMap(
+        cfg.machines,
+        [&](std::size_t i) {
+            MachineParams p;
+            p.id = static_cast<MachineId>(i);
+            p.seed = cfg.seed;
+            p.cores = cfg.coresPerMachine;
+            p.period = cfg.period;
+            p.crashAt = machineCrashAt(plan, cfg.seed, p.id);
+
+            MachineShardResult shard;
+            MachineOutput out = runMachine(p);
+            shard.account.machine = p.id;
+            shard.account.produced = out.produced;
+            shard.account.vanished = out.vanishedLocal;
+            shard.account.crashed = out.crashed;
+            LinkStats ls = transmit(out, link, cfg.seed,
+                                    &shard.deliveries);
+            shard.account.sent = ls.delivered + ls.dropped;
+            shard.account.dropped = ls.dropped;
+            shard.account.delayed = ls.delayed;
+            return shard;
+        },
+        simFailures);
+
+    std::vector<MachineShardResult> shards(cfg.machines);
+    for (MachineId m = 0; m < cfg.machines; ++m) {
+        if (slots[m]) {
+            shards[m] = std::move(*slots[m]);
+        } else {
+            shards[m].account.machine = m;
+            shards[m].account.simFailed = true;
+        }
+    }
+    return shards;
+}
+
 FleetResult
 runFleet(const FleetConfig &cfg)
 {
@@ -86,48 +139,29 @@ runFleet(const FleetConfig &cfg)
     }
     const fault::FaultPlan &plan = result.plan;
 
-    // Phase 1: simulate every machine, sharded across workers.  A
-    // worker that dies takes exactly its machine down; tryMap keeps
-    // the surviving shards byte-identical.
+    // Phases 1+2: simulate every machine and cross its lossy link,
+    // sharded across workers.  A worker that dies takes exactly its
+    // machine down; tryMap keeps the surviving shards
+    // byte-identical.
     bench::TrialPool pool(cfg.jobs);
-    auto outputs = pool.tryMap(
-        cfg.machines,
-        [&](std::size_t i) {
-            MachineParams p;
-            p.id = static_cast<MachineId>(i);
-            p.seed = cfg.seed;
-            p.cores = cfg.coresPerMachine;
-            p.period = cfg.period;
-            p.crashAt = machineCrashAt(plan, cfg.seed, p.id);
-            return runMachine(p);
-        },
-        &result.simFailures);
+    std::vector<MachineShardResult> shards = simulateMachines(
+        cfg, plan, pool, &result.simFailures);
 
-    // Phase 2: every machine's stream crosses its own lossy link.
-    LinkParams link;
-    link.baseLatency = cfg.linkLatency;
-    link.jitterMax = cfg.linkJitter;
-    link.dropProb = plan.linkDropProb;
-    link.delayProb = plan.linkDelayProb;
-    link.delayBy = plan.linkDelayBy;
-
+    // Splice the per-machine delivery vectors in machine-id order —
+    // the exact pre-sort order the sequential loop produced — so
+    // the phase-3 sort sees an identical input permutation and the
+    // merged stream is byte-for-byte jobs-invariant.
     result.accounts.resize(cfg.machines);
+    std::size_t total_deliveries = 0;
+    for (const MachineShardResult &s : shards)
+        total_deliveries += s.deliveries.size();
     std::vector<Delivery> deliveries;
+    deliveries.reserve(total_deliveries);
     for (MachineId m = 0; m < cfg.machines; ++m) {
-        MachineAccount &acct = result.accounts[m];
-        acct.machine = m;
-        if (!outputs[m]) {
-            acct.simFailed = true;
-            continue;
-        }
-        const MachineOutput &out = *outputs[m];
-        acct.produced = out.produced;
-        acct.vanished = out.vanishedLocal;
-        acct.crashed = out.crashed;
-        LinkStats ls = transmit(out, link, cfg.seed, &deliveries);
-        acct.sent = ls.delivered + ls.dropped;
-        acct.dropped = ls.dropped;
-        acct.delayed = ls.delayed;
+        result.accounts[m] = shards[m].account;
+        deliveries.insert(deliveries.end(),
+                          shards[m].deliveries.begin(),
+                          shards[m].deliveries.end());
     }
 
     // Phase 3: one sequential drain in deterministic merge order.

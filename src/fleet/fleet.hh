@@ -113,6 +113,32 @@ struct FleetResult
 /** The pinned header of FleetResult::csv (bench comparators). */
 extern const char *const fleetCsvHeader;
 
+/**
+ * One machine's contribution to the fleet run: its ledger (as far
+ * as the machine side can fill it) plus the deliveries that
+ * survived its uplink, still in per-machine emission order.
+ */
+struct MachineShardResult
+{
+    MachineAccount account;
+    std::vector<Delivery> deliveries;
+};
+
+/**
+ * Phases 1+2 of runFleet(): simulate every machine and push its
+ * stream through its lossy uplink, sharded across @p pool workers.
+ * Entry m of the result holds machine m's ledger and deliveries
+ * regardless of which worker ran it; a machine whose simulation
+ * died in its worker is recorded in @p simFailures and marked
+ * simFailed, and perturbs no other shard.  Deterministic at any
+ * pool width: every stochastic decision derives from
+ * (cfg.seed, machine id) through the shared splitmix64 mixer.
+ */
+std::vector<MachineShardResult> simulateMachines(
+    const FleetConfig &cfg, const fault::FaultPlan &plan,
+    bench::TrialPool &pool,
+    std::vector<bench::TrialFailure> *simFailures);
+
 /** Run one fleet end to end. */
 FleetResult runFleet(const FleetConfig &cfg);
 

@@ -13,6 +13,7 @@
 #ifndef KLEBSIM_HW_EXEC_TYPES_HH
 #define KLEBSIM_HW_EXEC_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "base/types.hh"
@@ -41,6 +42,25 @@ class AddressStream
 
     /** Produce the next reference. */
     virtual MemRef next() = 0;
+
+    /**
+     * Produce the next @p n references into SoA lanes: addresses
+     * into @p addrs, write flags (0/1) into @p writes.  Must emit
+     * exactly the sequence n calls to next() would — same values,
+     * same RNG draws — so the batched chunk engine is bit-identical
+     * to the interpreter.  The default does exactly that (one
+     * virtual next() per element); concrete streams override it
+     * with a devirtualized loop over the same per-element step.
+     */
+    virtual void
+    fillBatch(Addr *addrs, std::uint8_t *writes, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            MemRef ref = next();
+            addrs[i] = ref.addr;
+            writes[i] = ref.write ? 1 : 0;
+        }
+    }
 };
 
 /**

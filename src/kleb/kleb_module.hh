@@ -45,6 +45,7 @@
 #include "kernel/kernel.hh"
 #include "kleb_config.hh"
 #include "sample.hh"
+#include "sample_arena.hh"
 
 namespace klebsim::kleb
 {
@@ -222,6 +223,13 @@ class KLebModule : public kernel::KernelModule
      * merged in) so the k-way drain stays globally ordered.
      */
     std::deque<Sample> spill_;
+
+    /**
+     * Cache-line-aligned staging slab for bulk drains (controller
+     * read() fast path, hotplug quiesce relocation), sized to the
+     * ring capacity at CONFIG so no drain ever allocates.
+     */
+    SampleArena arena_;
 
     /**
      * Counts accumulated on cores the target has already left:

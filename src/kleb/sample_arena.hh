@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cache-line-aligned staging arena for bulk sample movement.
+ *
+ * The module's drain paths (controller read(), hotplug quiesce)
+ * move whole runs of samples between a per-core ring and their
+ * destination.  Staging them through a per-sample std::vector
+ * allocates on every drain and walks the ring one element at a
+ * time; the arena instead owns one cache-line-aligned slab, sized
+ * once per session to the ring capacity, that RingBuffer's
+ * KLEB_HOT pushBulk()/drainInto() can std::copy whole wrapped
+ * segments into.  Records start on a cache-line boundary and run
+ * contiguously, so a bulk move touches the minimum number of lines
+ * and never shares its first line with unrelated state.
+ *
+ * The arena holds raw staging storage, not live data: contents are
+ * only meaningful between a drainInto() and the immediately
+ * following bulk append, within one module call.
+ */
+
+#ifndef KLEBSIM_KLEB_SAMPLE_ARENA_HH
+#define KLEBSIM_KLEB_SAMPLE_ARENA_HH
+
+#include <cstddef>
+#include <new>
+
+#include "base/thread_safety.hh"
+#include "sample.hh"
+
+namespace klebsim::kleb
+{
+
+/** Fixed-capacity aligned Sample slab (see file comment). */
+class SampleArena
+{
+  public:
+    /** Alignment of the slab base (one x86 cache line). */
+    static constexpr std::size_t lineSize = 64;
+
+    SampleArena() = default;
+
+    explicit SampleArena(std::size_t capacity) { resize(capacity); }
+
+    SampleArena(const SampleArena &) = delete;
+    SampleArena &operator=(const SampleArena &) = delete;
+
+    ~SampleArena() { release(); }
+
+    /**
+     * (Re)allocate the slab for @p capacity samples.  Not a hot
+     * path: called once per CONFIG, never per drain.
+     */
+    void
+    resize(std::size_t capacity)
+    {
+        if (capacity == capacity_)
+            return;
+        release();
+        if (capacity == 0)
+            return;
+        void *raw = ::operator new(
+            capacity * sizeof(Sample),
+            std::align_val_t{lineSize});
+        store_ = static_cast<Sample *>(raw);
+        // Start each record's lifetime; Sample is trivial, so this
+        // compiles to nothing but makes the aliasing well-defined.
+        for (std::size_t i = 0; i < capacity; ++i)
+            new (store_ + i) Sample();
+        capacity_ = capacity;
+    }
+
+    /** Base of the staging records (aligned to lineSize). */
+    KLEB_HOT Sample *data() { return store_; }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    void
+    release()
+    {
+        if (store_ == nullptr)
+            return;
+        ::operator delete(store_, std::align_val_t{lineSize});
+        store_ = nullptr;
+        capacity_ = 0;
+    }
+
+    Sample *store_ = nullptr;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace klebsim::kleb
+
+#endif // KLEBSIM_KLEB_SAMPLE_ARENA_HH

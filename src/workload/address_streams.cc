@@ -90,6 +90,24 @@ class SequentialStream : public hw::AddressStream
     hw::MemRef
     next() override
     {
+        return step();
+    }
+
+    void
+    fillBatch(Addr *addrs, std::uint8_t *writes,
+              std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            hw::MemRef ref = step();
+            addrs[i] = ref.addr;
+            writes[i] = ref.write ? 1 : 0;
+        }
+    }
+
+  private:
+    hw::MemRef
+    step()
+    {
         hw::MemRef ref;
         ref.addr = base_ + offset_;
         ref.write = rng_.chance(writeFrac_);
@@ -99,7 +117,6 @@ class SequentialStream : public hw::AddressStream
         return ref;
     }
 
-  private:
     Addr base_;
     std::uint64_t footprint_;
     std::uint64_t stride_;
@@ -122,6 +139,26 @@ class RandomStream : public hw::AddressStream
     hw::MemRef
     next() override
     {
+        return step();
+    }
+
+    void
+    fillBatch(Addr *addrs, std::uint8_t *writes,
+              std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            hw::MemRef ref = step();
+            addrs[i] = ref.addr;
+            writes[i] = ref.write ? 1 : 0;
+        }
+    }
+
+  private:
+    friend class HotColdStream;
+
+    hw::MemRef
+    step()
+    {
         hw::MemRef ref;
         std::uint64_t off = rng_.next64() % footprint_;
         ref.addr = base_ + (off & ~Addr(7)); // 8-byte aligned
@@ -129,7 +166,6 @@ class RandomStream : public hw::AddressStream
         return ref;
     }
 
-  private:
     Addr base_;
     std::uint64_t footprint_;
     double writeFrac_;
@@ -153,8 +189,20 @@ class HotColdStream : public hw::AddressStream
     next() override
     {
         if (rng_.chance(hotProb_))
-            return hot_.next();
-        return cold_.next();
+            return hot_.step();
+        return cold_.step();
+    }
+
+    void
+    fillBatch(Addr *addrs, std::uint8_t *writes,
+              std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            hw::MemRef ref = rng_.chance(hotProb_) ? hot_.step()
+                                                   : cold_.step();
+            addrs[i] = ref.addr;
+            writes[i] = ref.write ? 1 : 0;
+        }
     }
 
   private:
@@ -189,6 +237,24 @@ class PointerChaseStream : public hw::AddressStream
     hw::MemRef
     next() override
     {
+        return step();
+    }
+
+    void
+    fillBatch(Addr *addrs, std::uint8_t *writes,
+              std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            hw::MemRef ref = step();
+            addrs[i] = ref.addr;
+            writes[i] = ref.write ? 1 : 0;
+        }
+    }
+
+  private:
+    hw::MemRef
+    step()
+    {
         hw::MemRef ref;
         ref.addr = base_ + cursor_ * 64;
         ref.write = rng_.chance(writeFrac_);
@@ -196,7 +262,6 @@ class PointerChaseStream : public hw::AddressStream
         return ref;
     }
 
-  private:
     Addr base_;
     double writeFrac_;
     Random rng_;

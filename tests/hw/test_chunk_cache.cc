@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Chunk cost-table correctness: the compiled fast path in CpuCore
+ * memoizes per-chunk timing/event results keyed on the chunk's
+ * signature AND the machine-config fingerprint.  These tests pin
+ * the stale-memo bug class: a cached cost must never survive a
+ * change to the chunk shape, a phase boundary that cycles more
+ * signatures than the table holds, or a mutation of the config
+ * parameters the cost was derived from.  They also pin the
+ * batched engine against the retained reference interpreter
+ * (cfg.batchedChunkEngine = false) across a seeded property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cpu_core.hh"
+#include "workload/address_streams.hh"
+#include "workload/microbench.hh"
+
+using namespace klebsim;
+using namespace klebsim::hw;
+using namespace klebsim::ticks_literals;
+using klebsim::workload::FixedWorkSource;
+using klebsim::workload::computeChunk;
+
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(MachineConfig config = MachineConfig::corei7_920())
+        : cfg(config),
+          llc("LLC", cfg.llc, Random(2)),
+          core(0, cfg, eq, &llc, Random(3))
+    {
+    }
+
+    /** Run @p chunks to completion; @return total duration. */
+    Tick
+    run(const std::vector<WorkChunk> &chunks, ExecContext *ctxOut = nullptr)
+    {
+        FixedWorkSource src(chunks);
+        ExecContext ctx(&src);
+        core.attachContext(&ctx);
+        Tick start = eq.curTick();
+        Tick total = 0;
+        while (true) {
+            PrepareResult res = core.prepare(1000_ms);
+            total += res.available;
+            eq.runUntil(start + total);
+            core.syncTo(start + total);
+            if (res.completes)
+                break;
+        }
+        if (ctxOut != nullptr)
+            *ctxOut = ctx;
+        core.detachContext();
+        return total;
+    }
+
+    MachineConfig cfg;
+    sim::EventQueue eq;
+    Cache llc;
+    CpuCore core;
+};
+
+/** A distinct streamless compute signature per @p variant. */
+WorkChunk
+variantChunk(unsigned variant)
+{
+    WorkChunk c = computeChunk(100000 + variant * 1000, 2.0);
+    c.branches = 10000 + variant * 100;
+    c.mispredictRate = 0.02 + 0.001 * static_cast<double>(variant);
+    return c;
+}
+
+} // namespace
+
+TEST(ChunkCostTable, RepeatedChunkMatchesColdExecution)
+{
+    // One cold execution vs the same chunk repeated: table hits
+    // (and run coalescing) must reproduce the cold cost exactly,
+    // with events scaling by exactly the repeat count.
+    WorkChunk c = variantChunk(0);
+
+    Fixture cold;
+    ExecContext coldCtx(nullptr);
+    Tick one = cold.run({c}, &coldCtx);
+
+    Fixture warm;
+    ExecContext warmCtx(nullptr);
+    Tick eight = warm.run(std::vector<WorkChunk>(8, c), &warmCtx);
+
+    EXPECT_EQ(eight, 8 * one);
+    EXPECT_EQ(warmCtx.instructionsRetired(),
+              8 * coldCtx.instructionsRetired());
+    for (std::size_t i = 0; i < coldCtx.totalEvents().size(); ++i)
+        EXPECT_EQ(warmCtx.totalEvents()[i],
+                  8 * coldCtx.totalEvents()[i])
+            << "event " << i;
+}
+
+TEST(ChunkCostTable, AlternatingSignaturesStayExact)
+{
+    // A phase boundary in miniature: two interleaved signatures
+    // must each keep their own cost, never each other's.
+    WorkChunk a = variantChunk(1);
+    WorkChunk b = variantChunk(2);
+
+    Tick costA = Fixture().run({a});
+    Tick costB = Fixture().run({b});
+    ASSERT_NE(costA, costB);
+
+    Fixture mixed;
+    Tick total = mixed.run({a, b, a, b, a, b});
+    EXPECT_EQ(total, 3 * costA + 3 * costB);
+}
+
+TEST(ChunkCostTable, EvictionCycleStaysExact)
+{
+    // More live signatures than the table holds: every execution
+    // after the working set wraps must re-derive (not misattribute)
+    // the evicted cost.  12 variants > the 8-entry table.
+    std::vector<WorkChunk> cycle;
+    Tick expected = 0;
+    for (unsigned v = 0; v < 12; ++v) {
+        WorkChunk c = variantChunk(v);
+        cycle.push_back(c);
+        expected += Fixture().run({c});
+    }
+    // Two full passes: the second pass runs entirely against a
+    // table whose entries were all evicted and restored.
+    std::vector<WorkChunk> twice = cycle;
+    twice.insert(twice.end(), cycle.begin(), cycle.end());
+    EXPECT_EQ(Fixture().run(twice), 2 * expected);
+}
+
+TEST(ChunkCostTable, BranchPenaltyChangeInvalidatesEntry)
+{
+    // The config fingerprint must catch parameter mutation: the
+    // same chunk signature re-executed after the branch penalty
+    // changes must be re-derived, not served from the stale entry.
+    WorkChunk c = variantChunk(3);
+
+    Fixture f;
+    Tick before = f.run({c});
+    f.cfg.pipeline.branchMispredictPenalty *= 4;
+    Tick after = f.run({c});
+    EXPECT_GT(after, before);
+
+    // And the re-derived cost is what a cold core with the mutated
+    // config computes.
+    MachineConfig hot = MachineConfig::corei7_920();
+    hot.pipeline.branchMispredictPenalty *= 4;
+    EXPECT_EQ(after, Fixture(hot).run({c}));
+}
+
+TEST(ChunkCostTable, PerFrequencyCostsStayIndependent)
+{
+    // The core latches coreFreqHz into its clock at construction
+    // (mutating the config later cannot retune a live core), so
+    // the frequency fingerprint guards table reuse across cores
+    // built at different speeds: each core's memoized cost must be
+    // derived from its own clock and stay exactly self-consistent
+    // under repetition.
+    WorkChunk c = variantChunk(4);
+
+    MachineConfig fast = MachineConfig::corei7_920();
+    fast.coreFreqHz *= 2.0;
+
+    Tick slowOne = Fixture().run({c});
+    Tick fastOne = Fixture(fast).run({c});
+    EXPECT_LT(fastOne, slowOne);
+
+    EXPECT_EQ(Fixture().run(std::vector<WorkChunk>(5, c)),
+              5 * slowOne);
+    EXPECT_EQ(Fixture(fast).run(std::vector<WorkChunk>(5, c)),
+              5 * fastOne);
+}
+
+TEST(ChunkCostTable, StallExposureChangeInvalidatesEntry)
+{
+    // Memory-flavoured knob: chargeable via preExecuted=false
+    // streamless chunks only through the fingerprint, since the
+    // chunk signature itself is unchanged.
+    WorkChunk c = variantChunk(5);
+    c.stallExposureScale = 1.0;
+
+    Fixture f;
+    Tick before = f.run({c});
+    f.cfg.pipeline.memStallExposure = 0.95;
+    Tick after = f.run({c});
+
+    MachineConfig exposed = MachineConfig::corei7_920();
+    exposed.pipeline.memStallExposure = 0.95;
+    Tick cold = Fixture(exposed).run({c});
+    EXPECT_EQ(after, cold);
+    // (The compute-only chunk may be stall-free; the pinned
+    // property is re-derivation, not that the knob moved the cost.)
+    (void)before;
+}
+
+TEST(ChunkEngineEquivalence, BatchedMatchesReferenceAcrossSeeds)
+{
+    // 16-seed property sweep: the compiled/batched engine and the
+    // retained reference interpreter must be bit-identical on a
+    // workload mixing compute phases, streamed memory phases (SoA
+    // fill path), and pre-executed chunks — including across phase
+    // boundaries that alternate signatures.
+    for (unsigned seed = 0; seed < 16; ++seed) {
+        workload::MemPatternSpec pat =
+            (seed % 2 == 0)
+                ? workload::MemPatternSpec::randomUniform(
+                      (8u + seed) * 1024 * 1024)
+                : workload::MemPatternSpec::sequential(
+                      (4u + seed) * 1024 * 1024);
+
+        auto build = [&](Random rng) {
+            struct Built
+            {
+                std::unique_ptr<hw::AddressStream> stream;
+                std::vector<WorkChunk> chunks;
+            };
+            Built b;
+            b.stream = workload::makeAddressStream(
+                pat, 0x10000000 + seed * 0x1000, rng);
+            WorkChunk mem;
+            mem.instructions = 50000 + seed * 777;
+            mem.loads = 20000 + seed * 333;
+            mem.stores = 5000 + seed * 111;
+            mem.baseIpc = 1.5;
+            mem.stream = b.stream.get();
+            WorkChunk pre;
+            pre.preExecuted = true;
+            pre.instructions = 4000 + seed;
+            at(pre.preEvents, HwEvent::instRetired) =
+                pre.instructions;
+            at(pre.preEvents, HwEvent::llcMiss) = 17 + seed;
+            pre.preStallCycles = 9000;
+            pre.baseIpc = 1.0;
+            WorkChunk flopsy = computeChunk(60000 + seed * 101, 2.0);
+            flopsy.flops = 1e5 + seed * 13.0;
+            // Repeats of the compute signatures exercise the table
+            // hit and coalescing paths; the interleave exercises
+            // phase-boundary invalidation.
+            b.chunks = {variantChunk(seed % 6),
+                        mem,
+                        variantChunk(seed % 6),
+                        variantChunk(seed % 6),
+                        pre,
+                        flopsy,
+                        variantChunk((seed + 1) % 6),
+                        mem};
+            return b;
+        };
+
+        MachineConfig refCfg = MachineConfig::corei7_920();
+        refCfg.batchedChunkEngine = false;
+        Fixture reference(refCfg);
+        auto refBuilt = build(Random(100 + seed));
+        ExecContext refCtx(nullptr);
+        Tick refTicks = reference.run(refBuilt.chunks, &refCtx);
+
+        Fixture batched; // batchedChunkEngine defaults to true
+        ASSERT_TRUE(batched.cfg.batchedChunkEngine);
+        auto batBuilt = build(Random(100 + seed));
+        ExecContext batCtx(nullptr);
+        Tick batTicks = batched.run(batBuilt.chunks, &batCtx);
+
+        EXPECT_EQ(batTicks, refTicks) << "seed " << seed;
+        EXPECT_EQ(batCtx.instructionsRetired(),
+                  refCtx.instructionsRetired())
+            << "seed " << seed;
+        EXPECT_EQ(batCtx.flopsDone(), refCtx.flopsDone())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < refCtx.totalEvents().size();
+             ++i)
+            EXPECT_EQ(batCtx.totalEvents()[i],
+                      refCtx.totalEvents()[i])
+                << "seed " << seed << " event " << i;
+    }
+}

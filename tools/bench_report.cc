@@ -19,15 +19,20 @@
  *     "benchmarks": { "BM_EventQueueSchedule": 22.7, ... }
  *   }
  *
- * --compare exits 1 only when a benchmark present in BOTH files got
+ * --compare exits 1 when a benchmark present in BOTH files got
  * slower than baseline * threshold (default 3.0 — generous, so the
- * CI gate stays quiet on noisy shared runners), or when the
+ * CI gate stays quiet on noisy shared runners), when the
  * listener-detach invariant fails: a queue whose listener was
  * attached and detached must perform like one that never had a
  * listener (BM_EventQueueScheduleAfterListenerDetach must stay
- * within 2x of BM_EventQueueSchedule).  Benchmarks that appear in
- * only one file are reported but never fail the gate, so adding or
- * retiring benchmarks doesn't break CI.
+ * within 2x of BM_EventQueueSchedule), or when the candidate run
+ * contains a benchmark the baseline doesn't.  A NEW benchmark means
+ * someone added a counter without regenerating the checked-in
+ * baseline — exactly the state in which a later regression in it
+ * would pass silently — so it fails the gate until the baseline is
+ * refreshed (or the run is explicitly blessed with --allow-new).
+ * Benchmarks that exist only in the baseline (retired counters) are
+ * reported but never gate.
  *
  * --check-budget gates the adaptive-sampling Pareto CSV emitted by
  * `abl_adaptive_budget --csv`: every adaptive row of the long-form
@@ -261,7 +266,7 @@ writeReport(const std::string &path, const BenchMap &benches)
  */
 int
 compare(const BenchMap &baseline, const BenchMap &current,
-        double threshold)
+        double threshold, bool allow_new)
 {
     int failures = 0;
     for (const auto &[name, base_ns] : baseline) {
@@ -281,10 +286,21 @@ compare(const BenchMap &baseline, const BenchMap &current,
         std::printf("  %-9s %-44s %9.1f -> %9.1f ns (%.2fx)\n",
                     tag, name.c_str(), base_ns, it->second, ratio);
     }
+    int unbaselined = 0;
     for (const auto &[name, ns] : current) {
-        if (!baseline.count(name))
-            std::printf("  NEW      %-44s %9.1f ns\n",
-                        name.c_str(), ns);
+        if (baseline.count(name))
+            continue;
+        std::printf("  NEW      %-44s %9.1f ns%s\n", name.c_str(),
+                    ns, allow_new ? " (allowed)" : "");
+        if (!allow_new)
+            ++unbaselined;
+    }
+    if (unbaselined > 0) {
+        std::printf("bench_report: %d benchmark(s) missing from "
+                    "the baseline — regenerate it (or bless the "
+                    "run with --allow-new)\n",
+                    unbaselined);
+        failures += unbaselined;
     }
 
     // Listener-detach invariant: detaching must restore the
@@ -615,22 +631,30 @@ selfTest()
           "report round-trip values");
 
     BenchMap base{{"BM_A", 10.0}, {"BM_GONE", 5.0}};
-    BenchMap ok{{"BM_A", 25.0}, {"BM_NEW", 1.0}};
+    BenchMap ok{{"BM_A", 25.0}};
     BenchMap bad{{"BM_A", 31.0}};
-    check(compare(base, ok, 3.0) == 0, "2.5x passes at 3x");
-    check(compare(base, bad, 3.0) == 1, "3.1x fails at 3x");
+    check(compare(base, ok, 3.0, false) == 0, "2.5x passes at 3x");
+    check(compare(base, bad, 3.0, false) == 1, "3.1x fails at 3x");
+
+    BenchMap fresh{{"BM_A", 25.0}, {"BM_NEW", 1.0}};
+    check(compare(base, fresh, 3.0, false) == 1,
+          "unbaselined benchmark fails the gate");
+    check(compare(base, fresh, 3.0, true) == 0,
+          "--allow-new blesses an unbaselined benchmark");
+    check(compare(base, ok, 3.0, false) == 0,
+          "retired benchmark (baseline-only) never gates");
 
     BenchMap detachBad{
         {"BM_EventQueueSchedule", 10.0},
         {"BM_EventQueueScheduleAfterListenerDetach", 25.0},
     };
-    check(compare(detachBad, detachBad, 3.0) == 1,
+    check(compare(detachBad, detachBad, 3.0, false) == 1,
           "detach pair beyond 2x fails");
     BenchMap detachOk{
         {"BM_EventQueueSchedule", 10.0},
         {"BM_EventQueueScheduleAfterListenerDetach", 11.0},
     };
-    check(compare(detachOk, detachOk, 3.0) == 0,
+    check(compare(detachOk, detachOk, 3.0, false) == 0,
           "detach pair within 2x passes");
 
     BenchMap empty;
@@ -721,7 +745,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s --from-gbench <gbench.json> --out <report.json>\n"
         "       %s --compare <baseline.json> <current.json>"
-        " [--threshold <x>]\n"
+        " [--threshold <x>] [--allow-new]\n"
         "       %s --check-budget <pareto.csv> [--slack <pct>]\n"
         "       %s --check-fleet <fleet.csv>\n"
         "       %s --self-test\n",
@@ -738,7 +762,7 @@ main(int argc, char **argv)
     std::string fleet_path;
     double threshold = 3.0;
     double slack = 0.75;
-    bool do_compare = false, self_test = false;
+    bool do_compare = false, self_test = false, allow_new = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--from-gbench") && i + 1 < argc) {
@@ -775,6 +799,8 @@ main(int argc, char **argv)
                              "bench_report: bad --threshold\n");
                 return 2;
             }
+        } else if (!std::strcmp(argv[i], "--allow-new")) {
+            allow_new = true;
         } else if (!std::strcmp(argv[i], "--self-test")) {
             self_test = true;
         } else {
@@ -865,7 +891,7 @@ main(int argc, char **argv)
                          cur_path.c_str(), error.c_str());
             return 2;
         }
-        return compare(baseline, current, threshold);
+        return compare(baseline, current, threshold, allow_new);
     }
 
     return usage(argv[0]);
